@@ -1,0 +1,216 @@
+//! Bingo (HPCA'19): long-and-short-event association.
+//!
+//! Bingo observes that the short event *PC+Offset* is carried inside the long
+//! event *PC+Address*. Patterns are stored once, tagged with both events; a
+//! lookup first tries the long event (exact match — high accuracy) and falls
+//! back to the short event (approximate match — extra coverage). Like SMS it
+//! needs a very large pattern history to reach its best performance.
+
+use prefetch_common::access::DemandAccess;
+use prefetch_common::addr::BlockAddr;
+use prefetch_common::footprint::Footprint;
+use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
+use prefetch_common::request::PrefetchRequest;
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+use crate::region_tracker::{Activation, Deactivation, RegionTracker};
+
+/// Configuration of [`Bingo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BingoConfig {
+    /// Spatial-region size in bytes (2 KB, Table IV).
+    pub region_size: u64,
+    /// Active-region tracking entries.
+    pub tracker_entries: usize,
+    /// Pattern history entries (16k for the optimal configuration).
+    pub pht_entries: usize,
+    /// Pattern history associativity.
+    pub pht_ways: usize,
+}
+
+impl Default for BingoConfig {
+    fn default() -> Self {
+        BingoConfig { region_size: 2048, tracker_entries: 64, pht_entries: 16 * 1024, pht_ways: 16 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BingoEntry {
+    /// Hash of the long event (PC + region address) for exact matching.
+    long_tag: u64,
+    footprint: Footprint,
+}
+
+/// The Bingo prefetcher.
+#[derive(Debug)]
+pub struct Bingo {
+    cfg: BingoConfig,
+    tracker: RegionTracker,
+    history: SetAssocTable<BingoEntry>,
+    stats: PrefetcherStats,
+    long_hits: u64,
+    short_hits: u64,
+}
+
+impl Bingo {
+    /// Creates a Bingo prefetcher with the Table IV configuration.
+    pub fn new() -> Self {
+        Self::with_config(BingoConfig::default())
+    }
+
+    /// Creates a Bingo prefetcher from an explicit configuration.
+    pub fn with_config(cfg: BingoConfig) -> Self {
+        Bingo {
+            tracker: RegionTracker::new(cfg.region_size, cfg.tracker_entries, 8),
+            history: SetAssocTable::new(TableConfig::new(
+                (cfg.pht_entries / cfg.pht_ways).max(1),
+                cfg.pht_ways,
+            )),
+            stats: PrefetcherStats::default(),
+            cfg,
+            long_hits: 0,
+            short_hits: 0,
+        }
+    }
+
+    /// `(long-match hits, short-match hits)` observed so far.
+    pub fn match_counts(&self) -> (u64, u64) {
+        (self.long_hits, self.short_hits)
+    }
+
+    fn short_key(pc: u64, offset: usize) -> u64 {
+        (pc << 6) ^ offset as u64
+    }
+
+    fn long_tag(pc: u64, region: u64, offset: usize) -> u64 {
+        pc.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (region << 6) ^ offset as u64
+    }
+
+    fn learn(&mut self, d: &Deactivation) {
+        self.stats.trainings += 1;
+        let key = Self::short_key(d.pc, d.offset);
+        let entry =
+            BingoEntry { long_tag: Self::long_tag(d.pc, d.region, d.offset), footprint: d.footprint.clone() };
+        self.history.insert(key, key, entry);
+    }
+
+    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+        let key = Self::short_key(a.pc, a.offset);
+        let long = Self::long_tag(a.pc, a.region, a.offset);
+        let Some(entry) = self.history.get(key, key) else { return Vec::new() };
+        if entry.long_tag == long {
+            self.long_hits += 1;
+        } else {
+            self.short_hits += 1;
+        }
+        let footprint = entry.footprint.clone();
+        let geom = self.tracker.geometry();
+        let region = prefetch_common::addr::RegionId::new(a.region);
+        let reqs: Vec<PrefetchRequest> = footprint
+            .iter_set()
+            .filter(|&o| o != a.offset)
+            .map(|o| PrefetchRequest::to_l1(geom.block_at(region, o)))
+            .collect();
+        self.stats.issued += reqs.len() as u64;
+        reqs
+    }
+}
+
+impl Default for Bingo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for Bingo {
+    fn name(&self) -> &str {
+        "bingo"
+    }
+
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+        if !access.kind.is_load() {
+            return Vec::new();
+        }
+        self.stats.accesses += 1;
+        let outcome = self.tracker.access(access.pc, access.addr);
+        for d in &outcome.deactivations {
+            self.learn(d);
+        }
+        match &outcome.activation {
+            Some(a) => self.predict(a),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_evict(&mut self, block: BlockAddr) {
+        if let Some(d) = self.tracker.evict_block(block) {
+            self.learn(&d);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let blocks = self.tracker.geometry().blocks_per_region() as u64;
+        // Each entry additionally stores the long-event tag (approx. 22 bits).
+        let pht = self.cfg.pht_entries as u64 * (16 + 4 + 22 + blocks);
+        let tracker = self.cfg.tracker_entries as u64 * (36 + 3 + 16 + 6 + blocks);
+        pht + tracker
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut Bingo, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            out.extend(p.on_access(&DemandAccess::load(pc, region * 2048 + o as u64 * 64), false));
+        }
+        out
+    }
+
+    #[test]
+    fn exact_long_event_match_replays_pattern() {
+        let mut p = Bingo::new();
+        feed(&mut p, 0x400, 5, &[2, 6, 10]);
+        p.on_evict(BlockAddr::new(5 * 32 + 2));
+        // Re-activate the *same* region with the same PC: long-event match.
+        let reqs = feed(&mut p, 0x400, 5, &[2]);
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(p.match_counts(), (1, 0));
+    }
+
+    #[test]
+    fn short_event_fallback_covers_new_regions() {
+        let mut p = Bingo::new();
+        feed(&mut p, 0x400, 5, &[2, 6, 10]);
+        p.on_evict(BlockAddr::new(5 * 32 + 2));
+        // A different region with the same PC+offset: short-event match.
+        let reqs = feed(&mut p, 0x400, 77, &[2]);
+        let mut offs: Vec<u64> = reqs.iter().map(|r| r.block.raw() - 77 * 32).collect();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![6, 10]);
+        assert_eq!(p.match_counts(), (0, 1));
+    }
+
+    #[test]
+    fn unrelated_trigger_does_not_match() {
+        let mut p = Bingo::new();
+        feed(&mut p, 0x400, 5, &[2, 6, 10]);
+        p.on_evict(BlockAddr::new(5 * 32 + 2));
+        assert!(feed(&mut p, 0x900, 77, &[3]).is_empty());
+    }
+
+    #[test]
+    fn storage_is_larger_than_sms() {
+        let bingo = Bingo::new();
+        let sms = crate::sms::Sms::new();
+        use prefetch_common::prefetcher::Prefetcher as _;
+        assert!(bingo.storage_bits() > sms.storage_bits());
+        assert!(bingo.storage_bits() / 8 / 1024 > 120);
+    }
+}

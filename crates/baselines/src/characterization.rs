@@ -1,0 +1,218 @@
+//! The plain context-characterization prefetchers of Fig. 1.
+//!
+//! Fig. 1 compares spatial-pattern prediction keyed by different
+//! environmental contexts: the trigger `Offset`, the trigger `PC`, and
+//! `PC+Address`, each with a small pattern history (their "-opt" versions are
+//! PMP, DSPatch and Bingo respectively, implemented in their own modules, and
+//! the `Offset` point is `GazeConfig::offset_only`). This module provides the
+//! two remaining plain schemes as one generic footprint prefetcher
+//! parameterized by its key extractor.
+
+use prefetch_common::access::DemandAccess;
+use prefetch_common::addr::BlockAddr;
+use prefetch_common::footprint::Footprint;
+use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
+use prefetch_common::request::PrefetchRequest;
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+use crate::region_tracker::{Activation, Deactivation, RegionTracker};
+
+/// Which environmental context keys the pattern history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContextKind {
+    /// The trigger instruction (PC) alone — the plain `PC` point of Fig. 1.
+    Pc,
+    /// The trigger PC combined with the region address — the plain
+    /// `PC+Address` point of Fig. 1.
+    PcAddress,
+}
+
+/// Configuration of [`ContextPattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextPatternConfig {
+    /// Which context keys the history.
+    pub kind: ContextKind,
+    /// Spatial-region size in bytes.
+    pub region_size: u64,
+    /// Pattern-history entries.
+    pub pht_entries: usize,
+    /// Pattern-history associativity.
+    pub pht_ways: usize,
+    /// Active-region tracking entries.
+    pub tracker_entries: usize,
+}
+
+impl ContextPatternConfig {
+    /// The plain `PC` scheme (a small per-PC footprint table, ~3 KB).
+    pub fn pc() -> Self {
+        ContextPatternConfig {
+            kind: ContextKind::Pc,
+            region_size: 4096,
+            pht_entries: 256,
+            pht_ways: 8,
+            tracker_entries: 64,
+        }
+    }
+
+    /// The plain `PC+Address` scheme (needs a very large history to be
+    /// useful; Fig. 1 marks it at >100 KB).
+    pub fn pc_address() -> Self {
+        ContextPatternConfig {
+            kind: ContextKind::PcAddress,
+            region_size: 4096,
+            pht_entries: 8 * 1024,
+            pht_ways: 16,
+            tracker_entries: 64,
+        }
+    }
+}
+
+/// A spatial-pattern prefetcher keyed by a single environmental context.
+#[derive(Debug)]
+pub struct ContextPattern {
+    cfg: ContextPatternConfig,
+    tracker: RegionTracker,
+    history: SetAssocTable<Footprint>,
+    stats: PrefetcherStats,
+}
+
+impl ContextPattern {
+    /// Creates a context-keyed footprint prefetcher.
+    pub fn new(cfg: ContextPatternConfig) -> Self {
+        ContextPattern {
+            tracker: RegionTracker::new(cfg.region_size, cfg.tracker_entries, 8),
+            history: SetAssocTable::new(TableConfig::new(
+                (cfg.pht_entries / cfg.pht_ways).max(1),
+                cfg.pht_ways,
+            )),
+            stats: PrefetcherStats::default(),
+            cfg,
+        }
+    }
+
+    fn key(&self, pc: u64, region: u64) -> u64 {
+        match self.cfg.kind {
+            ContextKind::Pc => pc ^ (pc >> 17),
+            ContextKind::PcAddress => pc.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ region,
+        }
+    }
+
+    fn learn(&mut self, d: &Deactivation) {
+        self.stats.trainings += 1;
+        let key = self.key(d.pc, d.region);
+        let anchored = d.footprint.rotate_to_anchor(d.offset);
+        self.history.insert(key, key, anchored);
+    }
+
+    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+        let key = self.key(a.pc, a.region);
+        let Some(anchored) = self.history.get(key, key).cloned() else { return Vec::new() };
+        let geom = self.tracker.geometry();
+        let blocks = geom.blocks_per_region();
+        let region = prefetch_common::addr::RegionId::new(a.region);
+        let reqs: Vec<PrefetchRequest> = anchored
+            .iter_set()
+            .map(|rotated| (rotated + a.offset) % blocks)
+            .filter(|&o| o != a.offset)
+            .map(|o| PrefetchRequest::to_l1(geom.block_at(region, o)))
+            .collect();
+        self.stats.issued += reqs.len() as u64;
+        reqs
+    }
+}
+
+impl Prefetcher for ContextPattern {
+    fn name(&self) -> &str {
+        match self.cfg.kind {
+            ContextKind::Pc => "pc-pattern",
+            ContextKind::PcAddress => "pc-addr-pattern",
+        }
+    }
+
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+        if !access.kind.is_load() {
+            return Vec::new();
+        }
+        self.stats.accesses += 1;
+        let outcome = self.tracker.access(access.pc, access.addr);
+        for d in &outcome.deactivations {
+            self.learn(d);
+        }
+        match &outcome.activation {
+            Some(a) => self.predict(a),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_evict(&mut self, block: BlockAddr) {
+        if let Some(d) = self.tracker.evict_block(block) {
+            self.learn(&d);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let blocks = self.tracker.geometry().blocks_per_region() as u64;
+        let tag = match self.cfg.kind {
+            ContextKind::Pc => 16,
+            ContextKind::PcAddress => 38,
+        };
+        let pht = self.cfg.pht_entries as u64 * (tag + 4 + blocks);
+        let tracker = self.cfg.tracker_entries as u64 * (36 + 3 + 16 + 6 + blocks);
+        pht + tracker
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut ContextPattern, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            out.extend(p.on_access(&DemandAccess::load(pc, region * 4096 + o as u64 * 64), false));
+        }
+        out
+    }
+
+    #[test]
+    fn pc_scheme_generalizes_across_regions() {
+        let mut p = ContextPattern::new(ContextPatternConfig::pc());
+        feed(&mut p, 0x400, 1, &[4, 6, 8]);
+        p.on_evict(BlockAddr::new(64 + 4));
+        // Same PC, brand-new region, different trigger offset: rotated replay.
+        let reqs = feed(&mut p, 0x400, 9, &[20]);
+        let mut offs: Vec<u64> = reqs.iter().map(|r| r.block.raw() - 9 * 64).collect();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![22, 24]);
+    }
+
+    #[test]
+    fn pc_address_scheme_requires_the_same_region() {
+        let mut p = ContextPattern::new(ContextPatternConfig::pc_address());
+        feed(&mut p, 0x400, 1, &[4, 6, 8]);
+        p.on_evict(BlockAddr::new(64 + 4));
+        // Same PC but a different region: no match for PC+Address.
+        assert!(feed(&mut p, 0x400, 9, &[4]).is_empty());
+        // The same PC re-touching the same region matches.
+        let reqs = feed(&mut p, 0x400, 1, &[4]);
+        assert_eq!(reqs.len(), 2);
+    }
+
+    #[test]
+    fn pc_address_storage_dwarfs_pc_storage() {
+        let pc = ContextPattern::new(ContextPatternConfig::pc());
+        let pca = ContextPattern::new(ContextPatternConfig::pc_address());
+        assert!(pca.storage_bits() > 10 * pc.storage_bits());
+        assert!(pc.storage_bits() / 8 / 1024 < 5);
+    }
+
+    #[test]
+    fn names_distinguish_the_schemes() {
+        assert_eq!(ContextPattern::new(ContextPatternConfig::pc()).name(), "pc-pattern");
+        assert_eq!(ContextPattern::new(ContextPatternConfig::pc_address()).name(), "pc-addr-pattern");
+    }
+}

@@ -1,0 +1,263 @@
+//! DSPatch (MICRO'19): Dual Spatial Pattern prefetcher.
+//!
+//! DSPatch characterizes patterns per trigger *PC* and keeps **two**
+//! up-to-date bit patterns per PC: a coverage-biased pattern (`CovP`, the OR
+//! of recent footprints) and an accuracy-biased pattern (`AccP`, the AND).
+//! The original proposal picks between them based on DRAM bandwidth
+//! utilization; this implementation approximates that signal with the
+//! prefetcher's own recent accuracy (the fraction of its predictions that
+//! were later demanded), switching to the conservative pattern when accuracy
+//! drops — the same negative-feedback behaviour at the granularity available
+//! to an L1 prefetcher.
+
+use prefetch_common::access::DemandAccess;
+use prefetch_common::addr::BlockAddr;
+use prefetch_common::footprint::Footprint;
+use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
+use prefetch_common::request::PrefetchRequest;
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+use crate::region_tracker::{Activation, Deactivation, RegionTracker};
+
+/// Configuration of [`DsPatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsPatchConfig {
+    /// Spatial-region size in bytes (2 KB, Table IV).
+    pub region_size: u64,
+    /// Active-region ("page buffer") tracking entries.
+    pub tracker_entries: usize,
+    /// Signature-pattern-table entries (256, Table IV).
+    pub spt_entries: usize,
+    /// Signature-pattern-table associativity.
+    pub spt_ways: usize,
+}
+
+impl Default for DsPatchConfig {
+    fn default() -> Self {
+        DsPatchConfig { region_size: 2048, tracker_entries: 64, spt_entries: 256, spt_ways: 8 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DualPattern {
+    coverage: Footprint,
+    accuracy: Footprint,
+    trained: bool,
+}
+
+/// The DSPatch prefetcher.
+#[derive(Debug)]
+pub struct DsPatch {
+    cfg: DsPatchConfig,
+    tracker: RegionTracker,
+    spt: SetAssocTable<DualPattern>,
+    stats: PrefetcherStats,
+    /// Blocks predicted recently (bounded), used for the accuracy feedback.
+    recent_predictions: Vec<BlockAddr>,
+    recent_hits: u64,
+    recent_total: u64,
+}
+
+impl DsPatch {
+    /// Creates a DSPatch prefetcher with the Table IV configuration.
+    pub fn new() -> Self {
+        Self::with_config(DsPatchConfig::default())
+    }
+
+    /// Creates a DSPatch prefetcher from an explicit configuration.
+    pub fn with_config(cfg: DsPatchConfig) -> Self {
+        DsPatch {
+            tracker: RegionTracker::new(cfg.region_size, cfg.tracker_entries, 8),
+            spt: SetAssocTable::new(TableConfig::new((cfg.spt_entries / cfg.spt_ways).max(1), cfg.spt_ways)),
+            stats: PrefetcherStats::default(),
+            cfg,
+            recent_predictions: Vec::new(),
+            recent_hits: 0,
+            recent_total: 0,
+        }
+    }
+
+    fn pc_key(pc: u64) -> u64 {
+        pc ^ (pc >> 13)
+    }
+
+    /// Recent prediction accuracy estimate in `[0, 1]`; optimistic before any
+    /// feedback accumulates.
+    fn accuracy_estimate(&self) -> f64 {
+        if self.recent_total < 32 {
+            1.0
+        } else {
+            self.recent_hits as f64 / self.recent_total as f64
+        }
+    }
+
+    fn learn(&mut self, d: &Deactivation) {
+        self.stats.trainings += 1;
+        let key = Self::pc_key(d.pc);
+        let anchored = d.footprint.rotate_to_anchor(d.offset);
+        match self.spt.get_mut(key, key) {
+            Some(entry) => {
+                entry.coverage.merge(&anchored);
+                entry.accuracy = entry.accuracy.intersect(&anchored);
+                entry.trained = true;
+            }
+            None => {
+                self.spt.insert(
+                    key,
+                    key,
+                    DualPattern { coverage: anchored.clone(), accuracy: anchored, trained: true },
+                );
+            }
+        }
+    }
+
+    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+        let key = Self::pc_key(a.pc);
+        // Accuracy-biased pattern when our own recent accuracy is poor
+        // (standing in for the bandwidth-utilization signal).
+        let conservative = self.accuracy_estimate() < 0.5;
+        let Some(entry) = self.spt.get(key, key) else { return Vec::new() };
+        if !entry.trained {
+            return Vec::new();
+        }
+        let pattern = if conservative { entry.accuracy.clone() } else { entry.coverage.clone() };
+        let geom = self.tracker.geometry();
+        let blocks = geom.blocks_per_region();
+        let region = prefetch_common::addr::RegionId::new(a.region);
+        let mut reqs = Vec::new();
+        for rotated in pattern.iter_set() {
+            let offset = (rotated + a.offset) % blocks;
+            if offset == a.offset {
+                continue;
+            }
+            let block = geom.block_at(region, offset);
+            // Coverage-biased blocks that the accuracy pattern does not agree
+            // with are fetched only into the L2.
+            let agreed = entry.accuracy.get(rotated);
+            let req = if agreed { PrefetchRequest::to_l1(block) } else { PrefetchRequest::to_l2(block) };
+            reqs.push(req);
+            if self.recent_predictions.len() < 4096 {
+                self.recent_predictions.push(block);
+                self.recent_total += 1;
+            }
+        }
+        self.stats.issued += reqs.len() as u64;
+        reqs
+    }
+}
+
+impl Default for DsPatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for DsPatch {
+    fn name(&self) -> &str {
+        "dspatch"
+    }
+
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+        if !access.kind.is_load() {
+            return Vec::new();
+        }
+        self.stats.accesses += 1;
+        if let Some(pos) = self.recent_predictions.iter().position(|b| *b == access.block()) {
+            self.recent_predictions.swap_remove(pos);
+            self.recent_hits += 1;
+        }
+        let outcome = self.tracker.access(access.pc, access.addr);
+        for d in &outcome.deactivations {
+            self.learn(d);
+        }
+        match &outcome.activation {
+            Some(a) => self.predict(a),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_evict(&mut self, block: BlockAddr) {
+        if let Some(d) = self.tracker.evict_block(block) {
+            self.learn(&d);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let blocks = self.tracker.geometry().blocks_per_region() as u64;
+        // SPT: PC tag (16b) + LRU (3b) + two bit patterns; page buffer like SMS's tracker.
+        let spt = self.cfg.spt_entries as u64 * (16 + 3 + 2 * blocks);
+        let tracker = self.cfg.tracker_entries as u64 * (36 + 3 + 16 + 6 + blocks);
+        spt + tracker
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefetch_common::request::FillLevel;
+
+    fn feed(p: &mut DsPatch, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            out.extend(p.on_access(&DemandAccess::load(pc, region * 2048 + o as u64 * 64), false));
+        }
+        out
+    }
+
+    #[test]
+    fn per_pc_pattern_is_replayed_rotated_to_trigger() {
+        let mut p = DsPatch::new();
+        feed(&mut p, 0x400, 1, &[4, 6, 8]);
+        p.on_evict(BlockAddr::new(1 * 32 + 4));
+        // Same PC triggers a new region at a different offset: the learned
+        // pattern (+2, +4) is applied relative to the new trigger.
+        let reqs = feed(&mut p, 0x400, 9, &[10]);
+        let mut offs: Vec<u64> = reqs.iter().map(|r| r.block.raw() - 9 * 32).collect();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![12, 14]);
+    }
+
+    #[test]
+    fn accuracy_pattern_is_intersection_of_footprints() {
+        let mut p = DsPatch::new();
+        feed(&mut p, 0x400, 1, &[0, 2, 4]);
+        p.on_evict(BlockAddr::new(1 * 32));
+        feed(&mut p, 0x400, 2, &[0, 2, 6]);
+        p.on_evict(BlockAddr::new(2 * 32));
+        // Coverage = {2,4,6}; accuracy = {2} (relative offsets). Agreed blocks
+        // go to the L1, the rest to the L2.
+        let reqs = feed(&mut p, 0x400, 50, &[0]);
+        let l1: Vec<u64> = reqs
+            .iter()
+            .filter(|r| r.fill_level == FillLevel::L1)
+            .map(|r| r.block.raw() - 50 * 32)
+            .collect();
+        let mut l2: Vec<u64> = reqs
+            .iter()
+            .filter(|r| r.fill_level == FillLevel::L2)
+            .map(|r| r.block.raw() - 50 * 32)
+            .collect();
+        l2.sort_unstable();
+        assert_eq!(l1, vec![2]);
+        assert_eq!(l2, vec![4, 6]);
+    }
+
+    #[test]
+    fn unknown_pc_does_not_prefetch() {
+        let mut p = DsPatch::new();
+        feed(&mut p, 0x400, 1, &[0, 2, 4]);
+        p.on_evict(BlockAddr::new(1 * 32));
+        assert!(feed(&mut p, 0x999, 9, &[0]).is_empty());
+    }
+
+    #[test]
+    fn storage_is_a_few_kilobytes() {
+        let p = DsPatch::new();
+        let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(kb > 2.0 && kb < 8.0, "DSPatch storage should be a few KB, got {kb:.2}");
+    }
+}

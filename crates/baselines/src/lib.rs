@@ -1,0 +1,43 @@
+//! Baseline hardware prefetchers evaluated against Gaze (HPCA 2025).
+//!
+//! Every prefetcher implements [`prefetch_common::Prefetcher`] and can be
+//! attached to the `sim-core` simulator's L1D (or L2C, for the multi-level
+//! study). The set matches §IV-A2 / Table IV of the paper:
+//!
+//! | module | prefetcher | characterization |
+//! |---|---|---|
+//! | [`ip_stride`] | IP-stride | per-PC constant stride (commercial baseline) |
+//! | [`sms`] | SMS | PC+Offset footprints, 16k-entry history |
+//! | [`bingo`] | Bingo | PC+Address with PC+Offset fallback |
+//! | [`dspatch`] | DSPatch | per-PC dual (coverage/accuracy) bit patterns |
+//! | [`pmp`] | PMP | per-Offset merged counter patterns |
+//! | [`ipcp`] | IPCP-L1 | per-IP class (constant/complex stride, stream) |
+//! | [`spp_ppf`] | SPP-PPF | signature-path deltas + perceptron filter |
+//! | [`berti`] | vBerti | per-PC timely local deltas |
+//! | [`characterization`] | plain PC / PC+Address footprint schemes (Fig. 1) |
+//!
+//! The `Offset` and `Offset-opt`/`PC-opt`/`PC+Addr-opt` points of Fig. 1 are
+//! provided by `gaze::GazeConfig::offset_only`, [`pmp`], [`dspatch`] and
+//! [`bingo`] respectively.
+
+pub mod berti;
+pub mod bingo;
+pub mod characterization;
+pub mod dspatch;
+pub mod ip_stride;
+pub mod ipcp;
+pub mod pmp;
+pub mod region_tracker;
+pub mod sms;
+pub mod spp_ppf;
+
+pub use berti::{Berti, BertiConfig};
+pub use bingo::{Bingo, BingoConfig};
+pub use characterization::{ContextKind, ContextPattern, ContextPatternConfig};
+pub use dspatch::{DsPatch, DsPatchConfig};
+pub use ip_stride::{IpStride, IpStrideConfig};
+pub use ipcp::{Ipcp, IpcpConfig};
+pub use pmp::{Pmp, PmpConfig};
+pub use region_tracker::{Activation, Deactivation, RegionTracker, TrackOutcome, TrackedRegion};
+pub use sms::{Sms, SmsConfig};
+pub use spp_ppf::{SppConfig, SppPpf};

@@ -1,0 +1,252 @@
+//! PMP — the Pattern Merging Prefetcher (MICRO'22).
+//!
+//! PMP coarsens characterization all the way down to the trigger **offset**:
+//! for each of the 64 possible trigger offsets it merges the most recent 32
+//! footprints (anchored at the trigger) into a vector of small saturating
+//! counters. Prediction thresholds the counters — strong agreement fetches
+//! into the L1, weak agreement into the L2. The scheme almost always finds a
+//! match after a short warm-up, but its characterization is so coarse that
+//! complex workloads (CloudSuite) suffer from low accuracy, which is the
+//! behaviour the Gaze paper contrasts against.
+
+use prefetch_common::access::DemandAccess;
+use prefetch_common::addr::BlockAddr;
+use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
+use prefetch_common::request::PrefetchRequest;
+
+use crate::region_tracker::{Activation, Deactivation, RegionTracker};
+
+/// Configuration of [`Pmp`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmpConfig {
+    /// Spatial-region size in bytes (4 KB, Table IV).
+    pub region_size: u64,
+    /// Active-region tracking entries.
+    pub tracker_entries: usize,
+    /// Maximum per-offset counter value before aging (MaxConf 32, Table IV).
+    pub max_confidence: u32,
+    /// Counter fraction required to prefetch into the L1 (0.5).
+    pub l1_threshold: f64,
+    /// Counter fraction required to prefetch into the L2 (0.15).
+    pub l2_threshold: f64,
+}
+
+impl Default for PmpConfig {
+    fn default() -> Self {
+        PmpConfig {
+            region_size: 4096,
+            tracker_entries: 64,
+            max_confidence: 32,
+            l1_threshold: 0.5,
+            l2_threshold: 0.15,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OffsetPattern {
+    counters: Vec<u32>,
+    merged: u32,
+}
+
+/// The PMP prefetcher.
+#[derive(Debug)]
+pub struct Pmp {
+    cfg: PmpConfig,
+    tracker: RegionTracker,
+    /// One merged counter-vector per trigger offset (the OPT).
+    patterns: Vec<OffsetPattern>,
+    stats: PrefetcherStats,
+}
+
+impl Pmp {
+    /// Creates a PMP prefetcher with the Table IV configuration.
+    pub fn new() -> Self {
+        Self::with_config(PmpConfig::default())
+    }
+
+    /// Creates a PMP prefetcher from an explicit configuration.
+    pub fn with_config(cfg: PmpConfig) -> Self {
+        let tracker = RegionTracker::new(cfg.region_size, cfg.tracker_entries, 8);
+        let blocks = tracker.geometry().blocks_per_region();
+        Pmp {
+            patterns: (0..blocks).map(|_| OffsetPattern { counters: vec![0; blocks], merged: 0 }).collect(),
+            tracker,
+            stats: PrefetcherStats::default(),
+            cfg,
+        }
+    }
+
+    fn learn(&mut self, d: &Deactivation) {
+        self.stats.trainings += 1;
+        let anchored = d.footprint.rotate_to_anchor(d.offset);
+        let entry = &mut self.patterns[d.offset];
+        if entry.merged >= self.cfg.max_confidence {
+            // Aging: halve the counters so old behaviour fades.
+            for c in &mut entry.counters {
+                *c /= 2;
+            }
+            entry.merged /= 2;
+        }
+        for o in anchored.iter_set() {
+            entry.counters[o] = (entry.counters[o] + 1).min(self.cfg.max_confidence);
+        }
+        entry.merged += 1;
+    }
+
+    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+        let entry = &self.patterns[a.offset];
+        if entry.merged == 0 {
+            return Vec::new();
+        }
+        let denom = entry.merged.min(self.cfg.max_confidence) as f64;
+        let geom = self.tracker.geometry();
+        let blocks = geom.blocks_per_region();
+        let region = prefetch_common::addr::RegionId::new(a.region);
+        let mut reqs = Vec::new();
+        for rotated in 0..blocks {
+            let confidence = entry.counters[rotated] as f64 / denom;
+            if confidence < self.cfg.l2_threshold {
+                continue;
+            }
+            let offset = (rotated + a.offset) % blocks;
+            if offset == a.offset {
+                continue;
+            }
+            let block = geom.block_at(region, offset);
+            let req = if confidence >= self.cfg.l1_threshold {
+                PrefetchRequest::to_l1(block)
+            } else {
+                PrefetchRequest::to_l2(block)
+            };
+            reqs.push(req);
+        }
+        self.stats.issued += reqs.len() as u64;
+        reqs
+    }
+}
+
+impl Default for Pmp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for Pmp {
+    fn name(&self) -> &str {
+        "pmp"
+    }
+
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+        if !access.kind.is_load() {
+            return Vec::new();
+        }
+        self.stats.accesses += 1;
+        let outcome = self.tracker.access(access.pc, access.addr);
+        for d in &outcome.deactivations {
+            self.learn(d);
+        }
+        match &outcome.activation {
+            Some(a) => self.predict(a),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_evict(&mut self, block: BlockAddr) {
+        if let Some(d) = self.tracker.evict_block(block) {
+            self.learn(&d);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let blocks = self.tracker.geometry().blocks_per_region() as u64;
+        // OPT: 64 offsets × (64 counters × 5 bits = 320 b, plus the 160 b
+        // coarse counter vector the paper attributes to PMP's PPT) plus the
+        // merged counts, plus the tracker. Table IV lists 5.0 KB in total.
+        let opt = blocks * (blocks * 5 + 160 + 6);
+        let tracker = self.cfg.tracker_entries as u64 * (36 + 3 + 6 + blocks);
+        opt + tracker
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefetch_common::request::FillLevel;
+
+    fn feed(p: &mut Pmp, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            out.extend(p.on_access(&DemandAccess::load(pc, region * 4096 + o as u64 * 64), false));
+        }
+        out
+    }
+
+    #[test]
+    fn merged_pattern_predicts_consensus_blocks_to_l1() {
+        let mut p = Pmp::new();
+        // Three regions triggered at offset 2 that all touch +3 and +6; only
+        // some touch +10.
+        for (region, extra) in [(1u64, 10usize), (2, 10), (3, 20)] {
+            feed(&mut p, 0x400, region, &[2, 5, 8, 2 + extra]);
+            p.on_evict(BlockAddr::new(region * 64 + 2));
+        }
+        let reqs = feed(&mut p, 0x999, 50, &[2]);
+        let l1: Vec<u64> = reqs
+            .iter()
+            .filter(|r| r.fill_level == FillLevel::L1)
+            .map(|r| r.block.raw() - 50 * 64)
+            .collect();
+        // +3 and +6 (offsets 5 and 8) appear in every footprint -> L1.
+        assert!(l1.contains(&5) && l1.contains(&8));
+        // +10 appears in 2/3 of footprints -> still above the L1 threshold.
+        // +20 appears in 1/3 -> L2 only.
+        let l2: Vec<u64> = reqs
+            .iter()
+            .filter(|r| r.fill_level == FillLevel::L2)
+            .map(|r| r.block.raw() - 50 * 64)
+            .collect();
+        assert!(l2.contains(&22));
+    }
+
+    #[test]
+    fn pattern_is_keyed_by_offset_not_pc() {
+        let mut p = Pmp::new();
+        feed(&mut p, 0x400, 1, &[7, 9, 11]);
+        p.on_evict(BlockAddr::new(64 + 7));
+        // A completely different PC still matches because only the offset is used.
+        let reqs = feed(&mut p, 0xdead, 2, &[7]);
+        assert!(!reqs.is_empty());
+    }
+
+    #[test]
+    fn different_trigger_offset_uses_a_different_merged_pattern() {
+        let mut p = Pmp::new();
+        feed(&mut p, 0x400, 1, &[7, 9, 11]);
+        p.on_evict(BlockAddr::new(64 + 7));
+        assert!(feed(&mut p, 0x400, 2, &[8]).is_empty());
+    }
+
+    #[test]
+    fn aging_halves_counters_at_max_confidence() {
+        let mut p = Pmp::with_config(PmpConfig { max_confidence: 4, ..PmpConfig::default() });
+        for region in 1..=10u64 {
+            feed(&mut p, 0x1, region, &[0, 1]);
+            p.on_evict(BlockAddr::new(region * 64));
+        }
+        // The counter for +1 must never exceed max_confidence.
+        assert!(p.patterns[0].counters[1] <= 4);
+        assert!(p.patterns[0].merged <= 5);
+    }
+
+    #[test]
+    fn storage_is_about_5_kilobytes() {
+        let p = Pmp::new();
+        let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!(kb > 4.0 && kb < 6.5, "PMP storage should be about 5 KB, got {kb:.2}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Shared spatial-region tracking used by the spatial-pattern baselines
+//! (SMS, Bingo, DSPatch, PMP and the Fig. 1 characterization prefetchers).
+//!
+//! All of these prefetchers share the same front end: active regions are
+//! tracked in an accumulation structure, the *trigger* (first) access to a
+//! region is the prediction event, and a region's accumulated footprint is
+//! learned when the region deactivates (LRU replacement of its tracking entry
+//! or eviction of one of its blocks from the cache). They differ only in how
+//! the pattern history is indexed, which each prefetcher implements on top of
+//! this tracker.
+
+use prefetch_common::addr::{Addr, BlockAddr, RegionGeometry};
+use prefetch_common::footprint::Footprint;
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+/// A region currently being tracked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackedRegion {
+    /// PC of the trigger access.
+    pub trigger_pc: u64,
+    /// Offset of the trigger access within the region.
+    pub trigger_offset: usize,
+    /// Accumulated footprint.
+    pub footprint: Footprint,
+}
+
+/// The trigger event of a newly activated region: the baselines predict from
+/// this (PC, offset, address) context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activation {
+    /// Region number.
+    pub region: u64,
+    /// Trigger PC.
+    pub pc: u64,
+    /// Trigger offset within the region.
+    pub offset: usize,
+}
+
+/// A deactivated region whose footprint is ready for learning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Deactivation {
+    /// Region number.
+    pub region: u64,
+    /// Trigger PC.
+    pub pc: u64,
+    /// Trigger offset.
+    pub offset: usize,
+    /// Final footprint.
+    pub footprint: Footprint,
+}
+
+/// What happened as a consequence of one demand access.
+#[derive(Debug, Clone, Default)]
+pub struct TrackOutcome {
+    /// Set when the access activated a new region (the prediction trigger).
+    pub activation: Option<Activation>,
+    /// Regions deactivated by LRU replacement during this access.
+    pub deactivations: Vec<Deactivation>,
+}
+
+/// Region tracker with a bounded number of simultaneously active regions.
+#[derive(Debug, Clone)]
+pub struct RegionTracker {
+    geom: RegionGeometry,
+    table: SetAssocTable<TrackedRegion>,
+}
+
+impl RegionTracker {
+    /// Creates a tracker for regions of `region_size` bytes with `entries`
+    /// tracking entries of `ways` associativity.
+    pub fn new(region_size: u64, entries: usize, ways: usize) -> Self {
+        RegionTracker {
+            geom: RegionGeometry::new(region_size, 64),
+            table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)),
+        }
+    }
+
+    /// The region geometry in use.
+    pub fn geometry(&self) -> RegionGeometry {
+        self.geom
+    }
+
+    /// Records a demand access and reports any activation/deactivations.
+    pub fn access(&mut self, pc: u64, addr: Addr) -> TrackOutcome {
+        let region = self.geom.region_of(addr).raw();
+        let offset = self.geom.offset_of(addr);
+        let mut outcome = TrackOutcome::default();
+        if let Some(entry) = self.table.get_mut(region, region) {
+            entry.footprint.set(offset);
+            return outcome;
+        }
+        let mut footprint = Footprint::new(self.geom.blocks_per_region());
+        footprint.set(offset);
+        let entry = TrackedRegion { trigger_pc: pc, trigger_offset: offset, footprint };
+        if let Some((victim_region, victim)) = self.table.insert(region, region, entry) {
+            if victim.footprint.population() > 1 {
+                outcome.deactivations.push(Deactivation {
+                    region: victim_region,
+                    pc: victim.trigger_pc,
+                    offset: victim.trigger_offset,
+                    footprint: victim.footprint,
+                });
+            }
+        }
+        outcome.activation = Some(Activation { region, pc, offset });
+        outcome
+    }
+
+    /// Handles the eviction of `block` from the cache; if its region was
+    /// tracked, the region deactivates and its footprint is returned.
+    pub fn evict_block(&mut self, block: BlockAddr) -> Option<Deactivation> {
+        let region = self.geom.region_of_block(block).raw();
+        let entry = self.table.remove(region, region)?;
+        if entry.footprint.population() > 1 {
+            Some(Deactivation {
+                region,
+                pc: entry.trigger_pc,
+                offset: entry.trigger_offset,
+                footprint: entry.footprint,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Number of currently tracked regions.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no region is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> RegionTracker {
+        RegionTracker::new(2048, 64, 8)
+    }
+
+    #[test]
+    fn first_access_activates_region() {
+        let mut t = tracker();
+        let out = t.access(0x400, Addr::new(3 * 2048 + 5 * 64));
+        let act = out.activation.unwrap();
+        assert_eq!(act.region, 3);
+        assert_eq!(act.offset, 5);
+        assert_eq!(act.pc, 0x400);
+        // Subsequent accesses to the same region do not re-activate.
+        assert!(t.access(0x404, Addr::new(3 * 2048 + 6 * 64)).activation.is_none());
+    }
+
+    #[test]
+    fn block_eviction_deactivates_and_reports_footprint() {
+        let mut t = tracker();
+        t.access(0x400, Addr::new(0));
+        t.access(0x404, Addr::new(64));
+        t.access(0x408, Addr::new(3 * 64));
+        let d = t.evict_block(BlockAddr::new(1)).unwrap();
+        assert_eq!(d.footprint.iter_set().collect::<Vec<_>>(), vec![0, 1, 3]);
+        assert_eq!(d.offset, 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn one_bit_footprints_are_filtered_from_learning() {
+        let mut t = tracker();
+        t.access(0x400, Addr::new(0));
+        assert!(t.evict_block(BlockAddr::new(0)).is_none());
+    }
+
+    #[test]
+    fn lru_replacement_reports_victim_for_learning() {
+        let mut t = RegionTracker::new(2048, 8, 8);
+        for region in 0..8u64 {
+            t.access(0x1, Addr::new(region * 2048));
+            t.access(0x2, Addr::new(region * 2048 + 64));
+        }
+        let out = t.access(0x3, Addr::new(100 * 2048));
+        assert_eq!(out.deactivations.len(), 1);
+        assert_eq!(out.deactivations[0].region, 0);
+    }
+
+    #[test]
+    fn geometry_controls_region_size() {
+        let t4k = RegionTracker::new(4096, 64, 8);
+        assert_eq!(t4k.geometry().blocks_per_region(), 64);
+        assert_eq!(tracker().geometry().blocks_per_region(), 32);
+    }
+}

@@ -1,0 +1,196 @@
+//! Spatial Memory Streaming (SMS, ISCA'06).
+//!
+//! SMS learns one footprint per *PC+Offset* trigger event. When a region is
+//! activated, the trigger's PC and offset form the lookup key; a hit replays
+//! the stored footprint into the L1D. The pattern history is huge in the
+//! original proposal (16k entries ≈ 117 KB, Table IV), which is the
+//! hardware-cost end of the fine-grained characterization spectrum.
+
+use prefetch_common::access::DemandAccess;
+use prefetch_common::addr::BlockAddr;
+use prefetch_common::footprint::Footprint;
+use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
+use prefetch_common::request::PrefetchRequest;
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+use crate::region_tracker::{Activation, Deactivation, RegionTracker};
+
+/// Configuration of [`Sms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmsConfig {
+    /// Spatial-region size in bytes (2 KB in the paper's setup, Table IV).
+    pub region_size: u64,
+    /// Active-region tracking entries.
+    pub tracker_entries: usize,
+    /// Pattern history entries (16k for the optimal configuration).
+    pub pht_entries: usize,
+    /// Pattern history associativity.
+    pub pht_ways: usize,
+}
+
+impl Default for SmsConfig {
+    fn default() -> Self {
+        SmsConfig { region_size: 2048, tracker_entries: 64, pht_entries: 16 * 1024, pht_ways: 16 }
+    }
+}
+
+/// The SMS prefetcher.
+#[derive(Debug)]
+pub struct Sms {
+    cfg: SmsConfig,
+    tracker: RegionTracker,
+    history: SetAssocTable<Footprint>,
+    stats: PrefetcherStats,
+}
+
+impl Sms {
+    /// Creates an SMS prefetcher with the Table IV configuration.
+    pub fn new() -> Self {
+        Self::with_config(SmsConfig::default())
+    }
+
+    /// Creates an SMS prefetcher from an explicit configuration.
+    pub fn with_config(cfg: SmsConfig) -> Self {
+        Sms {
+            tracker: RegionTracker::new(cfg.region_size, cfg.tracker_entries, 8),
+            history: SetAssocTable::new(TableConfig::new(
+                (cfg.pht_entries / cfg.pht_ways).max(1),
+                cfg.pht_ways,
+            )),
+            stats: PrefetcherStats::default(),
+            cfg,
+        }
+    }
+
+    fn key(&self, pc: u64, offset: usize) -> (u64, u64) {
+        let event = (pc << 6) ^ offset as u64;
+        (event, event)
+    }
+
+    fn learn(&mut self, d: &Deactivation) {
+        self.stats.trainings += 1;
+        let (index, tag) = self.key(d.pc, d.offset);
+        self.history.insert(index, tag, d.footprint.clone());
+    }
+
+    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+        let (index, tag) = self.key(a.pc, a.offset);
+        let Some(footprint) = self.history.get(index, tag).cloned() else {
+            return Vec::new();
+        };
+        let geom = self.tracker.geometry();
+        let region = prefetch_common::addr::RegionId::new(a.region);
+        let reqs: Vec<PrefetchRequest> = footprint
+            .iter_set()
+            .filter(|&o| o != a.offset)
+            .map(|o| PrefetchRequest::to_l1(geom.block_at(region, o)))
+            .collect();
+        self.stats.issued += reqs.len() as u64;
+        reqs
+    }
+}
+
+impl Default for Sms {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefetcher for Sms {
+    fn name(&self) -> &str {
+        "sms"
+    }
+
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+        if !access.kind.is_load() {
+            return Vec::new();
+        }
+        self.stats.accesses += 1;
+        let outcome = self.tracker.access(access.pc, access.addr);
+        for d in &outcome.deactivations {
+            self.learn(d);
+        }
+        match &outcome.activation {
+            Some(a) => self.predict(a),
+            None => Vec::new(),
+        }
+    }
+
+    fn on_evict(&mut self, block: BlockAddr) {
+        if let Some(d) = self.tracker.evict_block(block) {
+            self.learn(&d);
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let blocks = self.tracker.geometry().blocks_per_region() as u64;
+        // PHT: tag (16b) + LRU (4b) + footprint; tracker: tag + pc + offset + footprint.
+        let pht = self.cfg.pht_entries as u64 * (16 + 4 + blocks);
+        let tracker = self.cfg.tracker_entries as u64 * (36 + 3 + 16 + 6 + blocks);
+        pht + tracker
+    }
+
+    fn stats(&self) -> PrefetcherStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut Sms, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        for &o in offsets {
+            out.extend(p.on_access(&DemandAccess::load(pc, region * 2048 + o as u64 * 64), false));
+        }
+        out
+    }
+
+    #[test]
+    fn replays_footprint_for_matching_pc_offset() {
+        let mut p = Sms::new();
+        feed(&mut p, 0x400, 1, &[3, 7, 11]);
+        p.on_evict(BlockAddr::new(1 * 32 + 3));
+        // Same PC and trigger offset in a new region.
+        let reqs = feed(&mut p, 0x400, 9, &[3]);
+        let mut offs: Vec<u64> = reqs.iter().map(|r| r.block.raw() - 9 * 32).collect();
+        offs.sort_unstable();
+        assert_eq!(offs, vec![7, 11]);
+    }
+
+    #[test]
+    fn different_pc_does_not_match() {
+        let mut p = Sms::new();
+        feed(&mut p, 0x400, 1, &[3, 7, 11]);
+        p.on_evict(BlockAddr::new(1 * 32 + 3));
+        assert!(feed(&mut p, 0x500, 9, &[3]).is_empty());
+    }
+
+    #[test]
+    fn different_trigger_offset_does_not_match() {
+        let mut p = Sms::new();
+        feed(&mut p, 0x400, 1, &[3, 7, 11]);
+        p.on_evict(BlockAddr::new(1 * 32 + 3));
+        assert!(feed(&mut p, 0x400, 9, &[4]).is_empty());
+    }
+
+    #[test]
+    fn storage_exceeds_100_kb_as_in_table_iv() {
+        let p = Sms::new();
+        assert!(p.storage_bits() / 8 / 1024 > 100, "SMS with a 16k-entry PHT costs >100 KB");
+    }
+
+    #[test]
+    fn learning_happens_on_tracker_lru_eviction_too() {
+        let mut p = Sms::with_config(SmsConfig { tracker_entries: 8, ..SmsConfig::default() });
+        feed(&mut p, 0x400, 1, &[3, 7]);
+        // Activate enough regions to evict region 1 from the tracker.
+        for region in 10..20u64 {
+            feed(&mut p, 0x900, region, &[0, 1]);
+        }
+        let reqs = feed(&mut p, 0x400, 99, &[3]);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].block.raw(), 99 * 32 + 7);
+    }
+}

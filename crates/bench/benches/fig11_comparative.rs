@@ -1,0 +1,14 @@
+//! Regenerates Fig. 11 (vBerti vs PMP vs Gaze) of the Gaze (HPCA 2025) evaluation.
+//!
+//! Scale is controlled by the `GAZE_SCALE` environment variable
+//! (`quick` = default, `bench`/`full` = every workload at the larger
+//! instruction budget).
+
+use gaze_sim::experiments::{run_experiment, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    for table in run_experiment("fig11", &scale) {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of prefetcher training/prediction throughput and
+//! of the simulator itself.
+//!
+//! These complement the figure-regeneration benches: they measure how fast
+//! each prefetcher's hardware model processes accesses (relevant because the
+//! paper argues Gaze's tables are single-cycle accessible and small), and how
+//! many instructions per second the trace-driven simulator achieves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prefetch_common::access::DemandAccess;
+
+use gaze_sim::factory::make_prefetcher;
+use gaze_sim::runner::{run_single_boxed, RunParams};
+use workloads::build_workload;
+
+fn prefetcher_training_throughput(c: &mut Criterion) {
+    let trace = build_workload("fotonik3d_s", 20_000);
+    let accesses: Vec<DemandAccess> = trace
+        .records()
+        .iter()
+        .map(|r| DemandAccess { pc: r.pc, addr: r.addr, kind: prefetch_common::access::AccessKind::Load, instr_id: 0 })
+        .collect();
+    let mut group = c.benchmark_group("prefetcher_training");
+    for name in ["gaze", "pmp", "bingo", "vberti", "spp-ppf", "ip-stride"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
+            b.iter(|| {
+                let mut p = make_prefetcher(name);
+                let mut issued = 0usize;
+                for a in &accesses {
+                    issued += p.on_access(a, false).len();
+                    issued += p.tick().len();
+                }
+                issued
+            });
+        });
+    }
+    group.finish();
+}
+
+fn simulator_throughput(c: &mut Criterion) {
+    let trace = build_workload("bwaves_s", 20_000);
+    let params = RunParams { warmup: 2_000, measured: 20_000, ..RunParams::test() };
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("single_core_20k_instructions", |b| {
+        b.iter(|| run_single_boxed(&trace, make_prefetcher("gaze"), &params))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, prefetcher_training_throughput, simulator_throughput);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Benchmark harness crate.
+//!
+//! The actual targets live under `benches/`:
+//!
+//! * `fig01_*` … `fig18_*`, `table1_*`, `table4_*` — regenerate the
+//!   corresponding figure/table of the paper by calling
+//!   [`gaze_sim::experiments::run_experiment`] and printing the resulting
+//!   tables (scale controlled by the `GAZE_SCALE` environment variable),
+//! * `micro_prefetcher_throughput` — Criterion microbenchmarks of prefetcher
+//!   model throughput and simulator speed.
+//!
+//! Run everything with `cargo bench --workspace`, or a single figure with
+//! `cargo bench -p bench --bench fig06_speedup`.
+
+/// Re-export of the experiment registry for convenience in scripts.
+pub use gaze_sim::experiments::{experiment_names, run_experiment, ExperimentScale};

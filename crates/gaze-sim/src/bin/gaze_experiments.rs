@@ -1,0 +1,44 @@
+//! Command-line driver for the experiment harness.
+//!
+//! ```text
+//! cargo run --release -p gaze-sim --bin gaze-experiments -- <experiment|all> [--full] [--csv]
+//! ```
+//!
+//! `<experiment>` is one of the names in
+//! [`gaze_sim::experiments::experiment_names`] (e.g. `fig06`, `table1`), or
+//! `all`. `--full` runs every registered workload at the larger bench scale;
+//! the default is the quick scale. `--csv` prints CSV instead of aligned
+//! tables.
+
+use gaze_sim::experiments::{experiment_names, run_experiment, ExperimentScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let csv = args.iter().any(|a| a == "--csv");
+    let requested: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+
+    let scale = if full { ExperimentScale::default_bench() } else { ExperimentScale::from_env() };
+    let names: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+        experiment_names()
+    } else {
+        requested
+    };
+
+    for name in names {
+        if !experiment_names().contains(&name) {
+            eprintln!("unknown experiment '{name}'; available: {:?}", experiment_names());
+            std::process::exit(2);
+        }
+        eprintln!("running {name} ...");
+        let tables = run_experiment(name, &scale);
+        for table in tables {
+            if csv {
+                print!("{}", table.to_csv());
+            } else {
+                println!("{table}");
+            }
+        }
+    }
+}

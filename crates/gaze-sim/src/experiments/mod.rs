@@ -1,0 +1,219 @@
+//! One module per figure/table of the Gaze (HPCA 2025) evaluation.
+//!
+//! Every experiment function takes an [`ExperimentScale`] controlling the
+//! instruction budgets and how many workloads per suite are simulated, and
+//! returns one or more [`Table`]s containing exactly the rows/series the
+//! paper's figure reports. The `gaze-experiments` binary, the Criterion bench
+//! targets and the integration tests all call these same functions.
+
+pub mod multi_core;
+pub mod single_core;
+
+use std::collections::BTreeMap;
+
+use sim_core::trace::Trace;
+use workloads::{build_workload, workload_names, Suite};
+
+use crate::report::{mean, Table};
+use crate::runner::{records_for, run_single, RunParams, SingleRun};
+
+/// How large an experiment to run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Instruction budgets and system configuration.
+    pub params: RunParams,
+    /// Number of workloads simulated per suite (the paper uses every trace of
+    /// every suite; smaller values trade fidelity for runtime).
+    pub workloads_per_suite: usize,
+}
+
+impl ExperimentScale {
+    /// A quick scale for CI / integration tests (a couple of minutes for the
+    /// full figure set).
+    pub fn quick() -> Self {
+        ExperimentScale {
+            params: RunParams { warmup: 10_000, measured: 60_000, ..RunParams::experiment() },
+            workloads_per_suite: 2,
+        }
+    }
+
+    /// The default bench scale: every registered workload, moderate budgets.
+    pub fn default_bench() -> Self {
+        ExperimentScale { params: RunParams::experiment(), workloads_per_suite: usize::MAX }
+    }
+
+    /// Reads the scale from the `GAZE_SCALE` environment variable
+    /// (`quick`/`bench`), defaulting to `quick`.
+    pub fn from_env() -> Self {
+        match std::env::var("GAZE_SCALE").as_deref() {
+            Ok("bench") | Ok("full") => Self::default_bench(),
+            _ => Self::quick(),
+        }
+    }
+}
+
+/// Builds the evaluation workload list for `suite`, truncated to the scale.
+pub fn suite_traces(suite: Suite, scale: &ExperimentScale) -> Vec<Trace> {
+    let records = records_for(&scale.params);
+    workload_names(suite)
+        .into_iter()
+        .take(scale.workloads_per_suite)
+        .map(|name| build_workload(name, records))
+        .collect()
+}
+
+/// Runs `prefetcher` over every trace and returns the per-workload results.
+pub fn run_over(traces: &[Trace], prefetcher: &str, scale: &ExperimentScale) -> Vec<SingleRun> {
+    traces.iter().map(|t| run_single(t, prefetcher, &scale.params)).collect()
+}
+
+/// Per-suite summaries used by the Fig. 6–8 style plots.
+#[derive(Debug, Clone, Default)]
+pub struct SuiteSummary {
+    /// Mean speedup per suite.
+    pub speedup: BTreeMap<Suite, f64>,
+    /// Mean overall accuracy per suite.
+    pub accuracy: BTreeMap<Suite, f64>,
+    /// Mean LLC coverage per suite.
+    pub coverage: BTreeMap<Suite, f64>,
+    /// Mean late-prefetch fraction per suite.
+    pub late: BTreeMap<Suite, f64>,
+    /// Average speedup across every workload.
+    pub avg_speedup: f64,
+    /// Average accuracy across every workload.
+    pub avg_accuracy: f64,
+    /// Average coverage across every workload.
+    pub avg_coverage: f64,
+    /// Average late fraction across every workload.
+    pub avg_late: f64,
+}
+
+/// Runs one prefetcher over all main suites and summarizes per suite.
+pub fn summarize_prefetcher(prefetcher: &str, scale: &ExperimentScale) -> SuiteSummary {
+    let mut summary = SuiteSummary::default();
+    let mut all_speedups = Vec::new();
+    let mut all_acc = Vec::new();
+    let mut all_cov = Vec::new();
+    let mut all_late = Vec::new();
+    for suite in Suite::main_suites() {
+        let traces = suite_traces(suite, scale);
+        let runs = run_over(&traces, prefetcher, scale);
+        let speedups: Vec<f64> = runs.iter().map(SingleRun::speedup).collect();
+        let accs: Vec<f64> = runs.iter().map(SingleRun::accuracy).collect();
+        let covs: Vec<f64> = runs.iter().map(SingleRun::coverage).collect();
+        let lates: Vec<f64> = runs.iter().map(SingleRun::late_fraction).collect();
+        summary.speedup.insert(suite, mean(&speedups));
+        summary.accuracy.insert(suite, mean(&accs));
+        summary.coverage.insert(suite, mean(&covs));
+        summary.late.insert(suite, mean(&lates));
+        all_speedups.extend(speedups);
+        all_acc.extend(accs);
+        all_cov.extend(covs);
+        all_late.extend(lates);
+    }
+    summary.avg_speedup = mean(&all_speedups);
+    summary.avg_accuracy = mean(&all_acc);
+    summary.avg_coverage = mean(&all_cov);
+    summary.avg_late = mean(&all_late);
+    summary
+}
+
+/// Formats a per-suite metric row (5 suites + AVG) for a prefetcher.
+pub fn suite_row(label: &str, per_suite: &BTreeMap<Suite, f64>, avg: f64) -> Vec<String> {
+    let mut row = vec![label.to_string()];
+    for suite in Suite::main_suites() {
+        row.push(format!("{:.3}", per_suite.get(&suite).copied().unwrap_or(0.0)));
+    }
+    row.push(format!("{avg:.3}"));
+    row
+}
+
+/// Standard headers for a per-suite table.
+pub fn suite_headers(metric: &str) -> Vec<String> {
+    let mut h = vec![metric.to_string()];
+    for suite in Suite::main_suites() {
+        h.push(suite.label().to_string());
+    }
+    h.push("AVG".to_string());
+    h
+}
+
+/// Creates a table with suite headers.
+pub fn suite_table(title: &str, metric: &str) -> Table {
+    let headers = suite_headers(metric);
+    let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    Table::new(title, &refs)
+}
+
+/// All experiment names runnable from the binary.
+pub fn experiment_names() -> Vec<&'static str> {
+    vec![
+        "fig01", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
+        "fig14", "fig15", "fig16", "fig17", "fig18", "table1", "table4",
+    ]
+}
+
+/// Runs the named experiment and returns its tables.
+///
+/// # Panics
+///
+/// Panics if the name is not one of [`experiment_names`].
+pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Vec<Table> {
+    match name {
+        "fig01" => vec![single_core::fig01_characterization(scale)],
+        "fig04" => vec![single_core::fig04_initial_accesses(scale)],
+        "fig06" | "fig07" | "fig08" => single_core::fig06_08_main_comparison(scale),
+        "fig09" => vec![single_core::fig09_characterization_ablation(scale)],
+        "fig10" => vec![single_core::fig10_streaming_ablation(scale)],
+        "fig11" => vec![single_core::fig11_head_to_head(scale)],
+        "fig12" => vec![single_core::fig12_gap_qmm(scale)],
+        "fig13" => vec![multi_core::fig13_multilevel(scale)],
+        "fig14" => vec![multi_core::fig14_multicore_scaling(scale)],
+        "fig15" => vec![multi_core::fig15_fourcore_mixes(scale)],
+        "fig16" => multi_core::fig16_system_sensitivity(scale),
+        "fig17" => multi_core::fig17_gaze_sensitivity(scale),
+        "fig18" => vec![multi_core::fig18_vgaze_regions(scale)],
+        "table1" => vec![single_core::table1_storage()],
+        "table4" => vec![single_core::table4_baseline_storage()],
+        other => panic!("unknown experiment '{other}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_builds_suite_traces() {
+        let scale = ExperimentScale::quick();
+        let traces = suite_traces(Suite::Parsec, &scale);
+        assert_eq!(traces.len(), 2);
+    }
+
+    #[test]
+    fn experiment_registry_covers_every_figure_and_table() {
+        let names = experiment_names();
+        assert!(names.len() >= 17);
+        for fig in ["fig01", "fig06", "fig14", "fig18", "table1", "table4"] {
+            assert!(names.contains(&fig));
+        }
+    }
+
+    #[test]
+    fn suite_helpers_shape_rows_correctly() {
+        let headers = suite_headers("speedup");
+        assert_eq!(headers.len(), 7);
+        let mut map = BTreeMap::new();
+        map.insert(Suite::Spec06, 1.2);
+        let row = suite_row("gaze", &map, 1.1);
+        assert_eq!(row.len(), 7);
+        assert_eq!(row[0], "gaze");
+        assert_eq!(row[6], "1.100");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_experiment_panics() {
+        let _ = run_experiment("fig99", &ExperimentScale::quick());
+    }
+}

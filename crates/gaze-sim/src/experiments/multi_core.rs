@@ -1,0 +1,285 @@
+//! Multi-core, multi-level and sensitivity experiments: Fig. 13–18.
+
+use sim_core::config::SimConfig;
+use workloads::build_workload;
+
+use crate::factory::{MULTICORE_PREFETCHERS};
+use crate::report::{mean, Table};
+use crate::runner::{
+    multicore_speedup, records_for, run_homogeneous, run_multi_level, run_single, run_single_boxed,
+    RunParams,
+};
+
+use super::ExperimentScale;
+
+/// Workloads used for the multi-core and sensitivity studies (a bandwidth-
+/// sensitive mix of streaming, recurrent-footprint, graph and irregular
+/// behaviour).
+fn mix_workloads(scale: &ExperimentScale) -> Vec<&'static str> {
+    let all = ["bwaves_s", "fotonik3d_s", "PageRank", "mcf_s", "cassandra", "lbm_s", "BFS", "streamcluster"];
+    let n = (scale.workloads_per_suite * 2).clamp(2, all.len());
+    all[..n].to_vec()
+}
+
+/// Fig. 13: multi-level prefetching. Group 1 pairs each L1 prefetcher with an
+/// L2 prefetcher; Group 2 uses IP-stride at the L1 instead.
+pub fn fig13_multilevel(scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 13 — multi-level prefetching (normalized IPC over no prefetching)",
+        &["group", "l1", "l2", "speedup"],
+    );
+    let records = records_for(&scale.params);
+    let names = mix_workloads(scale);
+    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+    let baselines: Vec<f64> = traces
+        .iter()
+        .map(|t| run_single_boxed(t, crate::factory::make_prefetcher("none"), &scale.params).ipc())
+        .collect();
+
+    let eval = |group: &str, l1: &str, l2: Option<&str>, table: &mut Table| {
+        let mut speedups = Vec::new();
+        for (trace, base) in traces.iter().zip(&baselines) {
+            let stats = run_multi_level(trace, l1, l2, &scale.params);
+            if *base > 0.0 {
+                speedups.push(stats.ipc() / base);
+            }
+        }
+        table.push_row(vec![
+            group.to_string(),
+            l1.to_string(),
+            l2.unwrap_or("-").to_string(),
+            format!("{:.3}", mean(&speedups)),
+        ]);
+    };
+
+    for l1 in ["vberti", "pmp", "dspatch", "ipcp-l1", "gaze"] {
+        for l2 in ["spp-ppf", "bingo"] {
+            eval("group1", l1, Some(l2), &mut table);
+        }
+    }
+    for l2 in ["vberti", "sms", "bingo", "dspatch", "pmp", "gaze"] {
+        eval("group2", "ip-stride", Some(l2), &mut table);
+    }
+    // Reference: Gaze alone at the L1.
+    eval("reference", "gaze", None, &mut table);
+    table
+}
+
+/// Fig. 14: homogeneous and heterogeneous multi-core scaling (1–8 cores).
+pub fn fig14_multicore_scaling(scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 14 — multi-core speedup over no prefetching",
+        &["prefetcher", "mix", "cores", "speedup"],
+    );
+    let records = records_for(&scale.params);
+    let names = mix_workloads(scale);
+    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+    let core_counts = [1usize, 2, 4, 8];
+    for prefetcher in MULTICORE_PREFETCHERS {
+        for &cores in &core_counts {
+            // Homogeneous: average over mixes of `cores` copies of one trace.
+            let mut homo = Vec::new();
+            for trace in &traces {
+                let with = run_homogeneous(trace, prefetcher, cores, &scale.params);
+                let base = run_homogeneous(trace, "none", cores, &scale.params);
+                homo.push(with.speedup_over(&base));
+            }
+            table.push_row(vec![
+                prefetcher.to_string(),
+                "homogeneous".to_string(),
+                cores.to_string(),
+                format!("{:.3}", mean(&homo)),
+            ]);
+            // Heterogeneous: one mix built from the first `cores` traces.
+            let het: Vec<&_> = traces.iter().cycle().take(cores).collect();
+            let (_, _, speedup) = multicore_speedup(&het, prefetcher, &scale.params);
+            table.push_row(vec![
+                prefetcher.to_string(),
+                "heterogeneous".to_string(),
+                cores.to_string(),
+                format!("{speedup:.3}"),
+            ]);
+        }
+    }
+    table
+}
+
+/// The five four-core mixes of Table VI (expressed with this repo's workload
+/// names).
+pub fn table_vi_mixes() -> Vec<(&'static str, [&'static str; 4])> {
+    vec![
+        ("mix1", ["wrf_s", "Triangle", "lbm_s", "Triangle"]),
+        ("mix2", ["GemsFDTD", "PageRank", "BFS", "BFS"]),
+        ("mix3", ["bwaves_s", "Components", "wrf_s", "mcf_s"]),
+        ("mix4", ["PageRank.D", "bwaves-06", "PageRank", "facesim"]),
+        ("mix5", ["cassandra", "cassandra", "nutch", "cloud9"]),
+    ]
+}
+
+/// Fig. 15: per-core speedups of the Table VI four-core heterogeneous mixes.
+pub fn fig15_fourcore_mixes(scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 15 — four-core heterogeneous mixes (per-core and average speedup)",
+        &["mix", "prefetcher", "c0", "c1", "c2", "c3", "avg"],
+    );
+    let records = records_for(&scale.params);
+    for (mix_name, workloads) in table_vi_mixes() {
+        let traces: Vec<_> = workloads.iter().map(|n| build_workload(n, records)).collect();
+        let trace_refs: Vec<&_> = traces.iter().collect();
+        for prefetcher in crate::factory::HEAD_TO_HEAD {
+            let (with, base, speedup) = multicore_speedup(&trace_refs, prefetcher, &scale.params);
+            let mut row = vec![mix_name.to_string(), prefetcher.to_string()];
+            for core in 0..4 {
+                let s = if base.cores[core].ipc() > 0.0 {
+                    with.cores[core].ipc() / base.cores[core].ipc()
+                } else {
+                    1.0
+                };
+                row.push(format!("{s:.3}"));
+            }
+            row.push(format!("{speedup:.3}"));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// Fig. 16: sensitivity to DRAM bandwidth, LLC size and L2C size.
+pub fn fig16_system_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
+    let prefetchers = ["spp-ppf", "vberti", "bingo", "dspatch", "pmp", "gaze"];
+    let records = records_for(&scale.params);
+    let names = mix_workloads(scale);
+    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+
+    let run_config = |cfg: SimConfig, prefetcher: &str| -> f64 {
+        let params = RunParams { config: cfg, ..scale.params };
+        let mut speedups = Vec::new();
+        for trace in &traces {
+            speedups.push(run_single(trace, prefetcher, &params).speedup());
+        }
+        mean(&speedups)
+    };
+
+    let mut dram = Table::new(
+        "Fig. 16a — sensitivity to DRAM transfer rate (speedup)",
+        &["prefetcher", "800", "1600", "3200", "6400", "12800"],
+    );
+    for p in prefetchers {
+        let vals: Vec<f64> = [800u64, 1600, 3200, 6400, 12800]
+            .iter()
+            .map(|&mtps| run_config(SimConfig::paper_single_core().with_dram_mtps(mtps), p))
+            .collect();
+        dram.push_values(p, &vals);
+    }
+
+    let mut llc = Table::new(
+        "Fig. 16b — sensitivity to LLC size per core (speedup)",
+        &["prefetcher", "0.5MB", "1MB", "2MB", "4MB", "8MB"],
+    );
+    for p in prefetchers {
+        let vals: Vec<f64> = [0.5f64, 1.0, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&mb| run_config(SimConfig::paper_single_core().with_llc_mb_per_core(mb), p))
+            .collect();
+        llc.push_values(p, &vals);
+    }
+
+    let mut l2 = Table::new(
+        "Fig. 16c — sensitivity to L2C size (speedup)",
+        &["prefetcher", "128KB", "256KB", "512KB", "1024KB", "1536KB"],
+    );
+    for p in prefetchers {
+        let vals: Vec<f64> = [128u64, 256, 512, 1024, 1536]
+            .iter()
+            .map(|&kb| run_config(SimConfig::paper_single_core().with_l2_kb(kb), p))
+            .collect();
+        l2.push_values(p, &vals);
+    }
+    vec![dram, llc, l2]
+}
+
+/// Fig. 17: sensitivity of Gaze to its region size and PHT capacity,
+/// normalized to the 4 KB / 256-entry baseline.
+pub fn fig17_gaze_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
+    let records = records_for(&scale.params);
+    let names = mix_workloads(scale);
+    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+
+    let speedup_for = |variant: &str| -> f64 {
+        mean(&traces.iter().map(|t| run_single(t, variant, &scale.params).speedup()).collect::<Vec<_>>())
+    };
+
+    let mut region = Table::new(
+        "Fig. 17a — Gaze region-size sensitivity (speedup normalized to 4KB)",
+        &["region", "normalized_speedup"],
+    );
+    let base = speedup_for("gaze");
+    for (label, variant) in [
+        ("0.5KB", "gaze-region-512"),
+        ("1KB", "gaze-region-1024"),
+        ("2KB", "gaze-region-2048"),
+        ("4KB", "gaze"),
+    ] {
+        let s = speedup_for(variant);
+        region.push_row(vec![label.to_string(), format!("{:.3}", if base > 0.0 { s / base } else { 1.0 })]);
+    }
+
+    let mut pht = Table::new(
+        "Fig. 17b — Gaze PHT-size sensitivity (speedup normalized to 256 entries)",
+        &["pht_entries", "normalized_speedup"],
+    );
+    for entries in [128usize, 256, 512, 1024] {
+        let variant = format!("gaze-pht-{entries}");
+        let s = speedup_for(&variant);
+        pht.push_row(vec![entries.to_string(), format!("{:.3}", if base > 0.0 { s / base } else { 1.0 })]);
+    }
+    vec![region, pht]
+}
+
+/// Fig. 18: vGaze with larger (huge-page) region sizes, normalized to 4 KB.
+pub fn fig18_vgaze_regions(scale: &ExperimentScale) -> Table {
+    let records = records_for(&scale.params);
+    let names = mix_workloads(scale);
+    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+    let mut table = Table::new(
+        "Fig. 18 — vGaze with larger region sizes (speedup normalized to 4KB)",
+        &["workload", "4KB", "8KB", "16KB", "32KB", "64KB"],
+    );
+    for trace in &traces {
+        let base = run_single(trace, "gaze", &scale.params).speedup();
+        let mut row = vec![trace.name().to_string(), "1.000".to_string()];
+        for kb in [8u64, 16, 32, 64] {
+            let s = run_single(trace, &format!("vgaze-{kb}"), &scale.params).speedup();
+            row.push(format!("{:.3}", if base > 0.0 { s / base } else { 1.0 }));
+        }
+        table.push_row(row);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_mixes_have_four_cores_each() {
+        let mixes = table_vi_mixes();
+        assert_eq!(mixes.len(), 5);
+        for (_, workloads) in mixes {
+            assert_eq!(workloads.len(), 4);
+            for w in workloads {
+                // Every referenced workload must be buildable.
+                let _ = build_workload(w, 1000);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_workloads_respects_scale() {
+        let scale = ExperimentScale {
+            params: RunParams::test(),
+            workloads_per_suite: 1,
+        };
+        assert_eq!(mix_workloads(&scale).len(), 2);
+    }
+}

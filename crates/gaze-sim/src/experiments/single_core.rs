@@ -1,0 +1,250 @@
+//! Single-core experiments: Fig. 1, 4, 6–12 and Tables I / IV.
+
+use workloads::{build_workload, Suite};
+
+use crate::factory::{make_prefetcher, HEAD_TO_HEAD, MAIN_PREFETCHERS};
+use crate::report::{mean, Table};
+use crate::runner::{records_for, run_single, SingleRun};
+
+use super::{run_over, suite_row, suite_table, suite_traces, summarize_prefetcher, ExperimentScale};
+
+/// Fig. 1: speedup of the characterization schemes on CloudSuite vs SPEC17,
+/// with their storage budgets. Plain schemes are `offset`, `pc-pattern`,
+/// `pc-addr-pattern`; their "-opt" versions are PMP, DSPatch and Bingo.
+pub fn fig01_characterization(scale: &ExperimentScale) -> Table {
+    let schemes = [
+        ("Offset", "offset"),
+        ("Offset-opt (PMP)", "pmp"),
+        ("PC", "pc-pattern"),
+        ("PC-opt (DSPatch)", "dspatch"),
+        ("PC+Addr", "pc-addr-pattern"),
+        ("PC+Addr-opt (Bingo)", "bingo"),
+        ("Gaze", "gaze"),
+    ];
+    let cloud = suite_traces(Suite::Cloud, scale);
+    let spec17 = suite_traces(Suite::Spec17, scale);
+    let mut table = Table::new(
+        "Fig. 1 — context-based characterization: CloudSuite vs SPEC17 speedup and storage",
+        &["scheme", "cloud_speedup", "spec17_speedup", "storage_KB"],
+    );
+    for (label, name) in schemes {
+        let cloud_speedup = mean(&run_over(&cloud, name, scale).iter().map(SingleRun::speedup).collect::<Vec<_>>());
+        let spec_speedup = mean(&run_over(&spec17, name, scale).iter().map(SingleRun::speedup).collect::<Vec<_>>());
+        let kb = make_prefetcher(name).storage_bits() as f64 / 8.0 / 1024.0;
+        table.push_row(vec![
+            label.to_string(),
+            format!("{cloud_speedup:.3}"),
+            format!("{spec_speedup:.3}"),
+            format!("{kb:.2}"),
+        ]);
+    }
+    table
+}
+
+/// Fig. 4: effect of the number of aligned initial accesses (1–4) on IPC,
+/// accuracy and coverage.
+pub fn fig04_initial_accesses(scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 4 — number of aligned initial accesses required for a match",
+        &["initial_accesses", "norm_ipc", "accuracy", "coverage"],
+    );
+    // Normalize IPC to the k=1 configuration, as the paper plots.
+    let mut baseline_speedup = None;
+    for k in 1..=4usize {
+        let name = format!("gaze-k{k}");
+        let summary = summarize_prefetcher(&name, scale);
+        let base = *baseline_speedup.get_or_insert(summary.avg_speedup);
+        table.push_row(vec![
+            k.to_string(),
+            format!("{:.3}", summary.avg_speedup / base),
+            format!("{:.3}", summary.avg_accuracy),
+            format!("{:.3}", summary.avg_coverage),
+        ]);
+    }
+    table
+}
+
+/// Fig. 6 / Fig. 7 / Fig. 8: the main single-core comparison of the nine
+/// prefetchers across the five suites. Returns the speedup, accuracy and
+/// coverage+timeliness tables (in that order).
+pub fn fig06_08_main_comparison(scale: &ExperimentScale) -> Vec<Table> {
+    let mut speedup = suite_table("Fig. 6 — single-core speedup over no prefetching", "prefetcher");
+    let mut accuracy = suite_table("Fig. 7 — overall prefetch accuracy", "prefetcher");
+    let mut coverage = suite_table("Fig. 8 — LLC miss coverage", "prefetcher");
+    let mut late = Table::new(
+        "Fig. 8 (lower bars) — late fraction of useful prefetches",
+        &["prefetcher", "late_fraction"],
+    );
+    for name in MAIN_PREFETCHERS {
+        let summary = summarize_prefetcher(name, scale);
+        speedup.push_row(suite_row(name, &summary.speedup, summary.avg_speedup));
+        accuracy.push_row(suite_row(name, &summary.accuracy, summary.avg_accuracy));
+        coverage.push_row(suite_row(name, &summary.coverage, summary.avg_coverage));
+        late.push_row(vec![name.to_string(), format!("{:.3}", summary.avg_late)]);
+    }
+    vec![speedup, accuracy, coverage, late]
+}
+
+/// Fig. 9: the characterization ablation (Offset vs Gaze-PHT vs full Gaze)
+/// across all workloads, reported per suite plus the overall average.
+pub fn fig09_characterization_ablation(scale: &ExperimentScale) -> Table {
+    let mut table = suite_table("Fig. 9 — pattern characterization ablation (speedup)", "variant");
+    for name in ["offset", "gaze-pht", "gaze"] {
+        let summary = summarize_prefetcher(name, scale);
+        table.push_row(suite_row(name, &summary.speedup, summary.avg_speedup));
+    }
+    table
+}
+
+/// Fig. 10: the streaming-module ablation (PHT4SS vs SM4SS vs full Gaze) on
+/// streaming-heavy and graph workloads.
+pub fn fig10_streaming_ablation(scale: &ExperimentScale) -> Table {
+    let workload_list = ["bwaves_s", "lbm_s", "roms_s", "facesim", "streamcluster", "BFS-init", "PageRank", "BFS"];
+    let records = records_for(&scale.params);
+    let traces: Vec<_> = workload_list
+        .iter()
+        .take((scale.workloads_per_suite * 4).max(4))
+        .map(|n| build_workload(n, records))
+        .collect();
+    let mut table = Table::new(
+        "Fig. 10 — streaming module ablation (speedup)",
+        &["workload", "pht4ss", "sm4ss", "gaze"],
+    );
+    let mut sums = [0.0f64; 3];
+    for trace in &traces {
+        let mut row = vec![trace.name().to_string()];
+        for (i, variant) in ["pht4ss", "sm4ss", "gaze"].iter().enumerate() {
+            let s = run_single(trace, variant, &scale.params).speedup();
+            sums[i] += s;
+            row.push(format!("{s:.3}"));
+        }
+        table.push_row(row);
+    }
+    let n = traces.len() as f64;
+    table.push_row(vec![
+        "AVG".to_string(),
+        format!("{:.3}", sums[0] / n),
+        format!("{:.3}", sums[1] / n),
+        format!("{:.3}", sums[2] / n),
+    ]);
+    table
+}
+
+/// Fig. 11: per-workload head-to-head of vBerti, PMP and Gaze on
+/// representative traces, with per-category averages.
+pub fn fig11_head_to_head(scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 11 — vBerti vs PMP vs Gaze on representative traces (speedup)",
+        &["workload", "vberti", "pmp", "gaze"],
+    );
+    let mut all = [Vec::new(), Vec::new(), Vec::new()];
+    for suite in Suite::main_suites() {
+        for trace in suite_traces(suite, scale) {
+            let mut row = vec![trace.name().to_string()];
+            for (i, name) in HEAD_TO_HEAD.iter().enumerate() {
+                let s = run_single(&trace, name, &scale.params).speedup();
+                all[i].push(s);
+                row.push(format!("{s:.3}"));
+            }
+            table.push_row(row);
+        }
+    }
+    table.push_row(vec![
+        "avg_all".to_string(),
+        format!("{:.3}", mean(&all[0])),
+        format!("{:.3}", mean(&all[1])),
+        format!("{:.3}", mean(&all[2])),
+    ]);
+    table
+}
+
+/// Fig. 12: GAP and QMM supplementary suites for the three main prefetchers.
+pub fn fig12_gap_qmm(scale: &ExperimentScale) -> Table {
+    let mut table = Table::new(
+        "Fig. 12 — GAP and QMM speedup (vBerti / PMP / Gaze)",
+        &["suite", "workload", "vberti", "pmp", "gaze"],
+    );
+    for suite in [Suite::Gap, Suite::Qmm] {
+        let traces = suite_traces(suite, scale);
+        let mut sums = [0.0f64; 3];
+        for trace in &traces {
+            let mut row = vec![suite.label().to_string(), trace.name().to_string()];
+            for (i, name) in HEAD_TO_HEAD.iter().enumerate() {
+                let s = run_single(trace, name, &scale.params).speedup();
+                sums[i] += s;
+                row.push(format!("{s:.3}"));
+            }
+            table.push_row(row);
+        }
+        let n = traces.len() as f64;
+        table.push_row(vec![
+            suite.label().to_string(),
+            format!("avg_{}", suite.label().to_lowercase()),
+            format!("{:.3}", sums[0] / n),
+            format!("{:.3}", sums[1] / n),
+            format!("{:.3}", sums[2] / n),
+        ]);
+    }
+    table
+}
+
+/// Table I: the storage breakdown of Gaze.
+pub fn table1_storage() -> Table {
+    let cfg = gaze::GazeConfig::paper_default();
+    let s = cfg.storage_breakdown_bits();
+    let mut table = Table::new("Table I — Gaze storage requirements", &["structure", "bytes"]);
+    for (name, bits) in
+        [("FT", s.ft), ("AT", s.at), ("PHT", s.pht), ("DPCT", s.dpct), ("PB", s.pb), ("DC", s.dc)]
+    {
+        table.push_row(vec![name.to_string(), format!("{}", bits / 8)]);
+    }
+    table.push_row(vec!["Total (KB)".to_string(), format!("{:.2}", s.total_kib())]);
+    table
+}
+
+/// Table IV: configuration storage of every evaluated prefetcher.
+pub fn table4_baseline_storage() -> Table {
+    let mut table =
+        Table::new("Table IV — storage overhead of the evaluated prefetchers", &["prefetcher", "KB"]);
+    for name in ["sms", "bingo", "dspatch", "pmp", "ipcp-l1", "spp-ppf", "vberti", "gaze"] {
+        let kb = make_prefetcher(name).storage_bits() as f64 / 8.0 / 1024.0;
+        table.push_row(vec![name.to_string(), format!("{kb:.2}")]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale {
+            params: crate::runner::RunParams { warmup: 2_000, measured: 10_000, ..crate::runner::RunParams::test() },
+            workloads_per_suite: 1,
+        }
+    }
+
+    #[test]
+    fn table1_matches_paper_total() {
+        let t = table1_storage();
+        let text = t.to_csv();
+        assert!(text.contains("4.46") || text.contains("4.45"), "total should be about 4.46 KB: {text}");
+    }
+
+    #[test]
+    fn table4_lists_all_eight_prefetchers() {
+        assert_eq!(table4_baseline_storage().len(), 8);
+    }
+
+    #[test]
+    fn fig04_produces_four_rows() {
+        let t = fig04_initial_accesses(&tiny_scale());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn fig01_produces_all_schemes() {
+        let t = fig01_characterization(&tiny_scale());
+        assert_eq!(t.len(), 7);
+    }
+}

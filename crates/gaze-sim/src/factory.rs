@@ -1,0 +1,146 @@
+//! Prefetcher factory: build any evaluated prefetcher (or ablation variant)
+//! by name.
+
+use baselines::{
+    Berti, Bingo, ContextPattern, ContextPatternConfig, DsPatch, IpStride, Ipcp, Pmp, Sms, SppPpf,
+};
+use gaze::{Gaze, GazeConfig};
+use prefetch_common::prefetcher::{NullPrefetcher, Prefetcher};
+
+/// The nine prefetchers of the main single-core comparison (Fig. 6–8), in
+/// plotting order.
+pub const MAIN_PREFETCHERS: [&str; 9] =
+    ["ip-stride", "spp-ppf", "ipcp-l1", "vberti", "sms", "bingo", "dspatch", "pmp", "gaze"];
+
+/// The three prefetchers of the head-to-head comparisons (Fig. 11, 12, 15).
+pub const HEAD_TO_HEAD: [&str; 3] = ["vberti", "pmp", "gaze"];
+
+/// The six prefetchers of the multi-core study (Fig. 14).
+pub const MULTICORE_PREFETCHERS: [&str; 6] = ["spp-ppf", "vberti", "bingo", "dspatch", "pmp", "gaze"];
+
+/// Every name accepted by [`make_prefetcher`].
+pub fn known_prefetchers() -> Vec<&'static str> {
+    vec![
+        "none",
+        "ip-stride",
+        "spp-ppf",
+        "spp",
+        "ipcp-l1",
+        "vberti",
+        "sms",
+        "bingo",
+        "dspatch",
+        "pmp",
+        "gaze",
+        "gaze-pht",
+        "offset",
+        "pht4ss",
+        "sm4ss",
+        "pc-pattern",
+        "pc-addr-pattern",
+        "gaze-k1",
+        "gaze-k2",
+        "gaze-k3",
+        "gaze-k4",
+    ]
+}
+
+/// Builds a prefetcher by name.
+///
+/// Besides the evaluated baselines, the Gaze ablation variants of Fig. 4 /
+/// Fig. 9 / Fig. 10 are available (`gaze-k1..k4`, `gaze-pht`, `offset`,
+/// `pht4ss`, `sm4ss`), plus `vgaze-<region KB>` (e.g. `vgaze-16`) and
+/// `gaze-pht<entries>` (e.g. `gaze-pht512`) for the sensitivity sweeps.
+///
+/// # Panics
+///
+/// Panics if the name is unknown.
+pub fn make_prefetcher(name: &str) -> Box<dyn Prefetcher> {
+    if let Some(kb) = name.strip_prefix("vgaze-") {
+        let kb: u64 = kb.parse().expect("vgaze-<region KB>");
+        let cfg = GazeConfig::paper_default().with_region_size(kb * 1024);
+        return Box::new(Gaze::with_config_and_name(cfg, name.to_string()));
+    }
+    if let Some(entries) = name.strip_prefix("gaze-pht-") {
+        let entries: usize = entries.parse().expect("gaze-pht-<entries>");
+        let cfg = GazeConfig::paper_default().with_pht_entries(entries);
+        return Box::new(Gaze::with_config_and_name(cfg, name.to_string()));
+    }
+    if let Some(kb) = name.strip_prefix("gaze-region-") {
+        let bytes: u64 = kb.parse::<u64>().expect("gaze-region-<bytes>");
+        let cfg = GazeConfig::paper_default().with_region_size(bytes);
+        return Box::new(Gaze::with_config_and_name(cfg, name.to_string()));
+    }
+    match name {
+        "none" => Box::new(NullPrefetcher::new()),
+        "ip-stride" => Box::new(IpStride::new()),
+        "spp-ppf" => Box::new(SppPpf::new()),
+        "spp" => Box::new(SppPpf::without_filter()),
+        "ipcp-l1" => Box::new(Ipcp::new()),
+        "vberti" => Box::new(Berti::new()),
+        "sms" => Box::new(Sms::new()),
+        "bingo" => Box::new(Bingo::new()),
+        "dspatch" => Box::new(DsPatch::new()),
+        "pmp" => Box::new(Pmp::new()),
+        "gaze" => Box::new(Gaze::new()),
+        "gaze-pht" => Box::new(Gaze::with_config_and_name(GazeConfig::gaze_pht_only(), "gaze-pht")),
+        "offset" => Box::new(Gaze::with_config_and_name(GazeConfig::offset_only(), "offset")),
+        "pht4ss" => Box::new(Gaze::with_config_and_name(GazeConfig::pht_for_streaming_only(), "pht4ss")),
+        "sm4ss" => Box::new(Gaze::with_config_and_name(GazeConfig::streaming_module_only(), "sm4ss")),
+        "pc-pattern" => Box::new(ContextPattern::new(ContextPatternConfig::pc())),
+        "pc-addr-pattern" => Box::new(ContextPattern::new(ContextPatternConfig::pc_address())),
+        "gaze-k1" | "gaze-k2" | "gaze-k3" | "gaze-k4" => {
+            let k: usize = name[6..].parse().expect("gaze-k<1-4>");
+            let cfg = GazeConfig::paper_default().with_initial_accesses(k);
+            Box::new(Gaze::with_config_and_name(cfg, name.to_string()))
+        }
+        other => panic!("unknown prefetcher '{other}'"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_known_prefetcher_builds() {
+        for name in known_prefetchers() {
+            let p = make_prefetcher(name);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn parameterized_variants_parse() {
+        assert_eq!(make_prefetcher("vgaze-16").name(), "vgaze-16");
+        assert_eq!(make_prefetcher("gaze-pht-512").name(), "gaze-pht-512");
+        assert_eq!(make_prefetcher("gaze-region-512").name(), "gaze-region-512");
+    }
+
+    #[test]
+    fn main_lists_reference_known_names() {
+        for name in MAIN_PREFETCHERS.iter().chain(HEAD_TO_HEAD.iter()).chain(MULTICORE_PREFETCHERS.iter()) {
+            assert!(known_prefetchers().contains(name), "{name} missing from known list");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown prefetcher")]
+    fn unknown_name_panics() {
+        let _ = make_prefetcher("does-not-exist");
+    }
+
+    #[test]
+    fn storage_ordering_matches_table_iv() {
+        // Bingo/SMS > SPP-PPF > PMP ~ DSPatch ~ Gaze > vBerti > IPCP.
+        let bits = |n: &str| make_prefetcher(n).storage_bits();
+        assert!(bits("bingo") > bits("spp-ppf"));
+        assert!(bits("sms") > bits("spp-ppf"));
+        assert!(bits("spp-ppf") > bits("pmp"));
+        assert!(bits("pmp") > bits("vberti"));
+        assert!(bits("gaze") > bits("vberti"));
+        assert!(bits("vberti") > bits("ipcp-l1"));
+        // Gaze is ~31x cheaper than Bingo.
+        assert!(bits("bingo") / bits("gaze") >= 25);
+    }
+}

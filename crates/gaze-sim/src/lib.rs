@@ -1,0 +1,25 @@
+//! Experiment harness reproducing every table and figure of the Gaze
+//! (HPCA 2025) evaluation on the `sim-core` simulator with the `workloads`
+//! synthetic trace suites.
+//!
+//! * [`factory`] — build any evaluated prefetcher or Gaze ablation by name,
+//! * [`runner`] — single-core, multi-core and multi-level simulation drivers,
+//! * [`report`] — text/CSV tables,
+//! * [`experiments`] — one module per figure/table of the paper; each returns
+//!   a [`report::Table`] so the binary, the benches and the integration tests
+//!   share the same code path.
+//!
+//! The `gaze-experiments` binary runs any experiment from the command line:
+//!
+//! ```text
+//! cargo run --release -p gaze-sim --bin gaze-experiments -- fig06 --scale 1
+//! ```
+
+pub mod experiments;
+pub mod factory;
+pub mod report;
+pub mod runner;
+
+pub use factory::{make_prefetcher, HEAD_TO_HEAD, MAIN_PREFETCHERS, MULTICORE_PREFETCHERS};
+pub use report::Table;
+pub use runner::{run_single, RunParams, SingleRun};

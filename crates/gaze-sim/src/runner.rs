@@ -1,0 +1,228 @@
+//! Simulation runners: single-core, homogeneous and heterogeneous multi-core,
+//! and multi-level (L1+L2) configurations.
+
+use prefetch_common::prefetcher::Prefetcher;
+use sim_core::config::SimConfig;
+use sim_core::stats::{CoreStats, SimReport};
+use sim_core::system::System;
+use sim_core::trace::Trace;
+
+use crate::factory::make_prefetcher;
+
+/// Instruction budgets and system configuration of one simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct RunParams {
+    /// Warm-up instructions per core (statistics disabled).
+    pub warmup: u64,
+    /// Measured instructions per core.
+    pub measured: u64,
+    /// System configuration.
+    pub config: SimConfig,
+}
+
+impl RunParams {
+    /// A short run suitable for unit/integration tests.
+    pub fn test() -> Self {
+        RunParams { warmup: 5_000, measured: 20_000, config: SimConfig::paper_single_core() }
+    }
+
+    /// The default experiment scale used by the benches: large enough for
+    /// patterns to be learned and contention to appear, small enough that the
+    /// full figure set regenerates in minutes rather than days.
+    pub fn experiment() -> Self {
+        RunParams { warmup: 50_000, measured: 200_000, config: SimConfig::paper_single_core() }
+    }
+
+    /// The paper's own per-core budgets (200M warm-up + 200M measured). Only
+    /// practical for spot checks.
+    pub fn paper_scale() -> Self {
+        RunParams { warmup: 200_000_000, measured: 200_000_000, config: SimConfig::paper_single_core() }
+    }
+
+    /// Returns a copy scaled to `cores` cores (LLC and DRAM scale per
+    /// Table II).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        let mtps = self.config.dram.mtps;
+        let llc = self.config.llc_per_core;
+        let l2 = self.config.l2c;
+        self.config = SimConfig::paper_multi_core(cores);
+        self.config.dram.mtps = mtps;
+        self.config.llc_per_core = llc;
+        self.config.l2c = l2;
+        self
+    }
+
+    /// Returns a copy with a different system configuration.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Trace length (memory records) generated for a given measured-instruction
+/// budget: enough records that the trace does not wrap too often.
+pub fn records_for(params: &RunParams) -> usize {
+    // Roughly one memory access every 6-10 instructions in the generators.
+    ((params.warmup + params.measured) / 5).max(4_000) as usize
+}
+
+/// Result of a single-core run of one prefetcher on one trace.
+#[derive(Debug, Clone)]
+pub struct SingleRun {
+    /// Workload name.
+    pub workload: String,
+    /// Prefetcher name.
+    pub prefetcher: String,
+    /// Statistics with the prefetcher enabled.
+    pub stats: CoreStats,
+    /// Statistics of the no-prefetching baseline on the same trace.
+    pub baseline: CoreStats,
+}
+
+impl SingleRun {
+    /// IPC speedup over the no-prefetching baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.baseline.ipc() == 0.0 {
+            1.0
+        } else {
+            self.stats.ipc() / self.baseline.ipc()
+        }
+    }
+
+    /// Overall prefetch accuracy (paper §IV-A3).
+    pub fn accuracy(&self) -> f64 {
+        self.stats.overall_accuracy()
+    }
+
+    /// LLC miss coverage relative to the baseline's LLC misses.
+    pub fn coverage(&self) -> f64 {
+        let base = self.baseline.llc.demand_misses;
+        if base == 0 {
+            return 0.0;
+        }
+        let remaining = self.stats.llc.demand_misses.min(base);
+        (base - remaining) as f64 / base as f64
+    }
+
+    /// Fraction of useful prefetches that were late.
+    pub fn late_fraction(&self) -> f64 {
+        self.stats.late_fraction()
+    }
+}
+
+/// Runs `prefetcher` (built by the factory) on `trace` at single core,
+/// together with the no-prefetching baseline.
+pub fn run_single(trace: &Trace, prefetcher: &str, params: &RunParams) -> SingleRun {
+    let with = run_single_boxed(trace, make_prefetcher(prefetcher), params);
+    let baseline = run_single_boxed(trace, make_prefetcher("none"), params);
+    SingleRun {
+        workload: trace.name().to_string(),
+        prefetcher: prefetcher.to_string(),
+        stats: with,
+        baseline,
+    }
+}
+
+/// Runs an already-constructed prefetcher on `trace` and returns its core
+/// statistics (no baseline).
+pub fn run_single_boxed(trace: &Trace, prefetcher: Box<dyn Prefetcher>, params: &RunParams) -> CoreStats {
+    let mut cfg = params.config;
+    cfg.cores = 1;
+    let mut system = System::single_core(cfg, trace, prefetcher);
+    let report = system.run(params.warmup, params.measured);
+    report.cores[0]
+}
+
+/// Runs a multi-level configuration: `l1` at the L1D and `l2` at the L2C.
+pub fn run_multi_level(trace: &Trace, l1: &str, l2: Option<&str>, params: &RunParams) -> CoreStats {
+    let mut cfg = params.config;
+    cfg.cores = 1;
+    let mut system = System::single_core(cfg, trace, make_prefetcher(l1));
+    if let Some(l2) = l2 {
+        system.set_l2_prefetcher(0, make_prefetcher(l2));
+    }
+    let report = system.run(params.warmup, params.measured);
+    report.cores[0]
+}
+
+/// Runs a homogeneous multi-core mix (`cores` copies of `trace`) and returns
+/// the full report.
+pub fn run_homogeneous(trace: &Trace, prefetcher: &str, cores: usize, params: &RunParams) -> SimReport {
+    let p = params.with_cores(cores);
+    let traces = vec![trace; cores];
+    let prefetchers = (0..cores).map(|_| make_prefetcher(prefetcher)).collect();
+    let mut system = System::new(p.config, traces, prefetchers);
+    system.run(p.warmup, p.measured)
+}
+
+/// Runs a heterogeneous multi-core mix (one trace per core).
+pub fn run_heterogeneous(traces: &[&Trace], prefetcher: &str, params: &RunParams) -> SimReport {
+    let cores = traces.len();
+    let p = params.with_cores(cores);
+    let prefetchers = (0..cores).map(|_| make_prefetcher(prefetcher)).collect();
+    let mut system = System::new(p.config, traces.to_vec(), prefetchers);
+    system.run(p.warmup, p.measured)
+}
+
+/// Geometric-mean speedup of a multi-core report over its no-prefetching
+/// counterpart (run on the same traces).
+pub fn multicore_speedup(
+    traces: &[&Trace],
+    prefetcher: &str,
+    params: &RunParams,
+) -> (SimReport, SimReport, f64) {
+    let with = run_heterogeneous(traces, prefetcher, params);
+    let base = run_heterogeneous(traces, "none", params);
+    let speedup = with.speedup_over(&base);
+    (with, base, speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::build_workload;
+
+    #[test]
+    fn single_run_reports_plausible_metrics() {
+        let trace = build_workload("bwaves_s", 8_000);
+        let run = run_single(&trace, "gaze", &RunParams::test());
+        assert!(run.speedup() > 0.5 && run.speedup() < 5.0, "speedup {:.2}", run.speedup());
+        assert!(run.accuracy() >= 0.0 && run.accuracy() <= 1.0);
+        assert!(run.coverage() >= 0.0 && run.coverage() <= 1.0);
+        assert!(run.baseline.l1d.demand_accesses > 0);
+    }
+
+    #[test]
+    fn streaming_workload_benefits_from_gaze() {
+        let params = RunParams::test();
+        let trace = build_workload("bwaves_s", records_for(&params));
+        let run = run_single(&trace, "gaze", &params);
+        assert!(run.speedup() > 1.05, "Gaze should accelerate streaming, got {:.3}", run.speedup());
+        assert!(run.accuracy() > 0.5, "streaming accuracy should be high, got {:.2}", run.accuracy());
+    }
+
+    #[test]
+    fn homogeneous_multicore_runs() {
+        let params = RunParams { warmup: 2_000, measured: 8_000, config: SimConfig::paper_single_core() };
+        let trace = build_workload("PageRank", 6_000);
+        let report = run_homogeneous(&trace, "pmp", 2, &params);
+        assert_eq!(report.cores.len(), 2);
+    }
+
+    #[test]
+    fn heterogeneous_multicore_speedup_is_finite() {
+        let params = RunParams { warmup: 2_000, measured: 8_000, config: SimConfig::paper_single_core() };
+        let t1 = build_workload("bwaves_s", 6_000);
+        let t2 = build_workload("mcf_s", 6_000);
+        let (_, _, speedup) = multicore_speedup(&[&t1, &t2], "gaze", &params);
+        assert!(speedup.is_finite() && speedup > 0.3 && speedup < 5.0);
+    }
+
+    #[test]
+    fn multi_level_run_executes() {
+        let params = RunParams::test();
+        let trace = build_workload("fotonik3d_s", 8_000);
+        let stats = run_multi_level(&trace, "gaze", Some("bingo"), &params);
+        assert!(stats.ipc() > 0.0);
+    }
+}

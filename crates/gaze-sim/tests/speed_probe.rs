@@ -1,0 +1,21 @@
+use gaze_sim::runner::{run_single, RunParams};
+use workloads::build_workload;
+
+#[test]
+fn debug_probe() {
+    for wl in ["bwaves_s", "fotonik3d_s", "cassandra"] {
+        let params = RunParams::experiment();
+        let trace = build_workload(wl, gaze_sim::runner::records_for(&params));
+        for pf in ["gaze", "pmp", "vberti"] {
+            let run = run_single(&trace, pf, &params);
+            println!(
+                "{wl:14} {pf:8} speedup {:.3} acc {:.2} cov {:.2} | pf_stats {:?} | l1 useful {} useless {} fills {} | l2 useful {} useless {} fills {} | base_llc_miss {} llc_miss {}",
+                run.speedup(), run.accuracy(), run.coverage(),
+                run.stats.prefetch,
+                run.stats.l1d.useful_prefetches, run.stats.l1d.useless_prefetches, run.stats.l1d.prefetch_fills,
+                run.stats.l2c.useful_prefetches, run.stats.l2c.useless_prefetches, run.stats.l2c.prefetch_fills,
+                run.baseline.llc.demand_misses, run.stats.llc.demand_misses,
+            );
+        }
+    }
+}

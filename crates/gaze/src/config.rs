@@ -1,0 +1,328 @@
+//! Gaze configuration and its ablation variants.
+
+/// How Gaze characterizes a newly activated region before searching the
+/// pattern history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Characterization {
+    /// Use only the trigger offset (the `Offset` scheme of Fig. 1 / Fig. 9).
+    /// Prefetching is awakened on the first access to a region.
+    TriggerOnly,
+    /// Use the first `k` accessed offsets, spatially and temporally aligned
+    /// (Fig. 4). `k = 2` is the paper's Gaze design: trigger offset as index,
+    /// second offset as tag, awakened on the second access.
+    FirstAccesses(usize),
+}
+
+impl Characterization {
+    /// Number of distinct accesses required before prefetching is awakened.
+    pub fn accesses_required(self) -> usize {
+        match self {
+            Characterization::TriggerOnly => 1,
+            Characterization::FirstAccesses(k) => k,
+        }
+    }
+}
+
+/// Which prediction paths are enabled (used by the Fig. 9 / Fig. 10
+/// ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GazePaths {
+    /// Use the Pattern History Table for non-streaming patterns.
+    pub pht: bool,
+    /// Use the dedicated streaming module (DPCT + Dense Counter) for
+    /// streaming regions (trigger = 0, second = 1).
+    pub streaming_module: bool,
+    /// When the streaming module is disabled, let the PHT also learn and
+    /// predict streaming regions (the `PHT4SS` configuration of Fig. 10).
+    pub pht_handles_streaming: bool,
+    /// Enable the region-based stride backup / stage-2 aggressiveness
+    /// promotion in the Accumulation Table.
+    pub stride_backup: bool,
+    /// Restrict operation to streaming regions only (trigger = 0,
+    /// second = 1) — used by the `PHT4SS` / `SM4SS` settings of Fig. 10.
+    pub streaming_regions_only: bool,
+}
+
+impl Default for GazePaths {
+    fn default() -> Self {
+        GazePaths {
+            pht: true,
+            streaming_module: true,
+            pht_handles_streaming: false,
+            stride_backup: true,
+            streaming_regions_only: false,
+        }
+    }
+}
+
+/// Full configuration of the Gaze prefetcher (Table I defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GazeConfig {
+    /// Spatial-region size in bytes (4 KB by default).
+    pub region_size: u64,
+    /// Cache-block size in bytes.
+    pub block_size: u64,
+    /// Filter Table entries (64) and ways (8).
+    pub ft_entries: usize,
+    /// Filter Table associativity.
+    pub ft_ways: usize,
+    /// Accumulation Table entries (64) and ways (8).
+    pub at_entries: usize,
+    /// Accumulation Table associativity.
+    pub at_ways: usize,
+    /// Pattern History Table entries (256) and ways (4).
+    pub pht_entries: usize,
+    /// Pattern History Table associativity.
+    pub pht_ways: usize,
+    /// Dense-PC Table entries (8, fully associative).
+    pub dpct_entries: usize,
+    /// Dense Counter width in bits (3).
+    pub dc_bits: u32,
+    /// Prefetch Buffer entries (32) and ways (8).
+    pub pb_entries: usize,
+    /// Prefetch Buffer associativity.
+    pub pb_ways: usize,
+    /// Prefetches drained from the Prefetch Buffer per cycle.
+    pub pb_drain_per_cycle: usize,
+    /// Number of leading blocks promoted to the L1D for a confident
+    /// streaming region (16 = one quarter of a 4 KB region).
+    pub dense_l1_blocks: usize,
+    /// Blocks skipped before the stage-2 stride promotion window.
+    pub stride_skip: usize,
+    /// Blocks promoted to the L1D by one stage-2 stride promotion.
+    pub stride_promote: usize,
+    /// Pattern characterization scheme.
+    pub characterization: Characterization,
+    /// Enabled prediction paths.
+    pub paths: GazePaths,
+}
+
+impl GazeConfig {
+    /// The paper's default configuration (§III-E, Table I).
+    pub fn paper_default() -> Self {
+        GazeConfig {
+            region_size: 4096,
+            block_size: 64,
+            ft_entries: 64,
+            ft_ways: 8,
+            at_entries: 64,
+            at_ways: 8,
+            pht_entries: 256,
+            pht_ways: 4,
+            dpct_entries: 8,
+            dc_bits: 3,
+            pb_entries: 32,
+            pb_ways: 8,
+            pb_drain_per_cycle: 4,
+            dense_l1_blocks: 16,
+            stride_skip: 2,
+            stride_promote: 4,
+            characterization: Characterization::FirstAccesses(2),
+            paths: GazePaths::default(),
+        }
+    }
+
+    /// The `Offset` characterization baseline of Fig. 1 / Fig. 9: trigger
+    /// offset only, no streaming module, no stride backup.
+    pub fn offset_only() -> Self {
+        GazeConfig {
+            characterization: Characterization::TriggerOnly,
+            paths: GazePaths {
+                pht: true,
+                streaming_module: false,
+                pht_handles_streaming: true,
+                stride_backup: false,
+                streaming_regions_only: false,
+            },
+            ..Self::paper_default()
+        }
+    }
+
+    /// `Gaze-PHT` of Fig. 9: the two-access characterization without the
+    /// dedicated streaming module (dense regions go through the PHT).
+    pub fn gaze_pht_only() -> Self {
+        GazeConfig {
+            paths: GazePaths {
+                pht: true,
+                streaming_module: false,
+                pht_handles_streaming: true,
+                stride_backup: false,
+                streaming_regions_only: false,
+            },
+            ..Self::paper_default()
+        }
+    }
+
+    /// `PHT4SS` of Fig. 10: only streaming regions are handled, naively via
+    /// the PHT.
+    pub fn pht_for_streaming_only() -> Self {
+        GazeConfig {
+            paths: GazePaths {
+                pht: true,
+                streaming_module: false,
+                pht_handles_streaming: true,
+                stride_backup: false,
+                streaming_regions_only: true,
+            },
+            ..Self::paper_default()
+        }
+    }
+
+    /// `SM4SS` of Fig. 10: only streaming regions are handled, via the
+    /// dedicated streaming module.
+    pub fn streaming_module_only() -> Self {
+        GazeConfig {
+            paths: GazePaths {
+                pht: false,
+                streaming_module: true,
+                pht_handles_streaming: false,
+                stride_backup: true,
+                streaming_regions_only: true,
+            },
+            ..Self::paper_default()
+        }
+    }
+
+    /// The Fig. 4 sweep: require the first `k` accesses (1–4) to be aligned.
+    pub fn with_initial_accesses(mut self, k: usize) -> Self {
+        assert!(k >= 1 && k <= 4, "the paper evaluates 1..=4 initial accesses");
+        self.characterization =
+            if k == 1 { Characterization::TriggerOnly } else { Characterization::FirstAccesses(k) };
+        self
+    }
+
+    /// The Fig. 17 / Fig. 18 sweeps: change the spatial-region size.
+    pub fn with_region_size(mut self, bytes: u64) -> Self {
+        assert!(bytes.is_power_of_two() && bytes >= 2 * self.block_size, "invalid region size");
+        self.region_size = bytes;
+        self
+    }
+
+    /// The Fig. 17b sweep: change the PHT capacity.
+    pub fn with_pht_entries(mut self, entries: usize) -> Self {
+        assert!(entries >= self.pht_ways && entries % self.pht_ways == 0, "PHT entries must be a multiple of ways");
+        self.pht_entries = entries;
+        self
+    }
+
+    /// Blocks per region for this configuration.
+    pub fn blocks_per_region(&self) -> usize {
+        (self.region_size / self.block_size) as usize
+    }
+
+    /// Width in bits of a block offset within a region.
+    pub fn offset_bits(&self) -> u32 {
+        (self.blocks_per_region() as u64).trailing_zeros()
+    }
+
+    /// Storage requirement of each structure and the total, in bits,
+    /// following the Table I accounting (36-bit region tags, 12-bit hashed
+    /// PCs, 3-bit LRU for 8-way structures, 2-bit LRU for the 4-way PHT).
+    pub fn storage_breakdown_bits(&self) -> StorageBreakdown {
+        let offset_bits = u64::from(self.offset_bits());
+        let blocks = self.blocks_per_region() as u64;
+        let ft = self.ft_entries as u64 * (36 + 3 + 12 + offset_bits);
+        let at = self.at_entries as u64 * (36 + 3 + 12 + 1 + 4 * offset_bits + blocks);
+        let pht = self.pht_entries as u64 * (offset_bits + 2 + blocks);
+        let dpct = self.dpct_entries as u64 * (12 + 3);
+        let pb = self.pb_entries as u64 * (36 + 3 + 2 * blocks);
+        let dc = u64::from(self.dc_bits);
+        StorageBreakdown { ft, at, pht, dpct, pb, dc }
+    }
+}
+
+impl Default for GazeConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Per-structure storage cost in bits (Table I reproduction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageBreakdown {
+    /// Filter Table bits.
+    pub ft: u64,
+    /// Accumulation Table bits.
+    pub at: u64,
+    /// Pattern History Table bits.
+    pub pht: u64,
+    /// Dense-PC Table bits.
+    pub dpct: u64,
+    /// Prefetch Buffer bits.
+    pub pb: u64,
+    /// Dense Counter bits.
+    pub dc: u64,
+}
+
+impl StorageBreakdown {
+    /// Total bits.
+    pub fn total_bits(&self) -> u64 {
+        self.ft + self.at + self.pht + self.dpct + self.pb + self.dc
+    }
+
+    /// Total kilobytes (1 KB = 1024 B).
+    pub fn total_kib(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_i_sizes() {
+        let cfg = GazeConfig::paper_default();
+        assert_eq!(cfg.blocks_per_region(), 64);
+        assert_eq!(cfg.offset_bits(), 6);
+        let s = cfg.storage_breakdown_bits();
+        // Table I: FT 456B, AT 1128B, PHT 2304B, DPCT 15B, PB 668B, ~4.46KB.
+        assert_eq!(s.ft / 8, 456);
+        assert_eq!(s.at / 8, 1120); // Table I reports 1128 B (8 B of rounding in the paper)
+        assert_eq!(s.pht / 8, 2304);
+        assert_eq!(s.dpct / 8, 15);
+        assert_eq!(s.pb / 8, 668);
+        let kib = s.total_kib();
+        assert!((kib - 4.46).abs() < 0.05, "total storage {kib:.2} KB should be about 4.46 KB");
+    }
+
+    #[test]
+    fn characterization_access_requirements() {
+        assert_eq!(Characterization::TriggerOnly.accesses_required(), 1);
+        assert_eq!(Characterization::FirstAccesses(2).accesses_required(), 2);
+        assert_eq!(GazeConfig::paper_default().with_initial_accesses(1).characterization.accesses_required(), 1);
+        assert_eq!(GazeConfig::paper_default().with_initial_accesses(4).characterization.accesses_required(), 4);
+    }
+
+    #[test]
+    fn variant_constructors_disable_expected_paths() {
+        assert!(!GazeConfig::offset_only().paths.streaming_module);
+        assert!(!GazeConfig::gaze_pht_only().paths.streaming_module);
+        assert!(GazeConfig::gaze_pht_only().paths.pht_handles_streaming);
+        assert!(GazeConfig::pht_for_streaming_only().paths.streaming_regions_only);
+        assert!(GazeConfig::streaming_module_only().paths.streaming_regions_only);
+        assert!(!GazeConfig::streaming_module_only().paths.pht);
+    }
+
+    #[test]
+    fn region_size_sweep_changes_geometry() {
+        let small = GazeConfig::paper_default().with_region_size(512);
+        assert_eq!(small.blocks_per_region(), 8);
+        let huge = GazeConfig::paper_default().with_region_size(64 * 1024);
+        assert_eq!(huge.blocks_per_region(), 1024);
+        assert!(huge.storage_breakdown_bits().total_bits() > small.storage_breakdown_bits().total_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=4")]
+    fn initial_accesses_out_of_range_rejected() {
+        let _ = GazeConfig::paper_default().with_initial_accesses(5);
+    }
+
+    #[test]
+    fn pht_sweep_scales_storage() {
+        let small = GazeConfig::paper_default().with_pht_entries(128);
+        let large = GazeConfig::paper_default().with_pht_entries(1024);
+        assert!(large.storage_breakdown_bits().pht == 8 * small.storage_breakdown_bits().pht);
+    }
+}

@@ -1,0 +1,169 @@
+//! The spatial-streaming module: Dense-PC Table (DPCT) and Dense Counter
+//! (DC).
+//!
+//! Footprints produced by spatial streaming are extremely dense (nearly every
+//! block of the region is touched), so applying them naively prefetches whole
+//! regions and over-prefetches badly when streaming and irregular patterns
+//! interleave (the Ligra BFS example of Fig. 5). Gaze therefore double-checks
+//! streaming confidence with two cheap structures before committing to an
+//! aggressive prefetch: a small table of recently *dense* trigger PCs and a
+//! saturating counter tracking how often recent streaming-signature regions
+//! really turned out dense.
+
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+/// Confidence level assigned to a candidate streaming region (stage 1 of the
+/// two-stage aggressiveness control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamConfidence {
+    /// The trigger PC was recently dense or the counter is saturated:
+    /// prefetch the first 16 blocks to the L1D and the rest to the L2C.
+    High,
+    /// The counter is half-saturated: prefetch only the first 16 blocks, and
+    /// only into the L2C.
+    Moderate,
+    /// Not confident: do not prefetch; rely on the stride backup (stage 2).
+    None,
+}
+
+/// DPCT + DC: the streaming-confidence estimator.
+#[derive(Debug, Clone)]
+pub struct StreamingModule {
+    dpct: SetAssocTable<()>,
+    counter: u8,
+    max: u8,
+}
+
+impl StreamingModule {
+    /// Creates the module with `dpct_entries` dense-PC entries and a
+    /// `dc_bits`-bit saturating counter.
+    pub fn new(dpct_entries: usize, dc_bits: u32) -> Self {
+        assert!(dc_bits >= 2 && dc_bits <= 8, "dense counter width out of range");
+        StreamingModule {
+            dpct: SetAssocTable::new(TableConfig::fully_associative(dpct_entries.max(1))),
+            counter: 0,
+            max: ((1u16 << dc_bits) - 1) as u8,
+        }
+    }
+
+    /// Current dense-counter value.
+    pub fn counter(&self) -> u8 {
+        self.counter
+    }
+
+    /// Whether `pc_hash` is recorded as a recently dense PC.
+    pub fn is_dense_pc(&mut self, pc_hash: u16) -> bool {
+        self.dpct.get(0, u64::from(pc_hash)).is_some()
+    }
+
+    /// Learning step for a deactivated region whose first two accesses were
+    /// blocks 0 and 1. `fully_requested` is true when every block of the
+    /// region was demanded.
+    pub fn learn(&mut self, pc_hash: u16, fully_requested: bool) {
+        if fully_requested {
+            self.dpct.insert(0, u64::from(pc_hash), ());
+            // Slow increment.
+            self.counter = (self.counter + 1).min(self.max);
+        } else if self.counter > 2 {
+            // Fast decrement.
+            self.counter /= 2;
+        } else {
+            // Slow decrement.
+            self.counter = self.counter.saturating_sub(1);
+        }
+    }
+
+    /// Stage-1 confidence for a candidate region triggered by `pc_hash`.
+    pub fn confidence(&mut self, pc_hash: u16) -> StreamConfidence {
+        if self.is_dense_pc(pc_hash) || self.counter >= self.max {
+            StreamConfidence::High
+        } else if self.counter > 2 {
+            StreamConfidence::Moderate
+        } else {
+            StreamConfidence::None
+        }
+    }
+
+    /// Storage cost in bits (DPCT entries of 12-bit hashed PC + 3-bit LRU,
+    /// plus the counter itself).
+    pub fn storage_bits(&self) -> u64 {
+        self.dpct.config().entries() as u64 * 15 + u64::from(self.max.count_ones())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_and_decays() {
+        let mut m = StreamingModule::new(8, 3);
+        for _ in 0..20 {
+            m.learn(1, true);
+        }
+        assert_eq!(m.counter(), 7);
+        // Fast decrement halves a large counter (7 -> 3 -> 1).
+        m.learn(1, false);
+        assert_eq!(m.counter(), 3);
+        m.learn(1, false);
+        assert_eq!(m.counter(), 1);
+        // Slow decrement once at or below the threshold.
+        m.learn(1, false);
+        assert_eq!(m.counter(), 0);
+        m.learn(1, false);
+        assert_eq!(m.counter(), 0);
+    }
+
+    #[test]
+    fn dense_pc_lookup() {
+        let mut m = StreamingModule::new(8, 3);
+        assert!(!m.is_dense_pc(42));
+        m.learn(42, true);
+        assert!(m.is_dense_pc(42));
+        assert!(!m.is_dense_pc(43));
+    }
+
+    #[test]
+    fn dpct_capacity_bounded_by_entries() {
+        let mut m = StreamingModule::new(8, 3);
+        for pc in 0..100u16 {
+            m.learn(pc, true);
+        }
+        // Only the eight most recent dense PCs are remembered.
+        assert!(m.is_dense_pc(99));
+        assert!(!m.is_dense_pc(0));
+    }
+
+    #[test]
+    fn confidence_levels_follow_paper_rules() {
+        let mut m = StreamingModule::new(8, 3);
+        // Untrained: no prefetch.
+        assert_eq!(m.confidence(7), StreamConfidence::None);
+        // A recently dense PC gives high confidence regardless of the counter.
+        m.learn(7, true);
+        assert_eq!(m.confidence(7), StreamConfidence::High);
+        // A different PC with a half-saturated counter is moderate.
+        m.learn(8, true);
+        m.learn(9, true);
+        assert_eq!(m.counter(), 3);
+        assert_eq!(m.confidence(100), StreamConfidence::Moderate);
+        // Saturate the counter: even unknown PCs become high confidence.
+        for _ in 0..10 {
+            m.learn(7, true);
+        }
+        assert_eq!(m.confidence(100), StreamConfidence::High);
+    }
+
+    #[test]
+    fn storage_matches_table_i() {
+        let m = StreamingModule::new(8, 3);
+        // 8 entries * 15 bits = 120 bits = 15 bytes, plus the 3-bit counter.
+        assert_eq!(m.storage_bits(), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn counter_width_validated() {
+        let _ = StreamingModule::new(8, 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Gaze: a spatial prefetcher that characterizes spatial patterns with
+//! footprint-internal temporal correlations (HPCA 2025).
+//!
+//! Conventional spatial-pattern prefetchers look for a previously seen region
+//! whose *environmental context* (trigger PC, address, offset) matches the
+//! newly activated one. Gaze instead matches on the pattern's own first two
+//! accesses — their spatial positions **and their order** — which
+//! characterizes the access behaviour itself at a fraction of the metadata
+//! cost (≈4.46 KB). A dedicated two-stage aggressiveness control handles the
+//! extremely dense footprints produced by spatial streaming.
+//!
+//! The crate exposes:
+//!
+//! * [`Gaze`] — the prefetcher, implementing
+//!   [`prefetch_common::Prefetcher`],
+//! * [`GazeConfig`] — the paper's configuration plus every ablation variant
+//!   used in the evaluation (`Offset`, `Gaze-PHT`, `PHT4SS`, `SM4SS`, vGaze
+//!   region-size sweeps, first-*k*-accesses characterization),
+//! * the individual hardware structures ([`tables`], [`pht`], [`dense`],
+//!   [`prefetch_buffer`]) for unit-level study.
+//!
+//! # Example
+//!
+//! ```
+//! use gaze::{Gaze, GazeConfig};
+//! use prefetch_common::access::DemandAccess;
+//! use prefetch_common::prefetcher::Prefetcher;
+//!
+//! let mut gaze = Gaze::with_config(GazeConfig::paper_default());
+//! // Train on a region accessed at offsets 5, 9, 13 ...
+//! for offset in [5u64, 9, 13] {
+//!     gaze.on_access(&DemandAccess::load(0x400123, 0x1000 + offset * 64), false);
+//! }
+//! assert_eq!(gaze.storage_bits() / 8 / 1024, 4); // ~4.46 KB of metadata
+//! ```
+
+pub mod config;
+pub mod dense;
+pub mod pht;
+pub mod prefetch_buffer;
+pub mod prefetcher;
+pub mod tables;
+
+pub use config::{Characterization, GazeConfig, GazePaths, StorageBreakdown};
+pub use dense::{StreamConfidence, StreamingModule};
+pub use pht::PatternHistoryTable;
+pub use prefetch_buffer::{OffsetState, PrefetchBuffer, PrefetchPattern};
+pub use prefetcher::Gaze;
+pub use tables::{AccumEntry, AccumulationTable, FilterEntry, FilterTable};

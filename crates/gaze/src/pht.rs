@@ -1,0 +1,180 @@
+//! The Pattern History Table (PHT).
+//!
+//! The PHT stores one bit-vector footprint per learned pattern. Its indexing
+//! scheme is where Gaze encodes the footprint-internal temporal correlation
+//! *without any extra metadata*: the **trigger offset** selects the set and
+//! the **second offset** is the tag, so a lookup only hits when both the
+//! spatial position *and* the temporal order of the first accesses match
+//! (the paper's strict matching mechanism). The Fig. 4 sensitivity sweep
+//! generalizes the tag to the concatenation of the 2nd..k-th offsets.
+
+use prefetch_common::footprint::Footprint;
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+/// Pattern History Table: footprints indexed by the initial-access event.
+#[derive(Debug, Clone)]
+pub struct PatternHistoryTable {
+    table: SetAssocTable<Footprint>,
+    offset_bits: u32,
+}
+
+impl PatternHistoryTable {
+    /// Creates a PHT with `entries` total entries, `ways` associativity and
+    /// regions of `blocks_per_region` blocks.
+    pub fn new(entries: usize, ways: usize, blocks_per_region: usize) -> Self {
+        let sets = (entries / ways).max(1);
+        PatternHistoryTable {
+            table: SetAssocTable::new(TableConfig::new(sets, ways)),
+            offset_bits: (blocks_per_region as u64).trailing_zeros(),
+        }
+    }
+
+    /// Builds the `(index, tag)` pair for an initial-access event.
+    ///
+    /// The first offset is the index; the remaining offsets are concatenated
+    /// into the tag, preserving their order. With the paper's two-access
+    /// characterization the tag is simply the second offset. With
+    /// trigger-only characterization (`offsets.len() == 1`) the tag is a
+    /// constant, so any pattern learned for that trigger offset matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty.
+    pub fn key(&self, offsets: &[usize]) -> (u64, u64) {
+        assert!(!offsets.is_empty(), "at least the trigger offset is required");
+        let index = offsets[0] as u64;
+        let mut tag = 1u64; // non-zero sentinel so an empty suffix still forms a valid tag
+        for &o in &offsets[1..] {
+            tag = (tag << self.offset_bits) | o as u64;
+        }
+        (index, tag)
+    }
+
+    /// Looks up the pattern for an initial-access event (strict match).
+    pub fn lookup(&mut self, offsets: &[usize]) -> Option<Footprint> {
+        let (index, tag) = self.key(offsets);
+        self.table.get(index, tag).cloned()
+    }
+
+    /// Learns (or overwrites) the pattern for an initial-access event.
+    pub fn learn(&mut self, offsets: &[usize], footprint: Footprint) {
+        let (index, tag) = self.key(offsets);
+        self.table.insert(index, tag, footprint);
+    }
+
+    /// Number of stored patterns.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pht() -> PatternHistoryTable {
+        PatternHistoryTable::new(256, 4, 64)
+    }
+
+    #[test]
+    fn learn_then_lookup_exact_event() {
+        let mut p = pht();
+        let fp = Footprint::from_offsets(64, [3, 4, 5, 9]);
+        p.learn(&[3, 4], fp.clone());
+        assert_eq!(p.lookup(&[3, 4]), Some(fp));
+    }
+
+    #[test]
+    fn strict_matching_requires_both_offsets() {
+        let mut p = pht();
+        p.learn(&[3, 4], Footprint::from_offsets(64, [3, 4, 5]));
+        // Same trigger, different second offset: no match.
+        assert_eq!(p.lookup(&[3, 7]), None);
+        // Different trigger, same second offset: no match.
+        assert_eq!(p.lookup(&[2, 4]), None);
+    }
+
+    #[test]
+    fn temporal_order_matters() {
+        let mut p = pht();
+        p.learn(&[3, 4], Footprint::from_offsets(64, [3, 4]));
+        // The same two blocks accessed in the opposite order are a different
+        // event — this is the temporal correlation the scheme captures.
+        assert_eq!(p.lookup(&[4, 3]), None);
+    }
+
+    #[test]
+    fn trigger_only_key_ignores_order_information() {
+        let p = PatternHistoryTable::new(64, 1, 64);
+        assert_eq!(p.key(&[5]), (5, 1));
+        assert_eq!(p.key(&[5]).1, p.key(&[5]).1);
+    }
+
+    #[test]
+    fn four_access_keys_distinguish_longer_events() {
+        let mut p = pht();
+        p.learn(&[0, 1, 2, 3], Footprint::from_offsets(64, 0..8));
+        assert!(p.lookup(&[0, 1, 2, 3]).is_some());
+        assert!(p.lookup(&[0, 1, 3, 2]).is_none());
+        assert!(p.lookup(&[0, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let mut p = PatternHistoryTable::new(256, 4, 64);
+        for trigger in 0..64usize {
+            for second in 0..64usize {
+                p.learn(&[trigger, second], Footprint::from_offsets(64, [trigger]));
+            }
+        }
+        assert!(p.len() <= 256);
+    }
+
+    #[test]
+    fn relearning_overwrites_previous_pattern() {
+        let mut p = pht();
+        p.learn(&[1, 2], Footprint::from_offsets(64, [1, 2]));
+        p.learn(&[1, 2], Footprint::from_offsets(64, [1, 2, 3, 4]));
+        assert_eq!(p.lookup(&[1, 2]).unwrap().population(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "trigger offset")]
+    fn empty_event_rejected() {
+        let p = pht();
+        let _ = p.key(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lookup_returns_what_was_learned(
+            trigger in 0usize..64,
+            second in 0usize..64,
+            bits in proptest::collection::btree_set(0usize..64, 1..32),
+        ) {
+            let mut p = PatternHistoryTable::new(256, 4, 64);
+            let fp = Footprint::from_offsets(64, bits.iter().copied());
+            p.learn(&[trigger, second], fp.clone());
+            prop_assert_eq!(p.lookup(&[trigger, second]), Some(fp));
+        }
+
+        #[test]
+        fn prop_distinct_events_do_not_alias(
+            a in (0usize..64, 0usize..64),
+            b in (0usize..64, 0usize..64),
+        ) {
+            prop_assume!(a != b);
+            let mut p = PatternHistoryTable::new(4096, 64, 64);
+            p.learn(&[a.0, a.1], Footprint::from_offsets(64, [1]));
+            p.learn(&[b.0, b.1], Footprint::from_offsets(64, [2]));
+            prop_assert_eq!(p.lookup(&[a.0, a.1]).unwrap().iter_set().collect::<Vec<_>>(), vec![1]);
+            prop_assert_eq!(p.lookup(&[b.0, b.1]).unwrap().iter_set().collect::<Vec<_>>(), vec![2]);
+        }
+    }
+}

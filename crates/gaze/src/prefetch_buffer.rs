@@ -1,0 +1,303 @@
+//! The Prefetch Buffer (PB).
+//!
+//! A single prefetch decision for a region produces many block requests that
+//! share the same region number, so Gaze stores them as one entry: a region
+//! tag plus a 2-bit state per offset (*no prefetch*, *to L1D*, *to L2C*, *to
+//! LLC*). The buffer also smooths issuance — a bounded number of requests is
+//! drained per cycle — and merges the stage-2 aggressiveness promotions into
+//! a pattern that is already queued (lower part of Fig. 3b).
+
+use prefetch_common::addr::RegionGeometry;
+use prefetch_common::request::{FillLevel, PrefetchRequest};
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+/// Per-offset prefetch state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffsetState {
+    /// Do not prefetch this block.
+    #[default]
+    None,
+    /// Prefetch into the L1D.
+    L1,
+    /// Prefetch into the L2C.
+    L2,
+    /// Prefetch into the LLC (unused by Gaze but representable in 2 bits).
+    Llc,
+}
+
+impl OffsetState {
+    fn fill_level(self) -> Option<FillLevel> {
+        match self {
+            OffsetState::None => None,
+            OffsetState::L1 => Some(FillLevel::L1),
+            OffsetState::L2 => Some(FillLevel::L2),
+            OffsetState::Llc => Some(FillLevel::Llc),
+        }
+    }
+
+    fn more_aggressive_than(self, other: OffsetState) -> bool {
+        fn rank(s: OffsetState) -> u8 {
+            match s {
+                OffsetState::L1 => 3,
+                OffsetState::L2 => 2,
+                OffsetState::Llc => 1,
+                OffsetState::None => 0,
+            }
+        }
+        rank(self) > rank(other)
+    }
+}
+
+/// A per-region prefetch pattern: one [`OffsetState`] per block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetchPattern {
+    states: Vec<OffsetState>,
+}
+
+impl PrefetchPattern {
+    /// Creates an all-`None` pattern for a region of `blocks` blocks.
+    pub fn new(blocks: usize) -> Self {
+        PrefetchPattern { states: vec![OffsetState::None; blocks] }
+    }
+
+    /// Number of block slots.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no block is marked for prefetching.
+    pub fn is_empty(&self) -> bool {
+        self.states.iter().all(|s| *s == OffsetState::None)
+    }
+
+    /// Sets the state of one offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of range.
+    pub fn set(&mut self, offset: usize, state: OffsetState) {
+        self.states[offset] = state;
+    }
+
+    /// The state of one offset.
+    pub fn get(&self, offset: usize) -> OffsetState {
+        self.states[offset]
+    }
+
+    /// Merges `other` into `self`, keeping the more aggressive level per
+    /// offset (used for stage-2 promotions).
+    pub fn merge_promote(&mut self, other: &PrefetchPattern) {
+        assert_eq!(self.len(), other.len(), "pattern lengths must match");
+        for (a, b) in self.states.iter_mut().zip(&other.states) {
+            if b.more_aggressive_than(*a) {
+                *a = *b;
+            }
+        }
+    }
+
+    /// Number of offsets marked for prefetching.
+    pub fn population(&self) -> usize {
+        self.states.iter().filter(|s| **s != OffsetState::None).count()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PbEntry {
+    pattern: PrefetchPattern,
+    /// Next offset position (relative to the issue origin) to consider.
+    cursor: usize,
+    /// Offset from which issuance proceeds (the trigger offset).
+    origin: usize,
+}
+
+/// The Prefetch Buffer.
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    table: SetAssocTable<PbEntry>,
+    geometry: RegionGeometry,
+    drain_per_cycle: usize,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer with `entries` region slots, `ways` associativity,
+    /// draining at most `drain_per_cycle` requests per cycle.
+    pub fn new(entries: usize, ways: usize, drain_per_cycle: usize, geometry: RegionGeometry) -> Self {
+        PrefetchBuffer {
+            table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)),
+            geometry,
+            drain_per_cycle: drain_per_cycle.max(1),
+        }
+    }
+
+    /// Number of buffered regions.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the buffer holds no regions.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Queues (or merges) a prefetch pattern for `region`. Issuance starts at
+    /// `origin` (the trigger offset) and proceeds towards higher offsets,
+    /// wrapping around the region.
+    pub fn push(&mut self, region: u64, origin: usize, pattern: PrefetchPattern) {
+        if pattern.is_empty() {
+            return;
+        }
+        if let Some(entry) = self.table.get_mut(region, region) {
+            entry.pattern.merge_promote(&pattern);
+            return;
+        }
+        self.table.insert(region, region, PbEntry { pattern, cursor: 0, origin });
+    }
+
+    /// Promotes already-buffered offsets of `region` to the L1D (stage-2
+    /// aggressiveness promotion). Offsets not yet buffered are added.
+    pub fn promote(&mut self, region: u64, offsets: &[usize]) {
+        let blocks = self.geometry.blocks_per_region();
+        let mut promo = PrefetchPattern::new(blocks);
+        for &o in offsets {
+            if o < blocks {
+                promo.set(o, OffsetState::L1);
+            }
+        }
+        self.push(region, offsets.first().copied().unwrap_or(0), promo);
+    }
+
+    /// Drains up to the per-cycle limit of requests, in issue order.
+    pub fn drain(&mut self) -> Vec<PrefetchRequest> {
+        let mut out = Vec::new();
+        let blocks = self.geometry.blocks_per_region();
+        let mut finished = Vec::new();
+        for (region, entry) in self.table.iter_mut() {
+            while entry.cursor < blocks && out.len() < self.drain_per_cycle {
+                let offset = (entry.origin + entry.cursor) % blocks;
+                entry.cursor += 1;
+                if let Some(level) = entry.pattern.get(offset).fill_level() {
+                    let block = self.geometry.block_at(prefetch_common::addr::RegionId::new(region), offset);
+                    out.push(PrefetchRequest::new(block, level));
+                }
+            }
+            if entry.cursor >= blocks {
+                finished.push(region);
+            }
+            if out.len() >= self.drain_per_cycle {
+                break;
+            }
+        }
+        for region in finished {
+            self.table.remove(region, region);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prefetch_common::addr::RegionGeometry;
+
+    fn geometry() -> RegionGeometry {
+        RegionGeometry::gaze_default()
+    }
+
+    fn pattern_l1(offsets: &[usize]) -> PrefetchPattern {
+        let mut p = PrefetchPattern::new(64);
+        for &o in offsets {
+            p.set(o, OffsetState::L1);
+        }
+        p
+    }
+
+    #[test]
+    fn drain_respects_per_cycle_limit_and_order() {
+        let mut pb = PrefetchBuffer::new(32, 8, 2, geometry());
+        pb.push(5, 3, pattern_l1(&[3, 4, 5, 6]));
+        let first = pb.drain();
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].block, geometry().block_at(prefetch_common::addr::RegionId::new(5), 3));
+        assert_eq!(first[1].block, geometry().block_at(prefetch_common::addr::RegionId::new(5), 4));
+        let second = pb.drain();
+        assert_eq!(second.len(), 2);
+        // Entry is removed once fully drained.
+        while !pb.is_empty() {
+            pb.drain();
+        }
+        assert!(pb.drain().is_empty());
+    }
+
+    #[test]
+    fn issue_order_wraps_from_trigger_offset() {
+        let mut pb = PrefetchBuffer::new(32, 8, 64, geometry());
+        pb.push(1, 62, pattern_l1(&[62, 63, 0, 1]));
+        let reqs = pb.drain();
+        let offsets: Vec<usize> =
+            reqs.iter().map(|r| geometry().offset_of(r.block.base_addr())).collect();
+        assert_eq!(offsets, vec![62, 63, 0, 1]);
+    }
+
+    #[test]
+    fn mixed_fill_levels_preserved() {
+        let mut pb = PrefetchBuffer::new(32, 8, 64, geometry());
+        let mut p = PrefetchPattern::new(64);
+        p.set(0, OffsetState::L1);
+        p.set(1, OffsetState::L2);
+        pb.push(9, 0, p);
+        let reqs = pb.drain();
+        assert_eq!(reqs[0].fill_level, FillLevel::L1);
+        assert_eq!(reqs[1].fill_level, FillLevel::L2);
+    }
+
+    #[test]
+    fn promotion_merges_into_existing_entry() {
+        let mut pb = PrefetchBuffer::new(32, 8, 64, geometry());
+        let mut p = PrefetchPattern::new(64);
+        for o in 0..8 {
+            p.set(o, OffsetState::L2);
+        }
+        pb.push(2, 0, p);
+        // Promote offsets 4..8 to the L1 before anything drains.
+        pb.promote(2, &[4, 5, 6, 7]);
+        let reqs = pb.drain();
+        let l1: Vec<usize> = reqs
+            .iter()
+            .filter(|r| r.fill_level == FillLevel::L1)
+            .map(|r| geometry().offset_of(r.block.base_addr()))
+            .collect();
+        assert_eq!(l1, vec![4, 5, 6, 7]);
+        assert_eq!(reqs.len(), 8);
+    }
+
+    #[test]
+    fn empty_patterns_are_not_buffered() {
+        let mut pb = PrefetchBuffer::new(32, 8, 4, geometry());
+        pb.push(1, 0, PrefetchPattern::new(64));
+        assert!(pb.is_empty());
+    }
+
+    #[test]
+    fn merge_promote_never_downgrades() {
+        let mut a = pattern_l1(&[1, 2]);
+        let mut b = PrefetchPattern::new(64);
+        b.set(1, OffsetState::L2);
+        b.set(3, OffsetState::L2);
+        a.merge_promote(&b);
+        assert_eq!(a.get(1), OffsetState::L1);
+        assert_eq!(a.get(3), OffsetState::L2);
+        assert_eq!(a.population(), 3);
+        // Merging the other way upgrades.
+        b.merge_promote(&pattern_l1(&[3]));
+        assert_eq!(b.get(3), OffsetState::L1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_by_entries() {
+        let mut pb = PrefetchBuffer::new(32, 8, 4, geometry());
+        for region in 0..100u64 {
+            pb.push(region, 0, pattern_l1(&[0]));
+        }
+        assert!(pb.len() <= 32);
+    }
+}

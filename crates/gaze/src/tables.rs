@@ -1,0 +1,266 @@
+//! The Filter Table (FT) and Accumulation Table (AT).
+//!
+//! The FT holds regions that have so far been touched by a single block — it
+//! filters out one-bit footprints so they never pollute the pattern history.
+//! The AT tracks all active regions: it accumulates the spatial footprint,
+//! remembers the first accesses (used to index/tag the pattern history), and
+//! carries the `stride_flag` used by the stage-2 aggressiveness promotion and
+//! the region-based stride backup prefetcher.
+
+use prefetch_common::footprint::Footprint;
+use prefetch_common::table::{SetAssocTable, TableConfig};
+
+/// Hashes a program counter down to the 12 bits the hardware stores.
+pub fn hash_pc(pc: u64) -> u16 {
+    ((pc ^ (pc >> 12) ^ (pc >> 24) ^ (pc >> 36)) & 0xfff) as u16
+}
+
+/// One Filter Table entry: a region seen exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterEntry {
+    /// Hashed PC of the trigger instruction.
+    pub trigger_pc: u16,
+    /// Offset of the trigger access within the region.
+    pub trigger_offset: usize,
+}
+
+/// The Filter Table.
+#[derive(Debug, Clone)]
+pub struct FilterTable {
+    table: SetAssocTable<FilterEntry>,
+}
+
+impl FilterTable {
+    /// Creates a filter table with `entries` total entries and `ways`
+    /// associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        FilterTable { table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)) }
+    }
+
+    /// Looks up a region, refreshing its recency.
+    pub fn get(&mut self, region: u64) -> Option<FilterEntry> {
+        self.table.get(region, region).copied()
+    }
+
+    /// Inserts a newly triggered region.
+    pub fn insert(&mut self, region: u64, entry: FilterEntry) {
+        self.table.insert(region, region, entry);
+    }
+
+    /// Removes a region (when it graduates to the Accumulation Table).
+    pub fn remove(&mut self, region: u64) -> Option<FilterEntry> {
+        self.table.remove(region, region)
+    }
+
+    /// Number of tracked regions.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// One Accumulation Table entry: an active region under tracking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccumEntry {
+    /// Hashed PC of the trigger instruction.
+    pub trigger_pc: u16,
+    /// The first accessed offsets, in order (up to four are used by the
+    /// Fig. 4 sensitivity study; the paper's Gaze uses the first two).
+    pub initial_offsets: Vec<usize>,
+    /// Offset of the most recent access.
+    pub last_offset: usize,
+    /// Offset of the access before the most recent one.
+    pub penultimate_offset: usize,
+    /// Accumulated spatial footprint.
+    pub footprint: Footprint,
+    /// Whether the region-based stride backup / promotion is armed.
+    pub stride_flag: bool,
+    /// Whether prefetching has already been awakened for this region.
+    pub prefetch_triggered: bool,
+}
+
+impl AccumEntry {
+    /// Creates an entry from the first two distinct accesses of a region.
+    pub fn new(blocks_per_region: usize, trigger_pc: u16, trigger_offset: usize, second_offset: usize) -> Self {
+        let mut footprint = Footprint::new(blocks_per_region);
+        footprint.set(trigger_offset);
+        footprint.set(second_offset);
+        AccumEntry {
+            trigger_pc,
+            initial_offsets: vec![trigger_offset, second_offset],
+            last_offset: second_offset,
+            penultimate_offset: trigger_offset,
+            footprint,
+            stride_flag: false,
+            prefetch_triggered: false,
+        }
+    }
+
+    /// The trigger (first) offset.
+    pub fn trigger_offset(&self) -> usize {
+        self.initial_offsets[0]
+    }
+
+    /// The second accessed offset.
+    pub fn second_offset(&self) -> usize {
+        self.initial_offsets[1]
+    }
+
+    /// Records a new access, returning the two most recent strides
+    /// `(previous, current)` in block units.
+    pub fn record_access(&mut self, offset: usize, max_initial: usize) -> (i64, i64) {
+        let prev_stride = self.last_offset as i64 - self.penultimate_offset as i64;
+        let cur_stride = offset as i64 - self.last_offset as i64;
+        if !self.footprint.get(offset) && self.initial_offsets.len() < max_initial {
+            self.initial_offsets.push(offset);
+        }
+        self.footprint.set(offset);
+        self.penultimate_offset = self.last_offset;
+        self.last_offset = offset;
+        (prev_stride, cur_stride)
+    }
+
+    /// Whether this region's first two accesses are block 0 followed by
+    /// block 1 — the spatial-streaming signature used by the dense path.
+    pub fn is_streaming_signature(&self) -> bool {
+        self.trigger_offset() == 0 && self.second_offset() == 1
+    }
+}
+
+/// The Accumulation Table.
+#[derive(Debug, Clone)]
+pub struct AccumulationTable {
+    table: SetAssocTable<AccumEntry>,
+}
+
+impl AccumulationTable {
+    /// Creates an accumulation table with `entries` total entries and `ways`
+    /// associativity.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        AccumulationTable { table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)) }
+    }
+
+    /// Whether a region is currently tracked.
+    pub fn contains(&self, region: u64) -> bool {
+        self.table.peek(region, region).is_some()
+    }
+
+    /// Mutable access to a tracked region, refreshing its recency.
+    pub fn get_mut(&mut self, region: u64) -> Option<&mut AccumEntry> {
+        self.table.get_mut(region, region)
+    }
+
+    /// Starts tracking a region. Returns the `(region, entry)` evicted by
+    /// LRU replacement, if any — the caller must learn its pattern (this is
+    /// one of the two region-deactivation events).
+    pub fn insert(&mut self, region: u64, entry: AccumEntry) -> Option<(u64, AccumEntry)> {
+        self.table.insert(region, region, entry)
+    }
+
+    /// Stops tracking a region and returns its entry (the other deactivation
+    /// event: one of its blocks was evicted from the cache).
+    pub fn remove(&mut self, region: u64) -> Option<AccumEntry> {
+        self.table.remove(region, region)
+    }
+
+    /// Number of tracked regions.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over tracked `(region, entry)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &AccumEntry)> {
+        self.table.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_pc_fits_in_12_bits() {
+        for pc in [0u64, 0x400123, 0xffff_ffff_ffff_ffff, 0x5555_5555_5555] {
+            assert!(hash_pc(pc) < 4096);
+        }
+        // Different PCs usually hash differently.
+        assert_ne!(hash_pc(0x400000), hash_pc(0x400004));
+    }
+
+    #[test]
+    fn filter_table_insert_get_remove() {
+        let mut ft = FilterTable::new(64, 8);
+        ft.insert(7, FilterEntry { trigger_pc: 1, trigger_offset: 5 });
+        assert_eq!(ft.get(7).unwrap().trigger_offset, 5);
+        assert_eq!(ft.remove(7).unwrap().trigger_pc, 1);
+        assert!(ft.get(7).is_none());
+        assert!(ft.is_empty());
+    }
+
+    #[test]
+    fn filter_table_capacity_is_bounded() {
+        let mut ft = FilterTable::new(64, 8);
+        for region in 0..1000u64 {
+            ft.insert(region, FilterEntry { trigger_pc: 0, trigger_offset: 0 });
+        }
+        assert!(ft.len() <= 64);
+    }
+
+    #[test]
+    fn accum_entry_tracks_strides_and_footprint() {
+        let mut e = AccumEntry::new(64, 0, 3, 4);
+        assert_eq!(e.trigger_offset(), 3);
+        assert_eq!(e.second_offset(), 4);
+        let (prev, cur) = e.record_access(5, 2);
+        assert_eq!((prev, cur), (1, 1));
+        let (prev, cur) = e.record_access(9, 2);
+        assert_eq!((prev, cur), (1, 4));
+        assert_eq!(e.footprint.population(), 4);
+        // Initial offsets are capped at `max_initial`.
+        assert_eq!(e.initial_offsets, vec![3, 4]);
+    }
+
+    #[test]
+    fn accum_entry_collects_up_to_four_initial_offsets() {
+        let mut e = AccumEntry::new(64, 0, 10, 11);
+        e.record_access(12, 4);
+        e.record_access(13, 4);
+        e.record_access(14, 4);
+        assert_eq!(e.initial_offsets, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn streaming_signature_detection() {
+        assert!(AccumEntry::new(64, 0, 0, 1).is_streaming_signature());
+        assert!(!AccumEntry::new(64, 0, 1, 2).is_streaming_signature());
+        assert!(!AccumEntry::new(64, 0, 0, 2).is_streaming_signature());
+    }
+
+    #[test]
+    fn accumulation_table_eviction_returns_victim_for_learning() {
+        let mut at = AccumulationTable::new(8, 8);
+        for region in 0..8u64 {
+            assert!(at.insert(region, AccumEntry::new(64, 0, 0, 1)).is_none());
+        }
+        let evicted = at.insert(100, AccumEntry::new(64, 0, 2, 3));
+        assert!(evicted.is_some());
+        assert!(at.len() <= 8);
+    }
+
+    #[test]
+    fn repeated_access_to_same_offset_does_not_change_initials() {
+        let mut e = AccumEntry::new(64, 0, 0, 1);
+        e.record_access(1, 4);
+        assert_eq!(e.initial_offsets, vec![0, 1]);
+        assert_eq!(e.footprint.population(), 2);
+    }
+}

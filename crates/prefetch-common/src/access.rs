@@ -1,0 +1,88 @@
+//! Demand accesses as seen by an L1D prefetcher.
+
+use crate::addr::{Addr, BlockAddr};
+
+/// Kind of memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load (reads train the prefetchers, as in the paper: "Gaze is trained
+    /// on cache loads").
+    Load,
+    /// A store.
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this access is a load.
+    pub fn is_load(self) -> bool {
+        matches!(self, AccessKind::Load)
+    }
+}
+
+/// A demand access observed at the L1D, the unit prefetchers train on.
+///
+/// This mirrors the information ChampSim hands to `l1d_prefetcher_operate`:
+/// the instruction pointer of the triggering load/store, the accessed
+/// (virtual) address, and whether the access hit in the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandAccess {
+    /// Program counter (instruction pointer) of the memory instruction.
+    pub pc: u64,
+    /// Accessed byte address.
+    pub addr: Addr,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Global retire-order index of the instruction (used for debugging and
+    /// late-prefetch bookkeeping; prefetchers must not rely on it).
+    pub instr_id: u64,
+}
+
+impl DemandAccess {
+    /// Convenience constructor for a load.
+    ///
+    /// ```
+    /// use prefetch_common::access::DemandAccess;
+    /// let a = DemandAccess::load(0x400123, 0x7fff_0040);
+    /// assert!(a.kind.is_load());
+    /// assert_eq!(a.block().raw(), 0x7fff_0040 >> 6);
+    /// ```
+    pub fn load(pc: u64, addr: u64) -> Self {
+        DemandAccess { pc, addr: Addr::new(addr), kind: AccessKind::Load, instr_id: 0 }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(pc: u64, addr: u64) -> Self {
+        DemandAccess { pc, addr: Addr::new(addr), kind: AccessKind::Store, instr_id: 0 }
+    }
+
+    /// Sets the retire-order instruction id (builder style).
+    pub fn with_instr_id(mut self, id: u64) -> Self {
+        self.instr_id = id;
+        self
+    }
+
+    /// The cache block this access touches.
+    pub fn block(&self) -> BlockAddr {
+        self.addr.block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_store_constructors() {
+        let l = DemandAccess::load(1, 128);
+        let s = DemandAccess::store(1, 128);
+        assert!(l.kind.is_load());
+        assert!(!s.kind.is_load());
+        assert_eq!(l.block().raw(), 2);
+    }
+
+    #[test]
+    fn instr_id_builder() {
+        let a = DemandAccess::load(1, 0).with_instr_id(42);
+        assert_eq!(a.instr_id, 42);
+    }
+}

@@ -1,0 +1,289 @@
+//! Bit-vector spatial footprints.
+//!
+//! A *footprint* records which cache blocks of a spatial region were demanded
+//! while the region was active. It is the pattern representation used by all
+//! spatial-pattern-based prefetchers in this workspace (SMS, Bingo, DSPatch,
+//! PMP and Gaze). The footprint deliberately contains **no** temporal
+//! information — Gaze's contribution is to recover a small amount of temporal
+//! order (the first two accessed offsets) from the table-indexing scheme
+//! instead of storing it.
+
+use std::fmt;
+
+/// A spatial footprint: one bit per cache block of a region.
+///
+/// Supports regions of up to 4096 blocks (256 KB with 64 B lines), which
+/// covers every configuration evaluated in the paper (64 KB regions at most).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Footprint {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Footprint {
+    /// Creates an empty footprint covering `len` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or greater than 4096.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0 && len <= 4096, "footprint length {len} out of range");
+        Footprint { bits: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a footprint from an iterator of set offsets.
+    ///
+    /// ```
+    /// use prefetch_common::footprint::Footprint;
+    /// let fp = Footprint::from_offsets(64, [0, 1, 5]);
+    /// assert!(fp.get(5));
+    /// assert_eq!(fp.population(), 3);
+    /// ```
+    pub fn from_offsets<I: IntoIterator<Item = usize>>(len: usize, offsets: I) -> Self {
+        let mut fp = Footprint::new(len);
+        for o in offsets {
+            fp.set(o);
+        }
+        fp
+    }
+
+    /// Number of blocks covered by this footprint.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no block is marked.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|w| *w == 0)
+    }
+
+    /// Marks block `offset` as demanded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len()`.
+    pub fn set(&mut self, offset: usize) {
+        assert!(offset < self.len, "offset {offset} out of footprint of {} blocks", self.len);
+        self.bits[offset / 64] |= 1u64 << (offset % 64);
+    }
+
+    /// Clears block `offset`.
+    pub fn clear(&mut self, offset: usize) {
+        assert!(offset < self.len, "offset {offset} out of footprint of {} blocks", self.len);
+        self.bits[offset / 64] &= !(1u64 << (offset % 64));
+    }
+
+    /// Whether block `offset` is marked.
+    pub fn get(&self, offset: usize) -> bool {
+        assert!(offset < self.len, "offset {offset} out of footprint of {} blocks", self.len);
+        (self.bits[offset / 64] >> (offset % 64)) & 1 == 1
+    }
+
+    /// Number of marked blocks.
+    pub fn population(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of the region that was demanded, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        self.population() as f64 / self.len as f64
+    }
+
+    /// Whether every block of the region was demanded ("entirely requested"
+    /// in the paper's spatial-streaming detection).
+    pub fn is_full(&self) -> bool {
+        self.population() == self.len
+    }
+
+    /// Iterator over the offsets of marked blocks, in increasing order.
+    pub fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&o| self.get(o))
+    }
+
+    /// Bitwise OR with another footprint of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merge(&mut self, other: &Footprint) {
+        assert_eq!(self.len, other.len, "cannot merge footprints of different lengths");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+        }
+    }
+
+    /// Bitwise AND of two footprints (used by DSPatch's accuracy-biased
+    /// pattern).
+    pub fn intersect(&self, other: &Footprint) -> Footprint {
+        assert_eq!(self.len, other.len, "cannot intersect footprints of different lengths");
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a &= *b;
+        }
+        out
+    }
+
+    /// Bitwise OR of two footprints (used by DSPatch's coverage-biased
+    /// pattern).
+    pub fn union(&self, other: &Footprint) -> Footprint {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+
+    /// Rotates the footprint so that `anchor` becomes offset 0.
+    ///
+    /// Anchored/rotated patterns are how offset-indexed schemes (PMP, and the
+    /// `Offset` characterization of Fig. 1) generalize a pattern learned at
+    /// one trigger offset to regions triggered at another offset.
+    pub fn rotate_to_anchor(&self, anchor: usize) -> Footprint {
+        assert!(anchor < self.len, "anchor {anchor} out of footprint");
+        let mut out = Footprint::new(self.len);
+        for o in self.iter_set() {
+            let rotated = (o + self.len - anchor) % self.len;
+            out.set(rotated);
+        }
+        out
+    }
+
+    /// Inverse of [`rotate_to_anchor`](Self::rotate_to_anchor): re-anchors a
+    /// rotated pattern at `anchor`.
+    pub fn rotate_from_anchor(&self, anchor: usize) -> Footprint {
+        assert!(anchor < self.len, "anchor {anchor} out of footprint");
+        let mut out = Footprint::new(self.len);
+        for o in self.iter_set() {
+            let unrotated = (o + anchor) % self.len;
+            out.set(unrotated);
+        }
+        out
+    }
+
+    /// The raw 64-bit words backing this footprint (low offsets first).
+    pub fn as_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Storage cost of this footprint in bits (one bit per block).
+    pub fn storage_bits(&self) -> u64 {
+        self.len as u64
+    }
+}
+
+impl fmt::Display for Footprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in 0..self.len {
+            write!(f, "{}", if self.get(o) { '1' } else { '.' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut fp = Footprint::new(64);
+        assert!(!fp.get(10));
+        fp.set(10);
+        assert!(fp.get(10));
+        fp.clear(10);
+        assert!(!fp.get(10));
+        assert!(fp.is_empty());
+    }
+
+    #[test]
+    fn population_and_density() {
+        let fp = Footprint::from_offsets(64, [0, 1, 2, 3]);
+        assert_eq!(fp.population(), 4);
+        assert!((fp.density() - 4.0 / 64.0).abs() < 1e-12);
+        assert!(!fp.is_full());
+    }
+
+    #[test]
+    fn full_footprint_detected() {
+        let fp = Footprint::from_offsets(8, 0..8);
+        assert!(fp.is_full());
+        assert_eq!(fp.density(), 1.0);
+    }
+
+    #[test]
+    fn merge_and_intersect() {
+        let a = Footprint::from_offsets(64, [1, 2, 3]);
+        let b = Footprint::from_offsets(64, [3, 4, 5]);
+        let union = a.union(&b);
+        let inter = a.intersect(&b);
+        assert_eq!(union.iter_set().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(inter.iter_set().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn rotation_round_trip() {
+        let fp = Footprint::from_offsets(64, [5, 10, 63]);
+        let rot = fp.rotate_to_anchor(5);
+        assert!(rot.get(0));
+        assert!(rot.get(5));
+        assert!(rot.get(58));
+        assert_eq!(rot.rotate_from_anchor(5), fp);
+    }
+
+    #[test]
+    fn footprints_longer_than_64_blocks() {
+        let mut fp = Footprint::new(1024);
+        fp.set(0);
+        fp.set(1023);
+        assert_eq!(fp.population(), 2);
+        assert_eq!(fp.iter_set().collect::<Vec<_>>(), vec![0, 1023]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of footprint")]
+    fn out_of_range_set_panics() {
+        let mut fp = Footprint::new(64);
+        fp.set(64);
+    }
+
+    #[test]
+    fn display_renders_bits() {
+        let fp = Footprint::from_offsets(8, [0, 2]);
+        assert_eq!(fp.to_string(), "1.1.....");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_population_matches_set_count(offsets in proptest::collection::btree_set(0usize..64, 0..64)) {
+            let fp = Footprint::from_offsets(64, offsets.iter().copied());
+            prop_assert_eq!(fp.population(), offsets.len());
+            for o in 0..64 {
+                prop_assert_eq!(fp.get(o), offsets.contains(&o));
+            }
+        }
+
+        #[test]
+        fn prop_rotation_preserves_population(
+            offsets in proptest::collection::btree_set(0usize..64, 0..64),
+            anchor in 0usize..64,
+        ) {
+            let fp = Footprint::from_offsets(64, offsets.iter().copied());
+            let rot = fp.rotate_to_anchor(anchor);
+            prop_assert_eq!(rot.population(), fp.population());
+            prop_assert_eq!(rot.rotate_from_anchor(anchor), fp);
+        }
+
+        #[test]
+        fn prop_union_population_bounds(
+            a in proptest::collection::btree_set(0usize..64, 0..64),
+            b in proptest::collection::btree_set(0usize..64, 0..64),
+        ) {
+            let fa = Footprint::from_offsets(64, a.iter().copied());
+            let fb = Footprint::from_offsets(64, b.iter().copied());
+            let u = fa.union(&fb);
+            let i = fa.intersect(&fb);
+            prop_assert!(u.population() >= fa.population().max(fb.population()));
+            prop_assert!(i.population() <= fa.population().min(fb.population()));
+            prop_assert_eq!(u.population() + i.population(), fa.population() + fb.population());
+        }
+    }
+}

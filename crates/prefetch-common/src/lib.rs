@@ -1,0 +1,47 @@
+//! Shared framework types for hardware-prefetcher research.
+//!
+//! This crate provides the vocabulary shared by the `gaze` prefetcher, the
+//! baseline prefetchers and the trace-driven simulator:
+//!
+//! * [`addr`] — byte/block/region address arithmetic and the
+//!   [`RegionGeometry`](addr::RegionGeometry) describing a spatial region,
+//! * [`access`] — demand accesses as observed by an L1D prefetcher,
+//! * [`footprint`] — bit-vector spatial footprints of a region,
+//! * [`request`] — prefetch requests with a target fill level,
+//! * [`table`] — a generic set-associative, LRU-replaced hardware table,
+//! * [`prefetcher`] — the [`Prefetcher`](prefetcher::Prefetcher) trait every
+//!   prefetcher in this workspace implements.
+//!
+//! The trait mirrors the hooks ChampSim exposes to an L1D prefetcher
+//! (`prefetcher_operate`, `prefetcher_cache_fill`, eviction notification and a
+//! per-cycle tick), so that prefetchers written against it behave the same way
+//! they would inside the simulator the Gaze paper used.
+//!
+//! # Example
+//!
+//! ```
+//! use prefetch_common::addr::{Addr, RegionGeometry};
+//! use prefetch_common::footprint::Footprint;
+//!
+//! let geom = RegionGeometry::new(4096, 64);
+//! let a = Addr::new(0x1000_0040);
+//! assert_eq!(geom.offset_of(a), 1);
+//!
+//! let mut fp = Footprint::new(geom.blocks_per_region());
+//! fp.set(1);
+//! assert_eq!(fp.population(), 1);
+//! ```
+
+pub mod access;
+pub mod addr;
+pub mod footprint;
+pub mod prefetcher;
+pub mod request;
+pub mod table;
+
+pub use access::{AccessKind, DemandAccess};
+pub use addr::{Addr, BlockAddr, RegionGeometry, RegionId};
+pub use footprint::Footprint;
+pub use prefetcher::{NullPrefetcher, Prefetcher, PrefetcherStats};
+pub use request::{FillLevel, PrefetchRequest};
+pub use table::{SetAssocTable, TableConfig};

@@ -1,0 +1,72 @@
+//! Prefetch requests and fill levels.
+
+use crate::addr::BlockAddr;
+
+/// Which cache level a prefetched block should be installed into.
+///
+/// Gaze's Prefetch Buffer stores a 2-bit state per offset: *No Prefetch*,
+/// *Prefetch to L1D*, *to L2C*, and *to LLC (not used)* — we keep the LLC
+/// variant for completeness because the enum also describes baseline
+/// prefetchers (none of the evaluated methods fill into the LLC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FillLevel {
+    /// Fill into the L1 data cache (most aggressive).
+    L1,
+    /// Fill into the L2 cache.
+    L2,
+    /// Fill into the last-level cache (unused by the evaluated prefetchers).
+    Llc,
+}
+
+impl FillLevel {
+    /// Returns the more aggressive (closer to the core) of two levels.
+    pub fn promote(self, other: FillLevel) -> FillLevel {
+        self.min(other)
+    }
+}
+
+/// A single prefetch request emitted by a prefetcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrefetchRequest {
+    /// The cache block to fetch.
+    pub block: BlockAddr,
+    /// Where to install the block.
+    pub fill_level: FillLevel,
+}
+
+impl PrefetchRequest {
+    /// Creates a request that fills into the L1D.
+    pub fn to_l1(block: BlockAddr) -> Self {
+        PrefetchRequest { block, fill_level: FillLevel::L1 }
+    }
+
+    /// Creates a request that fills into the L2C.
+    pub fn to_l2(block: BlockAddr) -> Self {
+        PrefetchRequest { block, fill_level: FillLevel::L2 }
+    }
+
+    /// Creates a request with an explicit fill level.
+    pub fn new(block: BlockAddr, fill_level: FillLevel) -> Self {
+        PrefetchRequest { block, fill_level }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promote_picks_closer_level() {
+        assert_eq!(FillLevel::L2.promote(FillLevel::L1), FillLevel::L1);
+        assert_eq!(FillLevel::Llc.promote(FillLevel::L2), FillLevel::L2);
+        assert_eq!(FillLevel::L1.promote(FillLevel::L1), FillLevel::L1);
+    }
+
+    #[test]
+    fn constructors_set_levels() {
+        let b = BlockAddr::new(7);
+        assert_eq!(PrefetchRequest::to_l1(b).fill_level, FillLevel::L1);
+        assert_eq!(PrefetchRequest::to_l2(b).fill_level, FillLevel::L2);
+        assert_eq!(PrefetchRequest::new(b, FillLevel::Llc).fill_level, FillLevel::Llc);
+    }
+}

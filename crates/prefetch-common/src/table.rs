@@ -1,0 +1,313 @@
+//! A generic set-associative, LRU-replaced hardware table.
+//!
+//! Nearly every structure in the Gaze design (Filter Table, Accumulation
+//! Table, Pattern History Table, Prefetch Buffer, Dense-PC Table) and in the
+//! baselines is "an N-way set-associative table indexed by some hash, tagged
+//! by some tag, replaced LRU". [`SetAssocTable`] captures that once so every
+//! prefetcher describes only its index/tag scheme and payload.
+
+use std::fmt;
+
+/// Shape of a set-associative table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableConfig {
+    /// Number of sets. Must be a power of two (or 1 for fully associative).
+    pub sets: usize,
+    /// Number of ways per set.
+    pub ways: usize,
+}
+
+impl TableConfig {
+    /// Creates a table configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two, or if `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        TableConfig { sets, ways }
+    }
+
+    /// A fully-associative table with `entries` ways.
+    pub fn fully_associative(entries: usize) -> Self {
+        TableConfig::new(1, entries)
+    }
+
+    /// Total number of entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    tag: u64,
+    lru: u64,
+    value: V,
+}
+
+/// A set-associative table keyed by `(index, tag)` pairs with LRU
+/// replacement.
+///
+/// Keys are produced by the caller: the *index* selects the set (it is taken
+/// modulo the number of sets) and the *tag* disambiguates entries within the
+/// set. This mirrors how the paper's structures are described, e.g. the PHT
+/// uses the trigger offset as index and the second offset as tag.
+///
+/// ```
+/// use prefetch_common::table::{SetAssocTable, TableConfig};
+///
+/// let mut t: SetAssocTable<u32> = SetAssocTable::new(TableConfig::new(4, 2));
+/// t.insert(0, 7, 100);
+/// assert_eq!(t.get(0, 7), Some(&100));
+/// assert_eq!(t.get(0, 8), None);
+/// ```
+#[derive(Clone)]
+pub struct SetAssocTable<V> {
+    config: TableConfig,
+    sets: Vec<Vec<Slot<V>>>,
+    tick: u64,
+}
+
+impl<V> SetAssocTable<V> {
+    /// Creates an empty table with the given shape.
+    pub fn new(config: TableConfig) -> Self {
+        let sets = (0..config.sets).map(|_| Vec::with_capacity(config.ways)).collect();
+        SetAssocTable { config, sets, tick: 0 }
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> TableConfig {
+        self.config
+    }
+
+    /// Number of valid entries currently stored.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn set_index(&self, index: u64) -> usize {
+        (index as usize) & (self.config.sets - 1)
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up `(index, tag)` without updating LRU state.
+    pub fn peek(&self, index: u64, tag: u64) -> Option<&V> {
+        let set = &self.sets[self.set_index(index)];
+        set.iter().find(|s| s.tag == tag).map(|s| &s.value)
+    }
+
+    /// Looks up `(index, tag)`, updating LRU recency on a hit.
+    pub fn get(&mut self, index: u64, tag: u64) -> Option<&V> {
+        let tick = self.bump();
+        let si = self.set_index(index);
+        let set = &mut self.sets[si];
+        if let Some(slot) = set.iter_mut().find(|s| s.tag == tag) {
+            slot.lru = tick;
+            Some(&slot.value)
+        } else {
+            None
+        }
+    }
+
+    /// Mutable lookup of `(index, tag)`, updating LRU recency on a hit.
+    pub fn get_mut(&mut self, index: u64, tag: u64) -> Option<&mut V> {
+        let tick = self.bump();
+        let si = self.set_index(index);
+        let set = &mut self.sets[si];
+        if let Some(slot) = set.iter_mut().find(|s| s.tag == tag) {
+            slot.lru = tick;
+            Some(&mut slot.value)
+        } else {
+            None
+        }
+    }
+
+    /// Inserts `value` at `(index, tag)`, replacing any existing entry with
+    /// the same key. Returns the `(tag, value)` of an entry evicted by LRU
+    /// replacement, if the set was full.
+    pub fn insert(&mut self, index: u64, tag: u64, value: V) -> Option<(u64, V)> {
+        let tick = self.bump();
+        let ways = self.config.ways;
+        let si = self.set_index(index);
+        let set = &mut self.sets[si];
+        if let Some(slot) = set.iter_mut().find(|s| s.tag == tag) {
+            slot.value = value;
+            slot.lru = tick;
+            return None;
+        }
+        let mut evicted = None;
+        if set.len() >= ways {
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set has a victim");
+            let slot = set.swap_remove(victim);
+            evicted = Some((slot.tag, slot.value));
+        }
+        set.push(Slot { tag, lru: tick, value });
+        evicted
+    }
+
+    /// Removes and returns the entry at `(index, tag)`, if present.
+    pub fn remove(&mut self, index: u64, tag: u64) -> Option<V> {
+        let si = self.set_index(index);
+        let set = &mut self.sets[si];
+        let pos = set.iter().position(|s| s.tag == tag)?;
+        Some(set.swap_remove(pos).value)
+    }
+
+    /// Removes every entry, leaving the table empty.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// Iterates over all `(tag, value)` pairs (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.sets.iter().flat_map(|set| set.iter().map(|s| (s.tag, &s.value)))
+    }
+
+    /// Mutable iteration over all `(tag, value)` pairs (order unspecified).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut V)> {
+        self.sets.iter_mut().flat_map(|set| set.iter_mut().map(|s| (s.tag, &mut s.value)))
+    }
+
+    /// Removes entries matching a predicate and returns them.
+    pub fn drain_filter<F: FnMut(u64, &V) -> bool>(&mut self, mut pred: F) -> Vec<(u64, V)> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            let mut i = 0;
+            while i < set.len() {
+                if pred(set[i].tag, &set[i].value) {
+                    let slot = set.swap_remove(i);
+                    out.push((slot.tag, slot.value));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for SetAssocTable<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SetAssocTable")
+            .field("sets", &self.config.sets)
+            .field("ways", &self.config.ways)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut t: SetAssocTable<&'static str> = SetAssocTable::new(TableConfig::new(2, 2));
+        assert!(t.insert(0, 1, "a").is_none());
+        assert!(t.insert(0, 2, "b").is_none());
+        assert_eq!(t.get(0, 1), Some(&"a"));
+        assert_eq!(t.get(0, 2), Some(&"b"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn lru_replacement_evicts_least_recent() {
+        let mut t: SetAssocTable<u32> = SetAssocTable::new(TableConfig::new(1, 2));
+        t.insert(0, 1, 10);
+        t.insert(0, 2, 20);
+        // Touch tag 1 so tag 2 is LRU.
+        t.get(0, 1);
+        let evicted = t.insert(0, 3, 30);
+        assert_eq!(evicted, Some((2, 20)));
+        assert!(t.peek(0, 1).is_some());
+        assert!(t.peek(0, 3).is_some());
+    }
+
+    #[test]
+    fn same_key_insert_overwrites_without_evicting() {
+        let mut t: SetAssocTable<u32> = SetAssocTable::new(TableConfig::new(1, 1));
+        t.insert(0, 1, 10);
+        assert!(t.insert(0, 1, 11).is_none());
+        assert_eq!(t.peek(0, 1), Some(&11));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut t: SetAssocTable<u32> = SetAssocTable::new(TableConfig::new(4, 1));
+        t.insert(0, 1, 0);
+        t.insert(1, 1, 1);
+        t.insert(2, 1, 2);
+        t.insert(3, 1, 3);
+        assert_eq!(t.len(), 4);
+        // Index aliases modulo the set count.
+        let evicted = t.insert(4, 9, 40);
+        assert_eq!(evicted, Some((1, 0)));
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut t: SetAssocTable<u32> = SetAssocTable::new(TableConfig::fully_associative(4));
+        t.insert(0, 1, 10);
+        t.insert(0, 2, 20);
+        assert_eq!(t.remove(0, 1), Some(10));
+        assert_eq!(t.remove(0, 1), None);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn drain_filter_removes_matching() {
+        let mut t: SetAssocTable<u32> = SetAssocTable::new(TableConfig::fully_associative(8));
+        for i in 0..8u64 {
+            t.insert(0, i, i as u32 * 10);
+        }
+        let drained = t.drain_filter(|tag, _| tag % 2 == 0);
+        assert_eq!(drained.len(), 4);
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|(tag, _)| tag % 2 == 1));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_capacity_never_exceeded(ops in proptest::collection::vec((0u64..16, 0u64..64), 0..200)) {
+            let config = TableConfig::new(4, 4);
+            let mut t: SetAssocTable<u64> = SetAssocTable::new(config);
+            for (index, tag) in ops {
+                t.insert(index, tag, tag);
+                prop_assert!(t.len() <= config.entries());
+                for set in &t.sets {
+                    prop_assert!(set.len() <= config.ways);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_most_recent_insert_always_present(ops in proptest::collection::vec((0u64..8, 0u64..32), 1..100)) {
+            let mut t: SetAssocTable<u64> = SetAssocTable::new(TableConfig::new(2, 2));
+            for (index, tag) in &ops {
+                t.insert(*index, *tag, *tag);
+                prop_assert_eq!(t.peek(*index, *tag), Some(&*tag));
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Set-associative cache arrays with prefetch metadata.
+
+use prefetch_common::addr::BlockAddr;
+
+use crate::config::CacheConfig;
+
+/// Outcome of installing a line into a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The block that was evicted.
+    pub block: BlockAddr,
+    /// Whether the victim line had been brought in by a prefetch.
+    pub was_prefetch: bool,
+    /// Whether a prefetched victim had been referenced by a demand access.
+    pub was_used: bool,
+    /// Whether the victim was dirty.
+    pub was_dirty: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    block: BlockAddr,
+    valid: bool,
+    lru: u64,
+    prefetched: bool,
+    used: bool,
+    dirty: bool,
+    /// Core that caused the fill (for shared-cache stat attribution).
+    owner: usize,
+}
+
+impl Line {
+    fn invalid() -> Self {
+        Line { block: BlockAddr::new(0), valid: false, lru: 0, prefetched: false, used: false, dirty: false, owner: 0 }
+    }
+}
+
+/// A set-associative cache array with LRU replacement and per-line prefetch
+/// metadata (prefetched / used / dirty bits plus the owning core).
+///
+/// The array only models *contents*; timing (latencies, MSHRs, bandwidth) is
+/// handled by the memory hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheArray {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+/// Result of a demand lookup that hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// The hit was on a prefetched line that had not been used before
+    /// (i.e. this demand is the first use of the prefetch).
+    pub first_use_of_prefetch: bool,
+    /// Core that filled the line.
+    pub owner: usize,
+}
+
+impl CacheArray {
+    /// Creates an empty cache with the geometry of `config`.
+    pub fn new(config: &CacheConfig) -> Self {
+        let sets = config.sets();
+        let ways = config.ways;
+        CacheArray { sets, ways, lines: vec![Line::invalid(); sets * ways], tick: 0 }
+    }
+
+    /// Creates a cache with an explicit set/way shape (used for the shared
+    /// LLC whose capacity scales with the core count).
+    pub fn with_shape(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        CacheArray { sets, ways, lines: vec![Line::invalid(); sets * ways], tick: 0 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.raw() as usize) & (self.sets - 1)
+    }
+
+    fn set_slice(&mut self, set: usize) -> &mut [Line] {
+        &mut self.lines[set * self.ways..(set + 1) * self.ways]
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Whether `block` is present.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        self.lines[set * self.ways..(set + 1) * self.ways]
+            .iter()
+            .any(|l| l.valid && l.block == block)
+    }
+
+    /// Performs a demand access to `block`. On a hit, updates LRU, marks the
+    /// line used and (for stores) dirty, and reports whether this was the
+    /// first demand use of a prefetched line. Returns `None` on a miss.
+    pub fn demand_access(&mut self, block: BlockAddr, is_store: bool) -> Option<HitInfo> {
+        let tick = self.next_tick();
+        let set = self.set_of(block);
+        let line = self.set_slice(set).iter_mut().find(|l| l.valid && l.block == block)?;
+        line.lru = tick;
+        if is_store {
+            line.dirty = true;
+        }
+        let first_use = line.prefetched && !line.used;
+        line.used = true;
+        Some(HitInfo { first_use_of_prefetch: first_use, owner: line.owner })
+    }
+
+    /// Touches `block` for LRU purposes without changing prefetch metadata
+    /// (used when an upper level writes back into this level).
+    pub fn touch(&mut self, block: BlockAddr) {
+        let tick = self.next_tick();
+        let set = self.set_of(block);
+        if let Some(line) = self.set_slice(set).iter_mut().find(|l| l.valid && l.block == block) {
+            line.lru = tick;
+        }
+    }
+
+    /// Installs `block`, evicting the LRU victim if the set is full.
+    ///
+    /// `prefetched` marks the line as brought in by a prefetch; `owner` is the
+    /// requesting core. If the block is already present the existing line is
+    /// refreshed instead (a prefetch fill of a present line does not clear its
+    /// used bit).
+    pub fn fill(&mut self, block: BlockAddr, prefetched: bool, owner: usize) -> Option<Eviction> {
+        let tick = self.next_tick();
+        let ways = self.ways;
+        let set = self.set_of(block);
+        let slice = self.set_slice(set);
+        if let Some(line) = slice.iter_mut().find(|l| l.valid && l.block == block) {
+            line.lru = tick;
+            return None;
+        }
+        // Prefer an invalid way.
+        if let Some(line) = slice.iter_mut().find(|l| !l.valid) {
+            *line = Line { block, valid: true, lru: tick, prefetched, used: false, dirty: false, owner };
+            return None;
+        }
+        let victim_idx = (0..ways)
+            .min_by_key(|&i| slice[i].lru)
+            .expect("full set has a victim");
+        let victim = slice[victim_idx];
+        slice[victim_idx] =
+            Line { block, valid: true, lru: tick, prefetched, used: false, dirty: false, owner };
+        Some(Eviction {
+            block: victim.block,
+            was_prefetch: victim.prefetched,
+            was_used: victim.used,
+            was_dirty: victim.dirty,
+        })
+    }
+
+    /// Invalidates `block` if present, returning its eviction record.
+    pub fn invalidate(&mut self, block: BlockAddr) -> Option<Eviction> {
+        let set = self.set_of(block);
+        let line = self.set_slice(set).iter_mut().find(|l| l.valid && l.block == block)?;
+        let ev = Eviction {
+            block: line.block,
+            was_prefetch: line.prefetched,
+            was_used: line.used,
+            was_dirty: line.dirty,
+        };
+        line.valid = false;
+        Some(ev)
+    }
+
+    /// Iterates over all valid lines, reporting `(block, prefetched, used)`.
+    /// Used at end of simulation to account for still-resident unused
+    /// prefetches.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (BlockAddr, bool, bool, usize)> + '_ {
+        self.lines.iter().filter(|l| l.valid).map(|l| (l.block, l.prefetched, l.used, l.owner))
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> CacheArray {
+        // 4 sets x 2 ways.
+        CacheArray::with_shape(4, 2)
+    }
+
+    #[test]
+    fn fill_then_hit() {
+        let mut c = tiny();
+        let b = BlockAddr::new(5);
+        assert!(!c.contains(b));
+        assert!(c.fill(b, false, 0).is_none());
+        assert!(c.contains(b));
+        let hit = c.demand_access(b, false).unwrap();
+        assert!(!hit.first_use_of_prefetch);
+    }
+
+    #[test]
+    fn prefetch_first_use_reported_once() {
+        let mut c = tiny();
+        let b = BlockAddr::new(9);
+        c.fill(b, true, 0);
+        assert!(c.demand_access(b, false).unwrap().first_use_of_prefetch);
+        assert!(!c.demand_access(b, false).unwrap().first_use_of_prefetch);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recent() {
+        let mut c = CacheArray::with_shape(1, 2);
+        let (a, b, d) = (BlockAddr::new(1), BlockAddr::new(2), BlockAddr::new(3));
+        c.fill(a, false, 0);
+        c.fill(b, false, 0);
+        c.demand_access(a, false); // b becomes LRU
+        let ev = c.fill(d, true, 0).unwrap();
+        assert_eq!(ev.block, b);
+        assert!(!ev.was_prefetch);
+    }
+
+    #[test]
+    fn eviction_reports_unused_prefetch() {
+        let mut c = CacheArray::with_shape(1, 1);
+        c.fill(BlockAddr::new(1), true, 3);
+        let ev = c.fill(BlockAddr::new(2), false, 0).unwrap();
+        assert!(ev.was_prefetch);
+        assert!(!ev.was_used);
+    }
+
+    #[test]
+    fn store_marks_dirty() {
+        let mut c = CacheArray::with_shape(1, 1);
+        c.fill(BlockAddr::new(1), false, 0);
+        c.demand_access(BlockAddr::new(1), true);
+        let ev = c.fill(BlockAddr::new(2), false, 0).unwrap();
+        assert!(ev.was_dirty);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        let b = BlockAddr::new(8);
+        c.fill(b, false, 0);
+        assert!(c.invalidate(b).is_some());
+        assert!(!c.contains(b));
+        assert!(c.invalidate(b).is_none());
+    }
+
+    #[test]
+    fn refill_of_present_block_does_not_evict() {
+        let mut c = CacheArray::with_shape(1, 1);
+        c.fill(BlockAddr::new(1), false, 0);
+        assert!(c.fill(BlockAddr::new(1), true, 0).is_none());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn config_based_construction() {
+        let c = CacheArray::new(&crate::config::CacheConfig::paper_l1d());
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.ways(), 12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_occupancy_never_exceeds_capacity(blocks in proptest::collection::vec(0u64..256, 0..300)) {
+            let mut c = CacheArray::with_shape(8, 4);
+            for b in blocks {
+                c.fill(BlockAddr::new(b), b % 3 == 0, 0);
+                prop_assert!(c.occupancy() <= 32);
+            }
+        }
+
+        #[test]
+        fn prop_most_recent_fill_is_resident(blocks in proptest::collection::vec(0u64..1024, 1..200)) {
+            let mut c = CacheArray::with_shape(4, 2);
+            for b in &blocks {
+                c.fill(BlockAddr::new(*b), false, 0);
+                prop_assert!(c.contains(BlockAddr::new(*b)));
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! A simplified out-of-order core model.
+//!
+//! The model captures what matters for prefetcher evaluation: a finite
+//! reorder buffer and load queue bound how much memory-level parallelism the
+//! core can expose, dispatch is `width`-wide, and instructions retire in
+//! order, so a long-latency load at the ROB head stalls the pipeline until
+//! its data returns. Non-memory instructions execute in a single cycle;
+//! stores commit without stalling the core (their cache effects are applied
+//! by the system).
+
+use std::collections::VecDeque;
+
+use crate::config::CoreConfig;
+
+#[derive(Debug, Clone, Copy)]
+struct RobEntry {
+    ready_at: u64,
+    is_load: bool,
+}
+
+/// Retire/dispatch bookkeeping for one core.
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    cfg: CoreConfig,
+    rob: VecDeque<RobEntry>,
+    retired: u64,
+}
+
+impl CoreModel {
+    /// Creates an idle core.
+    pub fn new(cfg: CoreConfig) -> Self {
+        CoreModel { cfg, rob: VecDeque::with_capacity(cfg.rob_entries), retired: 0 }
+    }
+
+    /// The core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Instructions retired since construction (or the last
+    /// [`reset_retired`](Self::reset_retired)).
+    pub fn retired_instructions(&self) -> u64 {
+        self.retired
+    }
+
+    /// Resets the retired-instruction counter (used at the warm-up boundary).
+    pub fn reset_retired(&mut self) {
+        self.retired = 0;
+    }
+
+    /// Whether the reorder buffer has room for another instruction.
+    pub fn can_dispatch(&self) -> bool {
+        self.rob.len() < self.cfg.rob_entries
+    }
+
+    /// Number of loads currently in the ROB whose data has not yet returned.
+    pub fn loads_in_flight(&self, now: u64) -> usize {
+        self.rob.iter().filter(|e| e.is_load && e.ready_at > now).count()
+    }
+
+    /// Whether another load can be dispatched this cycle (load-queue bound).
+    pub fn can_dispatch_load(&self, now: u64) -> bool {
+        self.can_dispatch() && self.loads_in_flight(now) < self.cfg.load_queue
+    }
+
+    /// Dispatches a single-cycle (non-memory or store) instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full; callers must check
+    /// [`can_dispatch`](Self::can_dispatch).
+    pub fn dispatch_simple(&mut self, now: u64) {
+        assert!(self.can_dispatch(), "dispatch into a full ROB");
+        self.rob.push_back(RobEntry { ready_at: now + 1, is_load: false });
+    }
+
+    /// Dispatches a load whose data becomes available at `ready_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full.
+    pub fn dispatch_load(&mut self, ready_at: u64) {
+        assert!(self.can_dispatch(), "dispatch into a full ROB");
+        self.rob.push_back(RobEntry { ready_at, is_load: true });
+    }
+
+    /// Retires up to `width` completed instructions from the ROB head and
+    /// returns how many retired this cycle.
+    pub fn retire(&mut self, now: u64) -> u64 {
+        let mut count = 0;
+        while count < self.cfg.width as u64 {
+            match self.rob.front() {
+                Some(entry) if entry.ready_at <= now => {
+                    self.rob.pop_front();
+                    count += 1;
+                }
+                _ => break,
+            }
+        }
+        self.retired += count;
+        count
+    }
+
+    /// Current ROB occupancy.
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> CoreModel {
+        CoreModel::new(CoreConfig::paper_default())
+    }
+
+    #[test]
+    fn simple_instructions_retire_next_cycle() {
+        let mut c = core();
+        c.dispatch_simple(0);
+        assert_eq!(c.retire(0), 0);
+        assert_eq!(c.retire(1), 1);
+        assert_eq!(c.retired_instructions(), 1);
+    }
+
+    #[test]
+    fn retire_width_is_bounded() {
+        let mut c = core();
+        for _ in 0..10 {
+            c.dispatch_simple(0);
+        }
+        assert_eq!(c.retire(5), 4);
+        assert_eq!(c.retire(5), 4);
+        assert_eq!(c.retire(5), 2);
+    }
+
+    #[test]
+    fn long_latency_load_blocks_retirement() {
+        let mut c = core();
+        c.dispatch_load(100);
+        c.dispatch_simple(0);
+        // The younger instruction is ready but cannot retire past the load.
+        assert_eq!(c.retire(50), 0);
+        assert_eq!(c.retire(100), 2);
+    }
+
+    #[test]
+    fn rob_capacity_enforced() {
+        let mut c = CoreModel::new(CoreConfig { rob_entries: 4, ..CoreConfig::paper_default() });
+        for _ in 0..4 {
+            assert!(c.can_dispatch());
+            c.dispatch_load(1000);
+        }
+        assert!(!c.can_dispatch());
+    }
+
+    #[test]
+    fn load_queue_limits_outstanding_loads() {
+        let mut c = CoreModel::new(CoreConfig { load_queue: 2, ..CoreConfig::paper_default() });
+        c.dispatch_load(1000);
+        c.dispatch_load(1000);
+        assert!(!c.can_dispatch_load(0));
+        // Once the loads complete they no longer occupy the load queue.
+        assert!(c.can_dispatch_load(1000));
+    }
+
+    #[test]
+    fn reset_retired_clears_counter_only() {
+        let mut c = core();
+        c.dispatch_simple(0);
+        c.retire(1);
+        c.reset_retired();
+        assert_eq!(c.retired_instructions(), 0);
+        assert_eq!(c.rob_occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "full ROB")]
+    fn dispatch_into_full_rob_panics() {
+        let mut c = CoreModel::new(CoreConfig { rob_entries: 1, ..CoreConfig::paper_default() });
+        c.dispatch_simple(0);
+        c.dispatch_simple(0);
+    }
+}

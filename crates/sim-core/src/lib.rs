@@ -1,0 +1,51 @@
+//! A trace-driven, cycle-approximate CPU memory-system simulator for
+//! evaluating hardware prefetchers.
+//!
+//! This crate is the reproduction's stand-in for ChampSim, the simulator used
+//! by the Gaze paper (HPCA 2025). It models:
+//!
+//! * an out-of-order core with a finite ROB, load queue and dispatch width
+//!   ([`core`]),
+//! * a three-level cache hierarchy (private L1D/L2C, shared LLC) with MSHRs,
+//!   prefetch fill levels and per-line usefulness tracking ([`cache`],
+//!   [`hierarchy`]),
+//! * a banked, channel-limited DRAM with open-row policy ([`dram`]),
+//! * multi-core execution with shared-resource contention ([`system`]),
+//! * the metrics reported in the paper: IPC/speedup, overall prefetch
+//!   accuracy, LLC coverage and late-prefetch fraction ([`stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use prefetch_common::prefetcher::NullPrefetcher;
+//! use sim_core::config::SimConfig;
+//! use sim_core::system::System;
+//! use sim_core::trace::{Trace, TraceRecord};
+//!
+//! let records: Vec<_> = (0..500)
+//!     .map(|i| TraceRecord::load(0x400000, 0x10000 + i * 64, 3))
+//!     .collect();
+//! let trace = Trace::new("stream", records);
+//! let mut system = System::single_core(
+//!     SimConfig::paper_single_core(),
+//!     &trace,
+//!     Box::new(NullPrefetcher::new()),
+//! );
+//! let report = system.run(500, 2_000);
+//! assert!(report.cores[0].ipc() > 0.0);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod core;
+pub mod dram;
+pub mod hierarchy;
+pub mod stats;
+pub mod system;
+pub mod trace;
+
+pub use config::{CacheConfig, CoreConfig, DramConfig, SimConfig};
+pub use hierarchy::{HitLevel, MemoryHierarchy, PrefetchOutcome};
+pub use stats::{geometric_mean, CacheStats, CoreStats, PrefetchStats, SimReport};
+pub use system::System;
+pub use trace::{Trace, TraceCursor, TraceRecord};

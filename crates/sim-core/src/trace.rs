@@ -1,0 +1,164 @@
+//! Memory-access traces consumed by the trace-driven simulator.
+//!
+//! A trace is a sequence of [`TraceRecord`]s, each describing one memory
+//! instruction (its PC, the byte address it touches, and whether it is a
+//! store) together with the number of non-memory instructions that execute
+//! before it. This is the same abstraction ChampSim traces provide to the
+//! simulator after decoding, minus branch information (the paper's results
+//! are driven by the data-memory behaviour; the hashed-perceptron branch
+//! predictor is near-perfect on the evaluated traces).
+
+use prefetch_common::addr::Addr;
+
+/// One memory instruction in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Program counter of the memory instruction.
+    pub pc: u64,
+    /// Byte address accessed.
+    pub addr: Addr,
+    /// Whether the access is a store.
+    pub is_store: bool,
+    /// Number of non-memory instructions that precede this access.
+    pub non_mem_before: u32,
+}
+
+impl TraceRecord {
+    /// A load record preceded by `non_mem_before` non-memory instructions.
+    pub fn load(pc: u64, addr: u64, non_mem_before: u32) -> Self {
+        TraceRecord { pc, addr: Addr::new(addr), is_store: false, non_mem_before }
+    }
+
+    /// A store record preceded by `non_mem_before` non-memory instructions.
+    pub fn store(pc: u64, addr: u64, non_mem_before: u32) -> Self {
+        TraceRecord { pc, addr: Addr::new(addr), is_store: true, non_mem_before }
+    }
+
+    /// Total instructions this record represents (the memory instruction plus
+    /// the non-memory instructions before it).
+    pub fn instruction_count(&self) -> u64 {
+        1 + self.non_mem_before as u64
+    }
+}
+
+/// An in-memory access trace with replay semantics.
+///
+/// The paper replays a trace from the start whenever it is exhausted before
+/// the simulation reaches its instruction budget; [`TraceCursor`] implements
+/// the same behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates a trace from records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty: the simulator cannot make progress on an
+    /// empty trace.
+    pub fn new(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
+        assert!(!records.is_empty(), "a trace must contain at least one record");
+        Trace { name: name.into(), records }
+    }
+
+    /// The trace's name (workload identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The records of one pass over the trace.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records in one pass.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always false (construction rejects empty traces); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total instructions represented by one pass over the trace.
+    pub fn instructions_per_pass(&self) -> u64 {
+        self.records.iter().map(TraceRecord::instruction_count).sum()
+    }
+
+    /// Creates a replaying cursor positioned at the start.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor { trace: self, pos: 0, wraps: 0 }
+    }
+}
+
+/// A position within a [`Trace`] that wraps around at the end.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a Trace,
+    pos: usize,
+    wraps: u64,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Returns the next record, wrapping to the beginning when the trace is
+    /// exhausted.
+    pub fn next_record(&mut self) -> TraceRecord {
+        let rec = self.trace.records[self.pos];
+        self.pos += 1;
+        if self.pos == self.trace.records.len() {
+            self.pos = 0;
+            self.wraps += 1;
+        }
+        rec
+    }
+
+    /// Number of times the cursor wrapped past the end of the trace.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> Trace {
+        Trace::new(
+            "tiny",
+            vec![
+                TraceRecord::load(0x400000, 0x1000, 3),
+                TraceRecord::store(0x400004, 0x2000, 0),
+                TraceRecord::load(0x400008, 0x3000, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn instruction_counting() {
+        let t = tiny_trace();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.instructions_per_pass(), 3 + (3 + 0 + 7));
+    }
+
+    #[test]
+    fn cursor_wraps_around() {
+        let t = tiny_trace();
+        let mut c = t.cursor();
+        for _ in 0..7 {
+            c.next_record();
+        }
+        assert_eq!(c.wraps(), 2);
+        assert_eq!(c.next_record(), t.records()[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn empty_trace_rejected() {
+        let _ = Trace::new("empty", Vec::new());
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic synthetic memory-trace generators standing in for the
+//! SPEC06/SPEC17, Ligra, PARSEC, CloudSuite, GAP and QMM traces used by the
+//! Gaze paper (HPCA 2025).
+//!
+//! The real traces (DPC-3, CRC-2, Pythia, CVP-1) are not redistributable, so
+//! this crate synthesizes access streams that reproduce the *pattern classes*
+//! the paper's evaluation depends on:
+//!
+//! * dense spatial streaming ([`streaming`]),
+//! * recurrent spatial footprints whose first accesses disambiguate the
+//!   pattern — the Fig. 2 scenario ([`regions`]),
+//! * graph analytics interleaving frontier streaming with scattered property
+//!   accesses — the Fig. 5 scenario ([`graph`]),
+//! * pointer chasing, GUPS and scale-out-server irregularity
+//!   ([`irregular`]).
+//!
+//! All generators are deterministic (seeded from the workload name), so every
+//! experiment is exactly reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::suite::{build_workload, workload_names, Suite};
+//!
+//! let trace = build_workload("bwaves_s", 10_000);
+//! assert!(trace.len() >= 10_000);
+//! assert!(workload_names(Suite::Ligra).contains(&"PageRank"));
+//! ```
+
+pub mod builder;
+pub mod graph;
+pub mod irregular;
+pub mod regions;
+pub mod streaming;
+pub mod suite;
+
+pub use builder::TraceBuilder;
+pub use suite::{all_main_workloads, build_suite, build_workload, workload_names, Suite};

@@ -1,0 +1,37 @@
+//! The Fig. 5 scenario: graph analytics interleaves spatial streaming (the
+//! frontier sweep) with irregular property accesses, which is exactly where
+//! naive use of dense footprints over-prefetches. This example contrasts
+//! full Gaze with its `PHT4SS` ablation (no dedicated streaming module) on
+//! Ligra-like workloads.
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use gaze_sim::report::Table;
+use gaze_sim::runner::{records_for, run_single, RunParams};
+use workloads::build_workload;
+
+fn main() {
+    let params = RunParams::experiment();
+    let workloads = ["BFS-init", "BFS", "PageRank", "BellmanFord", "Components"];
+    let mut table = Table::new(
+        "Graph analytics: streaming-module control vs naive dense-pattern use",
+        &["workload", "pht4ss_speedup", "gaze_speedup", "pht4ss_acc", "gaze_acc"],
+    );
+    for name in workloads {
+        let trace = build_workload(name, records_for(&params));
+        let naive = run_single(&trace, "pht4ss", &params);
+        let gaze = run_single(&trace, "gaze", &params);
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.3}", naive.speedup()),
+            format!("{:.3}", gaze.speedup()),
+            format!("{:.3}", naive.accuracy()),
+            format!("{:.3}", gaze.accuracy()),
+        ]);
+    }
+    println!("{table}");
+    println!("The initial (data-preparation) phase is pure streaming, so both settings agree;");
+    println!("in the compute phase the dedicated streaming module avoids misusing dense patterns.");
+}

@@ -1,0 +1,35 @@
+//! Compare every evaluated prefetcher on one workload, the way Fig. 6–8 does
+//! per suite.
+//!
+//! ```text
+//! cargo run --release --example prefetcher_shootout [workload]
+//! ```
+
+use gaze_sim::factory::MAIN_PREFETCHERS;
+use gaze_sim::report::Table;
+use gaze_sim::runner::{records_for, run_single, RunParams};
+use workloads::build_workload;
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "fotonik3d_s".to_string());
+    let params = RunParams::experiment();
+    let trace = build_workload(&workload, records_for(&params));
+
+    let mut table = Table::new(
+        format!("Prefetcher comparison on {workload}"),
+        &["prefetcher", "speedup", "accuracy", "coverage", "late", "storage_KB"],
+    );
+    for name in MAIN_PREFETCHERS {
+        let run = run_single(&trace, name, &params);
+        let kb = gaze_sim::make_prefetcher(name).storage_bits() as f64 / 8.0 / 1024.0;
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.3}", run.speedup()),
+            format!("{:.3}", run.accuracy()),
+            format!("{:.3}", run.coverage()),
+            format!("{:.3}", run.late_fraction()),
+            format!("{kb:.2}"),
+        ]);
+    }
+    println!("{table}");
+}

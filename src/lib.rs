@@ -1,0 +1,14 @@
+//! Umbrella crate for the Gaze spatial prefetcher reproduction.
+//!
+//! This crate re-exports the workspace crates so that the examples under
+//! `examples/` and the integration tests under `tests/` can use a single
+//! dependency. Library users should depend on the individual crates
+//! ([`gaze`], [`sim_core`], [`baselines`], [`workloads`], [`gaze_sim`])
+//! directly.
+
+pub use baselines;
+pub use gaze;
+pub use gaze_sim;
+pub use prefetch_common;
+pub use sim_core;
+pub use workloads;

@@ -1,0 +1,53 @@
+//! Property-based integration tests: invariants that must hold for every
+//! prefetcher on arbitrary access streams.
+
+use proptest::prelude::*;
+
+use gaze_repro::gaze_sim::make_prefetcher;
+use gaze_repro::prefetch_common::access::DemandAccess;
+use gaze_repro::prefetch_common::addr::RegionGeometry;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Prefetchers never request the very block that triggered them redundantly
+    /// in enormous numbers, and every emitted request is well-formed (block
+    /// addresses fit the address space used by the generators).
+    #[test]
+    fn prefetchers_emit_bounded_wellformed_requests(
+        accesses in proptest::collection::vec((0u64..512, 0u64..(1 << 22)), 50..300),
+        prefetcher_idx in 0usize..6,
+    ) {
+        let names = ["gaze", "pmp", "bingo", "vberti", "ip-stride", "spp-ppf"];
+        let mut p = make_prefetcher(names[prefetcher_idx]);
+        let mut total = 0usize;
+        for (pc, block) in &accesses {
+            let access = DemandAccess::load(0x400000 + pc * 4, block * 64);
+            let reqs = p.on_access(&access, false);
+            total += reqs.len();
+            for r in &reqs {
+                prop_assert!(r.block.raw() < (1 << 40), "request outside plausible address space");
+            }
+            total += p.tick().len();
+        }
+        // No prefetcher may emit unboundedly many requests per access
+        // (the paper's structures are all degree-limited).
+        prop_assert!(total <= accesses.len() * 64, "emitted {total} requests for {} accesses", accesses.len());
+    }
+
+    /// Gaze never prefetches inside a region it has only seen one access to
+    /// (the Filter Table guarantees one-bit footprints are filtered).
+    #[test]
+    fn gaze_requires_two_accesses_per_region(regions in proptest::collection::vec(0u64..10_000, 20..200)) {
+        let geom = RegionGeometry::gaze_default();
+        let mut gaze = make_prefetcher("gaze");
+        for (i, region) in regions.iter().enumerate() {
+            // One access per region only, at a region-dependent offset.
+            let offset = (region % 64) as usize;
+            let addr = geom.addr_at(prefetch_common::addr::RegionId::new(*region), offset);
+            let reqs = gaze.on_access(&DemandAccess::load(0x400 + i as u64, addr.raw()), false);
+            prop_assert!(reqs.is_empty());
+            prop_assert!(gaze.tick().is_empty(), "no prefetch may be staged after single-access regions");
+        }
+    }
+}
