@@ -16,6 +16,7 @@ use prefetch_common::access::DemandAccess;
 use prefetch_common::addr::BlockAddr;
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 /// Configuration of [`Berti`].
@@ -111,9 +112,9 @@ impl Prefetcher for Berti {
         "vberti"
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let block = access.block();
@@ -126,9 +127,14 @@ impl Prefetcher for Berti {
             self.table.insert(
                 pc,
                 pc,
-                IpEntry { history, deltas: Vec::new(), round_accesses: 0, best: Vec::new() },
+                IpEntry {
+                    history,
+                    deltas: Vec::new(),
+                    round_accesses: 0,
+                    best: Vec::new(),
+                },
             );
-            return Vec::new();
+            return;
         }
         let entry = self.table.get_mut(pc, pc).expect("entry just checked");
 
@@ -166,14 +172,16 @@ impl Prefetcher for Berti {
                 .map(|d| (d.delta, f64::from(d.hits) / denom))
                 .filter(|(_, c)| *c >= cfg.l2_confidence)
                 .collect();
-            entry.best.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            entry
+                .best
+                .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
             entry.best.truncate(4);
             entry.deltas.clear();
             entry.round_accesses = 0;
         }
 
         let best = entry.best.clone();
-        let mut out = Vec::new();
+        let mut issued = 0u64;
         for (delta, confidence) in best {
             let target = block.offset_by(delta);
             if !self.within_page_range(block, target) {
@@ -184,10 +192,10 @@ impl Prefetcher for Berti {
             } else {
                 PrefetchRequest::to_l2(target)
             };
-            out.push(req);
+            sink.push(req);
+            issued += 1;
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += issued;
     }
 
     fn storage_bits(&self) -> u64 {
@@ -209,12 +217,13 @@ impl Prefetcher for Berti {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
     use prefetch_common::request::FillLevel;
 
     fn run(p: &mut Berti, pc: u64, blocks: &[u64]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &b in blocks {
-            out.extend(p.on_access(&DemandAccess::load(pc, b * 64), false));
+            out.extend(p.on_access_vec(&DemandAccess::load(pc, b * 64), false));
         }
         out
     }
@@ -224,11 +233,17 @@ mod tests {
         let mut p = Berti::new();
         let blocks: Vec<u64> = (0..120u64).collect();
         let reqs = run(&mut p, 0x400, &blocks);
-        assert!(!reqs.is_empty(), "a steady stream must produce prefetches after the first round");
+        assert!(
+            !reqs.is_empty(),
+            "a steady stream must produce prefetches after the first round"
+        );
         // The learned deltas reach several blocks ahead (timeliness), not just +1.
         assert!(reqs.iter().any(|r| r.fill_level == FillLevel::L1));
         let ahead = reqs.iter().map(|r| r.block.raw() as i64).max().unwrap();
-        assert!(ahead > 120, "prefetches should run ahead of the demand stream");
+        assert!(
+            ahead > 120,
+            "prefetches should run ahead of the demand stream"
+        );
     }
 
     #[test]
@@ -242,25 +257,25 @@ mod tests {
             })
             .collect();
         let reqs = run(&mut p, 0x400, &blocks);
-        assert!(reqs.is_empty(), "random accesses must not generate confident deltas");
+        assert!(
+            reqs.is_empty(),
+            "random accesses must not generate confident deltas"
+        );
     }
 
     #[test]
     fn cross_page_prefetches_are_limited_to_the_window() {
-        let cfg = BertiConfig { page_range: 1, ..BertiConfig::default() };
+        let cfg = BertiConfig {
+            page_range: 1,
+            ..BertiConfig::default()
+        };
         let mut p = Berti::with_config(cfg);
         // Stride of 96 blocks (1.5 pages): after learning, targets 1.5 pages
         // ahead are within a 1-page window only half the time.
         let blocks: Vec<u64> = (0..80u64).map(|i| i * 96).collect();
         let reqs = run(&mut p, 0x400, &blocks);
-        for r in &reqs {
-            // Every emitted prefetch respects the configured page window
-            // relative to some demand; with stride 96 and window 1 page the
-            // only allowed targets are within 64 blocks.
-            assert!(r.block.raw() % 96 != 0 || true);
-        }
-        // The stricter check: a generous window allows the same workload to
-        // prefetch, the narrow one suppresses most of it.
+        // A generous window allows the same workload to prefetch more than
+        // the narrow one, which suppresses most of it.
         let mut wide = Berti::new();
         let wide_reqs = run(&mut wide, 0x400, &blocks);
         assert!(wide_reqs.len() >= reqs.len());
@@ -288,6 +303,9 @@ mod tests {
     fn storage_is_a_few_kilobytes() {
         let p = Berti::new();
         let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!(kb > 1.0 && kb < 4.0, "vBerti tables should be a few KB, got {kb:.2}");
+        assert!(
+            kb > 1.0 && kb < 4.0,
+            "vBerti tables should be a few KB, got {kb:.2}"
+        );
     }
 }

@@ -11,6 +11,7 @@ use prefetch_common::addr::BlockAddr;
 use prefetch_common::footprint::Footprint;
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 use crate::region_tracker::{Activation, Deactivation, RegionTracker};
@@ -30,7 +31,12 @@ pub struct BingoConfig {
 
 impl Default for BingoConfig {
     fn default() -> Self {
-        BingoConfig { region_size: 2048, tracker_entries: 64, pht_entries: 16 * 1024, pht_ways: 16 }
+        BingoConfig {
+            region_size: 2048,
+            tracker_entries: 64,
+            pht_entries: 16 * 1024,
+            pht_ways: 16,
+        }
     }
 }
 
@@ -89,15 +95,19 @@ impl Bingo {
     fn learn(&mut self, d: &Deactivation) {
         self.stats.trainings += 1;
         let key = Self::short_key(d.pc, d.offset);
-        let entry =
-            BingoEntry { long_tag: Self::long_tag(d.pc, d.region, d.offset), footprint: d.footprint.clone() };
+        let entry = BingoEntry {
+            long_tag: Self::long_tag(d.pc, d.region, d.offset),
+            footprint: d.footprint.clone(),
+        };
         self.history.insert(key, key, entry);
     }
 
-    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+    fn predict(&mut self, a: &Activation, sink: &mut RequestSink) {
         let key = Self::short_key(a.pc, a.offset);
         let long = Self::long_tag(a.pc, a.region, a.offset);
-        let Some(entry) = self.history.get(key, key) else { return Vec::new() };
+        let Some(entry) = self.history.get(key, key) else {
+            return;
+        };
         if entry.long_tag == long {
             self.long_hits += 1;
         } else {
@@ -106,13 +116,12 @@ impl Bingo {
         let footprint = entry.footprint.clone();
         let geom = self.tracker.geometry();
         let region = prefetch_common::addr::RegionId::new(a.region);
-        let reqs: Vec<PrefetchRequest> = footprint
-            .iter_set()
-            .filter(|&o| o != a.offset)
-            .map(|o| PrefetchRequest::to_l1(geom.block_at(region, o)))
-            .collect();
-        self.stats.issued += reqs.len() as u64;
-        reqs
+        let mut issued = 0u64;
+        for o in footprint.iter_set().filter(|&o| o != a.offset) {
+            sink.push(PrefetchRequest::to_l1(geom.block_at(region, o)));
+            issued += 1;
+        }
+        self.stats.issued += issued;
     }
 }
 
@@ -127,18 +136,17 @@ impl Prefetcher for Bingo {
         "bingo"
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let outcome = self.tracker.access(access.pc, access.addr);
         for d in &outcome.deactivations {
             self.learn(d);
         }
-        match &outcome.activation {
-            Some(a) => self.predict(a),
-            None => Vec::new(),
+        if let Some(a) = &outcome.activation {
+            self.predict(a, sink);
         }
     }
 
@@ -164,11 +172,15 @@ impl Prefetcher for Bingo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
 
     fn feed(p: &mut Bingo, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &o in offsets {
-            out.extend(p.on_access(&DemandAccess::load(pc, region * 2048 + o as u64 * 64), false));
+            out.extend(p.on_access_vec(
+                &DemandAccess::load(pc, region * 2048 + o as u64 * 64),
+                false,
+            ));
         }
         out
     }

@@ -13,6 +13,7 @@ use prefetch_common::addr::BlockAddr;
 use prefetch_common::footprint::Footprint;
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 use crate::region_tracker::{Activation, Deactivation, RegionTracker};
@@ -104,20 +105,24 @@ impl ContextPattern {
         self.history.insert(key, key, anchored);
     }
 
-    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+    fn predict(&mut self, a: &Activation, sink: &mut RequestSink) {
         let key = self.key(a.pc, a.region);
-        let Some(anchored) = self.history.get(key, key).cloned() else { return Vec::new() };
+        let Some(anchored) = self.history.get(key, key).cloned() else {
+            return;
+        };
         let geom = self.tracker.geometry();
         let blocks = geom.blocks_per_region();
         let region = prefetch_common::addr::RegionId::new(a.region);
-        let reqs: Vec<PrefetchRequest> = anchored
+        let mut issued = 0u64;
+        for o in anchored
             .iter_set()
             .map(|rotated| (rotated + a.offset) % blocks)
             .filter(|&o| o != a.offset)
-            .map(|o| PrefetchRequest::to_l1(geom.block_at(region, o)))
-            .collect();
-        self.stats.issued += reqs.len() as u64;
-        reqs
+        {
+            sink.push(PrefetchRequest::to_l1(geom.block_at(region, o)));
+            issued += 1;
+        }
+        self.stats.issued += issued;
     }
 }
 
@@ -129,18 +134,17 @@ impl Prefetcher for ContextPattern {
         }
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let outcome = self.tracker.access(access.pc, access.addr);
         for d in &outcome.deactivations {
             self.learn(d);
         }
-        match &outcome.activation {
-            Some(a) => self.predict(a),
-            None => Vec::new(),
+        if let Some(a) = &outcome.activation {
+            self.predict(a, sink);
         }
     }
 
@@ -169,11 +173,20 @@ impl Prefetcher for ContextPattern {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
 
-    fn feed(p: &mut ContextPattern, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
+    fn feed(
+        p: &mut ContextPattern,
+        pc: u64,
+        region: u64,
+        offsets: &[usize],
+    ) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &o in offsets {
-            out.extend(p.on_access(&DemandAccess::load(pc, region * 4096 + o as u64 * 64), false));
+            out.extend(p.on_access_vec(
+                &DemandAccess::load(pc, region * 4096 + o as u64 * 64),
+                false,
+            ));
         }
         out
     }
@@ -212,7 +225,13 @@ mod tests {
 
     #[test]
     fn names_distinguish_the_schemes() {
-        assert_eq!(ContextPattern::new(ContextPatternConfig::pc()).name(), "pc-pattern");
-        assert_eq!(ContextPattern::new(ContextPatternConfig::pc_address()).name(), "pc-addr-pattern");
+        assert_eq!(
+            ContextPattern::new(ContextPatternConfig::pc()).name(),
+            "pc-pattern"
+        );
+        assert_eq!(
+            ContextPattern::new(ContextPatternConfig::pc_address()).name(),
+            "pc-addr-pattern"
+        );
     }
 }

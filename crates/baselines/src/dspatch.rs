@@ -15,6 +15,7 @@ use prefetch_common::addr::BlockAddr;
 use prefetch_common::footprint::Footprint;
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 use crate::region_tracker::{Activation, Deactivation, RegionTracker};
@@ -34,7 +35,12 @@ pub struct DsPatchConfig {
 
 impl Default for DsPatchConfig {
     fn default() -> Self {
-        DsPatchConfig { region_size: 2048, tracker_entries: 64, spt_entries: 256, spt_ways: 8 }
+        DsPatchConfig {
+            region_size: 2048,
+            tracker_entries: 64,
+            spt_entries: 256,
+            spt_ways: 8,
+        }
     }
 }
 
@@ -52,8 +58,11 @@ pub struct DsPatch {
     tracker: RegionTracker,
     spt: SetAssocTable<DualPattern>,
     stats: PrefetcherStats,
-    /// Blocks predicted recently (bounded), used for the accuracy feedback.
-    recent_predictions: Vec<BlockAddr>,
+    /// Blocks predicted recently (bounded multiset, keyed by block), used for
+    /// the accuracy feedback. A map, not a Vec: the membership test runs on
+    /// every access.
+    recent_predictions: std::collections::HashMap<u64, u32>,
+    recent_prediction_count: usize,
     recent_hits: u64,
     recent_total: u64,
 }
@@ -68,10 +77,14 @@ impl DsPatch {
     pub fn with_config(cfg: DsPatchConfig) -> Self {
         DsPatch {
             tracker: RegionTracker::new(cfg.region_size, cfg.tracker_entries, 8),
-            spt: SetAssocTable::new(TableConfig::new((cfg.spt_entries / cfg.spt_ways).max(1), cfg.spt_ways)),
+            spt: SetAssocTable::new(TableConfig::new(
+                (cfg.spt_entries / cfg.spt_ways).max(1),
+                cfg.spt_ways,
+            )),
             stats: PrefetcherStats::default(),
             cfg,
-            recent_predictions: Vec::new(),
+            recent_predictions: std::collections::HashMap::new(),
+            recent_prediction_count: 0,
             recent_hits: 0,
             recent_total: 0,
         }
@@ -105,26 +118,36 @@ impl DsPatch {
                 self.spt.insert(
                     key,
                     key,
-                    DualPattern { coverage: anchored.clone(), accuracy: anchored, trained: true },
+                    DualPattern {
+                        coverage: anchored.clone(),
+                        accuracy: anchored,
+                        trained: true,
+                    },
                 );
             }
         }
     }
 
-    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+    fn predict(&mut self, a: &Activation, sink: &mut RequestSink) {
         let key = Self::pc_key(a.pc);
         // Accuracy-biased pattern when our own recent accuracy is poor
         // (standing in for the bandwidth-utilization signal).
         let conservative = self.accuracy_estimate() < 0.5;
-        let Some(entry) = self.spt.get(key, key) else { return Vec::new() };
+        let Some(entry) = self.spt.get(key, key) else {
+            return;
+        };
         if !entry.trained {
-            return Vec::new();
+            return;
         }
-        let pattern = if conservative { entry.accuracy.clone() } else { entry.coverage.clone() };
+        let pattern = if conservative {
+            entry.accuracy.clone()
+        } else {
+            entry.coverage.clone()
+        };
         let geom = self.tracker.geometry();
         let blocks = geom.blocks_per_region();
         let region = prefetch_common::addr::RegionId::new(a.region);
-        let mut reqs = Vec::new();
+        let mut issued = 0u64;
         for rotated in pattern.iter_set() {
             let offset = (rotated + a.offset) % blocks;
             if offset == a.offset {
@@ -134,15 +157,20 @@ impl DsPatch {
             // Coverage-biased blocks that the accuracy pattern does not agree
             // with are fetched only into the L2.
             let agreed = entry.accuracy.get(rotated);
-            let req = if agreed { PrefetchRequest::to_l1(block) } else { PrefetchRequest::to_l2(block) };
-            reqs.push(req);
-            if self.recent_predictions.len() < 4096 {
-                self.recent_predictions.push(block);
+            let req = if agreed {
+                PrefetchRequest::to_l1(block)
+            } else {
+                PrefetchRequest::to_l2(block)
+            };
+            sink.push(req);
+            issued += 1;
+            if self.recent_prediction_count < 4096 {
+                *self.recent_predictions.entry(block.raw()).or_insert(0) += 1;
+                self.recent_prediction_count += 1;
                 self.recent_total += 1;
             }
         }
-        self.stats.issued += reqs.len() as u64;
-        reqs
+        self.stats.issued += issued;
     }
 }
 
@@ -157,22 +185,25 @@ impl Prefetcher for DsPatch {
         "dspatch"
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
-        if let Some(pos) = self.recent_predictions.iter().position(|b| *b == access.block()) {
-            self.recent_predictions.swap_remove(pos);
+        if let Some(count) = self.recent_predictions.get_mut(&access.block().raw()) {
+            *count -= 1;
+            if *count == 0 {
+                self.recent_predictions.remove(&access.block().raw());
+            }
+            self.recent_prediction_count -= 1;
             self.recent_hits += 1;
         }
         let outcome = self.tracker.access(access.pc, access.addr);
         for d in &outcome.deactivations {
             self.learn(d);
         }
-        match &outcome.activation {
-            Some(a) => self.predict(a),
-            None => Vec::new(),
+        if let Some(a) = &outcome.activation {
+            self.predict(a, sink);
         }
     }
 
@@ -198,12 +229,16 @@ impl Prefetcher for DsPatch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
     use prefetch_common::request::FillLevel;
 
     fn feed(p: &mut DsPatch, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &o in offsets {
-            out.extend(p.on_access(&DemandAccess::load(pc, region * 2048 + o as u64 * 64), false));
+            out.extend(p.on_access_vec(
+                &DemandAccess::load(pc, region * 2048 + o as u64 * 64),
+                false,
+            ));
         }
         out
     }
@@ -212,7 +247,7 @@ mod tests {
     fn per_pc_pattern_is_replayed_rotated_to_trigger() {
         let mut p = DsPatch::new();
         feed(&mut p, 0x400, 1, &[4, 6, 8]);
-        p.on_evict(BlockAddr::new(1 * 32 + 4));
+        p.on_evict(BlockAddr::new(32 + 4));
         // Same PC triggers a new region at a different offset: the learned
         // pattern (+2, +4) is applied relative to the new trigger.
         let reqs = feed(&mut p, 0x400, 9, &[10]);
@@ -225,7 +260,7 @@ mod tests {
     fn accuracy_pattern_is_intersection_of_footprints() {
         let mut p = DsPatch::new();
         feed(&mut p, 0x400, 1, &[0, 2, 4]);
-        p.on_evict(BlockAddr::new(1 * 32));
+        p.on_evict(BlockAddr::new(32));
         feed(&mut p, 0x400, 2, &[0, 2, 6]);
         p.on_evict(BlockAddr::new(2 * 32));
         // Coverage = {2,4,6}; accuracy = {2} (relative offsets). Agreed blocks
@@ -250,7 +285,7 @@ mod tests {
     fn unknown_pc_does_not_prefetch() {
         let mut p = DsPatch::new();
         feed(&mut p, 0x400, 1, &[0, 2, 4]);
-        p.on_evict(BlockAddr::new(1 * 32));
+        p.on_evict(BlockAddr::new(32));
         assert!(feed(&mut p, 0x999, 9, &[0]).is_empty());
     }
 
@@ -258,6 +293,9 @@ mod tests {
     fn storage_is_a_few_kilobytes() {
         let p = DsPatch::new();
         let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!(kb > 2.0 && kb < 8.0, "DSPatch storage should be a few KB, got {kb:.2}");
+        assert!(
+            kb > 2.0 && kb < 8.0,
+            "DSPatch storage should be a few KB, got {kb:.2}"
+        );
     }
 }

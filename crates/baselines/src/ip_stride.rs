@@ -10,6 +10,7 @@ use prefetch_common::access::DemandAccess;
 use prefetch_common::addr::BlockAddr;
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 #[derive(Debug, Clone, Copy)]
@@ -34,7 +35,12 @@ pub struct IpStrideConfig {
 
 impl Default for IpStrideConfig {
     fn default() -> Self {
-        IpStrideConfig { entries: 64, ways: 4, threshold: 2, degree: 3 }
+        IpStrideConfig {
+            entries: 64,
+            ways: 4,
+            threshold: 2,
+            degree: 3,
+        }
     }
 }
 
@@ -73,19 +79,18 @@ impl Prefetcher for IpStride {
         "ip-stride"
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let block = access.block();
         let pc = access.pc;
-        let mut out = Vec::new();
         match self.table.get_mut(pc, pc) {
             Some(entry) => {
                 let stride = block.delta_from(entry.last_block);
                 if stride == 0 {
-                    return out;
+                    return;
                 }
                 if stride == entry.stride {
                     entry.confidence = (entry.confidence + 1).min(3);
@@ -99,16 +104,23 @@ impl Prefetcher for IpStride {
                 if entry.confidence >= self.cfg.threshold && entry.stride != 0 {
                     let s = entry.stride;
                     for i in 1..=self.cfg.degree as i64 {
-                        out.push(PrefetchRequest::to_l1(block.offset_by(s * i)));
+                        sink.push(PrefetchRequest::to_l1(block.offset_by(s * i)));
                     }
+                    self.stats.issued += self.cfg.degree as u64;
                 }
             }
             None => {
-                self.table.insert(pc, pc, IpEntry { last_block: block, stride: 0, confidence: 0 });
+                self.table.insert(
+                    pc,
+                    pc,
+                    IpEntry {
+                        last_block: block,
+                        stride: 0,
+                        confidence: 0,
+                    },
+                );
             }
         }
-        self.stats.issued += out.len() as u64;
-        out
     }
 
     fn storage_bits(&self) -> u64 {
@@ -124,11 +136,12 @@ impl Prefetcher for IpStride {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
 
     fn run(p: &mut IpStride, pc: u64, blocks: &[u64]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &b in blocks {
-            out.extend(p.on_access(&DemandAccess::load(pc, b * 64), false));
+            out.extend(p.on_access_vec(&DemandAccess::load(pc, b * 64), false));
         }
         out
     }
@@ -180,13 +193,18 @@ mod tests {
     #[test]
     fn storage_is_sub_kilobyte() {
         let p = IpStride::new();
-        assert!(p.storage_bits() / 8 < 1024, "IP-stride must stay well under 1 KB");
+        assert!(
+            p.storage_bits() / 8 < 1024,
+            "IP-stride must stay well under 1 KB"
+        );
     }
 
     #[test]
     fn stores_ignored() {
         let mut p = IpStride::new();
-        assert!(p.on_access(&DemandAccess::store(0x1, 0), false).is_empty());
+        assert!(p
+            .on_access_vec(&DemandAccess::store(0x1, 0), false)
+            .is_empty());
         assert_eq!(p.stats().accesses, 0);
     }
 }

@@ -15,6 +15,7 @@ use prefetch_common::access::DemandAccess;
 use prefetch_common::addr::{BlockAddr, RegionGeometry};
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 /// Configuration of [`Ipcp`].
@@ -112,15 +113,15 @@ impl Prefetcher for Ipcp {
         "ipcp-l1"
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let block = access.block();
         let pc = access.pc;
         let region = self.geom.region_of(access.addr).raw();
-        let mut out = Vec::new();
+        let mut issued = 0u64;
 
         // Region-stream tracking (GS class).
         let stream_hot = {
@@ -150,13 +151,13 @@ impl Prefetcher for Ipcp {
                         stream_confidence: 0,
                     },
                 );
-                return out;
+                return;
             }
         };
 
         let stride = block.delta_from(entry.last_block);
         if stride == 0 {
-            return out;
+            return;
         }
 
         // Constant-stride classification.
@@ -182,7 +183,10 @@ impl Prefetcher for Ipcp {
         let signature = entry.stride_signature;
 
         // Train the complex-stride table: old signature predicts this stride.
-        match self.cspt.get_mut(u64::from(old_signature), u64::from(old_signature)) {
+        match self
+            .cspt
+            .get_mut(u64::from(old_signature), u64::from(old_signature))
+        {
             Some(c) => {
                 if c.stride == stride {
                     c.confidence = (c.confidence + 1).min(3);
@@ -197,7 +201,10 @@ impl Prefetcher for Ipcp {
                 self.cspt.insert(
                     u64::from(old_signature),
                     u64::from(old_signature),
-                    CsptEntry { stride, confidence: 1 },
+                    CsptEntry {
+                        stride,
+                        confidence: 1,
+                    },
                 );
             }
         }
@@ -205,28 +212,32 @@ impl Prefetcher for Ipcp {
         if gs_confident {
             // Global stream: aggressive next-line run.
             for i in 1..=self.cfg.gs_degree as i64 {
-                out.push(PrefetchRequest::to_l1(block.offset_by(i)));
+                sink.push(PrefetchRequest::to_l1(block.offset_by(i)));
+                issued += 1;
             }
         } else if cs_confident {
             for i in 1..=self.cfg.cs_degree as i64 {
-                out.push(PrefetchRequest::to_l1(block.offset_by(last_stride * i)));
+                sink.push(PrefetchRequest::to_l1(block.offset_by(last_stride * i)));
+                issued += 1;
             }
         } else {
             // Complex stride: follow the signature chain for a couple of steps.
             let mut sig = signature;
             let mut current = block;
             for _ in 0..2 {
-                let Some(c) = self.cspt.get(u64::from(sig), u64::from(sig)).copied() else { break };
+                let Some(c) = self.cspt.get(u64::from(sig), u64::from(sig)).copied() else {
+                    break;
+                };
                 if c.confidence < 2 || c.stride == 0 {
                     break;
                 }
                 current = current.offset_by(c.stride);
-                out.push(PrefetchRequest::to_l1(current));
+                sink.push(PrefetchRequest::to_l1(current));
+                issued += 1;
                 sig = Self::signature_update(sig, c.stride);
             }
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += issued;
     }
 
     fn storage_bits(&self) -> u64 {
@@ -245,11 +256,12 @@ impl Prefetcher for Ipcp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
 
     fn run(p: &mut Ipcp, pc: u64, blocks: &[u64]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &b in blocks {
-            out.extend(p.on_access(&DemandAccess::load(pc, b * 64), false));
+            out.extend(p.on_access_vec(&DemandAccess::load(pc, b * 64), false));
         }
         out
     }
@@ -277,7 +289,10 @@ mod tests {
             }
         }
         let reqs = run(&mut p, 0x400, &blocks);
-        assert!(!reqs.is_empty(), "complex-stride engine should eventually predict");
+        assert!(
+            !reqs.is_empty(),
+            "complex-stride engine should eventually predict"
+        );
     }
 
     #[test]
@@ -287,21 +302,33 @@ mod tests {
         let reqs = run(&mut p, 0x400, &blocks);
         // Once the region is hot the degree jumps to the GS degree (8).
         let max_batch = reqs.windows(8).any(|w| {
-            w.iter().zip(w.iter().skip(1)).all(|(a, b)| b.block.raw() == a.block.raw() + 1)
+            w.iter()
+                .zip(w.iter().skip(1))
+                .all(|(a, b)| b.block.raw() == a.block.raw() + 1)
         });
-        assert!(max_batch, "expected an aggressive sequential run of prefetches");
+        assert!(
+            max_batch,
+            "expected an aggressive sequential run of prefetches"
+        );
     }
 
     #[test]
     fn irregular_ip_stays_quiet() {
         let mut p = Ipcp::new();
         let reqs = run(&mut p, 0x400, &[5, 900, 17, 4400, 23, 77000]);
-        assert!(reqs.len() <= 2, "irregular IP should produce almost no prefetches, got {}", reqs.len());
+        assert!(
+            reqs.len() <= 2,
+            "irregular IP should produce almost no prefetches, got {}",
+            reqs.len()
+        );
     }
 
     #[test]
     fn storage_is_under_one_kilobyte() {
         let p = Ipcp::new();
-        assert!(p.storage_bits() / 8 < 1024, "IPCP is a sub-KB design (0.7 KB in Table IV)");
+        assert!(
+            p.storage_bits() / 8 < 1024,
+            "IPCP is a sub-KB design (0.7 KB in Table IV)"
+        );
     }
 }

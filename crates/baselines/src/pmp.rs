@@ -13,6 +13,7 @@ use prefetch_common::access::DemandAccess;
 use prefetch_common::addr::BlockAddr;
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 
 use crate::region_tracker::{Activation, Deactivation, RegionTracker};
 
@@ -70,7 +71,12 @@ impl Pmp {
         let tracker = RegionTracker::new(cfg.region_size, cfg.tracker_entries, 8);
         let blocks = tracker.geometry().blocks_per_region();
         Pmp {
-            patterns: (0..blocks).map(|_| OffsetPattern { counters: vec![0; blocks], merged: 0 }).collect(),
+            patterns: (0..blocks)
+                .map(|_| OffsetPattern {
+                    counters: vec![0; blocks],
+                    merged: 0,
+                })
+                .collect(),
             tracker,
             stats: PrefetcherStats::default(),
             cfg,
@@ -94,16 +100,16 @@ impl Pmp {
         entry.merged += 1;
     }
 
-    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+    fn predict(&mut self, a: &Activation, sink: &mut RequestSink) {
         let entry = &self.patterns[a.offset];
         if entry.merged == 0 {
-            return Vec::new();
+            return;
         }
         let denom = entry.merged.min(self.cfg.max_confidence) as f64;
         let geom = self.tracker.geometry();
         let blocks = geom.blocks_per_region();
         let region = prefetch_common::addr::RegionId::new(a.region);
-        let mut reqs = Vec::new();
+        let mut issued = 0u64;
         for rotated in 0..blocks {
             let confidence = entry.counters[rotated] as f64 / denom;
             if confidence < self.cfg.l2_threshold {
@@ -119,10 +125,10 @@ impl Pmp {
             } else {
                 PrefetchRequest::to_l2(block)
             };
-            reqs.push(req);
+            sink.push(req);
+            issued += 1;
         }
-        self.stats.issued += reqs.len() as u64;
-        reqs
+        self.stats.issued += issued;
     }
 }
 
@@ -137,18 +143,17 @@ impl Prefetcher for Pmp {
         "pmp"
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let outcome = self.tracker.access(access.pc, access.addr);
         for d in &outcome.deactivations {
             self.learn(d);
         }
-        match &outcome.activation {
-            Some(a) => self.predict(a),
-            None => Vec::new(),
+        if let Some(a) = &outcome.activation {
+            self.predict(a, sink);
         }
     }
 
@@ -176,12 +181,16 @@ impl Prefetcher for Pmp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
     use prefetch_common::request::FillLevel;
 
     fn feed(p: &mut Pmp, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &o in offsets {
-            out.extend(p.on_access(&DemandAccess::load(pc, region * 4096 + o as u64 * 64), false));
+            out.extend(p.on_access_vec(
+                &DemandAccess::load(pc, region * 4096 + o as u64 * 64),
+                false,
+            ));
         }
         out
     }
@@ -233,7 +242,10 @@ mod tests {
 
     #[test]
     fn aging_halves_counters_at_max_confidence() {
-        let mut p = Pmp::with_config(PmpConfig { max_confidence: 4, ..PmpConfig::default() });
+        let mut p = Pmp::with_config(PmpConfig {
+            max_confidence: 4,
+            ..PmpConfig::default()
+        });
         for region in 1..=10u64 {
             feed(&mut p, 0x1, region, &[0, 1]);
             p.on_evict(BlockAddr::new(region * 64));
@@ -247,6 +259,9 @@ mod tests {
     fn storage_is_about_5_kilobytes() {
         let p = Pmp::new();
         let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!(kb > 4.0 && kb < 6.5, "PMP storage should be about 5 KB, got {kb:.2}");
+        assert!(
+            kb > 4.0 && kb < 6.5,
+            "PMP storage should be about 5 KB, got {kb:.2}"
+        );
     }
 }

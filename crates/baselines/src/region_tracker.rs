@@ -91,7 +91,11 @@ impl RegionTracker {
         }
         let mut footprint = Footprint::new(self.geom.blocks_per_region());
         footprint.set(offset);
-        let entry = TrackedRegion { trigger_pc: pc, trigger_offset: offset, footprint };
+        let entry = TrackedRegion {
+            trigger_pc: pc,
+            trigger_offset: offset,
+            footprint,
+        };
         if let Some((victim_region, victim)) = self.table.insert(region, region, entry) {
             if victim.footprint.population() > 1 {
                 outcome.deactivations.push(Deactivation {
@@ -151,7 +155,10 @@ mod tests {
         assert_eq!(act.offset, 5);
         assert_eq!(act.pc, 0x400);
         // Subsequent accesses to the same region do not re-activate.
-        assert!(t.access(0x404, Addr::new(3 * 2048 + 6 * 64)).activation.is_none());
+        assert!(t
+            .access(0x404, Addr::new(3 * 2048 + 6 * 64))
+            .activation
+            .is_none());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use prefetch_common::addr::BlockAddr;
 use prefetch_common::footprint::Footprint;
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 use crate::region_tracker::{Activation, Deactivation, RegionTracker};
@@ -30,7 +31,12 @@ pub struct SmsConfig {
 
 impl Default for SmsConfig {
     fn default() -> Self {
-        SmsConfig { region_size: 2048, tracker_entries: 64, pht_entries: 16 * 1024, pht_ways: 16 }
+        SmsConfig {
+            region_size: 2048,
+            tracker_entries: 64,
+            pht_entries: 16 * 1024,
+            pht_ways: 16,
+        }
     }
 }
 
@@ -73,20 +79,19 @@ impl Sms {
         self.history.insert(index, tag, d.footprint.clone());
     }
 
-    fn predict(&mut self, a: &Activation) -> Vec<PrefetchRequest> {
+    fn predict(&mut self, a: &Activation, sink: &mut RequestSink) {
         let (index, tag) = self.key(a.pc, a.offset);
         let Some(footprint) = self.history.get(index, tag).cloned() else {
-            return Vec::new();
+            return;
         };
         let geom = self.tracker.geometry();
         let region = prefetch_common::addr::RegionId::new(a.region);
-        let reqs: Vec<PrefetchRequest> = footprint
-            .iter_set()
-            .filter(|&o| o != a.offset)
-            .map(|o| PrefetchRequest::to_l1(geom.block_at(region, o)))
-            .collect();
-        self.stats.issued += reqs.len() as u64;
-        reqs
+        let mut issued = 0u64;
+        for o in footprint.iter_set().filter(|&o| o != a.offset) {
+            sink.push(PrefetchRequest::to_l1(geom.block_at(region, o)));
+            issued += 1;
+        }
+        self.stats.issued += issued;
     }
 }
 
@@ -101,18 +106,17 @@ impl Prefetcher for Sms {
         "sms"
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let outcome = self.tracker.access(access.pc, access.addr);
         for d in &outcome.deactivations {
             self.learn(d);
         }
-        match &outcome.activation {
-            Some(a) => self.predict(a),
-            None => Vec::new(),
+        if let Some(a) = &outcome.activation {
+            self.predict(a, sink);
         }
     }
 
@@ -138,11 +142,15 @@ impl Prefetcher for Sms {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
 
     fn feed(p: &mut Sms, pc: u64, region: u64, offsets: &[usize]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &o in offsets {
-            out.extend(p.on_access(&DemandAccess::load(pc, region * 2048 + o as u64 * 64), false));
+            out.extend(p.on_access_vec(
+                &DemandAccess::load(pc, region * 2048 + o as u64 * 64),
+                false,
+            ));
         }
         out
     }
@@ -151,7 +159,7 @@ mod tests {
     fn replays_footprint_for_matching_pc_offset() {
         let mut p = Sms::new();
         feed(&mut p, 0x400, 1, &[3, 7, 11]);
-        p.on_evict(BlockAddr::new(1 * 32 + 3));
+        p.on_evict(BlockAddr::new(32 + 3));
         // Same PC and trigger offset in a new region.
         let reqs = feed(&mut p, 0x400, 9, &[3]);
         let mut offs: Vec<u64> = reqs.iter().map(|r| r.block.raw() - 9 * 32).collect();
@@ -163,7 +171,7 @@ mod tests {
     fn different_pc_does_not_match() {
         let mut p = Sms::new();
         feed(&mut p, 0x400, 1, &[3, 7, 11]);
-        p.on_evict(BlockAddr::new(1 * 32 + 3));
+        p.on_evict(BlockAddr::new(32 + 3));
         assert!(feed(&mut p, 0x500, 9, &[3]).is_empty());
     }
 
@@ -171,19 +179,25 @@ mod tests {
     fn different_trigger_offset_does_not_match() {
         let mut p = Sms::new();
         feed(&mut p, 0x400, 1, &[3, 7, 11]);
-        p.on_evict(BlockAddr::new(1 * 32 + 3));
+        p.on_evict(BlockAddr::new(32 + 3));
         assert!(feed(&mut p, 0x400, 9, &[4]).is_empty());
     }
 
     #[test]
     fn storage_exceeds_100_kb_as_in_table_iv() {
         let p = Sms::new();
-        assert!(p.storage_bits() / 8 / 1024 > 100, "SMS with a 16k-entry PHT costs >100 KB");
+        assert!(
+            p.storage_bits() / 8 / 1024 > 100,
+            "SMS with a 16k-entry PHT costs >100 KB"
+        );
     }
 
     #[test]
     fn learning_happens_on_tracker_lru_eviction_too() {
-        let mut p = Sms::with_config(SmsConfig { tracker_entries: 8, ..SmsConfig::default() });
+        let mut p = Sms::with_config(SmsConfig {
+            tracker_entries: 8,
+            ..SmsConfig::default()
+        });
         feed(&mut p, 0x400, 1, &[3, 7]);
         // Activate enough regions to evict region 1 from the tracker.
         for region in 10..20u64 {

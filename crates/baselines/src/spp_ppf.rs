@@ -13,6 +13,7 @@ use prefetch_common::access::DemandAccess;
 use prefetch_common::addr::{BlockAddr, RegionGeometry};
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 /// Configuration of [`SppPpf`].
@@ -103,7 +104,11 @@ impl Perceptron {
     fn train(&mut self, signature: u16, delta: i64, offset: usize, useful: bool) {
         let (a, b, c) = self.indices(signature, delta, offset);
         let step = if useful { 1 } else { -1 };
-        for w in [&mut self.weights_sig[a], &mut self.weights_delta[b], &mut self.weights_offset[c]] {
+        for w in [
+            &mut self.weights_sig[a],
+            &mut self.weights_delta[b],
+            &mut self.weights_offset[c],
+        ] {
             *w = (*w + step).clamp(-16, 15);
         }
     }
@@ -111,7 +116,6 @@ impl Perceptron {
 
 #[derive(Debug, Clone, Copy)]
 struct IssuedMeta {
-    block: BlockAddr,
     signature: u16,
     delta: i64,
     offset: usize,
@@ -125,7 +129,12 @@ pub struct SppPpf {
     signatures: SetAssocTable<SignatureEntry>,
     patterns: SetAssocTable<PatternEntry>,
     perceptron: Perceptron,
-    issued: Vec<IssuedMeta>,
+    /// Issued-prefetch metadata keyed by block (the PPF training lookups run
+    /// on every access, so this must not be a linear scan). Each block keeps
+    /// a bucket of metas: re-predictions of the same block each train the
+    /// perceptron once, exactly like the original flat list did.
+    issued: std::collections::HashMap<u64, Vec<IssuedMeta>>,
+    issued_len: usize,
     stats: PrefetcherStats,
 }
 
@@ -137,20 +146,21 @@ impl SppPpf {
 
     /// Creates an SPP prefetcher *without* the perceptron filter.
     pub fn without_filter() -> Self {
-        Self::with_config(SppConfig { use_ppf: false, ..SppConfig::default() })
+        Self::with_config(SppConfig {
+            use_ppf: false,
+            ..SppConfig::default()
+        })
     }
 
     /// Creates an SPP-PPF prefetcher from an explicit configuration.
     pub fn with_config(cfg: SppConfig) -> Self {
         SppPpf {
             geom: RegionGeometry::gaze_default(),
-            signatures: SetAssocTable::new(TableConfig::new(
-                (cfg.signature_entries / 4).max(1),
-                4,
-            )),
+            signatures: SetAssocTable::new(TableConfig::new((cfg.signature_entries / 4).max(1), 4)),
             patterns: SetAssocTable::new(TableConfig::new((cfg.pattern_entries / 4).max(1), 4)),
             perceptron: Perceptron::new(cfg.ppf_weights),
-            issued: Vec::new(),
+            issued: std::collections::HashMap::new(),
+            issued_len: 0,
             stats: PrefetcherStats::default(),
             cfg,
         }
@@ -158,6 +168,16 @@ impl SppPpf {
 
     fn update_signature(signature: u16, delta: i64) -> u16 {
         ((signature << 3) ^ (delta as u16 & 0x3f)) & 0xfff
+    }
+
+    fn take_issued(&mut self, block: u64) -> Option<IssuedMeta> {
+        let bucket = self.issued.get_mut(&block)?;
+        let meta = bucket.pop().expect("issued buckets are never left empty");
+        if bucket.is_empty() {
+            self.issued.remove(&block);
+        }
+        self.issued_len -= 1;
+        Some(meta)
     }
 
     fn train_pattern(&mut self, signature: u16, delta: i64) {
@@ -187,7 +207,14 @@ impl SppPpf {
                 }
             }
             None => {
-                self.patterns.insert(key, key, PatternEntry { deltas: vec![(delta, 1)], total: 1 });
+                self.patterns.insert(
+                    key,
+                    key,
+                    PatternEntry {
+                        deltas: vec![(delta, 1)],
+                        total: 1,
+                    },
+                );
             }
         }
     }
@@ -208,9 +235,9 @@ impl Prefetcher for SppPpf {
         }
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, sink: &mut RequestSink) {
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let block = access.block();
@@ -218,16 +245,16 @@ impl Prefetcher for SppPpf {
         let offset = self.geom.offset_of(access.addr);
 
         // Positive PPF training: a demanded block we prefetched was useful.
-        if let Some(pos) = self.issued.iter().position(|m| m.block == block) {
-            let meta = self.issued.swap_remove(pos);
-            self.perceptron.train(meta.signature, meta.delta, meta.offset, true);
+        if let Some(meta) = self.take_issued(block.raw()) {
+            self.perceptron
+                .train(meta.signature, meta.delta, meta.offset, true);
         }
 
         let (signature, delta) = match self.signatures.get_mut(page, page) {
             Some(entry) => {
                 let delta = offset as i64 - entry.last_offset as i64;
                 if delta == 0 {
-                    return Vec::new();
+                    return;
                 }
                 let old = entry.signature;
                 entry.signature = Self::update_signature(old, delta);
@@ -235,66 +262,86 @@ impl Prefetcher for SppPpf {
                 (old, delta)
             }
             None => {
-                self.signatures.insert(page, page, SignatureEntry { signature: 0, last_offset: offset });
-                return Vec::new();
+                self.signatures.insert(
+                    page,
+                    page,
+                    SignatureEntry {
+                        signature: 0,
+                        last_offset: offset,
+                    },
+                );
+                return;
             }
         };
         self.train_pattern(signature, delta);
 
         // Lookahead walk from the *current* signature.
-        let mut out = Vec::new();
+        let mut issued_now = 0u64;
         let mut sig = Self::update_signature(signature, delta);
         let mut current = block;
         let mut confidence = 1.0f64;
         for _ in 0..self.cfg.max_depth {
             let key = u64::from(sig);
-            let Some(p) = self.patterns.get(key, key) else { break };
+            let Some(p) = self.patterns.get(key, key) else {
+                break;
+            };
             if p.total == 0 || p.deltas.is_empty() {
                 break;
             }
-            let Some(&(best_delta, best_count)) = p.deltas.iter().max_by_key(|(_, c)| *c) else { break };
+            let Some(&(best_delta, best_count)) = p.deltas.iter().max_by_key(|(_, c)| *c) else {
+                break;
+            };
             confidence *= f64::from(best_count) / f64::from(p.total.max(1));
             if confidence < self.cfg.confidence_threshold || best_delta == 0 {
                 break;
             }
             current = current.offset_by(best_delta);
             let target_offset = (offset as i64 + current.delta_from(block)).rem_euclid(64) as usize;
-            let accepted = !self.cfg.use_ppf || self.perceptron.accepts(sig, best_delta, target_offset);
+            let accepted =
+                !self.cfg.use_ppf || self.perceptron.accepts(sig, best_delta, target_offset);
             if accepted {
                 let req = if confidence >= self.cfg.l1_threshold {
                     PrefetchRequest::to_l1(current)
                 } else {
                     PrefetchRequest::to_l2(current)
                 };
-                out.push(req);
-                if self.issued.len() < 8192 {
-                    self.issued.push(IssuedMeta {
-                        block: current,
-                        signature: sig,
-                        delta: best_delta,
-                        offset: target_offset,
-                    });
+                sink.push(req);
+                issued_now += 1;
+                if self.issued_len < 8192 {
+                    self.issued
+                        .entry(current.raw())
+                        .or_default()
+                        .push(IssuedMeta {
+                            signature: sig,
+                            delta: best_delta,
+                            offset: target_offset,
+                        });
+                    self.issued_len += 1;
                 }
             }
             sig = Self::update_signature(sig, best_delta);
         }
-        self.stats.issued += out.len() as u64;
-        out
+        self.stats.issued += issued_now;
     }
 
     fn on_evict(&mut self, block: BlockAddr) {
         // Negative PPF training: an issued prefetch was evicted without use.
-        if let Some(pos) = self.issued.iter().position(|m| m.block == block) {
-            let meta = self.issued.swap_remove(pos);
-            self.perceptron.train(meta.signature, meta.delta, meta.offset, false);
+        if let Some(meta) = self.take_issued(block.raw()) {
+            self.perceptron
+                .train(meta.signature, meta.delta, meta.offset, false);
         }
     }
 
     fn storage_bits(&self) -> u64 {
         // Table IV reports 39.3 KB for the full SPP-PPF configuration.
         let st = self.cfg.signature_entries as u64 * (16 + 12 + 6);
-        let pt = self.cfg.pattern_entries as u64 * (12 + self.cfg.deltas_per_signature as u64 * (7 + 8) + 8);
-        let ppf = if self.cfg.use_ppf { 3 * self.cfg.ppf_weights as u64 * 5 } else { 0 };
+        let pt = self.cfg.pattern_entries as u64
+            * (12 + self.cfg.deltas_per_signature as u64 * (7 + 8) + 8);
+        let ppf = if self.cfg.use_ppf {
+            3 * self.cfg.ppf_weights as u64 * 5
+        } else {
+            0
+        };
         // Plus the large prefetch/reject history tables PPF requires.
         let ppf_history = if self.cfg.use_ppf { 2 * 1024 * 40 } else { 0 };
         st + pt + ppf + ppf_history
@@ -308,11 +355,12 @@ impl Prefetcher for SppPpf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prefetch_common::prefetcher::PrefetcherExt;
 
     fn run(p: &mut SppPpf, pc: u64, addrs: &[u64]) -> Vec<PrefetchRequest> {
         let mut out = Vec::new();
         for &a in addrs {
-            out.extend(p.on_access(&DemandAccess::load(pc, a), false));
+            out.extend(p.on_access_vec(&DemandAccess::load(pc, a), false));
         }
         out
     }
@@ -326,7 +374,10 @@ mod tests {
         // Lookahead should reach more than one delta ahead of the last demand.
         let max = reqs.iter().map(|r| r.block.raw()).max().unwrap();
         let last_demand = (0x10_0000 + 199 * 128) / 64;
-        assert!(max >= last_demand + 4, "lookahead should run ahead (max {max}, demand {last_demand})");
+        assert!(
+            max >= last_demand + 4,
+            "lookahead should run ahead (max {max}, demand {last_demand})"
+        );
     }
 
     #[test]
@@ -335,7 +386,9 @@ mod tests {
         let mut state = 7u64;
         let addrs: Vec<u64> = (0..300)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 10) % (64 * 1024 * 1024)
             })
             .collect();
@@ -380,7 +433,10 @@ mod tests {
     fn storage_is_tens_of_kilobytes_with_ppf() {
         let p = SppPpf::new();
         let kb = p.storage_bits() as f64 / 8.0 / 1024.0;
-        assert!(kb > 10.0 && kb < 60.0, "SPP-PPF storage should be tens of KB, got {kb:.2}");
+        assert!(
+            kb > 10.0 && kb < 60.0,
+            "SPP-PPF storage should be tens of KB, got {kb:.2}"
+        );
         let bare = SppPpf::without_filter();
         assert!(bare.storage_bits() < p.storage_bits());
     }

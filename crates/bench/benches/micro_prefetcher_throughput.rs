@@ -1,52 +1,82 @@
-//! Criterion microbenchmarks of prefetcher training/prediction throughput and
-//! of the simulator itself.
+//! Microbenchmarks of prefetcher training/prediction throughput and of the
+//! simulator itself (plain timing loops — the build environment has no
+//! criterion).
 //!
 //! These complement the figure-regeneration benches: they measure how fast
 //! each prefetcher's hardware model processes accesses (relevant because the
 //! paper argues Gaze's tables are single-cycle accessible and small), and how
 //! many instructions per second the trace-driven simulator achieves.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use prefetch_common::access::DemandAccess;
+use prefetch_common::sink::RequestSink;
 
 use gaze_sim::factory::make_prefetcher;
 use gaze_sim::runner::{run_single_boxed, RunParams};
 use workloads::build_workload;
 
-fn prefetcher_training_throughput(c: &mut Criterion) {
+fn prefetcher_training_throughput() {
     let trace = build_workload("fotonik3d_s", 20_000);
     let accesses: Vec<DemandAccess> = trace
         .records()
         .iter()
-        .map(|r| DemandAccess { pc: r.pc, addr: r.addr, kind: prefetch_common::access::AccessKind::Load, instr_id: 0 })
+        .map(|r| DemandAccess {
+            pc: r.pc,
+            addr: r.addr,
+            kind: prefetch_common::access::AccessKind::Load,
+            instr_id: 0,
+        })
         .collect();
-    let mut group = c.benchmark_group("prefetcher_training");
+    println!(
+        "== prefetcher_training (accesses/s over {} accesses x 5 reps) ==",
+        accesses.len()
+    );
     for name in ["gaze", "pmp", "bingo", "vberti", "spp-ppf", "ip-stride"] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, name| {
-            b.iter(|| {
-                let mut p = make_prefetcher(name);
-                let mut issued = 0usize;
-                for a in &accesses {
-                    issued += p.on_access(a, false).len();
-                    issued += p.tick().len();
-                }
-                issued
-            });
-        });
+        const REPS: usize = 5;
+        let mut issued = 0usize;
+        let mut sink = RequestSink::new();
+        let start = Instant::now();
+        for _ in 0..REPS {
+            let mut p = make_prefetcher(name);
+            for a in &accesses {
+                sink.clear();
+                p.on_access(a, false, &mut sink);
+                issued += sink.len();
+                sink.clear();
+                p.tick(&mut sink);
+                issued += sink.len();
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let rate = (accesses.len() * REPS) as f64 / secs.max(1e-9);
+        println!("{name:10} {rate:>12.0} accesses/s  ({issued} requests issued)");
     }
-    group.finish();
 }
 
-fn simulator_throughput(c: &mut Criterion) {
+fn simulator_throughput() {
     let trace = build_workload("bwaves_s", 20_000);
-    let params = RunParams { warmup: 2_000, measured: 20_000, ..RunParams::test() };
-    let mut group = c.benchmark_group("simulator");
-    group.sample_size(10);
-    group.bench_function("single_core_20k_instructions", |b| {
-        b.iter(|| run_single_boxed(&trace, make_prefetcher("gaze"), &params))
-    });
-    group.finish();
+    let params = RunParams {
+        warmup: 2_000,
+        measured: 20_000,
+        ..RunParams::test()
+    };
+    const REPS: usize = 10;
+    let start = Instant::now();
+    let mut ipc = 0.0;
+    for _ in 0..REPS {
+        ipc = run_single_boxed(&trace, make_prefetcher("gaze"), &params).ipc();
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let instr = (params.warmup + params.measured) as f64 * REPS as f64;
+    println!("== simulator ==");
+    println!(
+        "single_core_20k_instructions: {:.2}M sim-instructions/s (last IPC {ipc:.3})",
+        instr / secs.max(1e-9) / 1e6
+    );
 }
 
-criterion_group!(benches, prefetcher_training_throughput, simulator_throughput);
-criterion_main!(benches);
+fn main() {
+    prefetcher_training_throughput();
+    simulator_throughput();
+}

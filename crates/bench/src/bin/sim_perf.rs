@@ -1,0 +1,160 @@
+//! `sim-perf` — the simulator performance harness.
+//!
+//! Measures wall time and simulated-instructions-per-second for a set of
+//! figure regenerations and writes `BENCH_simperf.json`, establishing the
+//! perf trajectory of the engine across PRs.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sim-perf -- [figures...] \
+//!     [--out PATH] [--compare-serial] [--full]
+//! ```
+//!
+//! * `figures...` — experiment names (default: `fig06 fig09 fig11`; `fig06`
+//!   covers the fig06–08 nine-prefetcher comparison),
+//! * `--out PATH` — output path (default `BENCH_simperf.json`),
+//! * `--compare-serial` — additionally re-run each figure with every engine
+//!   optimization disabled (one worker, no cycle skipping, no baseline
+//!   memoization) and report the speedup. The serial pass re-executes the
+//!   whole harness as a child process so the disabling env vars apply from
+//!   process start and no cached baselines leak across modes,
+//! * `--reference SECONDS` — record an externally measured wall time for the
+//!   same figure set (e.g. the pre-optimization engine from an earlier
+//!   commit) and the speedup over it; `--reference-note TEXT` documents its
+//!   provenance (the JSON distinguishes this hand-supplied number from the
+//!   harness-measured `serial_wall_seconds`),
+//! * `--full` — use the `bench` scale instead of `quick`.
+
+use std::time::Instant;
+
+use bench::{render_simperf_json, time_experiment, ExperimentScale, FigureTiming};
+use gaze_sim::experiments::experiment_names;
+
+/// Marker env var for the child process of `--compare-serial`: run the named
+/// figure once, print the wall seconds, exit.
+const SERIAL_CHILD: &str = "GAZE_SIMPERF_SERIAL_CHILD";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let compare_serial = args.iter().any(|a| a == "--compare-serial");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_simperf.json".to_string());
+    let reference_seconds: Option<f64> = args
+        .iter()
+        .position(|a| a == "--reference")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
+    let reference_note: Option<String> = args
+        .iter()
+        .position(|a| a == "--reference-note")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut figures: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" || a == "--reference" || a == "--reference-note" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            figures.push(a.clone());
+        }
+    }
+    if figures.is_empty() {
+        figures = vec![
+            "fig06".to_string(),
+            "fig09".to_string(),
+            "fig11".to_string(),
+        ];
+    }
+    for f in &figures {
+        if !experiment_names().contains(&f.as_str()) {
+            eprintln!(
+                "unknown experiment '{f}'; available: {:?}",
+                experiment_names()
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let scale_label = if full { "bench" } else { "quick" };
+    let scale = if full {
+        ExperimentScale::default_bench()
+    } else {
+        ExperimentScale::quick()
+    };
+
+    // Child mode: one serial figure, print seconds, exit.
+    if let Ok(figure) = std::env::var(SERIAL_CHILD) {
+        let start = Instant::now();
+        let _ = bench::run_experiment(&figure, &scale);
+        println!("{:.6}", start.elapsed().as_secs_f64());
+        return;
+    }
+
+    let mut timings: Vec<FigureTiming> = Vec::new();
+    for figure in &figures {
+        eprintln!("sim-perf: timing {figure} (scale {scale_label}) ...");
+        let mut timing = time_experiment(figure, &scale);
+        if compare_serial {
+            eprintln!("sim-perf: timing {figure} serial reference ...");
+            timing.serial_wall_seconds = Some(run_serial_reference(figure, full));
+        }
+        eprintln!(
+            "sim-perf: {figure}: {:.3}s, {:.2}M sim-instructions/s{}",
+            timing.wall_seconds,
+            timing.sim_ips() / 1e6,
+            timing
+                .speedup_vs_serial()
+                .map(|s| format!(", {s:.2}x vs serial"))
+                .unwrap_or_default()
+        );
+        timings.push(timing);
+    }
+
+    let doc = render_simperf_json(
+        scale_label,
+        gaze_sim::worker_count(),
+        &timings,
+        reference_seconds,
+        reference_note.as_deref(),
+    );
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| {
+        eprintln!("sim-perf: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    print!("{doc}");
+    eprintln!("sim-perf: wrote {out_path}");
+}
+
+/// Times `figure` in a child process with every engine optimization off.
+fn run_serial_reference(figure: &str, full: bool) -> f64 {
+    let exe = std::env::current_exe().expect("current exe path");
+    let mut cmd = std::process::Command::new(exe);
+    if full {
+        cmd.arg("--full");
+    }
+    let output = cmd
+        .env(SERIAL_CHILD, figure)
+        .env("GAZE_THREADS", "1")
+        .env("GAZE_CYCLE_SKIP", "0")
+        .env("GAZE_BASELINE_CACHE", "0")
+        .output()
+        .expect("spawn serial reference child");
+    assert!(
+        output.status.success(),
+        "serial reference for {figure} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .last()
+        .and_then(|l| l.trim().parse::<f64>().ok())
+        .expect("serial child prints wall seconds")
+}

@@ -1,16 +1,203 @@
 //! Benchmark harness crate.
 //!
-//! The actual targets live under `benches/`:
+//! The figure-regeneration targets live under `benches/` (plain
+//! `harness = false` binaries — the environment has no criterion):
 //!
 //! * `fig01_*` … `fig18_*`, `table1_*`, `table4_*` — regenerate the
 //!   corresponding figure/table of the paper by calling
 //!   [`gaze_sim::experiments::run_experiment`] and printing the resulting
 //!   tables (scale controlled by the `GAZE_SCALE` environment variable),
-//! * `micro_prefetcher_throughput` — Criterion microbenchmarks of prefetcher
-//!   model throughput and simulator speed.
+//! * `micro_prefetcher_throughput` — microbenchmarks of prefetcher model
+//!   throughput and simulator speed.
 //!
-//! Run everything with `cargo bench --workspace`, or a single figure with
-//! `cargo bench -p bench --bench fig06_speedup`.
+//! The `sim-perf` binary (`cargo run --release -p bench --bin sim-perf`)
+//! measures wall time and simulated-instructions-per-second per figure and
+//! writes `BENCH_simperf.json`; `--compare-serial` additionally re-runs each
+//! figure with every engine optimization disabled (one worker thread, no
+//! cycle skipping, no baseline memoization) to report the speedup.
+
+use std::time::Instant;
 
 /// Re-export of the experiment registry for convenience in scripts.
 pub use gaze_sim::experiments::{experiment_names, run_experiment, ExperimentScale};
+
+/// One timed figure regeneration.
+#[derive(Debug, Clone)]
+pub struct FigureTiming {
+    /// Experiment name (e.g. `fig06`).
+    pub name: String,
+    /// Wall-clock seconds of the optimized run.
+    pub wall_seconds: f64,
+    /// Instructions simulated during the optimized run.
+    pub simulated_instructions: u64,
+    /// Wall-clock seconds of the all-optimizations-off run, if measured.
+    pub serial_wall_seconds: Option<f64>,
+}
+
+impl FigureTiming {
+    /// Simulated instructions per wall-clock second.
+    pub fn sim_ips(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.simulated_instructions as f64 / self.wall_seconds
+        }
+    }
+
+    /// Speedup of the optimized engine over the serial reference, if the
+    /// reference was measured.
+    pub fn speedup_vs_serial(&self) -> Option<f64> {
+        self.serial_wall_seconds.map(|s| {
+            if self.wall_seconds > 0.0 {
+                s / self.wall_seconds
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+/// Runs one experiment and times it. The tables themselves are discarded —
+/// this measures the engine, not the figures.
+pub fn time_experiment(name: &str, scale: &ExperimentScale) -> FigureTiming {
+    let instructions_before = gaze_sim::runner::simulated_instructions();
+    let start = Instant::now();
+    let tables = run_experiment(name, scale);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    assert!(!tables.is_empty(), "experiment {name} produced no tables");
+    FigureTiming {
+        name: name.to_string(),
+        wall_seconds,
+        simulated_instructions: gaze_sim::runner::simulated_instructions() - instructions_before,
+        serial_wall_seconds: None,
+    }
+}
+
+/// Serializes timings into the `BENCH_simperf.json` document (hand-rolled:
+/// no serde in the build environment; every emitted value is numeric or a
+/// known-safe identifier, so no string escaping is needed).
+///
+/// `reference_seconds`, when given, records an externally measured wall time
+/// for the same figure set (e.g. the pre-optimization serial engine) and the
+/// speedup of this run over it; `reference_note` documents where that number
+/// came from (it is NOT reproducible from this binary alone, unlike
+/// `serial_wall_seconds` which the harness measures itself).
+pub fn render_simperf_json(
+    scale_label: &str,
+    threads: usize,
+    timings: &[FigureTiming],
+    reference_seconds: Option<f64>,
+    reference_note: Option<&str>,
+) -> String {
+    let total: f64 = timings.iter().map(|t| t.wall_seconds).sum();
+    let total_serial: f64 = timings.iter().filter_map(|t| t.serial_wall_seconds).sum();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"gaze-simperf-v1\",\n");
+    out.push_str(&format!("  \"scale\": \"{scale_label}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    ));
+    out.push_str("  \"figures\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"name\": \"{}\", ", t.name));
+        out.push_str(&format!("\"wall_seconds\": {:.6}, ", t.wall_seconds));
+        out.push_str(&format!(
+            "\"simulated_instructions\": {}, ",
+            t.simulated_instructions
+        ));
+        out.push_str(&format!(
+            "\"sim_instructions_per_second\": {:.1}",
+            t.sim_ips()
+        ));
+        if let Some(serial) = t.serial_wall_seconds {
+            out.push_str(&format!(", \"serial_wall_seconds\": {serial:.6}"));
+            out.push_str(&format!(
+                ", \"speedup_vs_serial\": {:.3}",
+                t.speedup_vs_serial().unwrap_or(0.0)
+            ));
+        }
+        out.push('}');
+        out.push_str(if i + 1 < timings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"total_wall_seconds\": {total:.6}"));
+    if total_serial > 0.0 {
+        out.push_str(&format!(
+            ",\n  \"total_serial_wall_seconds\": {total_serial:.6}"
+        ));
+        out.push_str(&format!(
+            ",\n  \"total_speedup_vs_serial\": {:.3}",
+            if total > 0.0 {
+                total_serial / total
+            } else {
+                0.0
+            }
+        ));
+    }
+    if let Some(reference) = reference_seconds {
+        out.push_str(&format!(",\n  \"reference_wall_seconds\": {reference:.6}"));
+        out.push_str(&format!(
+            ",\n  \"speedup_vs_reference\": {:.3}",
+            if total > 0.0 { reference / total } else { 0.0 }
+        ));
+        if let Some(note) = reference_note {
+            let escaped = note.replace('\\', "\\\\").replace('"', "\\\"");
+            out.push_str(&format!(",\n  \"reference_note\": \"{escaped}\""));
+        }
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_computes_throughput() {
+        let t = FigureTiming {
+            name: "fig99".into(),
+            wall_seconds: 2.0,
+            simulated_instructions: 4_000_000,
+            serial_wall_seconds: Some(8.0),
+        };
+        assert!((t.sim_ips() - 2_000_000.0).abs() < 1e-6);
+        assert!((t.speedup_vs_serial().unwrap() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let t = FigureTiming {
+            name: "fig06".into(),
+            wall_seconds: 1.5,
+            simulated_instructions: 100,
+            serial_wall_seconds: None,
+        };
+        let doc = render_simperf_json("quick", 4, &[t], Some(6.0), Some("measured elsewhere"));
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+        assert!(doc.contains("\"gaze-simperf-v1\""));
+        assert!(doc.contains("\"fig06\""));
+        assert!(doc.contains("\"speedup_vs_reference\": 4.000"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn time_experiment_runs_a_real_table() {
+        let scale = ExperimentScale {
+            params: gaze_sim::RunParams {
+                warmup: 500,
+                measured: 2_000,
+                ..gaze_sim::RunParams::test()
+            },
+            workloads_per_suite: 1,
+        };
+        let t = time_experiment("table1", &scale);
+        assert_eq!(t.name, "table1");
+        assert!(t.wall_seconds >= 0.0);
+    }
+}

@@ -16,10 +16,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let csv = args.iter().any(|a| a == "--csv");
-    let requested: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
 
-    let scale = if full { ExperimentScale::default_bench() } else { ExperimentScale::from_env() };
+    let scale = if full {
+        ExperimentScale::default_bench()
+    } else {
+        ExperimentScale::from_env()
+    };
     let names: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
         experiment_names()
     } else {
@@ -28,7 +35,10 @@ fn main() {
 
     for name in names {
         if !experiment_names().contains(&name) {
-            eprintln!("unknown experiment '{name}'; available: {:?}", experiment_names());
+            eprintln!(
+                "unknown experiment '{name}'; available: {:?}",
+                experiment_names()
+            );
             std::process::exit(2);
         }
         eprintln!("running {name} ...");

@@ -14,6 +14,7 @@ use std::collections::BTreeMap;
 use sim_core::trace::Trace;
 use workloads::{build_workload, workload_names, Suite};
 
+use crate::parallel::parallel_map;
 use crate::report::{mean, Table};
 use crate::runner::{records_for, run_single, RunParams, SingleRun};
 
@@ -32,14 +33,21 @@ impl ExperimentScale {
     /// full figure set).
     pub fn quick() -> Self {
         ExperimentScale {
-            params: RunParams { warmup: 10_000, measured: 60_000, ..RunParams::experiment() },
+            params: RunParams {
+                warmup: 10_000,
+                measured: 60_000,
+                ..RunParams::experiment()
+            },
             workloads_per_suite: 2,
         }
     }
 
     /// The default bench scale: every registered workload, moderate budgets.
     pub fn default_bench() -> Self {
-        ExperimentScale { params: RunParams::experiment(), workloads_per_suite: usize::MAX }
+        ExperimentScale {
+            params: RunParams::experiment(),
+            workloads_per_suite: usize::MAX,
+        }
     }
 
     /// Reads the scale from the `GAZE_SCALE` environment variable
@@ -62,9 +70,36 @@ pub fn suite_traces(suite: Suite, scale: &ExperimentScale) -> Vec<Trace> {
         .collect()
 }
 
-/// Runs `prefetcher` over every trace and returns the per-workload results.
+/// Runs `prefetcher` over every trace in parallel and returns the
+/// per-workload results in trace order.
 pub fn run_over(traces: &[Trace], prefetcher: &str, scale: &ExperimentScale) -> Vec<SingleRun> {
-    traces.iter().map(|t| run_single(t, prefetcher, &scale.params)).collect()
+    parallel_map(traces, |t| run_single(t, prefetcher, &scale.params))
+}
+
+/// Fans the full (prefetcher × trace) cross product out over the worker
+/// pool and returns one row of [`SingleRun`]s (in trace order) per
+/// prefetcher (in prefetcher order).
+///
+/// This is the engine behind every comparison figure: all simulations of a
+/// figure become one flat parallel workload instead of nested serial loops.
+pub fn run_matrix(
+    traces: &[Trace],
+    prefetchers: &[&str],
+    params: &RunParams,
+) -> Vec<Vec<SingleRun>> {
+    let pairs: Vec<(usize, usize)> = (0..prefetchers.len())
+        .flat_map(|pi| (0..traces.len()).map(move |ti| (pi, ti)))
+        .collect();
+    let mut flat = parallel_map(&pairs, |&(pi, ti)| {
+        run_single(&traces[ti], prefetchers[pi], params)
+    });
+    let mut rows = Vec::with_capacity(prefetchers.len());
+    for _ in 0..prefetchers.len() {
+        let rest = flat.split_off(traces.len().min(flat.len()));
+        rows.push(flat);
+        flat = rest;
+    }
+    rows
 }
 
 /// Per-suite summaries used by the Fig. 6–8 style plots.
@@ -88,41 +123,71 @@ pub struct SuiteSummary {
     pub avg_late: f64,
 }
 
+/// Runs several prefetchers over all main suites with one flat parallel
+/// fan-out over every (prefetcher × trace) pair, and summarizes each
+/// prefetcher per suite. Returns one summary per prefetcher, in order.
+pub fn summarize_many(prefetchers: &[&str], scale: &ExperimentScale) -> Vec<SuiteSummary> {
+    let mut traces: Vec<Trace> = Vec::new();
+    let mut suite_of: Vec<Suite> = Vec::new();
+    for suite in Suite::main_suites() {
+        for trace in suite_traces(suite, scale) {
+            traces.push(trace);
+            suite_of.push(suite);
+        }
+    }
+    let matrix = run_matrix(&traces, prefetchers, &scale.params);
+    matrix
+        .into_iter()
+        .map(|runs| {
+            let mut summary = SuiteSummary::default();
+            let mut all_speedups = Vec::new();
+            let mut all_acc = Vec::new();
+            let mut all_cov = Vec::new();
+            let mut all_late = Vec::new();
+            for suite in Suite::main_suites() {
+                let suite_runs: Vec<&SingleRun> = runs
+                    .iter()
+                    .zip(&suite_of)
+                    .filter(|(_, s)| **s == suite)
+                    .map(|(r, _)| r)
+                    .collect();
+                let speedups: Vec<f64> = suite_runs.iter().map(|r| r.speedup()).collect();
+                let accs: Vec<f64> = suite_runs.iter().map(|r| r.accuracy()).collect();
+                let covs: Vec<f64> = suite_runs.iter().map(|r| r.coverage()).collect();
+                let lates: Vec<f64> = suite_runs.iter().map(|r| r.late_fraction()).collect();
+                summary.speedup.insert(suite, mean(&speedups));
+                summary.accuracy.insert(suite, mean(&accs));
+                summary.coverage.insert(suite, mean(&covs));
+                summary.late.insert(suite, mean(&lates));
+                all_speedups.extend(speedups);
+                all_acc.extend(accs);
+                all_cov.extend(covs);
+                all_late.extend(lates);
+            }
+            summary.avg_speedup = mean(&all_speedups);
+            summary.avg_accuracy = mean(&all_acc);
+            summary.avg_coverage = mean(&all_cov);
+            summary.avg_late = mean(&all_late);
+            summary
+        })
+        .collect()
+}
+
 /// Runs one prefetcher over all main suites and summarizes per suite.
 pub fn summarize_prefetcher(prefetcher: &str, scale: &ExperimentScale) -> SuiteSummary {
-    let mut summary = SuiteSummary::default();
-    let mut all_speedups = Vec::new();
-    let mut all_acc = Vec::new();
-    let mut all_cov = Vec::new();
-    let mut all_late = Vec::new();
-    for suite in Suite::main_suites() {
-        let traces = suite_traces(suite, scale);
-        let runs = run_over(&traces, prefetcher, scale);
-        let speedups: Vec<f64> = runs.iter().map(SingleRun::speedup).collect();
-        let accs: Vec<f64> = runs.iter().map(SingleRun::accuracy).collect();
-        let covs: Vec<f64> = runs.iter().map(SingleRun::coverage).collect();
-        let lates: Vec<f64> = runs.iter().map(SingleRun::late_fraction).collect();
-        summary.speedup.insert(suite, mean(&speedups));
-        summary.accuracy.insert(suite, mean(&accs));
-        summary.coverage.insert(suite, mean(&covs));
-        summary.late.insert(suite, mean(&lates));
-        all_speedups.extend(speedups);
-        all_acc.extend(accs);
-        all_cov.extend(covs);
-        all_late.extend(lates);
-    }
-    summary.avg_speedup = mean(&all_speedups);
-    summary.avg_accuracy = mean(&all_acc);
-    summary.avg_coverage = mean(&all_cov);
-    summary.avg_late = mean(&all_late);
-    summary
+    summarize_many(&[prefetcher], scale)
+        .pop()
+        .expect("one summary per prefetcher")
 }
 
 /// Formats a per-suite metric row (5 suites + AVG) for a prefetcher.
 pub fn suite_row(label: &str, per_suite: &BTreeMap<Suite, f64>, avg: f64) -> Vec<String> {
     let mut row = vec![label.to_string()];
     for suite in Suite::main_suites() {
-        row.push(format!("{:.3}", per_suite.get(&suite).copied().unwrap_or(0.0)));
+        row.push(format!(
+            "{:.3}",
+            per_suite.get(&suite).copied().unwrap_or(0.0)
+        ));
     }
     row.push(format!("{avg:.3}"));
     row

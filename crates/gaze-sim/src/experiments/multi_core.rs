@@ -3,20 +3,30 @@
 use sim_core::config::SimConfig;
 use workloads::build_workload;
 
-use crate::factory::{MULTICORE_PREFETCHERS};
+use crate::baseline_cache::{baseline_stats, multicore_baseline};
+use crate::factory::MULTICORE_PREFETCHERS;
+use crate::parallel::parallel_map;
 use crate::report::{mean, Table};
 use crate::runner::{
-    multicore_speedup, records_for, run_homogeneous, run_multi_level, run_single, run_single_boxed,
-    RunParams,
+    multicore_speedup, records_for, run_homogeneous, run_multi_level, run_single, RunParams,
 };
 
-use super::ExperimentScale;
+use super::{run_matrix, ExperimentScale};
 
 /// Workloads used for the multi-core and sensitivity studies (a bandwidth-
 /// sensitive mix of streaming, recurrent-footprint, graph and irregular
 /// behaviour).
 fn mix_workloads(scale: &ExperimentScale) -> Vec<&'static str> {
-    let all = ["bwaves_s", "fotonik3d_s", "PageRank", "mcf_s", "cassandra", "lbm_s", "BFS", "streamcluster"];
+    let all = [
+        "bwaves_s",
+        "fotonik3d_s",
+        "PageRank",
+        "mcf_s",
+        "cassandra",
+        "lbm_s",
+        "BFS",
+        "streamcluster",
+    ];
     let n = (scale.workloads_per_suite * 2).clamp(2, all.len());
     all[..n].to_vec()
 }
@@ -31,15 +41,14 @@ pub fn fig13_multilevel(scale: &ExperimentScale) -> Table {
     let records = records_for(&scale.params);
     let names = mix_workloads(scale);
     let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
-    let baselines: Vec<f64> = traces
-        .iter()
-        .map(|t| run_single_boxed(t, crate::factory::make_prefetcher("none"), &scale.params).ipc())
-        .collect();
+    let baselines: Vec<f64> = parallel_map(&traces, |t| baseline_stats(t, &scale.params).ipc());
 
     let eval = |group: &str, l1: &str, l2: Option<&str>, table: &mut Table| {
+        let stats = parallel_map(&traces, |trace| {
+            run_multi_level(trace, l1, l2, &scale.params)
+        });
         let mut speedups = Vec::new();
-        for (trace, base) in traces.iter().zip(&baselines) {
-            let stats = run_multi_level(trace, l1, l2, &scale.params);
+        for (stats, base) in stats.iter().zip(&baselines) {
             if *base > 0.0 {
                 speedups.push(stats.ipc() / base);
             }
@@ -75,31 +84,40 @@ pub fn fig14_multicore_scaling(scale: &ExperimentScale) -> Table {
     let names = mix_workloads(scale);
     let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
     let core_counts = [1usize, 2, 4, 8];
-    for prefetcher in MULTICORE_PREFETCHERS {
-        for &cores in &core_counts {
-            // Homogeneous: average over mixes of `cores` copies of one trace.
-            let mut homo = Vec::new();
-            for trace in &traces {
-                let with = run_homogeneous(trace, prefetcher, cores, &scale.params);
-                let base = run_homogeneous(trace, "none", cores, &scale.params);
-                homo.push(with.speedup_over(&base));
-            }
-            table.push_row(vec![
-                prefetcher.to_string(),
-                "homogeneous".to_string(),
-                cores.to_string(),
-                format!("{:.3}", mean(&homo)),
-            ]);
-            // Heterogeneous: one mix built from the first `cores` traces.
-            let het: Vec<&_> = traces.iter().cycle().take(cores).collect();
-            let (_, _, speedup) = multicore_speedup(&het, prefetcher, &scale.params);
-            table.push_row(vec![
-                prefetcher.to_string(),
-                "heterogeneous".to_string(),
-                cores.to_string(),
-                format!("{speedup:.3}"),
-            ]);
+    // Fan out over every (prefetcher × core count): each cell simulates its
+    // homogeneous mixes and heterogeneous mix independently; the "none"
+    // baselines are shared through the multicore baseline cache.
+    let cells: Vec<(&str, usize)> = MULTICORE_PREFETCHERS
+        .iter()
+        .flat_map(|p| core_counts.iter().map(move |&c| (*p, c)))
+        .collect();
+    let results = parallel_map(&cells, |&(prefetcher, cores)| {
+        // Homogeneous: average over mixes of `cores` copies of one trace.
+        let mut homo = Vec::new();
+        for trace in &traces {
+            let with = run_homogeneous(trace, prefetcher, cores, &scale.params);
+            let mix: Vec<&_> = std::iter::repeat_n(trace, cores).collect();
+            let base = multicore_baseline(&mix, &scale.params);
+            homo.push(with.speedup_over(&base));
         }
+        // Heterogeneous: one mix built from the first `cores` traces.
+        let het: Vec<&_> = traces.iter().cycle().take(cores).collect();
+        let (_, _, het_speedup) = multicore_speedup(&het, prefetcher, &scale.params);
+        (mean(&homo), het_speedup)
+    });
+    for (&(prefetcher, cores), (homo, het)) in cells.iter().zip(results) {
+        table.push_row(vec![
+            prefetcher.to_string(),
+            "homogeneous".to_string(),
+            cores.to_string(),
+            format!("{homo:.3}"),
+        ]);
+        table.push_row(vec![
+            prefetcher.to_string(),
+            "heterogeneous".to_string(),
+            cores.to_string(),
+            format!("{het:.3}"),
+        ]);
     }
     table
 }
@@ -123,23 +141,38 @@ pub fn fig15_fourcore_mixes(scale: &ExperimentScale) -> Table {
         &["mix", "prefetcher", "c0", "c1", "c2", "c3", "avg"],
     );
     let records = records_for(&scale.params);
-    for (mix_name, workloads) in table_vi_mixes() {
-        let traces: Vec<_> = workloads.iter().map(|n| build_workload(n, records)).collect();
-        let trace_refs: Vec<&_> = traces.iter().collect();
-        for prefetcher in crate::factory::HEAD_TO_HEAD {
-            let (with, base, speedup) = multicore_speedup(&trace_refs, prefetcher, &scale.params);
-            let mut row = vec![mix_name.to_string(), prefetcher.to_string()];
-            for core in 0..4 {
-                let s = if base.cores[core].ipc() > 0.0 {
-                    with.cores[core].ipc() / base.cores[core].ipc()
-                } else {
-                    1.0
-                };
-                row.push(format!("{s:.3}"));
-            }
-            row.push(format!("{speedup:.3}"));
-            table.push_row(row);
+    let mixes: Vec<(&str, Vec<sim_core::trace::Trace>)> = table_vi_mixes()
+        .into_iter()
+        .map(|(name, workloads)| {
+            (
+                name,
+                workloads
+                    .iter()
+                    .map(|n| build_workload(n, records))
+                    .collect(),
+            )
+        })
+        .collect();
+    // Fan out over every (mix × prefetcher) pair.
+    let cells: Vec<(usize, &str)> = (0..mixes.len())
+        .flat_map(|m| crate::factory::HEAD_TO_HEAD.iter().map(move |p| (m, *p)))
+        .collect();
+    let results = parallel_map(&cells, |&(m, prefetcher)| {
+        let trace_refs: Vec<&_> = mixes[m].1.iter().collect();
+        multicore_speedup(&trace_refs, prefetcher, &scale.params)
+    });
+    for (&(m, prefetcher), (with, base, speedup)) in cells.iter().zip(results) {
+        let mut row = vec![mixes[m].0.to_string(), prefetcher.to_string()];
+        for core in 0..4 {
+            let s = if base.cores[core].ipc() > 0.0 {
+                with.cores[core].ipc() / base.cores[core].ipc()
+            } else {
+                1.0
+            };
+            row.push(format!("{s:.3}"));
         }
+        row.push(format!("{speedup:.3}"));
+        table.push_row(row);
     }
     table
 }
@@ -152,11 +185,13 @@ pub fn fig16_system_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
     let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
 
     let run_config = |cfg: SimConfig, prefetcher: &str| -> f64 {
-        let params = RunParams { config: cfg, ..scale.params };
-        let mut speedups = Vec::new();
-        for trace in &traces {
-            speedups.push(run_single(trace, prefetcher, &params).speedup());
-        }
+        let params = RunParams {
+            config: cfg,
+            ..scale.params
+        };
+        let speedups = parallel_map(&traces, |trace| {
+            run_single(trace, prefetcher, &params).speedup()
+        });
         mean(&speedups)
     };
 
@@ -206,7 +241,9 @@ pub fn fig17_gaze_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
     let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
 
     let speedup_for = |variant: &str| -> f64 {
-        mean(&traces.iter().map(|t| run_single(t, variant, &scale.params).speedup()).collect::<Vec<_>>())
+        mean(&parallel_map(&traces, |t| {
+            run_single(t, variant, &scale.params).speedup()
+        }))
     };
 
     let mut region = Table::new(
@@ -221,7 +258,10 @@ pub fn fig17_gaze_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
         ("4KB", "gaze"),
     ] {
         let s = speedup_for(variant);
-        region.push_row(vec![label.to_string(), format!("{:.3}", if base > 0.0 { s / base } else { 1.0 })]);
+        region.push_row(vec![
+            label.to_string(),
+            format!("{:.3}", if base > 0.0 { s / base } else { 1.0 }),
+        ]);
     }
 
     let mut pht = Table::new(
@@ -231,7 +271,10 @@ pub fn fig17_gaze_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
     for entries in [128usize, 256, 512, 1024] {
         let variant = format!("gaze-pht-{entries}");
         let s = speedup_for(&variant);
-        pht.push_row(vec![entries.to_string(), format!("{:.3}", if base > 0.0 { s / base } else { 1.0 })]);
+        pht.push_row(vec![
+            entries.to_string(),
+            format!("{:.3}", if base > 0.0 { s / base } else { 1.0 }),
+        ]);
     }
     vec![region, pht]
 }
@@ -245,11 +288,13 @@ pub fn fig18_vgaze_regions(scale: &ExperimentScale) -> Table {
         "Fig. 18 — vGaze with larger region sizes (speedup normalized to 4KB)",
         &["workload", "4KB", "8KB", "16KB", "32KB", "64KB"],
     );
-    for trace in &traces {
-        let base = run_single(trace, "gaze", &scale.params).speedup();
+    let variants = ["gaze", "vgaze-8", "vgaze-16", "vgaze-32", "vgaze-64"];
+    let matrix = run_matrix(&traces, &variants, &scale.params);
+    for (ti, trace) in traces.iter().enumerate() {
+        let base = matrix[0][ti].speedup();
         let mut row = vec![trace.name().to_string(), "1.000".to_string()];
-        for kb in [8u64, 16, 32, 64] {
-            let s = run_single(trace, &format!("vgaze-{kb}"), &scale.params).speedup();
+        for runs in &matrix[1..] {
+            let s = runs[ti].speedup();
             row.push(format!("{:.3}", if base > 0.0 { s / base } else { 1.0 }));
         }
         table.push_row(row);

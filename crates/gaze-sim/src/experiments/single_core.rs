@@ -4,9 +4,9 @@ use workloads::{build_workload, Suite};
 
 use crate::factory::{make_prefetcher, HEAD_TO_HEAD, MAIN_PREFETCHERS};
 use crate::report::{mean, Table};
-use crate::runner::{records_for, run_single, SingleRun};
+use crate::runner::{records_for, SingleRun};
 
-use super::{run_over, suite_row, suite_table, suite_traces, summarize_prefetcher, ExperimentScale};
+use super::{run_matrix, suite_row, suite_table, suite_traces, summarize_many, ExperimentScale};
 
 /// Fig. 1: speedup of the characterization schemes on CloudSuite vs SPEC17,
 /// with their storage budgets. Plain schemes are `offset`, `pc-pattern`,
@@ -27,9 +27,25 @@ pub fn fig01_characterization(scale: &ExperimentScale) -> Table {
         "Fig. 1 — context-based characterization: CloudSuite vs SPEC17 speedup and storage",
         &["scheme", "cloud_speedup", "spec17_speedup", "storage_KB"],
     );
-    for (label, name) in schemes {
-        let cloud_speedup = mean(&run_over(&cloud, name, scale).iter().map(SingleRun::speedup).collect::<Vec<_>>());
-        let spec_speedup = mean(&run_over(&spec17, name, scale).iter().map(SingleRun::speedup).collect::<Vec<_>>());
+    // One flat fan-out over every (scheme × trace) pair of both suites.
+    let mut traces = cloud;
+    let cloud_count = traces.len();
+    traces.extend(spec17);
+    let names: Vec<&str> = schemes.iter().map(|(_, n)| *n).collect();
+    let matrix = run_matrix(&traces, &names, &scale.params);
+    for ((label, name), runs) in schemes.iter().zip(matrix) {
+        let cloud_speedup = mean(
+            &runs[..cloud_count]
+                .iter()
+                .map(SingleRun::speedup)
+                .collect::<Vec<_>>(),
+        );
+        let spec_speedup = mean(
+            &runs[cloud_count..]
+                .iter()
+                .map(SingleRun::speedup)
+                .collect::<Vec<_>>(),
+        );
         let kb = make_prefetcher(name).storage_bits() as f64 / 8.0 / 1024.0;
         table.push_row(vec![
             label.to_string(),
@@ -48,12 +64,11 @@ pub fn fig04_initial_accesses(scale: &ExperimentScale) -> Table {
         "Fig. 4 — number of aligned initial accesses required for a match",
         &["initial_accesses", "norm_ipc", "accuracy", "coverage"],
     );
-    // Normalize IPC to the k=1 configuration, as the paper plots.
-    let mut baseline_speedup = None;
-    for k in 1..=4usize {
-        let name = format!("gaze-k{k}");
-        let summary = summarize_prefetcher(&name, scale);
-        let base = *baseline_speedup.get_or_insert(summary.avg_speedup);
+    // Normalize IPC to the k=1 configuration, as the paper plots. All four
+    // variants fan out together.
+    let summaries = summarize_many(&["gaze-k1", "gaze-k2", "gaze-k3", "gaze-k4"], scale);
+    let base = summaries[0].avg_speedup;
+    for (k, summary) in (1..=4usize).zip(summaries) {
         table.push_row(vec![
             k.to_string(),
             format!("{:.3}", summary.avg_speedup / base),
@@ -68,15 +83,21 @@ pub fn fig04_initial_accesses(scale: &ExperimentScale) -> Table {
 /// prefetchers across the five suites. Returns the speedup, accuracy and
 /// coverage+timeliness tables (in that order).
 pub fn fig06_08_main_comparison(scale: &ExperimentScale) -> Vec<Table> {
-    let mut speedup = suite_table("Fig. 6 — single-core speedup over no prefetching", "prefetcher");
+    let mut speedup = suite_table(
+        "Fig. 6 — single-core speedup over no prefetching",
+        "prefetcher",
+    );
     let mut accuracy = suite_table("Fig. 7 — overall prefetch accuracy", "prefetcher");
     let mut coverage = suite_table("Fig. 8 — LLC miss coverage", "prefetcher");
     let mut late = Table::new(
         "Fig. 8 (lower bars) — late fraction of useful prefetches",
         &["prefetcher", "late_fraction"],
     );
-    for name in MAIN_PREFETCHERS {
-        let summary = summarize_prefetcher(name, scale);
+    // All nine prefetchers × every suite trace in one parallel fan-out.
+    for (name, summary) in MAIN_PREFETCHERS
+        .iter()
+        .zip(summarize_many(&MAIN_PREFETCHERS, scale))
+    {
         speedup.push_row(suite_row(name, &summary.speedup, summary.avg_speedup));
         accuracy.push_row(suite_row(name, &summary.accuracy, summary.avg_accuracy));
         coverage.push_row(suite_row(name, &summary.coverage, summary.avg_coverage));
@@ -88,9 +109,12 @@ pub fn fig06_08_main_comparison(scale: &ExperimentScale) -> Vec<Table> {
 /// Fig. 9: the characterization ablation (Offset vs Gaze-PHT vs full Gaze)
 /// across all workloads, reported per suite plus the overall average.
 pub fn fig09_characterization_ablation(scale: &ExperimentScale) -> Table {
-    let mut table = suite_table("Fig. 9 — pattern characterization ablation (speedup)", "variant");
-    for name in ["offset", "gaze-pht", "gaze"] {
-        let summary = summarize_prefetcher(name, scale);
+    let mut table = suite_table(
+        "Fig. 9 — pattern characterization ablation (speedup)",
+        "variant",
+    );
+    let names = ["offset", "gaze-pht", "gaze"];
+    for (name, summary) in names.iter().zip(summarize_many(&names, scale)) {
         table.push_row(suite_row(name, &summary.speedup, summary.avg_speedup));
     }
     table
@@ -99,7 +123,16 @@ pub fn fig09_characterization_ablation(scale: &ExperimentScale) -> Table {
 /// Fig. 10: the streaming-module ablation (PHT4SS vs SM4SS vs full Gaze) on
 /// streaming-heavy and graph workloads.
 pub fn fig10_streaming_ablation(scale: &ExperimentScale) -> Table {
-    let workload_list = ["bwaves_s", "lbm_s", "roms_s", "facesim", "streamcluster", "BFS-init", "PageRank", "BFS"];
+    let workload_list = [
+        "bwaves_s",
+        "lbm_s",
+        "roms_s",
+        "facesim",
+        "streamcluster",
+        "BFS-init",
+        "PageRank",
+        "BFS",
+    ];
     let records = records_for(&scale.params);
     let traces: Vec<_> = workload_list
         .iter()
@@ -110,11 +143,13 @@ pub fn fig10_streaming_ablation(scale: &ExperimentScale) -> Table {
         "Fig. 10 — streaming module ablation (speedup)",
         &["workload", "pht4ss", "sm4ss", "gaze"],
     );
+    let variants = ["pht4ss", "sm4ss", "gaze"];
+    let matrix = run_matrix(&traces, &variants, &scale.params);
     let mut sums = [0.0f64; 3];
-    for trace in &traces {
+    for (ti, trace) in traces.iter().enumerate() {
         let mut row = vec![trace.name().to_string()];
-        for (i, variant) in ["pht4ss", "sm4ss", "gaze"].iter().enumerate() {
-            let s = run_single(trace, variant, &scale.params).speedup();
+        for (i, runs) in matrix.iter().enumerate() {
+            let s = runs[ti].speedup();
             sums[i] += s;
             row.push(format!("{s:.3}"));
         }
@@ -137,17 +172,20 @@ pub fn fig11_head_to_head(scale: &ExperimentScale) -> Table {
         "Fig. 11 — vBerti vs PMP vs Gaze on representative traces (speedup)",
         &["workload", "vberti", "pmp", "gaze"],
     );
+    let traces: Vec<_> = Suite::main_suites()
+        .into_iter()
+        .flat_map(|suite| suite_traces(suite, scale))
+        .collect();
+    let matrix = run_matrix(&traces, &HEAD_TO_HEAD, &scale.params);
     let mut all = [Vec::new(), Vec::new(), Vec::new()];
-    for suite in Suite::main_suites() {
-        for trace in suite_traces(suite, scale) {
-            let mut row = vec![trace.name().to_string()];
-            for (i, name) in HEAD_TO_HEAD.iter().enumerate() {
-                let s = run_single(&trace, name, &scale.params).speedup();
-                all[i].push(s);
-                row.push(format!("{s:.3}"));
-            }
-            table.push_row(row);
+    for (ti, trace) in traces.iter().enumerate() {
+        let mut row = vec![trace.name().to_string()];
+        for (i, runs) in matrix.iter().enumerate() {
+            let s = runs[ti].speedup();
+            all[i].push(s);
+            row.push(format!("{s:.3}"));
         }
+        table.push_row(row);
     }
     table.push_row(vec![
         "avg_all".to_string(),
@@ -166,11 +204,12 @@ pub fn fig12_gap_qmm(scale: &ExperimentScale) -> Table {
     );
     for suite in [Suite::Gap, Suite::Qmm] {
         let traces = suite_traces(suite, scale);
+        let matrix = run_matrix(&traces, &HEAD_TO_HEAD, &scale.params);
         let mut sums = [0.0f64; 3];
-        for trace in &traces {
+        for (ti, trace) in traces.iter().enumerate() {
             let mut row = vec![suite.label().to_string(), trace.name().to_string()];
-            for (i, name) in HEAD_TO_HEAD.iter().enumerate() {
-                let s = run_single(trace, name, &scale.params).speedup();
+            for (i, runs) in matrix.iter().enumerate() {
+                let s = runs[ti].speedup();
                 sums[i] += s;
                 row.push(format!("{s:.3}"));
             }
@@ -192,21 +231,36 @@ pub fn fig12_gap_qmm(scale: &ExperimentScale) -> Table {
 pub fn table1_storage() -> Table {
     let cfg = gaze::GazeConfig::paper_default();
     let s = cfg.storage_breakdown_bits();
-    let mut table = Table::new("Table I — Gaze storage requirements", &["structure", "bytes"]);
-    for (name, bits) in
-        [("FT", s.ft), ("AT", s.at), ("PHT", s.pht), ("DPCT", s.dpct), ("PB", s.pb), ("DC", s.dc)]
-    {
+    let mut table = Table::new(
+        "Table I — Gaze storage requirements",
+        &["structure", "bytes"],
+    );
+    for (name, bits) in [
+        ("FT", s.ft),
+        ("AT", s.at),
+        ("PHT", s.pht),
+        ("DPCT", s.dpct),
+        ("PB", s.pb),
+        ("DC", s.dc),
+    ] {
         table.push_row(vec![name.to_string(), format!("{}", bits / 8)]);
     }
-    table.push_row(vec!["Total (KB)".to_string(), format!("{:.2}", s.total_kib())]);
+    table.push_row(vec![
+        "Total (KB)".to_string(),
+        format!("{:.2}", s.total_kib()),
+    ]);
     table
 }
 
 /// Table IV: configuration storage of every evaluated prefetcher.
 pub fn table4_baseline_storage() -> Table {
-    let mut table =
-        Table::new("Table IV — storage overhead of the evaluated prefetchers", &["prefetcher", "KB"]);
-    for name in ["sms", "bingo", "dspatch", "pmp", "ipcp-l1", "spp-ppf", "vberti", "gaze"] {
+    let mut table = Table::new(
+        "Table IV — storage overhead of the evaluated prefetchers",
+        &["prefetcher", "KB"],
+    );
+    for name in [
+        "sms", "bingo", "dspatch", "pmp", "ipcp-l1", "spp-ppf", "vberti", "gaze",
+    ] {
         let kb = make_prefetcher(name).storage_bits() as f64 / 8.0 / 1024.0;
         table.push_row(vec![name.to_string(), format!("{kb:.2}")]);
     }
@@ -219,7 +273,11 @@ mod tests {
 
     fn tiny_scale() -> ExperimentScale {
         ExperimentScale {
-            params: crate::runner::RunParams { warmup: 2_000, measured: 10_000, ..crate::runner::RunParams::test() },
+            params: crate::runner::RunParams {
+                warmup: 2_000,
+                measured: 10_000,
+                ..crate::runner::RunParams::test()
+            },
             workloads_per_suite: 1,
         }
     }
@@ -228,7 +286,10 @@ mod tests {
     fn table1_matches_paper_total() {
         let t = table1_storage();
         let text = t.to_csv();
-        assert!(text.contains("4.46") || text.contains("4.45"), "total should be about 4.46 KB: {text}");
+        assert!(
+            text.contains("4.46") || text.contains("4.45"),
+            "total should be about 4.46 KB: {text}"
+        );
     }
 
     #[test]

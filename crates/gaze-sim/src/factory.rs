@@ -9,14 +9,24 @@ use prefetch_common::prefetcher::{NullPrefetcher, Prefetcher};
 
 /// The nine prefetchers of the main single-core comparison (Fig. 6–8), in
 /// plotting order.
-pub const MAIN_PREFETCHERS: [&str; 9] =
-    ["ip-stride", "spp-ppf", "ipcp-l1", "vberti", "sms", "bingo", "dspatch", "pmp", "gaze"];
+pub const MAIN_PREFETCHERS: [&str; 9] = [
+    "ip-stride",
+    "spp-ppf",
+    "ipcp-l1",
+    "vberti",
+    "sms",
+    "bingo",
+    "dspatch",
+    "pmp",
+    "gaze",
+];
 
 /// The three prefetchers of the head-to-head comparisons (Fig. 11, 12, 15).
 pub const HEAD_TO_HEAD: [&str; 3] = ["vberti", "pmp", "gaze"];
 
 /// The six prefetchers of the multi-core study (Fig. 14).
-pub const MULTICORE_PREFETCHERS: [&str; 6] = ["spp-ppf", "vberti", "bingo", "dspatch", "pmp", "gaze"];
+pub const MULTICORE_PREFETCHERS: [&str; 6] =
+    ["spp-ppf", "vberti", "bingo", "dspatch", "pmp", "gaze"];
 
 /// Every name accepted by [`make_prefetcher`].
 pub fn known_prefetchers() -> Vec<&'static str> {
@@ -83,10 +93,22 @@ pub fn make_prefetcher(name: &str) -> Box<dyn Prefetcher> {
         "dspatch" => Box::new(DsPatch::new()),
         "pmp" => Box::new(Pmp::new()),
         "gaze" => Box::new(Gaze::new()),
-        "gaze-pht" => Box::new(Gaze::with_config_and_name(GazeConfig::gaze_pht_only(), "gaze-pht")),
-        "offset" => Box::new(Gaze::with_config_and_name(GazeConfig::offset_only(), "offset")),
-        "pht4ss" => Box::new(Gaze::with_config_and_name(GazeConfig::pht_for_streaming_only(), "pht4ss")),
-        "sm4ss" => Box::new(Gaze::with_config_and_name(GazeConfig::streaming_module_only(), "sm4ss")),
+        "gaze-pht" => Box::new(Gaze::with_config_and_name(
+            GazeConfig::gaze_pht_only(),
+            "gaze-pht",
+        )),
+        "offset" => Box::new(Gaze::with_config_and_name(
+            GazeConfig::offset_only(),
+            "offset",
+        )),
+        "pht4ss" => Box::new(Gaze::with_config_and_name(
+            GazeConfig::pht_for_streaming_only(),
+            "pht4ss",
+        )),
+        "sm4ss" => Box::new(Gaze::with_config_and_name(
+            GazeConfig::streaming_module_only(),
+            "sm4ss",
+        )),
         "pc-pattern" => Box::new(ContextPattern::new(ContextPatternConfig::pc())),
         "pc-addr-pattern" => Box::new(ContextPattern::new(ContextPatternConfig::pc_address())),
         "gaze-k1" | "gaze-k2" | "gaze-k3" | "gaze-k4" => {
@@ -119,8 +141,15 @@ mod tests {
 
     #[test]
     fn main_lists_reference_known_names() {
-        for name in MAIN_PREFETCHERS.iter().chain(HEAD_TO_HEAD.iter()).chain(MULTICORE_PREFETCHERS.iter()) {
-            assert!(known_prefetchers().contains(name), "{name} missing from known list");
+        for name in MAIN_PREFETCHERS
+            .iter()
+            .chain(HEAD_TO_HEAD.iter())
+            .chain(MULTICORE_PREFETCHERS.iter())
+        {
+            assert!(
+                known_prefetchers().contains(name),
+                "{name} missing from known list"
+            );
         }
     }
 

@@ -3,7 +3,11 @@
 //! synthetic trace suites.
 //!
 //! * [`factory`] — build any evaluated prefetcher or Gaze ablation by name,
-//! * [`runner`] — single-core, multi-core and multi-level simulation drivers,
+//! * [`runner`] — single-core, multi-core and multi-level simulation drivers
+//!   (the no-prefetching baseline of every comparison is memoized by
+//!   [`baseline_cache`]),
+//! * [`parallel`] — the thread-pool `parallel_map` the experiment engine
+//!   fans (trace × prefetcher) pairs out with (`GAZE_THREADS` caps it),
 //! * [`report`] — text/CSV tables,
 //! * [`experiments`] — one module per figure/table of the paper; each returns
 //!   a [`report::Table`] so the binary, the benches and the integration tests
@@ -15,11 +19,14 @@
 //! cargo run --release -p gaze-sim --bin gaze-experiments -- fig06 --scale 1
 //! ```
 
+pub mod baseline_cache;
 pub mod experiments;
 pub mod factory;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 
 pub use factory::{make_prefetcher, HEAD_TO_HEAD, MAIN_PREFETCHERS, MULTICORE_PREFETCHERS};
+pub use parallel::{parallel_map, worker_count};
 pub use report::Table;
 pub use runner::{run_single, RunParams, SingleRun};

@@ -26,7 +26,11 @@ impl Table {
     ///
     /// Panics if the number of cells does not match the header count.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(cells);
     }
 

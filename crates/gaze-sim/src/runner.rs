@@ -1,5 +1,15 @@
 //! Simulation runners: single-core, homogeneous and heterogeneous multi-core,
 //! and multi-level (L1+L2) configurations.
+//!
+//! Engine knobs (read from the environment so the bench harness can A/B the
+//! optimizations without recompiling):
+//!
+//! * `GAZE_THREADS` — worker count of the parallel experiment engine
+//!   (`1` forces the serial path),
+//! * `GAZE_CYCLE_SKIP=0` — disables event-driven cycle skipping,
+//! * `GAZE_BASELINE_CACHE=0` — disables baseline memoization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use prefetch_common::prefetcher::Prefetcher;
 use sim_core::config::SimConfig;
@@ -7,6 +17,7 @@ use sim_core::stats::{CoreStats, SimReport};
 use sim_core::system::System;
 use sim_core::trace::Trace;
 
+use crate::baseline_cache::{baseline_stats, multicore_baseline};
 use crate::factory::make_prefetcher;
 
 /// Instruction budgets and system configuration of one simulation.
@@ -23,20 +34,32 @@ pub struct RunParams {
 impl RunParams {
     /// A short run suitable for unit/integration tests.
     pub fn test() -> Self {
-        RunParams { warmup: 5_000, measured: 20_000, config: SimConfig::paper_single_core() }
+        RunParams {
+            warmup: 5_000,
+            measured: 20_000,
+            config: SimConfig::paper_single_core(),
+        }
     }
 
     /// The default experiment scale used by the benches: large enough for
     /// patterns to be learned and contention to appear, small enough that the
     /// full figure set regenerates in minutes rather than days.
     pub fn experiment() -> Self {
-        RunParams { warmup: 50_000, measured: 200_000, config: SimConfig::paper_single_core() }
+        RunParams {
+            warmup: 50_000,
+            measured: 200_000,
+            config: SimConfig::paper_single_core(),
+        }
     }
 
     /// The paper's own per-core budgets (200M warm-up + 200M measured). Only
     /// practical for spot checks.
     pub fn paper_scale() -> Self {
-        RunParams { warmup: 200_000_000, measured: 200_000_000, config: SimConfig::paper_single_core() }
+        RunParams {
+            warmup: 200_000_000,
+            measured: 200_000_000,
+            config: SimConfig::paper_single_core(),
+        }
     }
 
     /// Returns a copy scaled to `cores` cores (LLC and DRAM scale per
@@ -57,6 +80,35 @@ impl RunParams {
         self.config = config;
         self
     }
+}
+
+/// Total instructions simulated by this process (warm-up + measured, summed
+/// over cores), maintained by every runner entry point. The `sim-perf`
+/// harness derives simulated-instructions-per-second from it.
+static SIM_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Simulated instructions accumulated so far (see [`SIM_INSTRUCTIONS`]).
+pub fn simulated_instructions() -> u64 {
+    SIM_INSTRUCTIONS.load(Ordering::Relaxed)
+}
+
+fn count_instructions(params: &RunParams, cores: usize) {
+    SIM_INSTRUCTIONS.fetch_add(
+        (params.warmup + params.measured) * cores as u64,
+        Ordering::Relaxed,
+    );
+}
+
+/// Whether event-driven cycle skipping is enabled (default yes;
+/// `GAZE_CYCLE_SKIP=0` turns it off for A/B measurements).
+pub fn cycle_skip_enabled() -> bool {
+    std::env::var("GAZE_CYCLE_SKIP").as_deref() != Ok("0")
+}
+
+/// Whether baseline memoization is enabled (default yes;
+/// `GAZE_BASELINE_CACHE=0` turns it off for A/B measurements).
+pub fn baseline_cache_enabled() -> bool {
+    std::env::var("GAZE_BASELINE_CACHE").as_deref() != Ok("0")
 }
 
 /// Trace length (memory records) generated for a given measured-instruction
@@ -112,7 +164,25 @@ impl SingleRun {
 
 /// Runs `prefetcher` (built by the factory) on `trace` at single core,
 /// together with the no-prefetching baseline.
+///
+/// The baseline is memoized per (trace, params) pair — a nine-prefetcher
+/// comparison simulates it once instead of nine times. Memoization is exact:
+/// the simulator is deterministic, so the cached statistics are bit-identical
+/// to a fresh `"none"` run (see the determinism integration test).
 pub fn run_single(trace: &Trace, prefetcher: &str, params: &RunParams) -> SingleRun {
+    let with = run_single_boxed(trace, make_prefetcher(prefetcher), params);
+    let baseline = baseline_stats(trace, params);
+    SingleRun {
+        workload: trace.name().to_string(),
+        prefetcher: prefetcher.to_string(),
+        stats: with,
+        baseline,
+    }
+}
+
+/// Like [`run_single`] but bypassing the baseline cache (reference path for
+/// the determinism tests).
+pub fn run_single_uncached(trace: &Trace, prefetcher: &str, params: &RunParams) -> SingleRun {
     let with = run_single_boxed(trace, make_prefetcher(prefetcher), params);
     let baseline = run_single_boxed(trace, make_prefetcher("none"), params);
     SingleRun {
@@ -125,10 +195,16 @@ pub fn run_single(trace: &Trace, prefetcher: &str, params: &RunParams) -> Single
 
 /// Runs an already-constructed prefetcher on `trace` and returns its core
 /// statistics (no baseline).
-pub fn run_single_boxed(trace: &Trace, prefetcher: Box<dyn Prefetcher>, params: &RunParams) -> CoreStats {
+pub fn run_single_boxed(
+    trace: &Trace,
+    prefetcher: Box<dyn Prefetcher>,
+    params: &RunParams,
+) -> CoreStats {
     let mut cfg = params.config;
     cfg.cores = 1;
     let mut system = System::single_core(cfg, trace, prefetcher);
+    system.set_cycle_skip(cycle_skip_enabled());
+    count_instructions(params, 1);
     let report = system.run(params.warmup, params.measured);
     report.cores[0]
 }
@@ -141,17 +217,26 @@ pub fn run_multi_level(trace: &Trace, l1: &str, l2: Option<&str>, params: &RunPa
     if let Some(l2) = l2 {
         system.set_l2_prefetcher(0, make_prefetcher(l2));
     }
+    system.set_cycle_skip(cycle_skip_enabled());
+    count_instructions(params, 1);
     let report = system.run(params.warmup, params.measured);
     report.cores[0]
 }
 
 /// Runs a homogeneous multi-core mix (`cores` copies of `trace`) and returns
 /// the full report.
-pub fn run_homogeneous(trace: &Trace, prefetcher: &str, cores: usize, params: &RunParams) -> SimReport {
+pub fn run_homogeneous(
+    trace: &Trace,
+    prefetcher: &str,
+    cores: usize,
+    params: &RunParams,
+) -> SimReport {
     let p = params.with_cores(cores);
     let traces = vec![trace; cores];
     let prefetchers = (0..cores).map(|_| make_prefetcher(prefetcher)).collect();
     let mut system = System::new(p.config, traces, prefetchers);
+    system.set_cycle_skip(cycle_skip_enabled());
+    count_instructions(&p, cores);
     system.run(p.warmup, p.measured)
 }
 
@@ -161,6 +246,8 @@ pub fn run_heterogeneous(traces: &[&Trace], prefetcher: &str, params: &RunParams
     let p = params.with_cores(cores);
     let prefetchers = (0..cores).map(|_| make_prefetcher(prefetcher)).collect();
     let mut system = System::new(p.config, traces.to_vec(), prefetchers);
+    system.set_cycle_skip(cycle_skip_enabled());
+    count_instructions(&p, cores);
     system.run(p.warmup, p.measured)
 }
 
@@ -172,7 +259,7 @@ pub fn multicore_speedup(
     params: &RunParams,
 ) -> (SimReport, SimReport, f64) {
     let with = run_heterogeneous(traces, prefetcher, params);
-    let base = run_heterogeneous(traces, "none", params);
+    let base = multicore_baseline(traces, params);
     let speedup = with.speedup_over(&base);
     (with, base, speedup)
 }
@@ -186,7 +273,11 @@ mod tests {
     fn single_run_reports_plausible_metrics() {
         let trace = build_workload("bwaves_s", 8_000);
         let run = run_single(&trace, "gaze", &RunParams::test());
-        assert!(run.speedup() > 0.5 && run.speedup() < 5.0, "speedup {:.2}", run.speedup());
+        assert!(
+            run.speedup() > 0.5 && run.speedup() < 5.0,
+            "speedup {:.2}",
+            run.speedup()
+        );
         assert!(run.accuracy() >= 0.0 && run.accuracy() <= 1.0);
         assert!(run.coverage() >= 0.0 && run.coverage() <= 1.0);
         assert!(run.baseline.l1d.demand_accesses > 0);
@@ -197,13 +288,25 @@ mod tests {
         let params = RunParams::test();
         let trace = build_workload("bwaves_s", records_for(&params));
         let run = run_single(&trace, "gaze", &params);
-        assert!(run.speedup() > 1.05, "Gaze should accelerate streaming, got {:.3}", run.speedup());
-        assert!(run.accuracy() > 0.5, "streaming accuracy should be high, got {:.2}", run.accuracy());
+        assert!(
+            run.speedup() > 1.05,
+            "Gaze should accelerate streaming, got {:.3}",
+            run.speedup()
+        );
+        assert!(
+            run.accuracy() > 0.5,
+            "streaming accuracy should be high, got {:.2}",
+            run.accuracy()
+        );
     }
 
     #[test]
     fn homogeneous_multicore_runs() {
-        let params = RunParams { warmup: 2_000, measured: 8_000, config: SimConfig::paper_single_core() };
+        let params = RunParams {
+            warmup: 2_000,
+            measured: 8_000,
+            config: SimConfig::paper_single_core(),
+        };
         let trace = build_workload("PageRank", 6_000);
         let report = run_homogeneous(&trace, "pmp", 2, &params);
         assert_eq!(report.cores.len(), 2);
@@ -211,7 +314,11 @@ mod tests {
 
     #[test]
     fn heterogeneous_multicore_speedup_is_finite() {
-        let params = RunParams { warmup: 2_000, measured: 8_000, config: SimConfig::paper_single_core() };
+        let params = RunParams {
+            warmup: 2_000,
+            measured: 8_000,
+            config: SimConfig::paper_single_core(),
+        };
         let t1 = build_workload("bwaves_s", 6_000);
         let t2 = build_workload("mcf_s", 6_000);
         let (_, _, speedup) = multicore_speedup(&[&t1, &t2], "gaze", &params);

@@ -185,22 +185,34 @@ impl GazeConfig {
 
     /// The Fig. 4 sweep: require the first `k` accesses (1–4) to be aligned.
     pub fn with_initial_accesses(mut self, k: usize) -> Self {
-        assert!(k >= 1 && k <= 4, "the paper evaluates 1..=4 initial accesses");
-        self.characterization =
-            if k == 1 { Characterization::TriggerOnly } else { Characterization::FirstAccesses(k) };
+        assert!(
+            (1..=4).contains(&k),
+            "the paper evaluates 1..=4 initial accesses"
+        );
+        self.characterization = if k == 1 {
+            Characterization::TriggerOnly
+        } else {
+            Characterization::FirstAccesses(k)
+        };
         self
     }
 
     /// The Fig. 17 / Fig. 18 sweeps: change the spatial-region size.
     pub fn with_region_size(mut self, bytes: u64) -> Self {
-        assert!(bytes.is_power_of_two() && bytes >= 2 * self.block_size, "invalid region size");
+        assert!(
+            bytes.is_power_of_two() && bytes >= 2 * self.block_size,
+            "invalid region size"
+        );
         self.region_size = bytes;
         self
     }
 
     /// The Fig. 17b sweep: change the PHT capacity.
     pub fn with_pht_entries(mut self, entries: usize) -> Self {
-        assert!(entries >= self.pht_ways && entries % self.pht_ways == 0, "PHT entries must be a multiple of ways");
+        assert!(
+            entries >= self.pht_ways && entries.is_multiple_of(self.pht_ways),
+            "PHT entries must be a multiple of ways"
+        );
         self.pht_entries = entries;
         self
     }
@@ -227,7 +239,14 @@ impl GazeConfig {
         let dpct = self.dpct_entries as u64 * (12 + 3);
         let pb = self.pb_entries as u64 * (36 + 3 + 2 * blocks);
         let dc = u64::from(self.dc_bits);
-        StorageBreakdown { ft, at, pht, dpct, pb, dc }
+        StorageBreakdown {
+            ft,
+            at,
+            pht,
+            dpct,
+            pb,
+            dc,
+        }
     }
 }
 
@@ -283,15 +302,30 @@ mod tests {
         assert_eq!(s.dpct / 8, 15);
         assert_eq!(s.pb / 8, 668);
         let kib = s.total_kib();
-        assert!((kib - 4.46).abs() < 0.05, "total storage {kib:.2} KB should be about 4.46 KB");
+        assert!(
+            (kib - 4.46).abs() < 0.05,
+            "total storage {kib:.2} KB should be about 4.46 KB"
+        );
     }
 
     #[test]
     fn characterization_access_requirements() {
         assert_eq!(Characterization::TriggerOnly.accesses_required(), 1);
         assert_eq!(Characterization::FirstAccesses(2).accesses_required(), 2);
-        assert_eq!(GazeConfig::paper_default().with_initial_accesses(1).characterization.accesses_required(), 1);
-        assert_eq!(GazeConfig::paper_default().with_initial_accesses(4).characterization.accesses_required(), 4);
+        assert_eq!(
+            GazeConfig::paper_default()
+                .with_initial_accesses(1)
+                .characterization
+                .accesses_required(),
+            1
+        );
+        assert_eq!(
+            GazeConfig::paper_default()
+                .with_initial_accesses(4)
+                .characterization
+                .accesses_required(),
+            4
+        );
     }
 
     #[test]
@@ -299,8 +333,16 @@ mod tests {
         assert!(!GazeConfig::offset_only().paths.streaming_module);
         assert!(!GazeConfig::gaze_pht_only().paths.streaming_module);
         assert!(GazeConfig::gaze_pht_only().paths.pht_handles_streaming);
-        assert!(GazeConfig::pht_for_streaming_only().paths.streaming_regions_only);
-        assert!(GazeConfig::streaming_module_only().paths.streaming_regions_only);
+        assert!(
+            GazeConfig::pht_for_streaming_only()
+                .paths
+                .streaming_regions_only
+        );
+        assert!(
+            GazeConfig::streaming_module_only()
+                .paths
+                .streaming_regions_only
+        );
         assert!(!GazeConfig::streaming_module_only().paths.pht);
     }
 
@@ -310,7 +352,10 @@ mod tests {
         assert_eq!(small.blocks_per_region(), 8);
         let huge = GazeConfig::paper_default().with_region_size(64 * 1024);
         assert_eq!(huge.blocks_per_region(), 1024);
-        assert!(huge.storage_breakdown_bits().total_bits() > small.storage_breakdown_bits().total_bits());
+        assert!(
+            huge.storage_breakdown_bits().total_bits()
+                > small.storage_breakdown_bits().total_bits()
+        );
     }
 
     #[test]

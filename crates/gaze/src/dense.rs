@@ -38,7 +38,10 @@ impl StreamingModule {
     /// Creates the module with `dpct_entries` dense-PC entries and a
     /// `dc_bits`-bit saturating counter.
     pub fn new(dpct_entries: usize, dc_bits: u32) -> Self {
-        assert!(dc_bits >= 2 && dc_bits <= 8, "dense counter width out of range");
+        assert!(
+            (2..=8).contains(&dc_bits),
+            "dense counter width out of range"
+        );
         StreamingModule {
             dpct: SetAssocTable::new(TableConfig::fully_associative(dpct_entries.max(1))),
             counter: 0,

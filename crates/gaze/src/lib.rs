@@ -25,11 +25,13 @@
 //! use gaze::{Gaze, GazeConfig};
 //! use prefetch_common::access::DemandAccess;
 //! use prefetch_common::prefetcher::Prefetcher;
+//! use prefetch_common::sink::RequestSink;
 //!
 //! let mut gaze = Gaze::with_config(GazeConfig::paper_default());
+//! let mut sink = RequestSink::new();
 //! // Train on a region accessed at offsets 5, 9, 13 ...
 //! for offset in [5u64, 9, 13] {
-//!     gaze.on_access(&DemandAccess::load(0x400123, 0x1000 + offset * 64), false);
+//!     gaze.on_access(&DemandAccess::load(0x400123, 0x1000 + offset * 64), false, &mut sink);
 //! }
 //! assert_eq!(gaze.storage_bits() / 8 / 1024, 4); // ~4.46 KB of metadata
 //! ```

@@ -9,6 +9,7 @@
 
 use prefetch_common::addr::RegionGeometry;
 use prefetch_common::request::{FillLevel, PrefetchRequest};
+use prefetch_common::sink::RequestSink;
 use prefetch_common::table::{SetAssocTable, TableConfig};
 
 /// Per-offset prefetch state.
@@ -57,7 +58,9 @@ pub struct PrefetchPattern {
 impl PrefetchPattern {
     /// Creates an all-`None` pattern for a region of `blocks` blocks.
     pub fn new(blocks: usize) -> Self {
-        PrefetchPattern { states: vec![OffsetState::None; blocks] }
+        PrefetchPattern {
+            states: vec![OffsetState::None; blocks],
+        }
     }
 
     /// Number of block slots.
@@ -97,7 +100,10 @@ impl PrefetchPattern {
 
     /// Number of offsets marked for prefetching.
     pub fn population(&self) -> usize {
-        self.states.iter().filter(|s| **s != OffsetState::None).count()
+        self.states
+            .iter()
+            .filter(|s| **s != OffsetState::None)
+            .count()
     }
 }
 
@@ -121,7 +127,12 @@ pub struct PrefetchBuffer {
 impl PrefetchBuffer {
     /// Creates a buffer with `entries` region slots, `ways` associativity,
     /// draining at most `drain_per_cycle` requests per cycle.
-    pub fn new(entries: usize, ways: usize, drain_per_cycle: usize, geometry: RegionGeometry) -> Self {
+    pub fn new(
+        entries: usize,
+        ways: usize,
+        drain_per_cycle: usize,
+        geometry: RegionGeometry,
+    ) -> Self {
         PrefetchBuffer {
             table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)),
             geometry,
@@ -150,7 +161,15 @@ impl PrefetchBuffer {
             entry.pattern.merge_promote(&pattern);
             return;
         }
-        self.table.insert(region, region, PbEntry { pattern, cursor: 0, origin });
+        self.table.insert(
+            region,
+            region,
+            PbEntry {
+                pattern,
+                cursor: 0,
+                origin,
+            },
+        );
     }
 
     /// Promotes already-buffered offsets of `region` to the L1D (stage-2
@@ -166,31 +185,67 @@ impl PrefetchBuffer {
         self.push(region, offsets.first().copied().unwrap_or(0), promo);
     }
 
-    /// Drains up to the per-cycle limit of requests, in issue order.
-    pub fn drain(&mut self) -> Vec<PrefetchRequest> {
-        let mut out = Vec::new();
+    /// Drains up to the per-cycle limit of requests, in issue order, into
+    /// `sink`. Allocation-free: finished regions are tracked in a fixed
+    /// inline array (entries finishing in one call are bounded by the drain
+    /// budget in practice); the rare overflow falls back to a second sweep.
+    pub fn drain_into(&mut self, sink: &mut RequestSink) {
         let blocks = self.geometry.blocks_per_region();
-        let mut finished = Vec::new();
+        let budget = self.drain_per_cycle;
+        let mut emitted = 0usize;
+        let mut finished: [u64; 8] = [0; 8];
+        let mut finished_len = 0usize;
+        let mut finished_overflow = false;
         for (region, entry) in self.table.iter_mut() {
-            while entry.cursor < blocks && out.len() < self.drain_per_cycle {
+            while entry.cursor < blocks && emitted < budget {
                 let offset = (entry.origin + entry.cursor) % blocks;
                 entry.cursor += 1;
                 if let Some(level) = entry.pattern.get(offset).fill_level() {
-                    let block = self.geometry.block_at(prefetch_common::addr::RegionId::new(region), offset);
-                    out.push(PrefetchRequest::new(block, level));
+                    let block = self
+                        .geometry
+                        .block_at(prefetch_common::addr::RegionId::new(region), offset);
+                    sink.push(PrefetchRequest::new(block, level));
+                    emitted += 1;
                 }
             }
             if entry.cursor >= blocks {
-                finished.push(region);
+                if finished_len < finished.len() {
+                    finished[finished_len] = region;
+                    finished_len += 1;
+                } else {
+                    finished_overflow = true;
+                }
             }
-            if out.len() >= self.drain_per_cycle {
+            if emitted >= budget {
                 break;
             }
         }
-        for region in finished {
+        for &region in &finished[..finished_len] {
             self.table.remove(region, region);
         }
-        out
+        if finished_overflow {
+            // Extremely rare (more than 8 regions completed in one call):
+            // sweep again for any remaining fully-drained entries.
+            let blocks = self.geometry.blocks_per_region();
+            let done: Vec<u64> = self
+                .table
+                .iter()
+                .filter(|(_, e)| e.cursor >= blocks)
+                .map(|(region, _)| region)
+                .collect();
+            for region in done {
+                self.table.remove(region, region);
+            }
+        }
+    }
+
+    /// Test/diagnostic helper: drains one cycle's worth of requests into a
+    /// fresh `Vec` (allocates; use [`drain_into`](Self::drain_into) on the
+    /// hot path).
+    pub fn drain(&mut self) -> Vec<PrefetchRequest> {
+        let mut sink = RequestSink::new();
+        self.drain_into(&mut sink);
+        sink.to_vec()
     }
 }
 
@@ -217,8 +272,14 @@ mod tests {
         pb.push(5, 3, pattern_l1(&[3, 4, 5, 6]));
         let first = pb.drain();
         assert_eq!(first.len(), 2);
-        assert_eq!(first[0].block, geometry().block_at(prefetch_common::addr::RegionId::new(5), 3));
-        assert_eq!(first[1].block, geometry().block_at(prefetch_common::addr::RegionId::new(5), 4));
+        assert_eq!(
+            first[0].block,
+            geometry().block_at(prefetch_common::addr::RegionId::new(5), 3)
+        );
+        assert_eq!(
+            first[1].block,
+            geometry().block_at(prefetch_common::addr::RegionId::new(5), 4)
+        );
         let second = pb.drain();
         assert_eq!(second.len(), 2);
         // Entry is removed once fully drained.
@@ -233,8 +294,10 @@ mod tests {
         let mut pb = PrefetchBuffer::new(32, 8, 64, geometry());
         pb.push(1, 62, pattern_l1(&[62, 63, 0, 1]));
         let reqs = pb.drain();
-        let offsets: Vec<usize> =
-            reqs.iter().map(|r| geometry().offset_of(r.block.base_addr())).collect();
+        let offsets: Vec<usize> = reqs
+            .iter()
+            .map(|r| geometry().offset_of(r.block.base_addr()))
+            .collect();
         assert_eq!(offsets, vec![62, 63, 0, 1]);
     }
 

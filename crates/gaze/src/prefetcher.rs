@@ -18,7 +18,7 @@
 use prefetch_common::access::DemandAccess;
 use prefetch_common::addr::{BlockAddr, RegionGeometry};
 use prefetch_common::prefetcher::{Prefetcher, PrefetcherStats};
-use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 
 use crate::config::{Characterization, GazeConfig};
 use crate::dense::{StreamConfidence, StreamingModule};
@@ -79,7 +79,10 @@ impl Gaze {
     }
 
     fn initial_event<'a>(&self, entry: &'a AccumEntry) -> &'a [usize] {
-        let k = self.accesses_required().max(1).min(entry.initial_offsets.len());
+        let k = self
+            .accesses_required()
+            .max(1)
+            .min(entry.initial_offsets.len());
         &entry.initial_offsets[..k]
     }
 
@@ -106,8 +109,11 @@ impl Gaze {
                         if entry.footprint.get(o) {
                             continue;
                         }
-                        let state =
-                            if o < self.cfg.dense_l1_blocks { OffsetState::L1 } else { OffsetState::L2 };
+                        let state = if o < self.cfg.dense_l1_blocks {
+                            OffsetState::L1
+                        } else {
+                            OffsetState::L2
+                        };
                         pattern.set(o, state);
                     }
                 }
@@ -123,7 +129,9 @@ impl Gaze {
             if self.cfg.paths.stride_backup {
                 entry.stride_flag = true;
             }
-        } else if self.cfg.paths.pht && (!streaming_signature || self.cfg.paths.pht_handles_streaming) {
+        } else if self.cfg.paths.pht
+            && (!streaming_signature || self.cfg.paths.pht_handles_streaming)
+        {
             let event: Vec<usize> = self.initial_event(entry).to_vec();
             match self.pht.lookup(&event) {
                 Some(footprint) => {
@@ -158,7 +166,8 @@ impl Gaze {
             return;
         }
         if streaming_signature && self.cfg.paths.streaming_module {
-            self.streaming.learn(entry.trigger_pc, entry.footprint.is_full());
+            self.streaming
+                .learn(entry.trigger_pc, entry.footprint.is_full());
             return;
         }
         if self.cfg.paths.pht && (!streaming_signature || self.cfg.paths.pht_handles_streaming) {
@@ -171,7 +180,13 @@ impl Gaze {
     }
 
     /// Stage-2 / backup: region-based stride promotion.
-    fn stride_promotion(&mut self, region: u64, entry: &AccumEntry, prev_stride: i64, cur_stride: i64) {
+    fn stride_promotion(
+        &mut self,
+        region: u64,
+        entry: &AccumEntry,
+        prev_stride: i64,
+        cur_stride: i64,
+    ) {
         if !self.cfg.paths.stride_backup || !entry.stride_flag {
             return;
         }
@@ -195,7 +210,9 @@ impl Gaze {
     /// Handles an access to a region already tracked in the AT.
     fn tracked_access(&mut self, region: u64, offset: usize) {
         let max_initial = self.accesses_required().max(2);
-        let Some(mut entry) = self.at.remove(region) else { return };
+        let Some(mut entry) = self.at.remove(region) else {
+            return;
+        };
         let (prev, cur) = entry.record_access(offset, max_initial);
         if !entry.prefetch_triggered && entry.initial_offsets.len() >= self.accesses_required() {
             self.awaken_prefetch(region, &mut entry);
@@ -236,10 +253,10 @@ impl Prefetcher for Gaze {
         &self.name
     }
 
-    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, _cache_hit: bool, _sink: &mut RequestSink) {
         // Gaze trains on loads only (§III-A).
         if !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.stats.accesses += 1;
         let region = self.geom.region_of(access.addr).raw();
@@ -253,7 +270,13 @@ impl Prefetcher for Gaze {
                 self.activate_region(region, ft_entry, offset);
             }
         } else {
-            self.ft.insert(region, FilterEntry { trigger_pc: hash_pc(access.pc), trigger_offset: offset });
+            self.ft.insert(
+                region,
+                FilterEntry {
+                    trigger_pc: hash_pc(access.pc),
+                    trigger_offset: offset,
+                },
+            );
             // The trigger-only characterization (the `Offset` baseline)
             // awakens prefetching on the very first access to a region.
             if self.cfg.characterization == Characterization::TriggerOnly && self.cfg.paths.pht {
@@ -273,7 +296,6 @@ impl Prefetcher for Gaze {
             }
         }
         // Requests are issued via the Prefetch Buffer on `tick`.
-        Vec::new()
     }
 
     fn on_evict(&mut self, block: BlockAddr) {
@@ -283,8 +305,12 @@ impl Prefetcher for Gaze {
         }
     }
 
-    fn tick(&mut self) -> Vec<PrefetchRequest> {
-        self.pb.drain()
+    fn tick(&mut self, sink: &mut RequestSink) {
+        self.pb.drain_into(sink);
+    }
+
+    fn has_queued(&self) -> bool {
+        !self.pb.is_empty()
     }
 
     fn storage_bits(&self) -> u64 {
@@ -299,7 +325,8 @@ impl Prefetcher for Gaze {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prefetch_common::request::FillLevel;
+    use prefetch_common::prefetcher::PrefetcherExt;
+    use prefetch_common::request::{FillLevel, PrefetchRequest};
 
     /// Feeds `offsets` of `region` (4 KB regions) as loads with PC `pc` and
     /// returns every request produced (via on_access and tick).
@@ -307,10 +334,10 @@ mod tests {
         let mut out = Vec::new();
         for &o in offsets {
             let addr = region * 4096 + (o as u64) * 64;
-            out.extend(gaze.on_access(&DemandAccess::load(pc, addr), false));
+            out.extend(gaze.on_access_vec(&DemandAccess::load(pc, addr), false));
             // Drain generously so tests observe the full pattern.
             for _ in 0..64 {
-                out.extend(gaze.tick());
+                out.extend(gaze.tick_vec());
             }
         }
         out
@@ -323,7 +350,9 @@ mod tests {
 
     fn offsets_of(reqs: &[PrefetchRequest]) -> Vec<usize> {
         let geom = RegionGeometry::gaze_default();
-        reqs.iter().map(|r| geom.offset_of(r.block.base_addr())).collect()
+        reqs.iter()
+            .map(|r| geom.offset_of(r.block.base_addr()))
+            .collect()
     }
 
     #[test]
@@ -332,7 +361,10 @@ mod tests {
         // Irregular offsets: no PHT experience and no matching strides, so
         // neither the pattern path nor the stride backup may fire.
         let reqs = feed(&mut g, 0x400, 10, &[5, 9, 20, 2]);
-        assert!(reqs.is_empty(), "an untrained Gaze must not prefetch, got {reqs:?}");
+        assert!(
+            reqs.is_empty(),
+            "an untrained Gaze must not prefetch, got {reqs:?}"
+        );
     }
 
     #[test]
@@ -366,7 +398,10 @@ mod tests {
         feed(&mut g, 0x400, 1, &[5, 9, 13, 17]);
         deactivate(&mut g, 1);
         let reqs = feed(&mut g, 0x400, 2, &[5, 10]);
-        assert!(reqs.is_empty(), "partial (trigger-only) match must not awaken prefetching");
+        assert!(
+            reqs.is_empty(),
+            "partial (trigger-only) match must not awaken prefetching"
+        );
     }
 
     #[test]
@@ -391,10 +426,23 @@ mod tests {
         // A new region with the streaming signature and a dense trigger PC
         // gets the high-aggressiveness pattern: 16 blocks to L1, rest to L2.
         let reqs = feed(&mut g, 0x400, 100, &[0, 1]);
-        let l1 = reqs.iter().filter(|r| r.fill_level == FillLevel::L1).count();
-        let l2 = reqs.iter().filter(|r| r.fill_level == FillLevel::L2).count();
-        assert_eq!(l1 + l2, 62, "all remaining blocks of the region are prefetched");
-        assert_eq!(l1, 14, "first 16 blocks (minus the 2 already accessed) go to L1");
+        let l1 = reqs
+            .iter()
+            .filter(|r| r.fill_level == FillLevel::L1)
+            .count();
+        let l2 = reqs
+            .iter()
+            .filter(|r| r.fill_level == FillLevel::L2)
+            .count();
+        assert_eq!(
+            l1 + l2,
+            62,
+            "all remaining blocks of the region are prefetched"
+        );
+        assert_eq!(
+            l1, 14,
+            "first 16 blocks (minus the 2 already accessed) go to L1"
+        );
         assert_eq!(l2, 48);
     }
 
@@ -406,7 +454,10 @@ mod tests {
         feed(&mut g, 0x400, 1, &all);
         deactivate(&mut g, 1);
         let reqs = feed(&mut g, 0x999, 50, &[0, 1]);
-        assert!(reqs.is_empty(), "unknown PC with unsaturated DC must refrain from prefetching");
+        assert!(
+            reqs.is_empty(),
+            "unknown PC with unsaturated DC must refrain from prefetching"
+        );
     }
 
     #[test]
@@ -509,7 +560,12 @@ mod tests {
     #[test]
     fn storage_matches_config() {
         let g = Gaze::new();
-        assert_eq!(g.storage_bits(), GazeConfig::paper_default().storage_breakdown_bits().total_bits());
+        assert_eq!(
+            g.storage_bits(),
+            GazeConfig::paper_default()
+                .storage_breakdown_bits()
+                .total_bits()
+        );
         assert!((g.storage_bits() as f64 / 8.0 / 1024.0 - 4.46).abs() < 0.05);
     }
 
@@ -518,10 +574,13 @@ mod tests {
         let mut g = Gaze::new();
         for o in 0..10usize {
             let addr = 4096 + o as u64 * 64;
-            assert!(g.on_access(&DemandAccess::store(0x1, addr), false).is_empty());
+            assert!(g
+                .on_access_vec(&DemandAccess::store(0x1, addr), false)
+                .is_empty());
         }
         assert_eq!(g.stats().accesses, 0);
-        assert!(g.tick().is_empty());
+        assert!(g.tick_vec().is_empty());
+        assert!(!g.has_queued());
     }
 
     #[test]
@@ -532,19 +591,25 @@ mod tests {
         // Train one 16 KB region with blocks spanning two 4 KB pages.
         for &o in &[3usize, 70, 130, 200] {
             let addr = 16 * 1024 + (o as u64) * 64;
-            g.on_access(&DemandAccess::load(0x400, addr), false);
+            g.on_access_vec(&DemandAccess::load(0x400, addr), false);
         }
         g.on_evict(BlockAddr::new((16 * 1024) / 64));
         // Replay the event in another 16 KB region.
         let mut reqs = Vec::new();
         for &o in &[3usize, 70] {
             let addr = 2 * 16 * 1024 + (o as u64) * 64;
-            reqs.extend(g.on_access(&DemandAccess::load(0x400, addr), false));
+            reqs.extend(g.on_access_vec(&DemandAccess::load(0x400, addr), false));
             for _ in 0..300 {
-                reqs.extend(g.tick());
+                reqs.extend(g.tick_vec());
             }
         }
-        let offs: Vec<usize> = reqs.iter().map(|r| geom.offset_of(r.block.base_addr())).collect();
-        assert!(offs.contains(&130) && offs.contains(&200), "cross-page offsets predicted: {offs:?}");
+        let offs: Vec<usize> = reqs
+            .iter()
+            .map(|r| geom.offset_of(r.block.base_addr()))
+            .collect();
+        assert!(
+            offs.contains(&130) && offs.contains(&200),
+            "cross-page offsets predicted: {offs:?}"
+        );
     }
 }

@@ -34,7 +34,9 @@ impl FilterTable {
     /// Creates a filter table with `entries` total entries and `ways`
     /// associativity.
     pub fn new(entries: usize, ways: usize) -> Self {
-        FilterTable { table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)) }
+        FilterTable {
+            table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)),
+        }
     }
 
     /// Looks up a region, refreshing its recency.
@@ -85,7 +87,12 @@ pub struct AccumEntry {
 
 impl AccumEntry {
     /// Creates an entry from the first two distinct accesses of a region.
-    pub fn new(blocks_per_region: usize, trigger_pc: u16, trigger_offset: usize, second_offset: usize) -> Self {
+    pub fn new(
+        blocks_per_region: usize,
+        trigger_pc: u16,
+        trigger_offset: usize,
+        second_offset: usize,
+    ) -> Self {
         let mut footprint = Footprint::new(blocks_per_region);
         footprint.set(trigger_offset);
         footprint.set(second_offset);
@@ -141,7 +148,9 @@ impl AccumulationTable {
     /// Creates an accumulation table with `entries` total entries and `ways`
     /// associativity.
     pub fn new(entries: usize, ways: usize) -> Self {
-        AccumulationTable { table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)) }
+        AccumulationTable {
+            table: SetAssocTable::new(TableConfig::new((entries / ways).max(1), ways)),
+        }
     }
 
     /// Whether a region is currently tracked.
@@ -199,7 +208,13 @@ mod tests {
     #[test]
     fn filter_table_insert_get_remove() {
         let mut ft = FilterTable::new(64, 8);
-        ft.insert(7, FilterEntry { trigger_pc: 1, trigger_offset: 5 });
+        ft.insert(
+            7,
+            FilterEntry {
+                trigger_pc: 1,
+                trigger_offset: 5,
+            },
+        );
         assert_eq!(ft.get(7).unwrap().trigger_offset, 5);
         assert_eq!(ft.remove(7).unwrap().trigger_pc, 1);
         assert!(ft.get(7).is_none());
@@ -210,7 +225,13 @@ mod tests {
     fn filter_table_capacity_is_bounded() {
         let mut ft = FilterTable::new(64, 8);
         for region in 0..1000u64 {
-            ft.insert(region, FilterEntry { trigger_pc: 0, trigger_offset: 0 });
+            ft.insert(
+                region,
+                FilterEntry {
+                    trigger_pc: 0,
+                    trigger_offset: 0,
+                },
+            );
         }
         assert!(ft.len() <= 64);
     }

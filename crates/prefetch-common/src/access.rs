@@ -47,12 +47,22 @@ impl DemandAccess {
     /// assert_eq!(a.block().raw(), 0x7fff_0040 >> 6);
     /// ```
     pub fn load(pc: u64, addr: u64) -> Self {
-        DemandAccess { pc, addr: Addr::new(addr), kind: AccessKind::Load, instr_id: 0 }
+        DemandAccess {
+            pc,
+            addr: Addr::new(addr),
+            kind: AccessKind::Load,
+            instr_id: 0,
+        }
     }
 
     /// Convenience constructor for a store.
     pub fn store(pc: u64, addr: u64) -> Self {
-        DemandAccess { pc, addr: Addr::new(addr), kind: AccessKind::Store, instr_id: 0 }
+        DemandAccess {
+            pc,
+            addr: Addr::new(addr),
+            kind: AccessKind::Store,
+            instr_id: 0,
+        }
     }
 
     /// Sets the retire-order instruction id (builder style).

@@ -146,8 +146,14 @@ impl RegionGeometry {
     /// Panics if either size is not a power of two, if the block size is
     /// zero, or if the region is not larger than a block.
     pub fn new(region_size: u64, block_size: u64) -> Self {
-        assert!(region_size.is_power_of_two(), "region size must be a power of two");
-        assert!(block_size.is_power_of_two() && block_size > 0, "block size must be a power of two");
+        assert!(
+            region_size.is_power_of_two(),
+            "region size must be a power of two"
+        );
+        assert!(
+            block_size.is_power_of_two() && block_size > 0,
+            "block size must be a power of two"
+        );
         assert!(region_size > block_size, "region must span multiple blocks");
         RegionGeometry {
             region_size,
@@ -198,7 +204,10 @@ impl RegionGeometry {
     ///
     /// Panics if `offset >= blocks_per_region()`.
     pub fn block_at(&self, region: RegionId, offset: usize) -> BlockAddr {
-        assert!(offset < self.blocks_per_region(), "offset {offset} out of region");
+        assert!(
+            offset < self.blocks_per_region(),
+            "offset {offset} out of region"
+        );
         BlockAddr((region.0 << (self.region_shift - self.block_shift)) + offset as u64)
     }
 
@@ -291,6 +300,9 @@ mod tests {
     #[test]
     fn region_base_is_offset_zero() {
         let g = RegionGeometry::gaze_default();
-        assert_eq!(g.region_base(RegionId::new(5)), g.addr_at(RegionId::new(5), 0));
+        assert_eq!(
+            g.region_base(RegionId::new(5)),
+            g.addr_at(RegionId::new(5), 0)
+        );
     }
 }

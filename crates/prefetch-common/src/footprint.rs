@@ -27,8 +27,14 @@ impl Footprint {
     ///
     /// Panics if `len` is zero or greater than 4096.
     pub fn new(len: usize) -> Self {
-        assert!(len > 0 && len <= 4096, "footprint length {len} out of range");
-        Footprint { bits: vec![0; len.div_ceil(64)], len }
+        assert!(
+            len > 0 && len <= 4096,
+            "footprint length {len} out of range"
+        );
+        Footprint {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Creates a footprint from an iterator of set offsets.
@@ -63,19 +69,31 @@ impl Footprint {
     ///
     /// Panics if `offset >= len()`.
     pub fn set(&mut self, offset: usize) {
-        assert!(offset < self.len, "offset {offset} out of footprint of {} blocks", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} out of footprint of {} blocks",
+            self.len
+        );
         self.bits[offset / 64] |= 1u64 << (offset % 64);
     }
 
     /// Clears block `offset`.
     pub fn clear(&mut self, offset: usize) {
-        assert!(offset < self.len, "offset {offset} out of footprint of {} blocks", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} out of footprint of {} blocks",
+            self.len
+        );
         self.bits[offset / 64] &= !(1u64 << (offset % 64));
     }
 
     /// Whether block `offset` is marked.
     pub fn get(&self, offset: usize) -> bool {
-        assert!(offset < self.len, "offset {offset} out of footprint of {} blocks", self.len);
+        assert!(
+            offset < self.len,
+            "offset {offset} out of footprint of {} blocks",
+            self.len
+        );
         (self.bits[offset / 64] >> (offset % 64)) & 1 == 1
     }
 
@@ -106,7 +124,10 @@ impl Footprint {
     ///
     /// Panics if the lengths differ.
     pub fn merge(&mut self, other: &Footprint) {
-        assert_eq!(self.len, other.len, "cannot merge footprints of different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "cannot merge footprints of different lengths"
+        );
         for (a, b) in self.bits.iter_mut().zip(&other.bits) {
             *a |= *b;
         }
@@ -115,7 +136,10 @@ impl Footprint {
     /// Bitwise AND of two footprints (used by DSPatch's accuracy-biased
     /// pattern).
     pub fn intersect(&self, other: &Footprint) -> Footprint {
-        assert_eq!(self.len, other.len, "cannot intersect footprints of different lengths");
+        assert_eq!(
+            self.len, other.len,
+            "cannot intersect footprints of different lengths"
+        );
         let mut out = self.clone();
         for (a, b) in out.bits.iter_mut().zip(&other.bits) {
             *a &= *b;
@@ -181,7 +205,6 @@ impl fmt::Display for Footprint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn set_get_clear() {
@@ -251,39 +274,58 @@ mod tests {
         assert_eq!(fp.to_string(), "1.1.....");
     }
 
-    proptest! {
-        #[test]
-        fn prop_population_matches_set_count(offsets in proptest::collection::btree_set(0usize..64, 0..64)) {
+    /// Deterministic pseudo-random offset set (stands in for proptest, which
+    /// is unavailable in the offline build environment).
+    fn offset_set(seed: u64) -> std::collections::BTreeSet<usize> {
+        let mut state = seed | 1;
+        let count = (seed % 64) as usize;
+        (0..count)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 24) % 64) as usize
+            })
+            .collect()
+    }
+
+    #[test]
+    fn population_matches_set_count_for_random_sets() {
+        for seed in 1..=64u64 {
+            let offsets = offset_set(seed);
             let fp = Footprint::from_offsets(64, offsets.iter().copied());
-            prop_assert_eq!(fp.population(), offsets.len());
+            assert_eq!(fp.population(), offsets.len());
             for o in 0..64 {
-                prop_assert_eq!(fp.get(o), offsets.contains(&o));
+                assert_eq!(fp.get(o), offsets.contains(&o));
             }
         }
+    }
 
-        #[test]
-        fn prop_rotation_preserves_population(
-            offsets in proptest::collection::btree_set(0usize..64, 0..64),
-            anchor in 0usize..64,
-        ) {
-            let fp = Footprint::from_offsets(64, offsets.iter().copied());
-            let rot = fp.rotate_to_anchor(anchor);
-            prop_assert_eq!(rot.population(), fp.population());
-            prop_assert_eq!(rot.rotate_from_anchor(anchor), fp);
+    #[test]
+    fn rotation_preserves_population_for_every_anchor() {
+        for seed in 1..=16u64 {
+            let fp = Footprint::from_offsets(64, offset_set(seed).iter().copied());
+            for anchor in 0..64usize {
+                let rot = fp.rotate_to_anchor(anchor);
+                assert_eq!(rot.population(), fp.population());
+                assert_eq!(rot.rotate_from_anchor(anchor), fp);
+            }
         }
+    }
 
-        #[test]
-        fn prop_union_population_bounds(
-            a in proptest::collection::btree_set(0usize..64, 0..64),
-            b in proptest::collection::btree_set(0usize..64, 0..64),
-        ) {
-            let fa = Footprint::from_offsets(64, a.iter().copied());
-            let fb = Footprint::from_offsets(64, b.iter().copied());
+    #[test]
+    fn union_and_intersection_population_bounds() {
+        for seed in 1..=32u64 {
+            let fa = Footprint::from_offsets(64, offset_set(seed).iter().copied());
+            let fb = Footprint::from_offsets(64, offset_set(seed + 100).iter().copied());
             let u = fa.union(&fb);
             let i = fa.intersect(&fb);
-            prop_assert!(u.population() >= fa.population().max(fb.population()));
-            prop_assert!(i.population() <= fa.population().min(fb.population()));
-            prop_assert_eq!(u.population() + i.population(), fa.population() + fb.population());
+            assert!(u.population() >= fa.population().max(fb.population()));
+            assert!(i.population() <= fa.population().min(fb.population()));
+            assert_eq!(
+                u.population() + i.population(),
+                fa.population() + fb.population()
+            );
         }
     }
 }

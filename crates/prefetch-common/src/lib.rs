@@ -8,6 +8,8 @@
 //! * [`access`] — demand accesses as observed by an L1D prefetcher,
 //! * [`footprint`] — bit-vector spatial footprints of a region,
 //! * [`request`] — prefetch requests with a target fill level,
+//! * [`sink`] — the allocation-free [`RequestSink`](sink::RequestSink)
+//!   prefetchers push requests into (no per-access `Vec`),
 //! * [`table`] — a generic set-associative, LRU-replaced hardware table,
 //! * [`prefetcher`] — the [`Prefetcher`](prefetcher::Prefetcher) trait every
 //!   prefetcher in this workspace implements.
@@ -37,11 +39,13 @@ pub mod addr;
 pub mod footprint;
 pub mod prefetcher;
 pub mod request;
+pub mod sink;
 pub mod table;
 
 pub use access::{AccessKind, DemandAccess};
 pub use addr::{Addr, BlockAddr, RegionGeometry, RegionId};
 pub use footprint::Footprint;
-pub use prefetcher::{NullPrefetcher, Prefetcher, PrefetcherStats};
+pub use prefetcher::{NullPrefetcher, Prefetcher, PrefetcherExt, PrefetcherStats};
 pub use request::{FillLevel, PrefetchRequest};
+pub use sink::{RequestSink, INLINE_REQUESTS};
 pub use table::{SetAssocTable, TableConfig};

@@ -3,6 +3,7 @@
 use crate::access::DemandAccess;
 use crate::addr::BlockAddr;
 use crate::request::PrefetchRequest;
+use crate::sink::RequestSink;
 
 /// Counters a prefetcher may expose for debugging and experiments.
 ///
@@ -25,14 +26,19 @@ pub struct PrefetcherStats {
 /// artifact:
 ///
 /// * [`on_access`](Prefetcher::on_access) — called for every demand load or
-///   store that reaches the cache, with the hit/miss outcome; returns the
-///   prefetch requests to enqueue,
+///   store that reaches the cache, with the hit/miss outcome; prefetch
+///   requests are pushed into the caller-owned [`RequestSink`] (the hot path
+///   is allocation-free: no `Vec` is created per access),
 /// * [`on_fill`](Prefetcher::on_fill) — called when a block (demand or
 ///   prefetch) is filled into the cache,
 /// * [`on_evict`](Prefetcher::on_evict) — called when a block is evicted,
 /// * [`tick`](Prefetcher::tick) — called once per simulated cycle so
 ///   prefetchers with internal queues (e.g. Gaze's Prefetch Buffer) can
-///   smooth issuance; returns additional requests to enqueue.
+///   smooth issuance; pushes any requests that become ready into the sink,
+/// * [`has_queued`](Prefetcher::has_queued) — whether future `tick` calls may
+///   emit requests without further input. The simulator's event-driven cycle
+///   skipping relies on this: cycles are only fast-forwarded while every
+///   prefetcher reports no queued work, so skipping never changes behaviour.
 ///
 /// Implementations must be deterministic: the simulator relies on identical
 /// behaviour across runs for A/B experiments.
@@ -40,11 +46,12 @@ pub trait Prefetcher {
     /// Short human-readable name, e.g. `"gaze"`, `"pmp"`, `"bingo"`.
     fn name(&self) -> &str;
 
-    /// Observes a demand access and returns prefetch requests to enqueue.
+    /// Observes a demand access and pushes prefetch requests into `sink`.
     ///
     /// `cache_hit` reports whether the access hit in the cache the prefetcher
-    /// is attached to (before any prefetch effect from this call).
-    fn on_access(&mut self, access: &DemandAccess, cache_hit: bool) -> Vec<PrefetchRequest>;
+    /// is attached to (before any prefetch effect from this call). The sink
+    /// is not cleared by the callee; the caller owns its lifecycle.
+    fn on_access(&mut self, access: &DemandAccess, cache_hit: bool, sink: &mut RequestSink);
 
     /// Notifies the prefetcher that `block` was filled into the cache.
     ///
@@ -58,10 +65,21 @@ pub trait Prefetcher {
         let _ = block;
     }
 
-    /// Advances internal state by one cycle and returns any requests that
-    /// become ready (used to smooth prefetch issuance).
-    fn tick(&mut self) -> Vec<PrefetchRequest> {
-        Vec::new()
+    /// Advances internal state by one cycle and pushes any requests that
+    /// become ready into `sink` (used to smooth prefetch issuance).
+    fn tick(&mut self, sink: &mut RequestSink) {
+        let _ = sink;
+    }
+
+    /// Whether [`tick`](Self::tick) may produce requests on a future cycle
+    /// without any further `on_access`/`on_fill`/`on_evict` input.
+    ///
+    /// Prefetchers with internal issue queues (Gaze's Prefetch Buffer) must
+    /// return `true` while the queue is non-empty; stateless-tick prefetchers
+    /// keep the default `false`. Returning `false` while requests are queued
+    /// would let the simulator skip cycles those requests needed.
+    fn has_queued(&self) -> bool {
+        false
     }
 
     /// Total metadata storage required by the prefetcher, in bits.
@@ -74,6 +92,29 @@ pub trait Prefetcher {
         PrefetcherStats::default()
     }
 }
+
+/// Convenience adapters over [`Prefetcher`] for tests, examples and
+/// diagnostics. These allocate a `Vec` per call — never use them on the
+/// simulation hot path.
+pub trait PrefetcherExt: Prefetcher {
+    /// Runs [`on_access`](Prefetcher::on_access) through a scratch sink and
+    /// returns the emitted requests.
+    fn on_access_vec(&mut self, access: &DemandAccess, cache_hit: bool) -> Vec<PrefetchRequest> {
+        let mut sink = RequestSink::new();
+        self.on_access(access, cache_hit, &mut sink);
+        sink.to_vec()
+    }
+
+    /// Runs [`tick`](Prefetcher::tick) through a scratch sink and returns the
+    /// emitted requests.
+    fn tick_vec(&mut self) -> Vec<PrefetchRequest> {
+        let mut sink = RequestSink::new();
+        self.tick(&mut sink);
+        sink.to_vec()
+    }
+}
+
+impl<P: Prefetcher + ?Sized> PrefetcherExt for P {}
 
 /// A prefetcher that never prefetches; the "no prefetching" baseline.
 #[derive(Debug, Default, Clone)]
@@ -93,9 +134,8 @@ impl Prefetcher for NullPrefetcher {
         "none"
     }
 
-    fn on_access(&mut self, _access: &DemandAccess, _cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, _access: &DemandAccess, _cache_hit: bool, _sink: &mut RequestSink) {
         self.stats.accesses += 1;
-        Vec::new()
     }
 
     fn storage_bits(&self) -> u64 {
@@ -114,13 +154,25 @@ mod tests {
     #[test]
     fn null_prefetcher_never_issues() {
         let mut p = NullPrefetcher::new();
+        let mut sink = RequestSink::new();
         for i in 0..100 {
-            let reqs = p.on_access(&DemandAccess::load(1, i * 64), i % 2 == 0);
-            assert!(reqs.is_empty());
+            p.on_access(&DemandAccess::load(1, i * 64), i % 2 == 0, &mut sink);
+            assert!(sink.is_empty());
         }
-        assert!(p.tick().is_empty());
+        p.tick(&mut sink);
+        assert!(sink.is_empty());
+        assert!(!p.has_queued());
         assert_eq!(p.stats().accesses, 100);
         assert_eq!(p.storage_bits(), 0);
         assert_eq!(p.name(), "none");
+    }
+
+    #[test]
+    fn ext_helpers_collect_requests() {
+        let mut p = NullPrefetcher::new();
+        assert!(p
+            .on_access_vec(&DemandAccess::load(1, 64), false)
+            .is_empty());
+        assert!(p.tick_vec().is_empty());
     }
 }

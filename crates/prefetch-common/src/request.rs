@@ -37,12 +37,18 @@ pub struct PrefetchRequest {
 impl PrefetchRequest {
     /// Creates a request that fills into the L1D.
     pub fn to_l1(block: BlockAddr) -> Self {
-        PrefetchRequest { block, fill_level: FillLevel::L1 }
+        PrefetchRequest {
+            block,
+            fill_level: FillLevel::L1,
+        }
     }
 
     /// Creates a request that fills into the L2C.
     pub fn to_l2(block: BlockAddr) -> Self {
-        PrefetchRequest { block, fill_level: FillLevel::L2 }
+        PrefetchRequest {
+            block,
+            fill_level: FillLevel::L2,
+        }
     }
 
     /// Creates a request with an explicit fill level.
@@ -67,6 +73,9 @@ mod tests {
         let b = BlockAddr::new(7);
         assert_eq!(PrefetchRequest::to_l1(b).fill_level, FillLevel::L1);
         assert_eq!(PrefetchRequest::to_l2(b).fill_level, FillLevel::L2);
-        assert_eq!(PrefetchRequest::new(b, FillLevel::Llc).fill_level, FillLevel::Llc);
+        assert_eq!(
+            PrefetchRequest::new(b, FillLevel::Llc).fill_level,
+            FillLevel::Llc
+        );
     }
 }

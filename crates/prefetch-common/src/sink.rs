@@ -1,0 +1,170 @@
+//! The allocation-free prefetch-request sink.
+//!
+//! The old `Prefetcher::on_access(..) -> Vec<PrefetchRequest>` API allocated
+//! a fresh `Vec` on every demand access — the single hottest call site of the
+//! whole simulator. [`RequestSink`] replaces it: callers own one sink per
+//! core, prefetchers `push` into it, and the caller drains it in place. The
+//! first [`INLINE_REQUESTS`] requests live in a fixed inline array (no heap
+//! traffic at all); bursts beyond that spill into a `Vec` whose capacity is
+//! retained across [`clear`](RequestSink::clear), so even spilling amortizes
+//! to zero allocation in steady state.
+
+use crate::addr::BlockAddr;
+use crate::request::PrefetchRequest;
+
+/// Inline capacity of a [`RequestSink`]. Sized for the common case: every
+/// evaluated prefetcher is degree-limited, and per-access bursts beyond 16
+/// requests only occur for freshly awakened dense-region patterns (which the
+/// spill path handles).
+pub const INLINE_REQUESTS: usize = 16;
+
+/// A reusable request buffer with inline storage (a hand-rolled small-vector;
+/// the build environment has no `smallvec` crate).
+#[derive(Debug, Clone)]
+pub struct RequestSink {
+    inline: [PrefetchRequest; INLINE_REQUESTS],
+    len: usize,
+    spill: Vec<PrefetchRequest>,
+}
+
+impl RequestSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        RequestSink {
+            inline: [PrefetchRequest::to_l1(BlockAddr::new(0)); INLINE_REQUESTS],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends a request.
+    pub fn push(&mut self, req: PrefetchRequest) {
+        if self.len < INLINE_REQUESTS {
+            self.inline[self.len] = req;
+        } else {
+            self.spill.push(req);
+        }
+        self.len += 1;
+    }
+
+    /// Number of buffered requests.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sink holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether any request overflowed the inline storage since the last
+    /// [`clear`](Self::clear).
+    pub fn spilled(&self) -> bool {
+        self.len > INLINE_REQUESTS
+    }
+
+    /// Empties the sink, retaining the spill `Vec`'s capacity.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The request at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    pub fn get(&self, idx: usize) -> PrefetchRequest {
+        assert!(
+            idx < self.len,
+            "sink index {idx} out of bounds (len {})",
+            self.len
+        );
+        if idx < INLINE_REQUESTS {
+            self.inline[idx]
+        } else {
+            self.spill[idx - INLINE_REQUESTS]
+        }
+    }
+
+    /// Iterates over the buffered requests in push order.
+    pub fn iter(&self) -> impl Iterator<Item = PrefetchRequest> + '_ {
+        let inline_len = self.len.min(INLINE_REQUESTS);
+        self.inline[..inline_len]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+
+    /// Copies the buffered requests into a fresh `Vec` (test/report helper —
+    /// allocates, so keep it off the simulation hot path).
+    pub fn to_vec(&self) -> Vec<PrefetchRequest> {
+        self.iter().collect()
+    }
+}
+
+impl Default for RequestSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(block: u64) -> PrefetchRequest {
+        PrefetchRequest::to_l1(BlockAddr::new(block))
+    }
+
+    #[test]
+    fn push_and_iterate_inline() {
+        let mut s = RequestSink::new();
+        assert!(s.is_empty());
+        for b in 0..5u64 {
+            s.push(req(b));
+        }
+        assert_eq!(s.len(), 5);
+        assert!(!s.spilled());
+        let blocks: Vec<u64> = s.iter().map(|r| r.block.raw()).collect();
+        assert_eq!(blocks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spill_preserves_order_beyond_inline_capacity() {
+        let mut s = RequestSink::new();
+        let n = INLINE_REQUESTS as u64 + 10;
+        for b in 0..n {
+            s.push(req(b));
+        }
+        assert_eq!(s.len(), n as usize);
+        assert!(s.spilled());
+        let blocks: Vec<u64> = s.iter().map(|r| r.block.raw()).collect();
+        assert_eq!(blocks, (0..n).collect::<Vec<_>>());
+        assert_eq!(
+            s.get(INLINE_REQUESTS + 3).block.raw(),
+            INLINE_REQUESTS as u64 + 3
+        );
+    }
+
+    #[test]
+    fn clear_resets_length_and_reuses_storage() {
+        let mut s = RequestSink::new();
+        for b in 0..(INLINE_REQUESTS as u64 + 4) {
+            s.push(req(b));
+        }
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        s.push(req(99));
+        assert_eq!(s.to_vec().len(), 1);
+        assert_eq!(s.get(0).block.raw(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        let s = RequestSink::new();
+        let _ = s.get(0);
+    }
+}

@@ -24,7 +24,10 @@ impl TableConfig {
     ///
     /// Panics if `sets` is zero or not a power of two, or if `ways` is zero.
     pub fn new(sets: usize, ways: usize) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be non-zero");
         TableConfig { sets, ways }
     }
@@ -73,8 +76,14 @@ pub struct SetAssocTable<V> {
 impl<V> SetAssocTable<V> {
     /// Creates an empty table with the given shape.
     pub fn new(config: TableConfig) -> Self {
-        let sets = (0..config.sets).map(|_| Vec::with_capacity(config.ways)).collect();
-        SetAssocTable { config, sets, tick: 0 }
+        let sets = (0..config.sets)
+            .map(|_| Vec::with_capacity(config.ways))
+            .collect();
+        SetAssocTable {
+            config,
+            sets,
+            tick: 0,
+        }
     }
 
     /// The table's configuration.
@@ -157,7 +166,11 @@ impl<V> SetAssocTable<V> {
             let slot = set.swap_remove(victim);
             evicted = Some((slot.tag, slot.value));
         }
-        set.push(Slot { tag, lru: tick, value });
+        set.push(Slot {
+            tag,
+            lru: tick,
+            value,
+        });
         evicted
     }
 
@@ -178,12 +191,16 @@ impl<V> SetAssocTable<V> {
 
     /// Iterates over all `(tag, value)` pairs (order unspecified).
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.sets.iter().flat_map(|set| set.iter().map(|s| (s.tag, &s.value)))
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|s| (s.tag, &s.value)))
     }
 
     /// Mutable iteration over all `(tag, value)` pairs (order unspecified).
     pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut V)> {
-        self.sets.iter_mut().flat_map(|set| set.iter_mut().map(|s| (s.tag, &mut s.value)))
+        self.sets
+            .iter_mut()
+            .flat_map(|set| set.iter_mut().map(|s| (s.tag, &mut s.value)))
     }
 
     /// Removes entries matching a predicate and returns them.
@@ -217,7 +234,6 @@ impl<V: fmt::Debug> fmt::Debug for SetAssocTable<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn insert_and_get() {
@@ -287,26 +303,42 @@ mod tests {
         assert!(t.iter().all(|(tag, _)| tag % 2 == 1));
     }
 
-    proptest! {
-        #[test]
-        fn prop_capacity_never_exceeded(ops in proptest::collection::vec((0u64..16, 0u64..64), 0..200)) {
+    /// Deterministic pseudo-random (index, tag) op stream (stands in for
+    /// proptest, which is unavailable in the offline build environment).
+    fn op_stream(seed: u64, index_mod: u64, tag_mod: u64) -> impl Iterator<Item = (u64, u64)> {
+        let mut state = seed | 1;
+        std::iter::from_fn(move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let index = (state >> 20) % index_mod;
+            let tag = (state >> 40) % tag_mod;
+            Some((index, tag))
+        })
+    }
+
+    #[test]
+    fn capacity_never_exceeded_under_random_inserts() {
+        for seed in 1..=8u64 {
             let config = TableConfig::new(4, 4);
             let mut t: SetAssocTable<u64> = SetAssocTable::new(config);
-            for (index, tag) in ops {
+            for (index, tag) in op_stream(seed, 16, 64).take(200) {
                 t.insert(index, tag, tag);
-                prop_assert!(t.len() <= config.entries());
+                assert!(t.len() <= config.entries());
                 for set in &t.sets {
-                    prop_assert!(set.len() <= config.ways);
+                    assert!(set.len() <= config.ways);
                 }
             }
         }
+    }
 
-        #[test]
-        fn prop_most_recent_insert_always_present(ops in proptest::collection::vec((0u64..8, 0u64..32), 1..100)) {
+    #[test]
+    fn most_recent_insert_always_present() {
+        for seed in 1..=8u64 {
             let mut t: SetAssocTable<u64> = SetAssocTable::new(TableConfig::new(2, 2));
-            for (index, tag) in &ops {
-                t.insert(*index, *tag, *tag);
-                prop_assert_eq!(t.peek(*index, *tag), Some(&*tag));
+            for (index, tag) in op_stream(seed, 8, 32).take(100) {
+                t.insert(index, tag, tag);
+                assert_eq!(t.peek(index, tag), Some(&tag));
             }
         }
     }

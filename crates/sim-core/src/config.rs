@@ -24,23 +24,44 @@ impl CacheConfig {
     /// count.
     pub fn sets(&self) -> usize {
         let sets = (self.size_bytes / self.line_size) as usize / self.ways;
-        assert!(sets > 0 && sets.is_power_of_two(), "cache sets must be a power of two, got {sets}");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "cache sets must be a power of two, got {sets}"
+        );
         sets
     }
 
     /// Paper L1D: 48 KB, 12-way, 5-cycle, 16 MSHRs.
     pub fn paper_l1d() -> Self {
-        CacheConfig { size_bytes: 48 * 1024, line_size: 64, ways: 12, latency: 5, mshrs: 16 }
+        CacheConfig {
+            size_bytes: 48 * 1024,
+            line_size: 64,
+            ways: 12,
+            latency: 5,
+            mshrs: 16,
+        }
     }
 
     /// Paper L2C: 512 KB, 8-way, 10-cycle, 32 MSHRs.
     pub fn paper_l2c() -> Self {
-        CacheConfig { size_bytes: 512 * 1024, line_size: 64, ways: 8, latency: 10, mshrs: 32 }
+        CacheConfig {
+            size_bytes: 512 * 1024,
+            line_size: 64,
+            ways: 8,
+            latency: 10,
+            mshrs: 32,
+        }
     }
 
     /// Paper LLC: 2 MB per core, 16-way, 20-cycle, 64 MSHRs.
     pub fn paper_llc_per_core() -> Self {
-        CacheConfig { size_bytes: 2 * 1024 * 1024, line_size: 64, ways: 16, latency: 20, mshrs: 64 }
+        CacheConfig {
+            size_bytes: 2 * 1024 * 1024,
+            line_size: 64,
+            ways: 16,
+            latency: 20,
+            mshrs: 64,
+        }
     }
 }
 
@@ -142,7 +163,12 @@ pub struct CoreConfig {
 impl CoreConfig {
     /// Paper core: 4-wide OoO, 352-entry ROB, 128/72-entry LQ/SQ.
     pub fn paper_default() -> Self {
-        CoreConfig { width: 4, rob_entries: 352, load_queue: 128, store_queue: 72 }
+        CoreConfig {
+            width: 4,
+            rob_entries: 352,
+            load_queue: 128,
+            store_queue: 72,
+        }
     }
 }
 
@@ -188,7 +214,10 @@ impl SimConfig {
     /// The paper's configuration for `cores` cores (scales LLC and DRAM
     /// channels/ranks as in Table II).
     pub fn paper_multi_core(cores: usize) -> Self {
-        assert!(cores >= 1 && cores <= 16, "supported core counts are 1..=16");
+        assert!(
+            (1..=16).contains(&cores),
+            "supported core counts are 1..=16"
+        );
         let mut cfg = Self::paper_single_core();
         cfg.cores = cores;
         cfg.dram = DramConfig::paper_for_cores(cores);

@@ -8,14 +8,14 @@
 //! stores commit without stalling the core (their cache effects are applied
 //! by the system).
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::config::CoreConfig;
 
 #[derive(Debug, Clone, Copy)]
 struct RobEntry {
     ready_at: u64,
-    is_load: bool,
 }
 
 /// Retire/dispatch bookkeeping for one core.
@@ -24,12 +24,22 @@ pub struct CoreModel {
     cfg: CoreConfig,
     rob: VecDeque<RobEntry>,
     retired: u64,
+    /// Completion times of dispatched loads whose data has not yet been
+    /// observed to return. Replaces an O(ROB) scan per dispatch slot with an
+    /// amortized O(log LQ) heap: a load with `ready_at > now` cannot have
+    /// retired, so the popped view is exactly the in-flight load count.
+    load_completions: BinaryHeap<Reverse<u64>>,
 }
 
 impl CoreModel {
     /// Creates an idle core.
     pub fn new(cfg: CoreConfig) -> Self {
-        CoreModel { cfg, rob: VecDeque::with_capacity(cfg.rob_entries), retired: 0 }
+        CoreModel {
+            cfg,
+            rob: VecDeque::with_capacity(cfg.rob_entries),
+            retired: 0,
+            load_completions: BinaryHeap::new(),
+        }
     }
 
     /// The core configuration.
@@ -53,13 +63,23 @@ impl CoreModel {
         self.rob.len() < self.cfg.rob_entries
     }
 
+    fn drain_completed_loads(&mut self, now: u64) {
+        while let Some(&Reverse(ready)) = self.load_completions.peek() {
+            if ready > now {
+                break;
+            }
+            self.load_completions.pop();
+        }
+    }
+
     /// Number of loads currently in the ROB whose data has not yet returned.
-    pub fn loads_in_flight(&self, now: u64) -> usize {
-        self.rob.iter().filter(|e| e.is_load && e.ready_at > now).count()
+    pub fn loads_in_flight(&mut self, now: u64) -> usize {
+        self.drain_completed_loads(now);
+        self.load_completions.len()
     }
 
     /// Whether another load can be dispatched this cycle (load-queue bound).
-    pub fn can_dispatch_load(&self, now: u64) -> bool {
+    pub fn can_dispatch_load(&mut self, now: u64) -> bool {
         self.can_dispatch() && self.loads_in_flight(now) < self.cfg.load_queue
     }
 
@@ -71,7 +91,7 @@ impl CoreModel {
     /// [`can_dispatch`](Self::can_dispatch).
     pub fn dispatch_simple(&mut self, now: u64) {
         assert!(self.can_dispatch(), "dispatch into a full ROB");
-        self.rob.push_back(RobEntry { ready_at: now + 1, is_load: false });
+        self.rob.push_back(RobEntry { ready_at: now + 1 });
     }
 
     /// Dispatches a load whose data becomes available at `ready_at`.
@@ -81,7 +101,8 @@ impl CoreModel {
     /// Panics if the ROB is full.
     pub fn dispatch_load(&mut self, ready_at: u64) {
         assert!(self.can_dispatch(), "dispatch into a full ROB");
-        self.rob.push_back(RobEntry { ready_at, is_load: true });
+        self.rob.push_back(RobEntry { ready_at });
+        self.load_completions.push(Reverse(ready_at));
     }
 
     /// Retires up to `width` completed instructions from the ROB head and
@@ -104,6 +125,21 @@ impl CoreModel {
     /// Current ROB occupancy.
     pub fn rob_occupancy(&self) -> usize {
         self.rob.len()
+    }
+
+    /// The earliest cycle strictly after `now` at which this core's state can
+    /// change without new input: the completion time of the nearest
+    /// still-outstanding instruction. `None` when every ROB entry is already
+    /// complete (or the ROB is empty) — the core is not waiting on time.
+    ///
+    /// Used by the system's event-driven cycle skipping to fast-forward over
+    /// stall cycles.
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        self.rob
+            .iter()
+            .map(|e| e.ready_at)
+            .filter(|&r| r > now)
+            .min()
     }
 }
 
@@ -147,7 +183,10 @@ mod tests {
 
     #[test]
     fn rob_capacity_enforced() {
-        let mut c = CoreModel::new(CoreConfig { rob_entries: 4, ..CoreConfig::paper_default() });
+        let mut c = CoreModel::new(CoreConfig {
+            rob_entries: 4,
+            ..CoreConfig::paper_default()
+        });
         for _ in 0..4 {
             assert!(c.can_dispatch());
             c.dispatch_load(1000);
@@ -157,7 +196,10 @@ mod tests {
 
     #[test]
     fn load_queue_limits_outstanding_loads() {
-        let mut c = CoreModel::new(CoreConfig { load_queue: 2, ..CoreConfig::paper_default() });
+        let mut c = CoreModel::new(CoreConfig {
+            load_queue: 2,
+            ..CoreConfig::paper_default()
+        });
         c.dispatch_load(1000);
         c.dispatch_load(1000);
         assert!(!c.can_dispatch_load(0));
@@ -178,7 +220,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "full ROB")]
     fn dispatch_into_full_rob_panics() {
-        let mut c = CoreModel::new(CoreConfig { rob_entries: 1, ..CoreConfig::paper_default() });
+        let mut c = CoreModel::new(CoreConfig {
+            rob_entries: 1,
+            ..CoreConfig::paper_default()
+        });
         c.dispatch_simple(0);
         c.dispatch_simple(0);
     }

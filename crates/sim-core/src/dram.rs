@@ -58,11 +58,24 @@ impl DramModel {
 
     /// Creates a DRAM model with an explicit line size in bytes.
     pub fn with_line_size(config: DramConfig, line_size: u64) -> Self {
-        let banks = vec![Bank { open_row: None, busy_until: 0 }; config.total_banks()];
+        let banks = vec![
+            Bank {
+                open_row: None,
+                busy_until: 0
+            };
+            config.total_banks()
+        ];
         let channels = vec![Channel::default(); config.channels];
         let timing = config.timing_cycles();
         let transfer = config.line_transfer_cycles(line_size);
-        DramModel { config, channels, banks, timing, transfer, stats: DramStats::default() }
+        DramModel {
+            config,
+            channels,
+            banks,
+            timing,
+            transfer,
+            stats: DramStats::default(),
+        }
     }
 
     /// The configuration this model was built from.
@@ -158,7 +171,11 @@ impl DramModel {
         bank.open_row = Some(row);
 
         let channel = &mut self.channels[channel_idx];
-        let queue_behind = if is_prefetch { channel.bus_free_at } else { channel.demand_bus_free_at };
+        let queue_behind = if is_prefetch {
+            channel.bus_free_at
+        } else {
+            channel.demand_bus_free_at
+        };
         let data_start = (start + array_latency).max(queue_behind);
         let done = data_start + self.transfer;
         if !is_prefetch {
@@ -209,7 +226,10 @@ mod tests {
         let far = BlockAddr::new(8 * blocks_per_row * 7);
         let conflict_done = d.access(far, hit_done);
         let conflict_latency = conflict_done - hit_done;
-        assert!(hit_latency < conflict_latency, "row hit {hit_latency} should beat conflict {conflict_latency}");
+        assert!(
+            hit_latency < conflict_latency,
+            "row hit {hit_latency} should beat conflict {conflict_latency}"
+        );
     }
 
     #[test]
@@ -226,19 +246,39 @@ mod tests {
     #[test]
     fn more_channels_increase_parallelism() {
         let mut one = DramModel::new(DramConfig::paper_single_channel());
-        let mut four = DramModel::new(DramConfig { channels: 4, ..DramConfig::paper_single_channel() });
+        let mut four = DramModel::new(DramConfig {
+            channels: 4,
+            ..DramConfig::paper_single_channel()
+        });
         // Issue 16 concurrent accesses to consecutive blocks at cycle 0 and
         // compare the completion time of the last one.
-        let last_one = (0..16).map(|i| one.access(BlockAddr::new(i), 0)).max().unwrap();
-        let last_four = (0..16).map(|i| four.access(BlockAddr::new(i), 0)).max().unwrap();
-        assert!(last_four < last_one, "4-channel DRAM should finish earlier ({last_four} vs {last_one})");
+        let last_one = (0..16)
+            .map(|i| one.access(BlockAddr::new(i), 0))
+            .max()
+            .unwrap();
+        let last_four = (0..16)
+            .map(|i| four.access(BlockAddr::new(i), 0))
+            .max()
+            .unwrap();
+        assert!(
+            last_four < last_one,
+            "4-channel DRAM should finish earlier ({last_four} vs {last_one})"
+        );
     }
 
     #[test]
     fn higher_mtps_reduces_transfer_time() {
-        let slow = DramConfig { mtps: 800, ..DramConfig::paper_single_channel() };
-        let fast = DramConfig { mtps: 12800, ..DramConfig::paper_single_channel() };
-        assert!(DramModel::new(fast).idle_closed_latency() < DramModel::new(slow).idle_closed_latency());
+        let slow = DramConfig {
+            mtps: 800,
+            ..DramConfig::paper_single_channel()
+        };
+        let fast = DramConfig {
+            mtps: 12800,
+            ..DramConfig::paper_single_channel()
+        };
+        assert!(
+            DramModel::new(fast).idle_closed_latency() < DramModel::new(slow).idle_closed_latency()
+        );
     }
 
     #[test]

@@ -112,12 +112,19 @@ pub struct MemoryHierarchy {
     llc: CacheArray,
     dram: DramModel,
     l1_outstanding: Vec<HashMap<u64, Outstanding>>,
+    /// Per-core counts of outstanding L1 demands/prefetches, maintained
+    /// incrementally (the occupancy checks run on every dispatch slot).
+    l1_demand_count: Vec<usize>,
+    l1_prefetch_count: Vec<usize>,
     /// In-flight prefetches that target the L2 (or LLC), keyed by block, so a
     /// later demand miss merges with them instead of re-fetching from DRAM.
     l2_pf_inflight: Vec<HashMap<u64, u64>>,
     l2_inflight: Vec<Vec<u64>>,
     llc_inflight: Vec<u64>,
     pending_fills: Vec<PendingFill>,
+    /// Cached `min(pending_fills.at)` (`u64::MAX` when empty) so the
+    /// per-access `advance_to` is an O(1) early-out between fill times.
+    next_pending_at: u64,
     l1_fill_events: Vec<Vec<L1FillEvent>>,
     l1_evict_events: Vec<Vec<BlockAddr>>,
     stats: Vec<HierarchyStats>,
@@ -137,10 +144,13 @@ impl MemoryHierarchy {
             llc: CacheArray::with_shape(llc_sets, llc_cfg.ways),
             dram: DramModel::with_line_size(cfg.dram, cfg.l1d.line_size),
             l1_outstanding: (0..cores).map(|_| HashMap::new()).collect(),
+            l1_demand_count: vec![0; cores],
+            l1_prefetch_count: vec![0; cores],
             l2_pf_inflight: (0..cores).map(|_| HashMap::new()).collect(),
             l2_inflight: (0..cores).map(|_| Vec::new()).collect(),
             llc_inflight: Vec::new(),
             pending_fills: Vec::new(),
+            next_pending_at: u64::MAX,
             l1_fill_events: (0..cores).map(|_| Vec::new()).collect(),
             l1_evict_events: (0..cores).map(|_| Vec::new()).collect(),
             stats: vec![HierarchyStats::default(); cores],
@@ -197,14 +207,14 @@ impl MemoryHierarchy {
     /// Outstanding *demand* misses at the L1 for `core`. Demand dispatch
     /// stalls against this count.
     pub fn l1_demand_occupancy(&self, core: usize) -> usize {
-        self.l1_outstanding[core].values().filter(|o| !o.is_prefetch).count()
+        self.l1_demand_count[core]
     }
 
     /// Outstanding L1-targeted *prefetches* for `core`. Prefetch issue is
     /// admitted against this count (modelling a dedicated prefetch fill
     /// buffer alongside the demand MSHRs).
     pub fn l1_prefetch_occupancy(&self, core: usize) -> usize {
-        self.l1_outstanding[core].values().filter(|o| o.is_prefetch).count()
+        self.l1_prefetch_count[core]
     }
 
     /// Records `n` prefetch requests dropped because the prefetch queue was
@@ -216,9 +226,19 @@ impl MemoryHierarchy {
         }
     }
 
+    /// The earliest completion cycle among pending fills, if any. After
+    /// [`advance_to`](Self::advance_to)`(now)` every remaining fill is
+    /// strictly in the future, so this is the hierarchy's next event time —
+    /// the cycle-skipping fast-forward target.
+    pub fn next_fill_at(&self) -> Option<u64> {
+        self.pending_fills.iter().map(|f| f.at).min()
+    }
+
     /// Applies all fills scheduled at or before `now`.
     pub fn advance_to(&mut self, now: u64) {
-        if self.pending_fills.is_empty() {
+        // Called on every access and every cycle; the cached minimum makes
+        // the no-fill-due case O(1) instead of a sort per call.
+        if self.next_pending_at > now {
             return;
         }
         // Apply in time order so LRU state evolves deterministically.
@@ -233,7 +253,15 @@ impl MemoryHierarchy {
             }
         }
         self.pending_fills = remaining;
-        self.l2_inflight.iter_mut().for_each(|v| v.retain(|&r| r > now));
+        self.next_pending_at = self
+            .pending_fills
+            .iter()
+            .map(|f| f.at)
+            .min()
+            .unwrap_or(u64::MAX);
+        self.l2_inflight
+            .iter_mut()
+            .for_each(|v| v.retain(|&r| r > now));
         self.llc_inflight.retain(|&r| r > now);
     }
 
@@ -280,9 +308,17 @@ impl MemoryHierarchy {
                 }
                 self.l1_evict_events[core].push(ev.block);
             }
-            self.l1_fill_events[core].push(L1FillEvent { block: fill.block, was_prefetch: fill.is_prefetch });
+            self.l1_fill_events[core].push(L1FillEvent {
+                block: fill.block,
+                was_prefetch: fill.is_prefetch,
+            });
             // The miss (or prefetch) is no longer outstanding at the L1.
             if let Some(entry) = self.l1_outstanding[core].remove(&fill.block.raw()) {
+                if entry.is_prefetch {
+                    self.l1_prefetch_count[core] -= 1;
+                } else {
+                    self.l1_demand_count[core] -= 1;
+                }
                 if entry.is_prefetch && entry.demand_touched && self.stats_enabled {
                     // Late-but-useful prefetch: credit usefulness at the L1.
                     self.stats[core].l1d.useful_prefetches += 1;
@@ -296,7 +332,12 @@ impl MemoryHierarchy {
         if outstanding.len() < self.cfg.l1d.mshrs {
             now
         } else {
-            outstanding.values().map(|o| o.ready).min().unwrap_or(now).max(now)
+            outstanding
+                .values()
+                .map(|o| o.ready)
+                .min()
+                .unwrap_or(now)
+                .max(now)
         }
     }
 
@@ -315,12 +356,23 @@ impl MemoryHierarchy {
         if self.llc_inflight.len() < self.cfg.llc_per_core.mshrs * self.cfg.cores {
             now
         } else {
-            self.llc_inflight.iter().copied().min().unwrap_or(now).max(now)
+            self.llc_inflight
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(now)
+                .max(now)
         }
     }
 
     /// Performs a demand access for `core` to the line containing `block`.
-    pub fn demand_access(&mut self, core: usize, block: BlockAddr, is_store: bool, now: u64) -> DemandResult {
+    pub fn demand_access(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        is_store: bool,
+        now: u64,
+    ) -> DemandResult {
         self.advance_to(now);
         let enabled = self.stats_enabled;
         if enabled {
@@ -335,7 +387,11 @@ impl MemoryHierarchy {
                     self.stats[core].l1d.useful_prefetches += 1;
                 }
             }
-            return DemandResult { complete_at: now + self.cfg.l1d.latency, l1_hit: true, served_by: HitLevel::L1 };
+            return DemandResult {
+                complete_at: now + self.cfg.l1d.latency,
+                l1_hit: true,
+                served_by: HitLevel::L1,
+            };
         }
         if enabled {
             self.stats[core].l1d.demand_misses += 1;
@@ -351,7 +407,8 @@ impl MemoryHierarchy {
             }
             entry.demand_touched = true;
             if entry.is_prefetch {
-                let path = self.cfg.l1d.latency + self.cfg.l2c.latency + self.cfg.llc_per_core.latency;
+                let path =
+                    self.cfg.l1d.latency + self.cfg.l2c.latency + self.cfg.llc_per_core.latency;
                 let fresh = self.dram.estimate_demand(block, now + path);
                 if fresh < entry.ready {
                     entry.ready = fresh;
@@ -360,10 +417,15 @@ impl MemoryHierarchy {
                             pending.at = pending.at.min(fresh);
                         }
                     }
+                    self.next_pending_at = self.next_pending_at.min(fresh);
                 }
             }
             let ready = entry.ready.max(now + self.cfg.l1d.latency);
-            return DemandResult { complete_at: ready, l1_hit: false, served_by: HitLevel::InFlight };
+            return DemandResult {
+                complete_at: ready,
+                l1_hit: false,
+                served_by: HitLevel::InFlight,
+            };
         }
 
         // True L1 miss: walk the lower levels.
@@ -372,70 +434,87 @@ impl MemoryHierarchy {
         if enabled {
             self.stats[core].l2c.demand_accesses += 1;
         }
-        let (ready, served_by, fill_l2, fill_llc) = if let Some(hit) = self.l2c[core].demand_access(block, false)
-        {
-            if enabled {
-                self.stats[core].l2c.demand_hits += 1;
-                if hit.first_use_of_prefetch {
-                    self.stats[core].l2c.useful_prefetches += 1;
-                }
-            }
-            (l2_lookup_at + self.cfg.l2c.latency, HitLevel::L2, false, false)
-        } else if let Some(&pf_ready) = self.l2_pf_inflight[core].get(&block.raw()) {
-            // The block is already on its way to the L2 because of a
-            // prefetch: merge with it instead of fetching again (a late but
-            // useful prefetch, credited at the L2). The in-flight request is
-            // promoted to demand priority, so it completes no later than a
-            // freshly issued demand would have.
-            if enabled {
-                self.stats[core].l2c.demand_misses += 1;
-                self.stats[core].prefetch.late += 1;
-                self.stats[core].l2c.useful_prefetches += 1;
-            }
-            let path = self.cfg.l2c.latency + self.cfg.llc_per_core.latency;
-            let fresh = self.dram.estimate_demand(block, l2_lookup_at + path);
-            let promoted = pf_ready.min(fresh);
-            self.l2_pf_inflight[core].insert(block.raw(), promoted);
-            for pending in &mut self.pending_fills {
-                if pending.core == core && pending.block == block && pending.is_prefetch {
-                    pending.demand_touched = true;
-                    pending.at = pending.at.min(promoted);
-                }
-            }
-            let ready = promoted.max(l2_lookup_at) + self.cfg.l2c.latency;
-            (ready, HitLevel::InFlight, false, false)
-        } else {
-            if enabled {
-                self.stats[core].l2c.demand_misses += 1;
-                self.stats[core].llc.demand_accesses += 1;
-            }
-            let l2_start = self.l2_mshr_start(core, l2_lookup_at);
-            let llc_lookup_at = l2_start + self.cfg.l2c.latency;
-            if let Some(hit) = self.llc.demand_access(block, false) {
+        let (ready, served_by, fill_l2, fill_llc) =
+            if let Some(hit) = self.l2c[core].demand_access(block, false) {
                 if enabled {
-                    self.stats[core].llc.demand_hits += 1;
+                    self.stats[core].l2c.demand_hits += 1;
                     if hit.first_use_of_prefetch {
-                        self.stats[core].llc.useful_prefetches += 1;
+                        self.stats[core].l2c.useful_prefetches += 1;
                     }
                 }
-                let ready = llc_lookup_at + self.cfg.llc_per_core.latency;
-                self.l2_inflight[core].push(ready);
-                (ready, HitLevel::Llc, true, false)
+                (
+                    l2_lookup_at + self.cfg.l2c.latency,
+                    HitLevel::L2,
+                    false,
+                    false,
+                )
+            } else if let Some(&pf_ready) = self.l2_pf_inflight[core].get(&block.raw()) {
+                // The block is already on its way to the L2 because of a
+                // prefetch: merge with it instead of fetching again (a late but
+                // useful prefetch, credited at the L2). The in-flight request is
+                // promoted to demand priority, so it completes no later than a
+                // freshly issued demand would have.
+                if enabled {
+                    self.stats[core].l2c.demand_misses += 1;
+                    self.stats[core].prefetch.late += 1;
+                    self.stats[core].l2c.useful_prefetches += 1;
+                }
+                let path = self.cfg.l2c.latency + self.cfg.llc_per_core.latency;
+                let fresh = self.dram.estimate_demand(block, l2_lookup_at + path);
+                let promoted = pf_ready.min(fresh);
+                self.l2_pf_inflight[core].insert(block.raw(), promoted);
+                for pending in &mut self.pending_fills {
+                    if pending.core == core && pending.block == block && pending.is_prefetch {
+                        pending.demand_touched = true;
+                        pending.at = pending.at.min(promoted);
+                    }
+                }
+                self.next_pending_at = self.next_pending_at.min(promoted);
+                let ready = promoted.max(l2_lookup_at) + self.cfg.l2c.latency;
+                (ready, HitLevel::InFlight, false, false)
             } else {
                 if enabled {
-                    self.stats[core].llc.demand_misses += 1;
+                    self.stats[core].l2c.demand_misses += 1;
+                    self.stats[core].llc.demand_accesses += 1;
                 }
-                let llc_start = self.llc_mshr_start(llc_lookup_at);
-                let dram_at = llc_start + self.cfg.llc_per_core.latency;
-                let ready = self.dram.access(block, dram_at);
-                self.l2_inflight[core].push(ready);
-                self.llc_inflight.push(ready);
-                (ready, HitLevel::Dram, true, true)
-            }
-        };
+                let l2_start = self.l2_mshr_start(core, l2_lookup_at);
+                let llc_lookup_at = l2_start + self.cfg.l2c.latency;
+                if let Some(hit) = self.llc.demand_access(block, false) {
+                    if enabled {
+                        self.stats[core].llc.demand_hits += 1;
+                        if hit.first_use_of_prefetch {
+                            self.stats[core].llc.useful_prefetches += 1;
+                        }
+                    }
+                    let ready = llc_lookup_at + self.cfg.llc_per_core.latency;
+                    self.l2_inflight[core].push(ready);
+                    (ready, HitLevel::Llc, true, false)
+                } else {
+                    if enabled {
+                        self.stats[core].llc.demand_misses += 1;
+                    }
+                    let llc_start = self.llc_mshr_start(llc_lookup_at);
+                    let dram_at = llc_start + self.cfg.llc_per_core.latency;
+                    let ready = self.dram.access(block, dram_at);
+                    self.l2_inflight[core].push(ready);
+                    self.llc_inflight.push(ready);
+                    (ready, HitLevel::Dram, true, true)
+                }
+            };
 
-        self.l1_outstanding[core]
-            .insert(block.raw(), Outstanding { ready, is_prefetch: false, demand_touched: true });
+        let prev = self.l1_outstanding[core].insert(
+            block.raw(),
+            Outstanding {
+                ready,
+                is_prefetch: false,
+                demand_touched: true,
+            },
+        );
+        debug_assert!(
+            prev.is_none(),
+            "demand insert over an existing outstanding entry"
+        );
+        self.l1_demand_count[core] += 1;
         self.pending_fills.push(PendingFill {
             at: ready,
             core,
@@ -447,7 +526,12 @@ impl MemoryHierarchy {
             fill_llc,
             target: None,
         });
-        DemandResult { complete_at: ready, l1_hit: false, served_by }
+        self.next_pending_at = self.next_pending_at.min(ready);
+        DemandResult {
+            complete_at: ready,
+            l1_hit: false,
+            served_by,
+        }
     }
 
     /// Attempts to issue a prefetch on behalf of `core`.
@@ -455,7 +539,12 @@ impl MemoryHierarchy {
     /// Returning [`PrefetchOutcome::MshrFull`] does not consume the request:
     /// the caller (the prefetch queue) is expected to retry it later, so MSHR
     /// pressure delays prefetches rather than silently discarding them.
-    pub fn issue_prefetch(&mut self, core: usize, req: PrefetchRequest, now: u64) -> PrefetchOutcome {
+    pub fn issue_prefetch(
+        &mut self,
+        core: usize,
+        req: PrefetchRequest,
+        now: u64,
+    ) -> PrefetchOutcome {
         self.advance_to(now);
         let block = req.block;
         let enabled = self.stats_enabled;
@@ -464,7 +553,9 @@ impl MemoryHierarchy {
             FillLevel::L1 => self.l1d[core].contains(block),
             FillLevel::L2 => self.l1d[core].contains(block) || self.l2c[core].contains(block),
             FillLevel::Llc => {
-                self.l1d[core].contains(block) || self.l2c[core].contains(block) || self.llc.contains(block)
+                self.l1d[core].contains(block)
+                    || self.l2c[core].contains(block)
+                    || self.llc.contains(block)
             }
         } || self.l1_outstanding[core].contains_key(&block.raw())
             || self.l2_pf_inflight[core].contains_key(&block.raw());
@@ -498,7 +589,12 @@ impl MemoryHierarchy {
             // Consuming a prefetched L2 line to move it up counts that line as
             // used (its usefulness will be observed at the L1 instead).
             self.l2c[core].demand_access(block, false);
-            (lookup_at + self.cfg.l2c.latency, req.fill_level == FillLevel::L1, false, false)
+            (
+                lookup_at + self.cfg.l2c.latency,
+                req.fill_level == FillLevel::L1,
+                false,
+                false,
+            )
         } else if self.llc.contains(block) {
             self.llc.demand_access(block, false);
             let ready = lookup_at + self.cfg.l2c.latency + self.cfg.llc_per_core.latency;
@@ -521,8 +617,19 @@ impl MemoryHierarchy {
             self.stats[core].prefetch.issued += 1;
         }
         if req.fill_level == FillLevel::L1 {
-            self.l1_outstanding[core]
-                .insert(block.raw(), Outstanding { ready, is_prefetch: true, demand_touched: false });
+            let prev = self.l1_outstanding[core].insert(
+                block.raw(),
+                Outstanding {
+                    ready,
+                    is_prefetch: true,
+                    demand_touched: false,
+                },
+            );
+            debug_assert!(
+                prev.is_none(),
+                "prefetch insert over an existing outstanding entry"
+            );
+            self.l1_prefetch_count[core] += 1;
         } else {
             self.l2_inflight[core].push(ready);
             self.l2_pf_inflight[core].insert(block.raw(), ready);
@@ -541,6 +648,7 @@ impl MemoryHierarchy {
             fill_llc: fill_llc || (req.fill_level == FillLevel::Llc),
             target: Some(req.fill_level),
         });
+        self.next_pending_at = self.next_pending_at.min(ready);
         PrefetchOutcome::Issued
     }
 
@@ -602,7 +710,11 @@ mod tests {
         let r = h.demand_access(0, b, false, 0);
         assert!(!r.l1_hit);
         assert_eq!(r.served_by, HitLevel::Dram);
-        assert!(r.complete_at > 100, "off-chip access should take >100 cycles, got {}", r.complete_at);
+        assert!(
+            r.complete_at > 100,
+            "off-chip access should take >100 cycles, got {}",
+            r.complete_at
+        );
         // After the fill time passes, the same block hits in L1.
         let r2 = h.demand_access(0, b, false, r.complete_at + 1);
         assert!(r2.l1_hit);
@@ -629,7 +741,10 @@ mod tests {
     fn prefetch_then_demand_is_useful_and_hits() {
         let mut h = hierarchy();
         let b = BlockAddr::new(0x3000);
-        assert_eq!(h.issue_prefetch(0, PrefetchRequest::to_l1(b), 0), PrefetchOutcome::Issued);
+        assert_eq!(
+            h.issue_prefetch(0, PrefetchRequest::to_l1(b), 0),
+            PrefetchOutcome::Issued
+        );
         // Demand arrives well after the prefetch completed.
         let r = h.demand_access(0, b, false, 10_000);
         assert!(r.l1_hit);
@@ -660,7 +775,10 @@ mod tests {
         let b = BlockAddr::new(0x5000);
         let r = h.demand_access(0, b, false, 0);
         let t = r.complete_at + 1;
-        assert_eq!(h.issue_prefetch(0, PrefetchRequest::to_l1(b), t), PrefetchOutcome::Redundant);
+        assert_eq!(
+            h.issue_prefetch(0, PrefetchRequest::to_l1(b), t),
+            PrefetchOutcome::Redundant
+        );
         assert_eq!(h.stats(0).prefetch.dropped_redundant, 1);
     }
 
@@ -696,9 +814,13 @@ mod tests {
         let mshrs = h.config().l1d.mshrs;
         let mut deferred = 0;
         for i in 0..(mshrs + 8) {
-            match h.issue_prefetch(0, PrefetchRequest::to_l1(BlockAddr::new(0x10_0000 + i as u64)), 0) {
-                PrefetchOutcome::MshrFull => deferred += 1,
-                _ => {}
+            if h.issue_prefetch(
+                0,
+                PrefetchRequest::to_l1(BlockAddr::new(0x10_0000 + i as u64)),
+                0,
+            ) == PrefetchOutcome::MshrFull
+            {
+                deferred += 1;
             }
         }
         assert_eq!(deferred, 8);
@@ -708,7 +830,11 @@ mod tests {
         h.advance_to(100_000);
         assert_eq!(h.l1_mshr_occupancy(0), 0);
         assert_eq!(
-            h.issue_prefetch(0, PrefetchRequest::to_l1(BlockAddr::new(0x20_0000)), 100_000),
+            h.issue_prefetch(
+                0,
+                PrefetchRequest::to_l1(BlockAddr::new(0x20_0000)),
+                100_000
+            ),
             PrefetchOutcome::Issued
         );
     }

@@ -88,7 +88,8 @@ impl CoreStats {
     /// Prefetches filled into the LLC are not issued by any evaluated
     /// prefetcher but are included for completeness.
     pub fn overall_accuracy(&self) -> f64 {
-        let useful = self.l1d.useful_prefetches + self.l2c.useful_prefetches + self.llc.useful_prefetches;
+        let useful =
+            self.l1d.useful_prefetches + self.l2c.useful_prefetches + self.llc.useful_prefetches;
         let useless =
             self.l1d.useless_prefetches + self.l2c.useless_prefetches + self.llc.useless_prefetches;
         if useful + useless == 0 {
@@ -102,7 +103,8 @@ impl CoreStats {
     /// served by prefetching, estimated as
     /// `useful_offchip_prefetches / (useful_offchip_prefetches + llc_demand_misses)`.
     pub fn llc_coverage(&self) -> f64 {
-        let covered = self.llc.useful_prefetches + self.l2c.useful_prefetches + self.l1d.useful_prefetches;
+        let covered =
+            self.llc.useful_prefetches + self.l2c.useful_prefetches + self.l1d.useful_prefetches;
         // Only count prefetches that actually removed an off-chip miss: those
         // are the ones the hierarchy recorded as useful at any level, since
         // every prefetch fill in this simulator is satisfied from DRAM or LLC.
@@ -154,7 +156,11 @@ impl SimReport {
     /// Geometric-mean per-core speedup of this report over `baseline`
     /// (the metric used for multi-core comparisons in the paper).
     pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
-        assert_eq!(self.cores.len(), baseline.cores.len(), "core-count mismatch in speedup comparison");
+        assert_eq!(
+            self.cores.len(),
+            baseline.cores.len(),
+            "core-count mismatch in speedup comparison"
+        );
         let mut log_sum = 0.0;
         let mut n = 0usize;
         for (a, b) in self.cores.iter().zip(&baseline.cores) {
@@ -192,7 +198,11 @@ mod tests {
 
     #[test]
     fn ipc_and_mpki() {
-        let mut cs = CoreStats { instructions: 1000, cycles: 2000, ..Default::default() };
+        let mut cs = CoreStats {
+            instructions: 1000,
+            cycles: 2000,
+            ..Default::default()
+        };
         cs.l1d.demand_misses = 50;
         assert!((cs.ipc() - 0.5).abs() < 1e-12);
         assert!((cs.l1d.mpki(cs.instructions) - 50.0).abs() < 1e-12);
@@ -228,14 +238,30 @@ mod tests {
     fn speedup_is_geometric_mean_of_per_core_ratios() {
         let base = SimReport {
             cores: vec![
-                CoreStats { instructions: 100, cycles: 100, ..Default::default() },
-                CoreStats { instructions: 100, cycles: 200, ..Default::default() },
+                CoreStats {
+                    instructions: 100,
+                    cycles: 100,
+                    ..Default::default()
+                },
+                CoreStats {
+                    instructions: 100,
+                    cycles: 200,
+                    ..Default::default()
+                },
             ],
         };
         let new = SimReport {
             cores: vec![
-                CoreStats { instructions: 100, cycles: 50, ..Default::default() },
-                CoreStats { instructions: 100, cycles: 200, ..Default::default() },
+                CoreStats {
+                    instructions: 100,
+                    cycles: 50,
+                    ..Default::default()
+                },
+                CoreStats {
+                    instructions: 100,
+                    cycles: 200,
+                    ..Default::default()
+                },
             ],
         };
         // Core 0 speeds up 2x, core 1 unchanged: geomean = sqrt(2).

@@ -26,12 +26,22 @@ pub struct TraceRecord {
 impl TraceRecord {
     /// A load record preceded by `non_mem_before` non-memory instructions.
     pub fn load(pc: u64, addr: u64, non_mem_before: u32) -> Self {
-        TraceRecord { pc, addr: Addr::new(addr), is_store: false, non_mem_before }
+        TraceRecord {
+            pc,
+            addr: Addr::new(addr),
+            is_store: false,
+            non_mem_before,
+        }
     }
 
     /// A store record preceded by `non_mem_before` non-memory instructions.
     pub fn store(pc: u64, addr: u64, non_mem_before: u32) -> Self {
-        TraceRecord { pc, addr: Addr::new(addr), is_store: true, non_mem_before }
+        TraceRecord {
+            pc,
+            addr: Addr::new(addr),
+            is_store: true,
+            non_mem_before,
+        }
     }
 
     /// Total instructions this record represents (the memory instruction plus
@@ -60,8 +70,14 @@ impl Trace {
     /// Panics if `records` is empty: the simulator cannot make progress on an
     /// empty trace.
     pub fn new(name: impl Into<String>, records: Vec<TraceRecord>) -> Self {
-        assert!(!records.is_empty(), "a trace must contain at least one record");
-        Trace { name: name.into(), records }
+        assert!(
+            !records.is_empty(),
+            "a trace must contain at least one record"
+        );
+        Trace {
+            name: name.into(),
+            records,
+        }
     }
 
     /// The trace's name (workload identifier).
@@ -87,12 +103,19 @@ impl Trace {
 
     /// Total instructions represented by one pass over the trace.
     pub fn instructions_per_pass(&self) -> u64 {
-        self.records.iter().map(TraceRecord::instruction_count).sum()
+        self.records
+            .iter()
+            .map(TraceRecord::instruction_count)
+            .sum()
     }
 
     /// Creates a replaying cursor positioned at the start.
     pub fn cursor(&self) -> TraceCursor<'_> {
-        TraceCursor { trace: self, pos: 0, wraps: 0 }
+        TraceCursor {
+            trace: self,
+            pos: 0,
+            wraps: 0,
+        }
     }
 }
 
@@ -142,7 +165,7 @@ mod tests {
     fn instruction_counting() {
         let t = tiny_trace();
         assert_eq!(t.len(), 3);
-        assert_eq!(t.instructions_per_pass(), 3 + (3 + 0 + 7));
+        assert_eq!(t.instructions_per_pass(), 13); // 3 memory instructions + gaps of 3, 0 and 7
     }
 
     #[test]

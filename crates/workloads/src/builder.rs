@@ -1,7 +1,6 @@
 //! A small deterministic trace builder shared by all workload generators.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 use sim_core::trace::TraceRecord;
 
 /// Deterministic trace builder: wraps an RNG seeded from the workload name so
@@ -15,7 +14,10 @@ pub struct TraceBuilder {
 impl TraceBuilder {
     /// Creates a builder seeded from `seed`.
     pub fn new(seed: u64) -> Self {
-        TraceBuilder { records: Vec::new(), rng: SmallRng::seed_from_u64(seed) }
+        TraceBuilder {
+            records: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Creates a builder seeded from a workload name (stable hash).
@@ -49,7 +51,11 @@ impl TraceBuilder {
 
     /// Appends a load with a gap drawn uniformly from `lo..=hi`.
     pub fn load_jittered(&mut self, pc: u64, addr: u64, lo: u32, hi: u32) -> &mut Self {
-        let gap = if hi > lo { self.rng.gen_range(lo..=hi) } else { lo };
+        let gap = if hi > lo {
+            self.rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
         self.load(pc, addr, gap)
     }
 

@@ -7,8 +7,6 @@
 //! property array — i.e. exactly the interleaving of spatial streaming and
 //! irregular accesses the paper's Fig. 5 motivates the streaming module with.
 
-use rand::Rng;
-
 use crate::builder::TraceBuilder;
 use sim_core::trace::TraceRecord;
 
@@ -25,13 +23,17 @@ impl SyntheticGraph {
     /// Builds a graph with `vertices` vertices and roughly `avg_degree`
     /// neighbors per vertex, with a skewed (hub-heavy) degree distribution.
     pub fn build(seed: u64, vertices: u64, avg_degree: u64) -> Self {
-        let mut rng = rand::rngs::SmallRng::clone(TraceBuilder::new(seed).rng());
+        let mut rng = TraceBuilder::new(seed).rng().clone();
         let mut row_ptr = Vec::with_capacity(vertices as usize + 1);
         let mut neighbors = Vec::new();
         row_ptr.push(0);
         for v in 0..vertices {
             // Hubs: 2% of vertices get 8x the average degree.
-            let degree = if v % 50 == 0 { avg_degree * 8 } else { rng.gen_range(1..=avg_degree * 2) };
+            let degree = if v % 50 == 0 {
+                avg_degree * 8
+            } else {
+                rng.gen_range(1..=avg_degree * 2)
+            };
             for _ in 0..degree {
                 neighbors.push(rng.gen_range(0..vertices));
             }
@@ -196,15 +198,26 @@ mod tests {
             .filter(|r| r.addr.raw() >= PROPERTY_BASE && r.addr.raw() < FRONTIER_BASE)
             .map(|r| geom.region_of(r.addr).raw())
             .collect();
-        assert!(property_regions.len() > 200, "scattered property accesses expected");
-        let frontier_count =
-            recs.iter().filter(|r| r.addr.raw() >= FRONTIER_BASE).count();
-        assert!(frontier_count > 400, "the frontier sweep must be present ({frontier_count} accesses)");
+        assert!(
+            property_regions.len() > 200,
+            "scattered property accesses expected"
+        );
+        let frontier_count = recs
+            .iter()
+            .filter(|r| r.addr.raw() >= FRONTIER_BASE)
+            .count();
+        assert!(
+            frontier_count > 400,
+            "the frontier sweep must be present ({frontier_count} accesses)"
+        );
     }
 
     #[test]
     fn init_phase_emits_sequential_stores() {
-        let spec = GraphSpec { init_phase: true, ..Default::default() };
+        let spec = GraphSpec {
+            init_phase: true,
+            ..Default::default()
+        };
         let recs = graph_workload("bfs-init", 9000, spec);
         let stores = recs.iter().take(3000).filter(|r| r.is_store).count();
         assert!(stores > 1000, "the initial phase is store-heavy streaming");
@@ -215,7 +228,11 @@ mod tests {
         let bfs = graph_workload(
             "bfs",
             15_000,
-            GraphSpec { kernel: GraphKernel::Bfs, frontier_fraction: 0.05, ..Default::default() },
+            GraphSpec {
+                kernel: GraphKernel::Bfs,
+                frontier_fraction: 0.05,
+                ..Default::default()
+            },
         );
         let pr = graph_workload("pr", 15_000, GraphSpec::default());
         // PageRank touches vertices 0,1,2,... consecutively; BFS skips.
@@ -230,7 +247,10 @@ mod tests {
         let pr_v = first_vertices(&pr);
         let bfs_gaps: u64 = bfs_v.windows(2).map(|w| w[1].abs_diff(w[0])).sum();
         let pr_gaps: u64 = pr_v.windows(2).map(|w| w[1].abs_diff(w[0])).sum();
-        assert!(bfs_gaps > pr_gaps, "BFS vertex ids must be sparser ({bfs_gaps} vs {pr_gaps})");
+        assert!(
+            bfs_gaps > pr_gaps,
+            "BFS vertex ids must be sparser ({bfs_gaps} vs {pr_gaps})"
+        );
     }
 
     #[test]
@@ -238,9 +258,15 @@ mod tests {
         let recs = graph_workload(
             "tc",
             10_000,
-            GraphSpec { kernel: GraphKernel::Triangle, ..Default::default() },
+            GraphSpec {
+                kernel: GraphKernel::Triangle,
+                ..Default::default()
+            },
         );
         let pc_set: std::collections::BTreeSet<u64> = recs.iter().map(|r| r.pc).collect();
-        assert!(pc_set.contains(&0x61_0030), "triangle kernel touches the second adjacency list");
+        assert!(
+            pc_set.contains(&0x61_0030),
+            "triangle kernel touches the second adjacency list"
+        );
     }
 }

@@ -1,8 +1,6 @@
 //! Irregular, pointer-chasing and scale-out-server workload generators
 //! (mcf/omnetpp/CloudSuite/QMM-like).
 
-use rand::Rng;
-
 use crate::builder::TraceBuilder;
 use sim_core::trace::TraceRecord;
 
@@ -15,7 +13,10 @@ pub fn pointer_chase(name: &str, records: usize, nodes: u64, node_bytes: u64) ->
     let mut current = 1u64;
     for _ in 0..records {
         // A fixed multiplicative chain gives a repeatable but structureless walk.
-        current = (current.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) % nodes;
+        current = (current
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407))
+            % nodes;
         let addr = base + current * node_bytes;
         b.load_jittered(0x70_0000, addr, 4, 16);
     }
@@ -95,7 +96,7 @@ pub fn cloud_server(name: &str, records: usize, spec: CloudSpec) -> Vec<TraceRec
     let mut active: Vec<(u64, usize, usize)> = Vec::new();
     let mut produced = 0usize;
     while produced < records {
-        let roll: f64 = b.rng().gen();
+        let roll: f64 = b.rng().gen_f64();
         let pc = 0x80_0000 + b.rng().gen_range(0..spec.pcs) * 0x10;
         if roll < spec.hot_fraction {
             // Hot structure: 64 KB, stays cache resident.
@@ -112,7 +113,12 @@ pub fn cloud_server(name: &str, records: usize, spec: CloudSpec) -> Vec<TraceRec
             let idx = b.rng().gen_range(0..active.len());
             let (region, ty, pos) = active[idx];
             let offset = templates[ty][pos] as u64;
-            b.load_jittered(pc, heap_base + (region * 64 + offset) * 64, spec.gap.0, spec.gap.1);
+            b.load_jittered(
+                pc,
+                heap_base + (region * 64 + offset) * 64,
+                spec.gap.0,
+                spec.gap.1,
+            );
             produced += 1;
             if pos + 1 >= templates[ty].len() {
                 active.swap_remove(idx);
@@ -136,7 +142,7 @@ pub fn qmm_server(name: &str, records: usize) -> Vec<TraceRecord> {
     let mut b = TraceBuilder::from_name(name);
     let base = 0x50_0000_0000u64;
     // 1.5 MB working set: fits in the LLC, mostly fits in the L2.
-    let blocks = (1536 * 1024) / 64;
+    let blocks = (1536 * 1024) / 64u64;
     for _ in 0..records {
         let block = b.rng().gen_range(0..blocks);
         b.load_jittered(0x90_0000 + (block % 97) * 8, base + block * 64, 15, 40);
@@ -174,7 +180,10 @@ mod tests {
                 same_region += 1;
             }
         }
-        assert!(same_region < 100, "consecutive chase steps rarely share a region ({same_region})");
+        assert!(
+            same_region < 100,
+            "consecutive chase steps rarely share a region ({same_region})"
+        );
     }
 
     #[test]
@@ -188,16 +197,23 @@ mod tests {
     fn cloud_has_many_pcs_and_modest_locality() {
         let recs = cloud_server("cassandra", 20_000, CloudSpec::default());
         let pcs: std::collections::BTreeSet<u64> = recs.iter().map(|r| r.pc).collect();
-        assert!(pcs.len() > 200, "cloud workloads have large code footprints ({} PCs)", pcs.len());
+        assert!(
+            pcs.len() > 200,
+            "cloud workloads have large code footprints ({} PCs)",
+            pcs.len()
+        );
         // Gaps are large (lots of non-memory work).
-        let avg_gap: f64 =
-            recs.iter().map(|r| f64::from(r.non_mem_before)).sum::<f64>() / recs.len() as f64;
+        let avg_gap: f64 = recs
+            .iter()
+            .map(|r| f64::from(r.non_mem_before))
+            .sum::<f64>()
+            / recs.len() as f64;
         assert!(avg_gap > 8.0);
     }
 
     #[test]
     fn qmm_server_working_set_fits_in_llc() {
-        let recs = qmm_server("srv.09", 10_000, );
+        let recs = qmm_server("srv.09", 10_000);
         let max = recs.iter().map(|r| r.addr.raw()).max().unwrap();
         let min = recs.iter().map(|r| r.addr.raw()).min().unwrap();
         assert!(max - min <= 1536 * 1024);
@@ -211,7 +227,13 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(cloud_server("x", 2000, CloudSpec::default()), cloud_server("x", 2000, CloudSpec::default()));
-        assert_eq!(pointer_chase("y", 2000, 1 << 16, 64), pointer_chase("y", 2000, 1 << 16, 64));
+        assert_eq!(
+            cloud_server("x", 2000, CloudSpec::default()),
+            cloud_server("x", 2000, CloudSpec::default())
+        );
+        assert_eq!(
+            pointer_chase("y", 2000, 1 << 16, 64),
+            pointer_chase("y", 2000, 1 << 16, 64)
+        );
     }
 }

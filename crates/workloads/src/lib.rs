@@ -31,6 +31,7 @@ pub mod builder;
 pub mod graph;
 pub mod irregular;
 pub mod regions;
+pub mod rng;
 pub mod streaming;
 pub mod suite;
 

@@ -7,8 +7,6 @@
 //! keyed only on the trigger offset (PMP, the plain `Offset` scheme) confuse
 //! them while Gaze's two-access characterization tells them apart.
 
-use rand::Rng;
-
 use crate::builder::TraceBuilder;
 use sim_core::trace::TraceRecord;
 
@@ -23,7 +21,10 @@ impl FootprintTemplate {
     /// A template accessed in the given order.
     pub fn new(offsets: Vec<usize>) -> Self {
         assert!(offsets.len() >= 2, "a template needs at least two accesses");
-        assert!(offsets.iter().all(|&o| o < 64), "offsets must fit a 4 KB region");
+        assert!(
+            offsets.iter().all(|&o| o < 64),
+            "offsets must fit a 4 KB region"
+        );
         FootprintTemplate { offsets }
     }
 }
@@ -45,7 +46,12 @@ pub struct RegionPatternSpec {
 
 impl Default for RegionPatternSpec {
     fn default() -> Self {
-        RegionPatternSpec { templates: conflicting_templates(), regions: 4096, gap: (3, 9), noise: 0.02 }
+        RegionPatternSpec {
+            templates: conflicting_templates(),
+            regions: 4096,
+            gap: (3, 9),
+            noise: 0.02,
+        }
     }
 }
 
@@ -114,7 +120,7 @@ pub fn region_patterns(name: &str, records: usize, spec: RegionPatternSpec) -> V
         }
         slot = (slot + 1) % ACTIVE;
         // Inject noise accesses.
-        let roll: f64 = b.rng().gen();
+        let roll: f64 = b.rng().gen_f64();
         if roll < spec.noise && produced < records {
             let noise_region = base_region + b.rng().gen_range(0..spec.regions);
             let noise_offset = b.rng().gen_range(0..64u64);
@@ -143,7 +149,10 @@ pub fn phased(name: &str, records: usize) -> Vec<TraceRecord> {
             crate::streaming::streaming(
                 &chunk_name,
                 n,
-                crate::streaming::StreamingSpec { streams: 2, ..Default::default() },
+                crate::streaming::StreamingSpec {
+                    streams: 2,
+                    ..Default::default()
+                },
             )
         };
         out.extend(chunk);
@@ -168,11 +177,21 @@ mod tests {
 
     #[test]
     fn each_region_follows_one_template_in_order() {
-        let recs = region_patterns("t", 5000, RegionPatternSpec { noise: 0.0, ..Default::default() });
+        let recs = region_patterns(
+            "t",
+            5000,
+            RegionPatternSpec {
+                noise: 0.0,
+                ..Default::default()
+            },
+        );
         let geom = RegionGeometry::gaze_default();
         let mut per_region: HashMap<u64, Vec<usize>> = HashMap::new();
         for r in &recs {
-            per_region.entry(geom.region_of(r.addr).raw()).or_default().push(geom.offset_of(r.addr));
+            per_region
+                .entry(geom.region_of(r.addr).raw())
+                .or_default()
+                .push(geom.offset_of(r.addr));
         }
         let templates = conflicting_templates();
         let mut matched = 0;
@@ -184,17 +203,26 @@ mod tests {
                 matched += 1;
             }
         }
-        assert!(matched > 50, "most fully-visited regions follow a template, got {matched}");
+        assert!(
+            matched > 50,
+            "most fully-visited regions follow a template, got {matched}"
+        );
     }
 
     #[test]
     fn conflicting_templates_share_a_trigger_offset() {
         let t = conflicting_templates();
         let same_trigger = t.iter().filter(|x| x.offsets[0] == 12).count();
-        assert!(same_trigger >= 2, "the Fig. 2 conflict requires shared trigger offsets");
+        assert!(
+            same_trigger >= 2,
+            "the Fig. 2 conflict requires shared trigger offsets"
+        );
         // But their second offsets differ.
-        let seconds: std::collections::BTreeSet<usize> =
-            t.iter().filter(|x| x.offsets[0] == 12).map(|x| x.offsets[1]).collect();
+        let seconds: std::collections::BTreeSet<usize> = t
+            .iter()
+            .filter(|x| x.offsets[0] == 12)
+            .map(|x| x.offsets[1])
+            .collect();
         assert_eq!(seconds.len(), same_trigger);
     }
 

@@ -1,0 +1,181 @@
+//! A minimal deterministic RNG for the trace generators.
+//!
+//! The build environment has no access to a crate registry, so this module
+//! replaces the external `rand` crate with a self-contained xoshiro256**
+//! generator seeded through SplitMix64. The API mirrors the subset of
+//! `rand::Rng` the generators use (`gen_range` over integer ranges and a
+//! uniform `f64`), so the call sites read the same. Determinism is the only
+//! hard requirement: every workload trace must be bit-identical across runs
+//! and across hosts.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256** generator.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator from a 64-bit seed (SplitMix64 state expansion).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive integer ranges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "cannot sample from an empty range");
+        // Multiply-shift reduction (Lemire); bias is negligible for the
+        // trace-generation ranges used here and determinism is unaffected.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+}
+
+/// Integer range types [`SmallRng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws a uniform value from the range.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SmallRng) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<u64> {
+    type Output = u64;
+    fn sample(self, rng: &mut SmallRng) -> u64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        lo + rng.below(span + 1)
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        (self.start as u64..self.end as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        (*self.start() as u64..=*self.end() as u64).sample(rng) as usize
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut SmallRng) -> u32 {
+        (self.start as u64..self.end as u64).sample(rng) as u32
+    }
+}
+
+impl SampleRange for RangeInclusive<u32> {
+    type Output = u32;
+    fn sample(self, rng: &mut SmallRng) -> u32 {
+        (*self.start() as u64..=*self.end() as u64).sample(rng) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(3u32..=5);
+            assert!((3..=5).contains(&w));
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_values_cover_the_span() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all 8 values should appear in 1000 draws"
+        );
+    }
+
+    #[test]
+    fn clone_continues_the_same_stream() {
+        let mut a = SmallRng::seed_from_u64(5);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -44,7 +44,7 @@ pub fn streaming(name: &str, records: usize, spec: StreamingSpec) -> Vec<TraceRe
         let addr = base + pos * 64 * spec.stride_blocks;
         let pc = 0x40_0000 + stream as u64 * 0x40;
         let is_store = {
-            let r: f64 = rand::Rng::gen(b.rng());
+            let r: f64 = b.rng().gen_f64();
             r < spec.store_fraction
         };
         if is_store {
@@ -87,14 +87,21 @@ mod tests {
 
     #[test]
     fn strided_streams_respect_the_stride() {
-        let spec = StreamingSpec { streams: 1, stride_blocks: 4, ..Default::default() };
+        let spec = StreamingSpec {
+            streams: 1,
+            stride_blocks: 4,
+            ..Default::default()
+        };
         let recs = streaming("t", 100, spec);
         assert_eq!(recs[1].addr.raw() - recs[0].addr.raw(), 256);
     }
 
     #[test]
     fn store_fraction_produces_stores() {
-        let spec = StreamingSpec { store_fraction: 0.5, ..Default::default() };
+        let spec = StreamingSpec {
+            store_fraction: 0.5,
+            ..Default::default()
+        };
         let recs = streaming("t", 2000, spec);
         let stores = recs.iter().filter(|r| r.is_store).count();
         assert!(stores > 500 && stores < 1500);
@@ -102,7 +109,11 @@ mod tests {
 
     #[test]
     fn streaming_regions_have_dense_footprints() {
-        let spec = StreamingSpec { streams: 1, gap: (1, 1), ..Default::default() };
+        let spec = StreamingSpec {
+            streams: 1,
+            gap: (1, 1),
+            ..Default::default()
+        };
         let recs = streaming("t", 256, spec);
         let geom = RegionGeometry::gaze_default();
         // The first 4 KB region visited must be fully swept (64 blocks).

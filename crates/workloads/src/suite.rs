@@ -36,7 +36,13 @@ pub enum Suite {
 impl Suite {
     /// The five main suites of Table III.
     pub fn main_suites() -> [Suite; 5] {
-        [Suite::Spec06, Suite::Spec17, Suite::Ligra, Suite::Parsec, Suite::Cloud]
+        [
+            Suite::Spec06,
+            Suite::Spec17,
+            Suite::Ligra,
+            Suite::Parsec,
+            Suite::Cloud,
+        ]
     }
 
     /// Display name used in reports.
@@ -57,21 +63,60 @@ impl Suite {
 pub fn workload_names(suite: Suite) -> Vec<&'static str> {
     match suite {
         Suite::Spec06 => vec![
-            "bwaves-06", "lbm-06", "leslie3d", "libquantum", "milc", "GemsFDTD", "cactusADM", "mcf-06",
-            "soplex", "sphinx3",
+            "bwaves-06",
+            "lbm-06",
+            "leslie3d",
+            "libquantum",
+            "milc",
+            "GemsFDTD",
+            "cactusADM",
+            "mcf-06",
+            "soplex",
+            "sphinx3",
         ],
         Suite::Spec17 => vec![
-            "bwaves_s", "lbm_s", "roms_s", "fotonik3d_s", "cactuBSSN_s", "wrf_s", "cam4_s", "pop2_s",
-            "mcf_s", "omnetpp_s", "xalancbmk_s", "gcc_s",
+            "bwaves_s",
+            "lbm_s",
+            "roms_s",
+            "fotonik3d_s",
+            "cactuBSSN_s",
+            "wrf_s",
+            "cam4_s",
+            "pop2_s",
+            "mcf_s",
+            "omnetpp_s",
+            "xalancbmk_s",
+            "gcc_s",
         ],
         Suite::Ligra => vec![
-            "PageRank", "PageRank.D", "BFS", "BFS-init", "BellmanFord", "Components", "BC", "MIS",
-            "Triangle", "CF",
+            "PageRank",
+            "PageRank.D",
+            "BFS",
+            "BFS-init",
+            "BellmanFord",
+            "Components",
+            "BC",
+            "MIS",
+            "Triangle",
+            "CF",
         ],
         Suite::Parsec => vec!["facesim", "streamcluster", "canneal", "fluidanimate"],
-        Suite::Cloud => vec!["cassandra", "nutch", "cloud9", "classification", "cloud-streaming"],
+        Suite::Cloud => vec![
+            "cassandra",
+            "nutch",
+            "cloud9",
+            "classification",
+            "cloud-streaming",
+        ],
         Suite::Gap => vec!["pr.twi", "pr.web", "cc.twi", "cc.web", "tc.twi", "tc.web"],
-        Suite::Qmm => vec!["srv.09", "srv.27", "srv.46", "clt.fp.06", "clt.int.01", "clt.int.19"],
+        Suite::Qmm => vec![
+            "srv.09",
+            "srv.27",
+            "srv.46",
+            "clt.fp.06",
+            "clt.int.01",
+            "clt.int.19",
+        ],
     }
 }
 
@@ -91,29 +136,62 @@ pub fn all_main_workloads() -> Vec<(Suite, &'static str)> {
 pub fn build_workload(name: &str, records: usize) -> Trace {
     let recs = match name {
         // --- Streaming-dominated SPEC-like workloads ---
-        "bwaves-06" | "bwaves_s" => streaming(name, records, StreamingSpec { streams: 4, ..Default::default() }),
+        "bwaves-06" | "bwaves_s" => streaming(
+            name,
+            records,
+            StreamingSpec {
+                streams: 4,
+                ..Default::default()
+            },
+        ),
         "lbm-06" | "lbm_s" => streaming(
             name,
             records,
-            StreamingSpec { streams: 3, store_fraction: 0.3, ..Default::default() },
+            StreamingSpec {
+                streams: 3,
+                store_fraction: 0.3,
+                ..Default::default()
+            },
         ),
         "leslie3d" | "roms_s" => streaming(
             name,
             records,
-            StreamingSpec { streams: 2, stride_blocks: 1, gap: (4, 10), ..Default::default() },
+            StreamingSpec {
+                streams: 2,
+                stride_blocks: 1,
+                gap: (4, 10),
+                ..Default::default()
+            },
         ),
-        "libquantum" => streaming(name, records, StreamingSpec { streams: 1, gap: (3, 7), ..Default::default() }),
+        "libquantum" => streaming(
+            name,
+            records,
+            StreamingSpec {
+                streams: 1,
+                gap: (3, 7),
+                ..Default::default()
+            },
+        ),
         "milc" | "cam4_s" => streaming(
             name,
             records,
-            StreamingSpec { streams: 6, stride_blocks: 2, gap: (3, 8), ..Default::default() },
+            StreamingSpec {
+                streams: 6,
+                stride_blocks: 2,
+                gap: (3, 8),
+                ..Default::default()
+            },
         ),
         // --- Recurrent-footprint / stencil SPEC-like workloads ---
         "fotonik3d_s" | "GemsFDTD" => region_patterns(name, records, RegionPatternSpec::default()),
         "cactusADM" | "cactuBSSN_s" | "wrf_s" => region_patterns(
             name,
             records,
-            RegionPatternSpec { templates: stencil_templates(), regions: 8192, ..Default::default() },
+            RegionPatternSpec {
+                templates: stencil_templates(),
+                regions: 8192,
+                ..Default::default()
+            },
         ),
         "pop2_s" => phased(name, records),
         // --- Irregular SPEC-like workloads ---
@@ -122,12 +200,22 @@ pub fn build_workload(name: &str, records: usize) -> Trace {
         "xalancbmk_s" => cloud_server(
             name,
             records,
-            CloudSpec { pcs: 192, heap_bytes: 12 * 1024 * 1024, code_correlated: 0.45, ..Default::default() },
+            CloudSpec {
+                pcs: 192,
+                heap_bytes: 12 * 1024 * 1024,
+                code_correlated: 0.45,
+                ..Default::default()
+            },
         ),
         "soplex" | "sphinx3" | "gcc_s" => {
             // Mixed: half recurrent footprints, half irregular.
             let mut recs = region_patterns(name, records / 2, RegionPatternSpec::default());
-            recs.extend(pointer_chase(&format!("{name}-irr"), records - records / 2, 1 << 19, 64));
+            recs.extend(pointer_chase(
+                &format!("{name}-irr"),
+                records - records / 2,
+                1 << 19,
+                64,
+            ));
             recs
         }
         // --- Ligra ---
@@ -135,44 +223,84 @@ pub fn build_workload(name: &str, records: usize) -> Trace {
         "BFS" => graph_workload(
             name,
             records,
-            GraphSpec { kernel: GraphKernel::Bfs, frontier_fraction: 0.05, ..Default::default() },
+            GraphSpec {
+                kernel: GraphKernel::Bfs,
+                frontier_fraction: 0.05,
+                ..Default::default()
+            },
         ),
         "BFS-init" => graph_workload(
             name,
             records,
-            GraphSpec { kernel: GraphKernel::Bfs, init_phase: true, ..Default::default() },
+            GraphSpec {
+                kernel: GraphKernel::Bfs,
+                init_phase: true,
+                ..Default::default()
+            },
         ),
         "BellmanFord" | "Components" | "BC" | "MIS" | "CF" => graph_workload(
             name,
             records,
-            GraphSpec { kernel: GraphKernel::FrontierUpdate, frontier_fraction: 0.15, ..Default::default() },
+            GraphSpec {
+                kernel: GraphKernel::FrontierUpdate,
+                frontier_fraction: 0.15,
+                ..Default::default()
+            },
         ),
         "Triangle" => graph_workload(
             name,
             records,
-            GraphSpec { kernel: GraphKernel::Triangle, vertices: 80_000, avg_degree: 12, ..Default::default() },
+            GraphSpec {
+                kernel: GraphKernel::Triangle,
+                vertices: 80_000,
+                avg_degree: 12,
+                ..Default::default()
+            },
         ),
         // --- PARSEC ---
-        "facesim" => streaming(name, records, StreamingSpec { streams: 5, gap: (5, 12), ..Default::default() }),
+        "facesim" => streaming(
+            name,
+            records,
+            StreamingSpec {
+                streams: 5,
+                gap: (5, 12),
+                ..Default::default()
+            },
+        ),
         "streamcluster" => reused_stream(name, records, 6 * 1024 * 1024),
         "canneal" => pointer_chase(name, records, 1 << 21, 96),
         "fluidanimate" => region_patterns(
             name,
             records,
-            RegionPatternSpec { templates: stencil_templates(), regions: 2048, ..Default::default() },
+            RegionPatternSpec {
+                templates: stencil_templates(),
+                regions: 2048,
+                ..Default::default()
+            },
         ),
         // --- CloudSuite ---
-        "cassandra" | "nutch" | "cloud9" | "classification" => cloud_server(name, records, CloudSpec::default()),
+        "cassandra" | "nutch" | "cloud9" | "classification" => {
+            cloud_server(name, records, CloudSpec::default())
+        }
         "cloud-streaming" => cloud_server(
             name,
             records,
-            CloudSpec { code_correlated: 0.2, hot_fraction: 0.1, heap_bytes: 48 * 1024 * 1024, ..Default::default() },
+            CloudSpec {
+                code_correlated: 0.2,
+                hot_fraction: 0.1,
+                heap_bytes: 48 * 1024 * 1024,
+                ..Default::default()
+            },
         ),
         // --- GAP ---
         "pr.twi" | "pr.web" => graph_workload(
             name,
             records,
-            GraphSpec { vertices: 400_000, avg_degree: 10, ..Default::default() },
+            GraphSpec {
+                vertices: 400_000,
+                avg_degree: 10,
+                ..Default::default()
+            },
         ),
         "cc.twi" | "cc.web" => graph_workload(
             name,
@@ -188,7 +316,12 @@ pub fn build_workload(name: &str, records: usize) -> Trace {
         "tc.twi" | "tc.web" => graph_workload(
             name,
             records,
-            GraphSpec { kernel: GraphKernel::Triangle, vertices: 150_000, avg_degree: 14, ..Default::default() },
+            GraphSpec {
+                kernel: GraphKernel::Triangle,
+                vertices: 150_000,
+                avg_degree: 14,
+                ..Default::default()
+            },
         ),
         // --- QMM ---
         "srv.09" | "srv.27" | "srv.46" => qmm_server(name, records),
@@ -203,7 +336,10 @@ pub fn build_workload(name: &str, records: usize) -> Trace {
 
 /// Builds every workload of a suite with `records` accesses each.
 pub fn build_suite(suite: Suite, records: usize) -> Vec<Trace> {
-    workload_names(suite).into_iter().map(|n| build_workload(n, records)).collect()
+    workload_names(suite)
+        .into_iter()
+        .map(|n| build_workload(n, records))
+        .collect()
 }
 
 #[cfg(test)]
@@ -223,7 +359,11 @@ mod tests {
         ] {
             for name in workload_names(suite) {
                 let trace = build_workload(name, 2_000);
-                assert!(trace.len() >= 2_000, "{name} produced only {} records", trace.len());
+                assert!(
+                    trace.len() >= 2_000,
+                    "{name} produced only {} records",
+                    trace.len()
+                );
                 assert_eq!(trace.name(), name);
             }
         }
@@ -239,7 +379,11 @@ mod tests {
     #[test]
     fn main_evaluation_set_covers_all_five_suites() {
         let all = all_main_workloads();
-        assert!(all.len() >= 35, "expected a few dozen main workloads, got {}", all.len());
+        assert!(
+            all.len() >= 35,
+            "expected a few dozen main workloads, got {}",
+            all.len()
+        );
         for suite in Suite::main_suites() {
             assert!(all.iter().any(|(s, _)| *s == suite));
         }

@@ -12,6 +12,7 @@
 use prefetch_common::access::DemandAccess;
 use prefetch_common::prefetcher::Prefetcher;
 use prefetch_common::request::PrefetchRequest;
+use prefetch_common::sink::RequestSink;
 
 use gaze_sim::report::Table;
 use gaze_sim::runner::{records_for, run_single, run_single_boxed, RunParams};
@@ -35,12 +36,14 @@ impl Prefetcher for NextNLine {
         "next-n-line"
     }
 
-    fn on_access(&mut self, access: &DemandAccess, cache_hit: bool) -> Vec<PrefetchRequest> {
+    fn on_access(&mut self, access: &DemandAccess, cache_hit: bool, sink: &mut RequestSink) {
         if cache_hit || !access.kind.is_load() {
-            return Vec::new();
+            return;
         }
         self.issued += self.degree as u64;
-        (1..=self.degree as i64).map(|d| PrefetchRequest::to_l1(access.block().offset_by(d))).collect()
+        for d in 1..=self.degree as i64 {
+            sink.push(PrefetchRequest::to_l1(access.block().offset_by(d)));
+        }
     }
 
     fn storage_bits(&self) -> u64 {
@@ -56,7 +59,11 @@ fn main() {
     );
     for workload in ["bwaves_s", "cassandra"] {
         let trace = build_workload(workload, records_for(&params));
-        let baseline = run_single_boxed(&trace, Box::new(prefetch_common::NullPrefetcher::new()), &params);
+        let baseline = run_single_boxed(
+            &trace,
+            Box::new(prefetch_common::NullPrefetcher::new()),
+            &params,
+        );
         let custom = run_single_boxed(&trace, Box::new(NextNLine::new(4)), &params);
         let gaze = run_single(&trace, "gaze", &params);
         table.push_row(vec![

@@ -17,7 +17,13 @@ fn main() {
     let workloads = ["BFS-init", "BFS", "PageRank", "BellmanFord", "Components"];
     let mut table = Table::new(
         "Graph analytics: streaming-module control vs naive dense-pattern use",
-        &["workload", "pht4ss_speedup", "gaze_speedup", "pht4ss_acc", "gaze_acc"],
+        &[
+            "workload",
+            "pht4ss_speedup",
+            "gaze_speedup",
+            "pht4ss_acc",
+            "gaze_acc",
+        ],
     );
     for name in workloads {
         let trace = build_workload(name, records_for(&params));

@@ -19,7 +19,14 @@ fn main() {
 
     let mut table = Table::new(
         "Four-core heterogeneous mix: per-core speedup over no prefetching",
-        &["prefetcher", "bwaves_s", "PageRank", "mcf_s", "cassandra", "geomean"],
+        &[
+            "prefetcher",
+            "bwaves_s",
+            "PageRank",
+            "mcf_s",
+            "cassandra",
+            "geomean",
+        ],
     );
     for prefetcher in ["pmp", "vberti", "gaze"] {
         let (with, base, speedup) = multicore_speedup(&refs, prefetcher, &params);

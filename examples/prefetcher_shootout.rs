@@ -11,13 +11,22 @@ use gaze_sim::runner::{records_for, run_single, RunParams};
 use workloads::build_workload;
 
 fn main() {
-    let workload = std::env::args().nth(1).unwrap_or_else(|| "fotonik3d_s".to_string());
+    let workload = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "fotonik3d_s".to_string());
     let params = RunParams::experiment();
     let trace = build_workload(&workload, records_for(&params));
 
     let mut table = Table::new(
         format!("Prefetcher comparison on {workload}"),
-        &["prefetcher", "speedup", "accuracy", "coverage", "late", "storage_KB"],
+        &[
+            "prefetcher",
+            "speedup",
+            "accuracy",
+            "coverage",
+            "late",
+            "storage_KB",
+        ],
     );
     for name in MAIN_PREFETCHERS {
         let run = run_single(&trace, name, &params);

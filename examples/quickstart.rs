@@ -9,20 +9,30 @@ use gaze_sim::runner::{records_for, run_single, RunParams};
 use workloads::build_workload;
 
 fn main() {
-    let workload = std::env::args().nth(1).unwrap_or_else(|| "bwaves_s".to_string());
+    let workload = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bwaves_s".to_string());
     let params = RunParams::experiment();
     let trace = build_workload(&workload, records_for(&params));
 
-    println!("workload: {workload} ({} memory accesses per pass)", trace.len());
+    println!(
+        "workload: {workload} ({} memory accesses per pass)",
+        trace.len()
+    );
     let run = run_single(&trace, "gaze", &params);
     println!("baseline IPC        : {:.3}", run.baseline.ipc());
     println!("IPC with Gaze       : {:.3}", run.stats.ipc());
     println!("speedup             : {:.3}x", run.speedup());
     println!("overall accuracy    : {:.1}%", run.accuracy() * 100.0);
     println!("LLC miss coverage   : {:.1}%", run.coverage() * 100.0);
-    println!("late prefetches     : {:.1}% of useful", run.late_fraction() * 100.0);
+    println!(
+        "late prefetches     : {:.1}% of useful",
+        run.late_fraction() * 100.0
+    );
     println!(
         "Gaze metadata budget: {:.2} KB",
-        gaze::GazeConfig::paper_default().storage_breakdown_bits().total_kib()
+        gaze::GazeConfig::paper_default()
+            .storage_breakdown_bits()
+            .total_kib()
     );
 }

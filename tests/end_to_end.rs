@@ -6,12 +6,20 @@ use gaze_sim::{make_prefetcher, MAIN_PREFETCHERS};
 use workloads::build_workload;
 
 fn quick_params() -> RunParams {
-    RunParams { warmup: 10_000, measured: 50_000, ..RunParams::experiment() }
+    RunParams {
+        warmup: 10_000,
+        measured: 50_000,
+        ..RunParams::experiment()
+    }
 }
 
 #[test]
 fn every_main_prefetcher_runs_on_every_suite_representative() {
-    let params = RunParams { warmup: 2_000, measured: 10_000, ..RunParams::test() };
+    let params = RunParams {
+        warmup: 2_000,
+        measured: 10_000,
+        ..RunParams::test()
+    };
     for workload in ["bwaves_s", "PageRank", "cassandra", "mcf_s", "facesim"] {
         let trace = build_workload(workload, records_for(&params));
         for prefetcher in MAIN_PREFETCHERS {
@@ -32,8 +40,16 @@ fn gaze_accelerates_spatial_streaming() {
     let params = quick_params();
     let trace = build_workload("bwaves_s", records_for(&params));
     let run = run_single(&trace, "gaze", &params);
-    assert!(run.speedup() > 1.2, "streaming speedup too low: {:.3}", run.speedup());
-    assert!(run.coverage() > 0.3, "streaming coverage too low: {:.3}", run.coverage());
+    assert!(
+        run.speedup() > 1.2,
+        "streaming speedup too low: {:.3}",
+        run.speedup()
+    );
+    assert!(
+        run.coverage() > 0.3,
+        "streaming coverage too low: {:.3}",
+        run.coverage()
+    );
 }
 
 #[test]
@@ -73,7 +89,10 @@ fn gaze_beats_pmp_on_cloud_like_irregularity() {
         gaze.speedup(),
         pmp.speedup()
     );
-    assert!(gaze.speedup() > 0.95, "gaze must not significantly degrade cloud workloads");
+    assert!(
+        gaze.speedup() > 0.95,
+        "gaze must not significantly degrade cloud workloads"
+    );
 }
 
 #[test]
@@ -107,12 +126,21 @@ fn storage_budgets_match_table_iv_ordering() {
 #[test]
 fn multicore_contention_preserves_gaze_advantage_over_pmp() {
     use gaze_sim::runner::multicore_speedup;
-    let params = RunParams { warmup: 5_000, measured: 25_000, ..RunParams::experiment() };
+    let params = RunParams {
+        warmup: 5_000,
+        measured: 25_000,
+        ..RunParams::experiment()
+    };
     let records = records_for(&params);
-    let traces: Vec<_> =
-        ["bwaves_s", "PageRank", "cassandra", "fotonik3d_s"].iter().map(|n| build_workload(n, records)).collect();
+    let traces: Vec<_> = ["bwaves_s", "PageRank", "cassandra", "fotonik3d_s"]
+        .iter()
+        .map(|n| build_workload(n, records))
+        .collect();
     let refs: Vec<&_> = traces.iter().collect();
     let (_, _, gaze) = multicore_speedup(&refs, "gaze", &params);
     let (_, _, pmp) = multicore_speedup(&refs, "pmp", &params);
-    assert!(gaze > pmp, "4-core: gaze {gaze:.3} should beat pmp {pmp:.3}");
+    assert!(
+        gaze > pmp,
+        "4-core: gaze {gaze:.3} should beat pmp {pmp:.3}"
+    );
 }

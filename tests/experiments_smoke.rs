@@ -6,7 +6,11 @@ use gaze_repro::gaze_sim::runner::RunParams;
 
 fn tiny_scale() -> ExperimentScale {
     ExperimentScale {
-        params: RunParams { warmup: 1_000, measured: 6_000, ..RunParams::test() },
+        params: RunParams {
+            warmup: 1_000,
+            measured: 6_000,
+            ..RunParams::test()
+        },
         workloads_per_suite: 1,
     }
 }
@@ -37,7 +41,11 @@ fn single_core_figures_run_at_tiny_scale() {
 fn main_comparison_produces_speedup_accuracy_and_coverage() {
     let scale = tiny_scale();
     let tables = run_experiment("fig06", &scale);
-    assert_eq!(tables.len(), 4, "fig06/07/08 return speedup, accuracy, coverage and timeliness");
+    assert_eq!(
+        tables.len(),
+        4,
+        "fig06/07/08 return speedup, accuracy, coverage and timeliness"
+    );
     // Nine prefetchers per table.
     assert_eq!(tables[0].len(), 9);
     assert_eq!(tables[1].len(), 9);

@@ -1,53 +1,93 @@
-//! Property-based integration tests: invariants that must hold for every
+//! Property-style integration tests: invariants that must hold for every
 //! prefetcher on arbitrary access streams.
-
-use proptest::prelude::*;
+//!
+//! The streams are produced by a deterministic LCG rather than proptest
+//! (unavailable in the offline build environment); each property is checked
+//! across many seeds, so the coverage is comparable and every failure is
+//! exactly reproducible.
 
 use gaze_repro::gaze_sim::make_prefetcher;
 use gaze_repro::prefetch_common::access::DemandAccess;
 use gaze_repro::prefetch_common::addr::RegionGeometry;
+use gaze_repro::prefetch_common::prefetcher::PrefetcherExt;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Deterministic (pc, block) access stream.
+fn access_stream(seed: u64) -> impl Iterator<Item = (u64, u64)> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    std::iter::from_fn(move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let pc = (state >> 17) % 512;
+        let block = (state >> 26) % (1 << 22);
+        Some((pc, block))
+    })
+}
 
-    /// Prefetchers never request the very block that triggered them redundantly
-    /// in enormous numbers, and every emitted request is well-formed (block
-    /// addresses fit the address space used by the generators).
-    #[test]
-    fn prefetchers_emit_bounded_wellformed_requests(
-        accesses in proptest::collection::vec((0u64..512, 0u64..(1 << 22)), 50..300),
-        prefetcher_idx in 0usize..6,
-    ) {
-        let names = ["gaze", "pmp", "bingo", "vberti", "ip-stride", "spp-ppf"];
-        let mut p = make_prefetcher(names[prefetcher_idx]);
-        let mut total = 0usize;
-        for (pc, block) in &accesses {
-            let access = DemandAccess::load(0x400000 + pc * 4, block * 64);
-            let reqs = p.on_access(&access, false);
-            total += reqs.len();
-            for r in &reqs {
-                prop_assert!(r.block.raw() < (1 << 40), "request outside plausible address space");
+/// Prefetchers never emit unboundedly many requests per access, and every
+/// emitted request is well-formed (block addresses fit the address space
+/// used by the generators).
+#[test]
+fn prefetchers_emit_bounded_wellformed_requests() {
+    let names = ["gaze", "pmp", "bingo", "vberti", "ip-stride", "spp-ppf"];
+    for name in names {
+        for seed in 1..=4u64 {
+            let mut p = make_prefetcher(name);
+            let mut total = 0usize;
+            let accesses: Vec<(u64, u64)> = access_stream(seed)
+                .take(150 + (seed as usize * 37) % 150)
+                .collect();
+            for (pc, block) in &accesses {
+                let access = DemandAccess::load(0x400000 + pc * 4, block * 64);
+                let reqs = p.on_access_vec(&access, false);
+                total += reqs.len();
+                for r in &reqs {
+                    assert!(
+                        r.block.raw() < (1 << 40),
+                        "{name} emitted a request outside the plausible address space"
+                    );
+                }
+                total += p.tick_vec().len();
             }
-            total += p.tick().len();
+            // No prefetcher may emit unboundedly many requests per access
+            // (the paper's structures are all degree-limited).
+            assert!(
+                total <= accesses.len() * 64,
+                "{name} emitted {total} requests for {} accesses",
+                accesses.len()
+            );
         }
-        // No prefetcher may emit unboundedly many requests per access
-        // (the paper's structures are all degree-limited).
-        prop_assert!(total <= accesses.len() * 64, "emitted {total} requests for {} accesses", accesses.len());
     }
+}
 
-    /// Gaze never prefetches inside a region it has only seen one access to
-    /// (the Filter Table guarantees one-bit footprints are filtered).
-    #[test]
-    fn gaze_requires_two_accesses_per_region(regions in proptest::collection::vec(0u64..10_000, 20..200)) {
-        let geom = RegionGeometry::gaze_default();
+/// Gaze never prefetches inside a region it has only seen one access to
+/// (the Filter Table guarantees one-bit footprints are filtered).
+#[test]
+fn gaze_requires_two_accesses_per_region() {
+    let geom = RegionGeometry::gaze_default();
+    for seed in 1..=8u64 {
         let mut gaze = make_prefetcher("gaze");
+        let regions: Vec<u64> = access_stream(seed)
+            .take(20 + (seed as usize * 23) % 180)
+            .map(|(_, b)| b % 10_000)
+            .collect();
+        let mut seen = std::collections::BTreeSet::new();
         for (i, region) in regions.iter().enumerate() {
             // One access per region only, at a region-dependent offset.
+            if !seen.insert(*region) {
+                continue;
+            }
             let offset = (region % 64) as usize;
-            let addr = geom.addr_at(prefetch_common::addr::RegionId::new(*region), offset);
-            let reqs = gaze.on_access(&DemandAccess::load(0x400 + i as u64, addr.raw()), false);
-            prop_assert!(reqs.is_empty());
-            prop_assert!(gaze.tick().is_empty(), "no prefetch may be staged after single-access regions");
+            let addr = geom.addr_at(
+                gaze_repro::prefetch_common::addr::RegionId::new(*region),
+                offset,
+            );
+            let reqs = gaze.on_access_vec(&DemandAccess::load(0x400 + i as u64, addr.raw()), false);
+            assert!(reqs.is_empty());
+            assert!(
+                gaze.tick_vec().is_empty(),
+                "no prefetch may be staged after single-access regions"
+            );
         }
     }
 }
