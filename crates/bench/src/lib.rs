@@ -6,7 +6,9 @@
 //! * `fig01_*` … `fig18_*`, `table1_*`, `table4_*` — regenerate the
 //!   corresponding figure/table of the paper by calling
 //!   [`gaze_sim::experiments::run_experiment`] and printing the resulting
-//!   tables (scale controlled by the `GAZE_SCALE` environment variable),
+//!   tables (scale controlled by the `GAZE_SCALE` environment variable;
+//!   set `GAZE_TRACE_DIR` to stream packed GZT traces from disk instead
+//!   of generating workloads in memory — see `docs/TRACES.md`),
 //! * `micro_prefetcher_throughput` — microbenchmarks of prefetcher model
 //!   throughput and simulator speed.
 //!

@@ -17,9 +17,8 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sim_core::stats::CoreStats;
-use sim_core::trace::Trace;
-
 use sim_core::stats::SimReport;
+use sim_core::trace::{source_fingerprint, TraceSource};
 
 use crate::factory::make_prefetcher;
 use crate::runner::{run_heterogeneous, run_single_boxed, RunParams};
@@ -35,25 +34,6 @@ struct BaselineKey {
     warmup: u64,
     measured: u64,
     config: String,
-}
-
-fn fingerprint(trace: &Trace) -> u64 {
-    // FNV-1a over the record stream: cheap (one pass at trace-build cost,
-    // negligible next to simulation) and collision-safe enough combined with
-    // the name + length in the key.
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    };
-    mix(trace.len() as u64);
-    for r in trace.records() {
-        mix(r.pc);
-        mix(r.addr.raw());
-        mix(u64::from(r.is_store));
-        mix(u64::from(r.non_mem_before));
-    }
-    h
 }
 
 type CacheMap = Mutex<HashMap<BaselineKey, Arc<OnceLock<CoreStats>>>>;
@@ -73,13 +53,13 @@ fn multicore_cache() -> &'static MulticoreCacheMap {
 /// simulated at most once per (trace, params) pair for the process lifetime.
 ///
 /// `GAZE_BASELINE_CACHE=0` bypasses the cache entirely (A/B measurements).
-pub fn baseline_stats(trace: &Trace, params: &RunParams) -> CoreStats {
+pub fn baseline_stats(trace: &dyn TraceSource, params: &RunParams) -> CoreStats {
     if !crate::runner::baseline_cache_enabled() {
         return run_single_boxed(trace, make_prefetcher("none"), params);
     }
     let key = BaselineKey {
         trace_name: trace.name().to_string(),
-        trace_fingerprint: fingerprint(trace),
+        trace_fingerprint: source_fingerprint(trace),
         warmup: params.warmup,
         measured: params.measured,
         config: format!("{:?}", params.config),
@@ -95,7 +75,7 @@ pub fn baseline_stats(trace: &Trace, params: &RunParams) -> CoreStats {
 /// per core), simulated at most once per (mix, params) pair.
 ///
 /// `GAZE_BASELINE_CACHE=0` bypasses the cache entirely (A/B measurements).
-pub fn multicore_baseline(traces: &[&Trace], params: &RunParams) -> SimReport {
+pub fn multicore_baseline(traces: &[&dyn TraceSource], params: &RunParams) -> SimReport {
     if !crate::runner::baseline_cache_enabled() {
         return run_heterogeneous(traces, "none", params);
     }
@@ -104,7 +84,7 @@ pub fn multicore_baseline(traces: &[&Trace], params: &RunParams) -> SimReport {
     for t in traces {
         names.push_str(t.name());
         names.push('|');
-        fp ^= fingerprint(t);
+        fp ^= source_fingerprint(*t);
         fp = fp.wrapping_mul(0x1000_0000_01b3);
     }
     let key = BaselineKey {
@@ -183,14 +163,14 @@ mod tests {
 
     #[test]
     fn fingerprint_distinguishes_content_not_just_name() {
-        let t1 = Trace::new(
+        let t1 = sim_core::trace::Trace::new(
             "same-name",
             vec![sim_core::trace::TraceRecord::load(1, 64, 0)],
         );
-        let t2 = Trace::new(
+        let t2 = sim_core::trace::Trace::new(
             "same-name",
             vec![sim_core::trace::TraceRecord::load(1, 128, 0)],
         );
-        assert_ne!(fingerprint(&t1), fingerprint(&t2));
+        assert_ne!(source_fingerprint(&t1), source_fingerprint(&t2));
     }
 }

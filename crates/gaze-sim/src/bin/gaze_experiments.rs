@@ -9,6 +9,11 @@
 //! `all`. `--full` runs every registered workload at the larger bench scale;
 //! the default is the quick scale. `--csv` prints CSV instead of aligned
 //! tables.
+//!
+//! Set `GAZE_TRACE_DIR` to a directory of packed `<workload>.gzt` files
+//! (see the `trace-pack` binary and `docs/TRACES.md`) to stream traces
+//! from disk instead of generating them in memory — results are
+//! bit-identical when the packed record counts match the scale.
 
 use gaze_sim::experiments::{experiment_names, run_experiment, ExperimentScale};
 

@@ -11,12 +11,13 @@ pub mod single_core;
 
 use std::collections::BTreeMap;
 
-use sim_core::trace::Trace;
-use workloads::{build_workload, workload_names, Suite};
+use sim_core::trace::TraceSource;
+use workloads::{workload_names, Suite};
 
 use crate::parallel::parallel_map;
 use crate::report::{mean, Table};
 use crate::runner::{records_for, run_single, RunParams, SingleRun};
+use crate::trace_store::{load_or_build, AnyTrace};
 
 /// How large an experiment to run.
 #[derive(Debug, Clone, Copy)]
@@ -61,18 +62,26 @@ impl ExperimentScale {
 }
 
 /// Builds the evaluation workload list for `suite`, truncated to the scale.
-pub fn suite_traces(suite: Suite, scale: &ExperimentScale) -> Vec<Trace> {
+///
+/// Each workload is loaded from the packed-trace directory when
+/// `GAZE_TRACE_DIR` provides it, and generated in memory otherwise — the
+/// figures are agnostic to where their traces live.
+pub fn suite_traces(suite: Suite, scale: &ExperimentScale) -> Vec<AnyTrace> {
     let records = records_for(&scale.params);
     workload_names(suite)
         .into_iter()
         .take(scale.workloads_per_suite)
-        .map(|name| build_workload(name, records))
+        .map(|name| load_or_build(name, records))
         .collect()
 }
 
 /// Runs `prefetcher` over every trace in parallel and returns the
 /// per-workload results in trace order.
-pub fn run_over(traces: &[Trace], prefetcher: &str, scale: &ExperimentScale) -> Vec<SingleRun> {
+pub fn run_over<S: TraceSource>(
+    traces: &[S],
+    prefetcher: &str,
+    scale: &ExperimentScale,
+) -> Vec<SingleRun> {
     parallel_map(traces, |t| run_single(t, prefetcher, &scale.params))
 }
 
@@ -82,8 +91,8 @@ pub fn run_over(traces: &[Trace], prefetcher: &str, scale: &ExperimentScale) -> 
 ///
 /// This is the engine behind every comparison figure: all simulations of a
 /// figure become one flat parallel workload instead of nested serial loops.
-pub fn run_matrix(
-    traces: &[Trace],
+pub fn run_matrix<S: TraceSource>(
+    traces: &[S],
     prefetchers: &[&str],
     params: &RunParams,
 ) -> Vec<Vec<SingleRun>> {
@@ -127,7 +136,7 @@ pub struct SuiteSummary {
 /// fan-out over every (prefetcher × trace) pair, and summarizes each
 /// prefetcher per suite. Returns one summary per prefetcher, in order.
 pub fn summarize_many(prefetchers: &[&str], scale: &ExperimentScale) -> Vec<SuiteSummary> {
-    let mut traces: Vec<Trace> = Vec::new();
+    let mut traces: Vec<AnyTrace> = Vec::new();
     let mut suite_of: Vec<Suite> = Vec::new();
     for suite in Suite::main_suites() {
         for trace in suite_traces(suite, scale) {

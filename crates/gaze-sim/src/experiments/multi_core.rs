@@ -1,7 +1,7 @@
 //! Multi-core, multi-level and sensitivity experiments: Fig. 13–18.
 
 use sim_core::config::SimConfig;
-use workloads::build_workload;
+use sim_core::trace::TraceSource;
 
 use crate::baseline_cache::{baseline_stats, multicore_baseline};
 use crate::factory::MULTICORE_PREFETCHERS;
@@ -10,6 +10,7 @@ use crate::report::{mean, Table};
 use crate::runner::{
     multicore_speedup, records_for, run_homogeneous, run_multi_level, run_single, RunParams,
 };
+use crate::trace_store::{load_or_build, AnyTrace};
 
 use super::{run_matrix, ExperimentScale};
 
@@ -40,7 +41,7 @@ pub fn fig13_multilevel(scale: &ExperimentScale) -> Table {
     );
     let records = records_for(&scale.params);
     let names = mix_workloads(scale);
-    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+    let traces: Vec<_> = names.iter().map(|n| load_or_build(n, records)).collect();
     let baselines: Vec<f64> = parallel_map(&traces, |t| baseline_stats(t, &scale.params).ipc());
 
     let eval = |group: &str, l1: &str, l2: Option<&str>, table: &mut Table| {
@@ -82,7 +83,7 @@ pub fn fig14_multicore_scaling(scale: &ExperimentScale) -> Table {
     );
     let records = records_for(&scale.params);
     let names = mix_workloads(scale);
-    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+    let traces: Vec<_> = names.iter().map(|n| load_or_build(n, records)).collect();
     let core_counts = [1usize, 2, 4, 8];
     // Fan out over every (prefetcher × core count): each cell simulates its
     // homogeneous mixes and heterogeneous mix independently; the "none"
@@ -96,12 +97,18 @@ pub fn fig14_multicore_scaling(scale: &ExperimentScale) -> Table {
         let mut homo = Vec::new();
         for trace in &traces {
             let with = run_homogeneous(trace, prefetcher, cores, &scale.params);
-            let mix: Vec<&_> = std::iter::repeat_n(trace, cores).collect();
+            let mix: Vec<&dyn TraceSource> =
+                std::iter::repeat_n(trace as &dyn TraceSource, cores).collect();
             let base = multicore_baseline(&mix, &scale.params);
             homo.push(with.speedup_over(&base));
         }
         // Heterogeneous: one mix built from the first `cores` traces.
-        let het: Vec<&_> = traces.iter().cycle().take(cores).collect();
+        let het: Vec<&dyn TraceSource> = traces
+            .iter()
+            .map(|t| t as &dyn TraceSource)
+            .cycle()
+            .take(cores)
+            .collect();
         let (_, _, het_speedup) = multicore_speedup(&het, prefetcher, &scale.params);
         (mean(&homo), het_speedup)
     });
@@ -141,14 +148,14 @@ pub fn fig15_fourcore_mixes(scale: &ExperimentScale) -> Table {
         &["mix", "prefetcher", "c0", "c1", "c2", "c3", "avg"],
     );
     let records = records_for(&scale.params);
-    let mixes: Vec<(&str, Vec<sim_core::trace::Trace>)> = table_vi_mixes()
+    let mixes: Vec<(&str, Vec<AnyTrace>)> = table_vi_mixes()
         .into_iter()
         .map(|(name, workloads)| {
             (
                 name,
                 workloads
                     .iter()
-                    .map(|n| build_workload(n, records))
+                    .map(|n| load_or_build(n, records))
                     .collect(),
             )
         })
@@ -158,7 +165,8 @@ pub fn fig15_fourcore_mixes(scale: &ExperimentScale) -> Table {
         .flat_map(|m| crate::factory::HEAD_TO_HEAD.iter().map(move |p| (m, *p)))
         .collect();
     let results = parallel_map(&cells, |&(m, prefetcher)| {
-        let trace_refs: Vec<&_> = mixes[m].1.iter().collect();
+        let trace_refs: Vec<&dyn TraceSource> =
+            mixes[m].1.iter().map(|t| t as &dyn TraceSource).collect();
         multicore_speedup(&trace_refs, prefetcher, &scale.params)
     });
     for (&(m, prefetcher), (with, base, speedup)) in cells.iter().zip(results) {
@@ -182,7 +190,7 @@ pub fn fig16_system_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
     let prefetchers = ["spp-ppf", "vberti", "bingo", "dspatch", "pmp", "gaze"];
     let records = records_for(&scale.params);
     let names = mix_workloads(scale);
-    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+    let traces: Vec<_> = names.iter().map(|n| load_or_build(n, records)).collect();
 
     let run_config = |cfg: SimConfig, prefetcher: &str| -> f64 {
         let params = RunParams {
@@ -238,7 +246,7 @@ pub fn fig16_system_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
 pub fn fig17_gaze_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
     let records = records_for(&scale.params);
     let names = mix_workloads(scale);
-    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+    let traces: Vec<_> = names.iter().map(|n| load_or_build(n, records)).collect();
 
     let speedup_for = |variant: &str| -> f64 {
         mean(&parallel_map(&traces, |t| {
@@ -283,7 +291,7 @@ pub fn fig17_gaze_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
 pub fn fig18_vgaze_regions(scale: &ExperimentScale) -> Table {
     let records = records_for(&scale.params);
     let names = mix_workloads(scale);
-    let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
+    let traces: Vec<_> = names.iter().map(|n| load_or_build(n, records)).collect();
     let mut table = Table::new(
         "Fig. 18 — vGaze with larger region sizes (speedup normalized to 4KB)",
         &["workload", "4KB", "8KB", "16KB", "32KB", "64KB"],
@@ -314,7 +322,7 @@ mod tests {
             assert_eq!(workloads.len(), 4);
             for w in workloads {
                 // Every referenced workload must be buildable.
-                let _ = build_workload(w, 1000);
+                let _ = workloads::build_workload(w, 1000);
             }
         }
     }

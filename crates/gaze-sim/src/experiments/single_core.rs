@@ -1,10 +1,12 @@
 //! Single-core experiments: Fig. 1, 4, 6–12 and Tables I / IV.
 
-use workloads::{build_workload, Suite};
+use sim_core::trace::TraceSource;
+use workloads::Suite;
 
 use crate::factory::{make_prefetcher, HEAD_TO_HEAD, MAIN_PREFETCHERS};
 use crate::report::{mean, Table};
 use crate::runner::{records_for, SingleRun};
+use crate::trace_store::load_or_build;
 
 use super::{run_matrix, suite_row, suite_table, suite_traces, summarize_many, ExperimentScale};
 
@@ -137,7 +139,7 @@ pub fn fig10_streaming_ablation(scale: &ExperimentScale) -> Table {
     let traces: Vec<_> = workload_list
         .iter()
         .take((scale.workloads_per_suite * 4).max(4))
-        .map(|n| build_workload(n, records))
+        .map(|n| load_or_build(n, records))
         .collect();
     let mut table = Table::new(
         "Fig. 10 — streaming module ablation (speedup)",

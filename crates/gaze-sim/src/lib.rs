@@ -8,6 +8,9 @@
 //!   [`baseline_cache`]),
 //! * [`parallel`] — the thread-pool `parallel_map` the experiment engine
 //!   fans (trace × prefetcher) pairs out with (`GAZE_THREADS` caps it),
+//! * [`trace_store`] — where traces come from: in-memory generators, or
+//!   packed GZT files streamed from `GAZE_TRACE_DIR` (pack them with the
+//!   `trace-pack` binary; format spec in `docs/TRACES.md`),
 //! * [`report`] — text/CSV tables,
 //! * [`experiments`] — one module per figure/table of the paper; each returns
 //!   a [`report::Table`] so the binary, the benches and the integration tests
@@ -25,8 +28,10 @@ pub mod factory;
 pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod trace_store;
 
 pub use factory::{make_prefetcher, HEAD_TO_HEAD, MAIN_PREFETCHERS, MULTICORE_PREFETCHERS};
 pub use parallel::{parallel_map, worker_count};
 pub use report::Table;
 pub use runner::{run_single, RunParams, SingleRun};
+pub use trace_store::{load_or_build, AnyTrace};

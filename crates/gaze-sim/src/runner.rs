@@ -7,7 +7,14 @@
 //! * `GAZE_THREADS` — worker count of the parallel experiment engine
 //!   (`1` forces the serial path),
 //! * `GAZE_CYCLE_SKIP=0` — disables event-driven cycle skipping,
-//! * `GAZE_BASELINE_CACHE=0` — disables baseline memoization.
+//! * `GAZE_BASELINE_CACHE=0` — disables baseline memoization,
+//! * `GAZE_TRACE_DIR` — stream packed GZT traces from this directory
+//!   instead of generating workloads in memory (see
+//!   [`trace_store`](crate::trace_store)).
+//!
+//! Every runner takes `&dyn TraceSource`, so in-memory traces and packed
+//! trace files are interchangeable; one read-only source can back many
+//! concurrent simulations (each gets its own reader).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -15,7 +22,7 @@ use prefetch_common::prefetcher::Prefetcher;
 use sim_core::config::SimConfig;
 use sim_core::stats::{CoreStats, SimReport};
 use sim_core::system::System;
-use sim_core::trace::Trace;
+use sim_core::trace::TraceSource;
 
 use crate::baseline_cache::{baseline_stats, multicore_baseline};
 use crate::factory::make_prefetcher;
@@ -87,7 +94,8 @@ impl RunParams {
 /// harness derives simulated-instructions-per-second from it.
 static SIM_INSTRUCTIONS: AtomicU64 = AtomicU64::new(0);
 
-/// Simulated instructions accumulated so far (see [`SIM_INSTRUCTIONS`]).
+/// Simulated instructions accumulated so far by this process (warm-up +
+/// measured, summed over cores and runs).
 pub fn simulated_instructions() -> u64 {
     SIM_INSTRUCTIONS.load(Ordering::Relaxed)
 }
@@ -169,7 +177,7 @@ impl SingleRun {
 /// comparison simulates it once instead of nine times. Memoization is exact:
 /// the simulator is deterministic, so the cached statistics are bit-identical
 /// to a fresh `"none"` run (see the determinism integration test).
-pub fn run_single(trace: &Trace, prefetcher: &str, params: &RunParams) -> SingleRun {
+pub fn run_single(trace: &dyn TraceSource, prefetcher: &str, params: &RunParams) -> SingleRun {
     let with = run_single_boxed(trace, make_prefetcher(prefetcher), params);
     let baseline = baseline_stats(trace, params);
     SingleRun {
@@ -182,7 +190,11 @@ pub fn run_single(trace: &Trace, prefetcher: &str, params: &RunParams) -> Single
 
 /// Like [`run_single`] but bypassing the baseline cache (reference path for
 /// the determinism tests).
-pub fn run_single_uncached(trace: &Trace, prefetcher: &str, params: &RunParams) -> SingleRun {
+pub fn run_single_uncached(
+    trace: &dyn TraceSource,
+    prefetcher: &str,
+    params: &RunParams,
+) -> SingleRun {
     let with = run_single_boxed(trace, make_prefetcher(prefetcher), params);
     let baseline = run_single_boxed(trace, make_prefetcher("none"), params);
     SingleRun {
@@ -196,7 +208,7 @@ pub fn run_single_uncached(trace: &Trace, prefetcher: &str, params: &RunParams) 
 /// Runs an already-constructed prefetcher on `trace` and returns its core
 /// statistics (no baseline).
 pub fn run_single_boxed(
-    trace: &Trace,
+    trace: &dyn TraceSource,
     prefetcher: Box<dyn Prefetcher>,
     params: &RunParams,
 ) -> CoreStats {
@@ -210,7 +222,12 @@ pub fn run_single_boxed(
 }
 
 /// Runs a multi-level configuration: `l1` at the L1D and `l2` at the L2C.
-pub fn run_multi_level(trace: &Trace, l1: &str, l2: Option<&str>, params: &RunParams) -> CoreStats {
+pub fn run_multi_level(
+    trace: &dyn TraceSource,
+    l1: &str,
+    l2: Option<&str>,
+    params: &RunParams,
+) -> CoreStats {
     let mut cfg = params.config;
     cfg.cores = 1;
     let mut system = System::single_core(cfg, trace, make_prefetcher(l1));
@@ -226,7 +243,7 @@ pub fn run_multi_level(trace: &Trace, l1: &str, l2: Option<&str>, params: &RunPa
 /// Runs a homogeneous multi-core mix (`cores` copies of `trace`) and returns
 /// the full report.
 pub fn run_homogeneous(
-    trace: &Trace,
+    trace: &dyn TraceSource,
     prefetcher: &str,
     cores: usize,
     params: &RunParams,
@@ -241,7 +258,11 @@ pub fn run_homogeneous(
 }
 
 /// Runs a heterogeneous multi-core mix (one trace per core).
-pub fn run_heterogeneous(traces: &[&Trace], prefetcher: &str, params: &RunParams) -> SimReport {
+pub fn run_heterogeneous(
+    traces: &[&dyn TraceSource],
+    prefetcher: &str,
+    params: &RunParams,
+) -> SimReport {
     let cores = traces.len();
     let p = params.with_cores(cores);
     let prefetchers = (0..cores).map(|_| make_prefetcher(prefetcher)).collect();
@@ -254,7 +275,7 @@ pub fn run_heterogeneous(traces: &[&Trace], prefetcher: &str, params: &RunParams
 /// Geometric-mean speedup of a multi-core report over its no-prefetching
 /// counterpart (run on the same traces).
 pub fn multicore_speedup(
-    traces: &[&Trace],
+    traces: &[&dyn TraceSource],
     prefetcher: &str,
     params: &RunParams,
 ) -> (SimReport, SimReport, f64) {

@@ -1,0 +1,168 @@
+//! Where experiment traces come from: in-memory generators or packed GZT
+//! files streamed from disk.
+//!
+//! Every figure asks this module for its workloads. By default the
+//! synthetic generator builds the trace in memory; when the
+//! `GAZE_TRACE_DIR` environment variable points at a directory of packed
+//! `<workload>.gzt` files (produced by the `trace-pack` binary), the
+//! matching file is streamed from disk instead — through the bounded
+//! chunk reader of [`sim_core::gzt`], never materialising the pass. The
+//! two paths yield identical record streams, so every report is
+//! bit-identical either way (asserted by the streaming determinism tests).
+
+use std::path::{Path, PathBuf};
+
+use sim_core::gzt::GztTrace;
+use sim_core::trace::{Trace, TraceReader, TraceSource};
+use workloads::build_workload;
+
+/// A trace from either source, usable anywhere a
+/// [`TraceSource`] is expected.
+#[derive(Debug, Clone)]
+pub enum AnyTrace {
+    /// The whole pass held in memory (synthetic generator output).
+    Memory(Trace),
+    /// A packed GZT file streamed through a bounded chunk buffer.
+    File(GztTrace),
+}
+
+impl AnyTrace {
+    /// Whether this trace streams from disk.
+    pub fn is_streamed(&self) -> bool {
+        matches!(self, AnyTrace::File(_))
+    }
+}
+
+impl TraceSource for AnyTrace {
+    fn name(&self) -> &str {
+        match self {
+            AnyTrace::Memory(t) => t.name(),
+            AnyTrace::File(t) => TraceSource::name(t),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyTrace::Memory(t) => t.len(),
+            AnyTrace::File(t) => TraceSource::len(t),
+        }
+    }
+
+    fn instructions_per_pass(&self) -> u64 {
+        match self {
+            AnyTrace::Memory(t) => t.instructions_per_pass(),
+            AnyTrace::File(t) => TraceSource::instructions_per_pass(t),
+        }
+    }
+
+    fn reader(&self) -> Box<dyn TraceReader + '_> {
+        match self {
+            AnyTrace::Memory(t) => TraceSource::reader(t),
+            AnyTrace::File(t) => TraceSource::reader(t),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Delegate so the file variant hits GztTrace's memoized override.
+        match self {
+            AnyTrace::Memory(t) => TraceSource::fingerprint(t),
+            AnyTrace::File(t) => TraceSource::fingerprint(t),
+        }
+    }
+}
+
+/// The packed-trace directory, if `GAZE_TRACE_DIR` is set and non-empty.
+pub fn trace_dir() -> Option<PathBuf> {
+    std::env::var_os("GAZE_TRACE_DIR")
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Loads `<dir>/<name>.gzt` if `dir` is given and the file exists and
+/// validates; otherwise builds the synthetic workload in memory.
+///
+/// A present-but-corrupt file — or one whose header names a *different*
+/// workload (a copied/renamed file would otherwise silently substitute
+/// another workload's trace) — is an error the caller should see, not a
+/// silent fallback, so both panic with the file path.
+pub fn load_from_dir_or_build(dir: Option<&Path>, name: &str, records: usize) -> AnyTrace {
+    if let Some(dir) = dir {
+        let path = dir.join(workloads::pack::gzt_file_name(name));
+        if path.exists() {
+            let gzt = GztTrace::open(&path)
+                .unwrap_or_else(|e| panic!("invalid packed trace {}: {e}", path.display()));
+            assert_eq!(
+                TraceSource::name(&gzt),
+                name,
+                "packed trace {} is named '{}' but was requested as '{name}' \
+                 (misplaced or renamed file?)",
+                path.display(),
+                TraceSource::name(&gzt),
+            );
+            return AnyTrace::File(gzt);
+        }
+    }
+    AnyTrace::Memory(build_workload(name, records))
+}
+
+/// Loads the workload from `GAZE_TRACE_DIR` when packed there, else builds
+/// it in memory (the drop-in point every experiment uses).
+pub fn load_or_build(name: &str, records: usize) -> AnyTrace {
+    load_from_dir_or_build(trace_dir().as_deref(), name, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::trace::source_fingerprint;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gzt-store-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn falls_back_to_memory_without_a_dir_or_file() {
+        let mem = load_from_dir_or_build(None, "bwaves_s", 3_000);
+        assert!(!mem.is_streamed());
+        let dir = temp_dir("nofile");
+        let miss = load_from_dir_or_build(Some(&dir), "bwaves_s", 3_000);
+        assert!(!miss.is_streamed());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streams_a_packed_file_identically_to_memory() {
+        let dir = temp_dir("stream");
+        workloads::pack::pack_workload("mcf_s", 3_000, &dir.join("mcf_s.gzt")).expect("pack");
+        let streamed = load_from_dir_or_build(Some(&dir), "mcf_s", 3_000);
+        assert!(streamed.is_streamed());
+        let mem = load_from_dir_or_build(None, "mcf_s", 3_000);
+        assert_eq!(streamed.name(), mem.name());
+        assert_eq!(streamed.len(), mem.len());
+        assert_eq!(
+            source_fingerprint(&streamed),
+            source_fingerprint(&mem),
+            "streamed and in-memory record streams must be identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "requested as")]
+    fn renamed_packed_files_fail_loudly() {
+        let dir = temp_dir("renamed");
+        // Pack bwaves_s but store it under mcf_s's file name.
+        workloads::pack::pack_workload("bwaves_s", 2_000, &dir.join("mcf_s.gzt")).expect("pack");
+        let _ = load_from_dir_or_build(Some(&dir), "mcf_s", 2_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid packed trace")]
+    fn corrupt_packed_files_fail_loudly() {
+        let dir = temp_dir("corrupt");
+        std::fs::write(dir.join("bwaves_s.gzt"), b"not a gzt file").expect("write");
+        let _ = load_from_dir_or_build(Some(&dir), "bwaves_s", 1_000);
+    }
+}

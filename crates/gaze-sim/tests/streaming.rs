@@ -1,0 +1,160 @@
+//! Determinism regression tests for the trace-streaming subsystem.
+//!
+//! The contract of the GZT path: packing a synthetic workload to disk and
+//! streaming it back through the bounded chunk reader must be *invisible*
+//! to the simulation — every record identical, every `SimReport` and
+//! `SingleRun` bit-identical to the in-memory run, including through the
+//! parallel experiment engine and the baseline memoization.
+
+use std::path::{Path, PathBuf};
+
+use gaze_sim::experiments::run_matrix;
+use gaze_sim::runner::{records_for, run_heterogeneous, run_single_uncached, RunParams};
+use gaze_sim::trace_store::{load_from_dir_or_build, AnyTrace};
+use sim_core::trace::{TraceRecord, TraceSource};
+use workloads::build_workload;
+use workloads::pack::{gzt_file_name, pack_workload};
+
+/// The fig06-quick workload axis at test budgets: one representative per
+/// main suite (streaming, recurrent-footprint, graph, mixed, cloud).
+const FIG06_WORKLOADS: [&str; 5] = [
+    "bwaves_s",
+    "fotonik3d_s",
+    "PageRank",
+    "facesim",
+    "cassandra",
+];
+
+fn params() -> RunParams {
+    RunParams {
+        warmup: 2_000,
+        measured: 8_000,
+        ..RunParams::test()
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gzt-stream-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Packs every fig06 workload into `dir` and returns (in-memory, streamed)
+/// trace pairs whose record streams are asserted identical elsewhere.
+fn packed_pair(dir: &Path, records: usize) -> (Vec<AnyTrace>, Vec<AnyTrace>) {
+    let mut memory = Vec::new();
+    let mut streamed = Vec::new();
+    for name in FIG06_WORKLOADS {
+        pack_workload(name, records, &dir.join(gzt_file_name(name))).expect("pack");
+        memory.push(load_from_dir_or_build(None, name, records));
+        let s = load_from_dir_or_build(Some(dir), name, records);
+        assert!(
+            s.is_streamed(),
+            "{name} should stream from {}",
+            dir.display()
+        );
+        streamed.push(s);
+    }
+    (memory, streamed)
+}
+
+#[test]
+fn packed_trace_replays_the_generator_record_for_record() {
+    let dir = temp_dir("records");
+    let records = 6_000;
+    for name in FIG06_WORKLOADS {
+        pack_workload(name, records, &dir.join(gzt_file_name(name))).expect("pack");
+        let mem = build_workload(name, records);
+        let gzt = load_from_dir_or_build(Some(&dir), name, records);
+        assert_eq!(gzt.len(), mem.len(), "{name}: record count");
+        assert_eq!(
+            gzt.instructions_per_pass(),
+            mem.instructions_per_pass(),
+            "{name}: instruction count"
+        );
+        let mut reader = gzt.reader();
+        // Read past one full pass to also cover the wrap-around path.
+        let expected: Vec<TraceRecord> = mem
+            .records()
+            .iter()
+            .chain(mem.records().iter().take(100))
+            .copied()
+            .collect();
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(
+                reader.next_record(),
+                *want,
+                "{name}: record {i} diverged between disk and generator"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streamed_multicore_sim_report_is_bit_identical_to_in_memory() {
+    let dir = temp_dir("simreport");
+    let p = params();
+    let (memory, streamed) = packed_pair(&dir, records_for(&p));
+    // A heterogeneous four-core mix: one System::run -> one SimReport.
+    let mem_refs: Vec<&dyn TraceSource> = memory[..4].iter().map(|t| t as _).collect();
+    let str_refs: Vec<&dyn TraceSource> = streamed[..4].iter().map(|t| t as _).collect();
+    for prefetcher in ["none", "gaze"] {
+        let mem_report = run_heterogeneous(&mem_refs, prefetcher, &p);
+        let str_report = run_heterogeneous(&str_refs, prefetcher, &p);
+        // SimReport is PartialEq over every per-core counter.
+        assert_eq!(
+            mem_report, str_report,
+            "{prefetcher}: streamed SimReport diverged from the in-memory run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streamed_fig06_matrix_is_bit_identical_across_the_parallel_engine() {
+    let dir = temp_dir("matrix");
+    let p = params();
+    let (memory, streamed) = packed_pair(&dir, records_for(&p));
+    // run_matrix is the engine behind fig06: a flat parallel fan-out over
+    // every (prefetcher x trace) pair, with memoized baselines. The same
+    // packed file is shared read-only across all worker threads.
+    let prefetchers = ["gaze", "pmp"];
+    let mem_matrix = run_matrix(&memory, &prefetchers, &p);
+    let str_matrix = run_matrix(&streamed, &prefetchers, &p);
+    for (mem_runs, str_runs) in mem_matrix.iter().zip(&str_matrix) {
+        for (a, b) in mem_runs.iter().zip(str_runs) {
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.prefetcher, b.prefetcher);
+            assert_eq!(
+                a.stats, b.stats,
+                "{}/{}: streamed stats diverged",
+                a.prefetcher, a.workload
+            );
+            assert_eq!(
+                a.baseline, b.baseline,
+                "{}/{}: streamed baseline diverged",
+                a.prefetcher, a.workload
+            );
+        }
+    }
+    // The matrix comparison above shares the process-global baseline cache
+    // (streamed sources fingerprint identically, by design, so they hit the
+    // entries the in-memory pass populated). Re-simulate each streamed
+    // trace *uncached* so the streamed "none" baseline path is genuinely
+    // exercised, and compare against the in-memory matrix bit-for-bit.
+    for (ti, streamed_trace) in streamed.iter().enumerate() {
+        let fresh = run_single_uncached(streamed_trace, "gaze", &p);
+        assert_eq!(
+            fresh.stats, mem_matrix[0][ti].stats,
+            "{}: fresh streamed stats diverged",
+            fresh.workload
+        );
+        assert_eq!(
+            fresh.baseline, mem_matrix[0][ti].baseline,
+            "{}: fresh streamed baseline diverged",
+            fresh.workload
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,14 +4,14 @@
 //! baseline prefetchers and the trace-driven simulator:
 //!
 //! * [`addr`] — byte/block/region address arithmetic and the
-//!   [`RegionGeometry`](addr::RegionGeometry) describing a spatial region,
+//!   [`RegionGeometry`] describing a spatial region,
 //! * [`access`] — demand accesses as observed by an L1D prefetcher,
 //! * [`footprint`] — bit-vector spatial footprints of a region,
 //! * [`request`] — prefetch requests with a target fill level,
-//! * [`sink`] — the allocation-free [`RequestSink`](sink::RequestSink)
+//! * [`sink`] — the allocation-free [`RequestSink`]
 //!   prefetchers push requests into (no per-access `Vec`),
 //! * [`table`] — a generic set-associative, LRU-replaced hardware table,
-//! * [`prefetcher`] — the [`Prefetcher`](prefetcher::Prefetcher) trait every
+//! * [`prefetcher`] — the [`Prefetcher`] trait every
 //!   prefetcher in this workspace implements.
 //!
 //! The trait mirrors the hooks ChampSim exposes to an L1D prefetcher

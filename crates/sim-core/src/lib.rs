@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! A trace-driven, cycle-approximate CPU memory-system simulator for
 //! evaluating hardware prefetchers.
 //!
@@ -12,7 +14,10 @@
 //! * a banked, channel-limited DRAM with open-row policy ([`dram`]),
 //! * multi-core execution with shared-resource contention ([`system`]),
 //! * the metrics reported in the paper: IPC/speedup, overall prefetch
-//!   accuracy, LLC coverage and late-prefetch fraction ([`stats`]).
+//!   accuracy, LLC coverage and late-prefetch fraction ([`stats`]),
+//! * the [`TraceSource`] abstraction over in-memory and streamed on-disk
+//!   traces, with the packed GZT file format ([`trace`], [`gzt`] — spec in
+//!   `docs/TRACES.md`).
 //!
 //! # Example
 //!
@@ -39,13 +44,15 @@ pub mod cache;
 pub mod config;
 pub mod core;
 pub mod dram;
+pub mod gzt;
 pub mod hierarchy;
 pub mod stats;
 pub mod system;
 pub mod trace;
 
 pub use config::{CacheConfig, CoreConfig, DramConfig, SimConfig};
+pub use gzt::{GztReader, GztTrace, GztWriter};
 pub use hierarchy::{HitLevel, MemoryHierarchy, PrefetchOutcome};
 pub use stats::{geometric_mean, CacheStats, CoreStats, PrefetchStats, SimReport};
 pub use system::System;
-pub use trace::{Trace, TraceCursor, TraceRecord};
+pub use trace::{source_fingerprint, Trace, TraceCursor, TraceReader, TraceRecord, TraceSource};

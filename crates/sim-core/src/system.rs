@@ -1,13 +1,16 @@
 //! The full simulated system: cores + prefetchers + memory hierarchy.
 //!
-//! [`System`] owns one [`CoreModel`](crate::core::CoreModel), one trace
-//! cursor, one L1D prefetcher (and optionally an L2C prefetcher, for the
+//! [`System`] owns one [`CoreModel`], one trace
+//! reader, one L1D prefetcher (and optionally an L2C prefetcher, for the
 //! multi-level study of Fig. 13) per core, plus the shared
-//! [`MemoryHierarchy`](crate::hierarchy::MemoryHierarchy). Simulation follows
-//! the paper's methodology: every core first executes a warm-up instruction
-//! budget with statistics disabled, then a measured budget; cores that finish
-//! early keep replaying their trace so that multi-core contention persists
-//! until the slowest core completes.
+//! [`MemoryHierarchy`]. Traces arrive as
+//! [`TraceSource`]s, so an in-memory [`Trace`](crate::trace::Trace) and a
+//! streamed on-disk [`GztTrace`](crate::gzt::GztTrace) are interchangeable
+//! (and produce bit-identical reports). Simulation follows the paper's
+//! methodology: every core first executes a warm-up instruction budget with
+//! statistics disabled, then a measured budget; cores that finish early keep
+//! replaying their trace so that multi-core contention persists until the
+//! slowest core completes.
 
 use std::collections::VecDeque;
 
@@ -20,7 +23,7 @@ use crate::config::SimConfig;
 use crate::core::CoreModel;
 use crate::hierarchy::MemoryHierarchy;
 use crate::stats::{CoreStats, SimReport};
-use crate::trace::{Trace, TraceCursor, TraceRecord};
+use crate::trace::{TraceReader, TraceRecord, TraceSource};
 
 /// Maximum cycles per retired instruction before the simulator declares the
 /// run wedged. Generous enough for fully memory-bound phases.
@@ -28,7 +31,7 @@ const DEADLOCK_CYCLES_PER_INSTR: u64 = 10_000;
 
 struct PerCore<'t> {
     core: CoreModel,
-    cursor: TraceCursor<'t>,
+    reader: Box<dyn TraceReader + 't>,
     l1_prefetcher: Box<dyn Prefetcher>,
     l2_prefetcher: Option<Box<dyn Prefetcher>>,
     prefetch_queue: VecDeque<PrefetchRequest>,
@@ -53,12 +56,18 @@ pub struct System<'t> {
 
 impl<'t> System<'t> {
     /// Builds a single-core system.
-    pub fn single_core(cfg: SimConfig, trace: &'t Trace, prefetcher: Box<dyn Prefetcher>) -> Self {
+    pub fn single_core(
+        cfg: SimConfig,
+        trace: &'t dyn TraceSource,
+        prefetcher: Box<dyn Prefetcher>,
+    ) -> Self {
         assert_eq!(cfg.cores, 1, "single_core requires a 1-core configuration");
         Self::new(cfg, vec![trace], vec![prefetcher])
     }
 
-    /// Builds a system with one trace and one L1D prefetcher per core.
+    /// Builds a system with one trace source and one L1D prefetcher per
+    /// core. The same source may back several cores (homogeneous mixes) —
+    /// every core gets its own independent reader.
     ///
     /// # Panics
     ///
@@ -66,7 +75,7 @@ impl<'t> System<'t> {
     /// `cfg.cores`.
     pub fn new(
         cfg: SimConfig,
-        traces: Vec<&'t Trace>,
+        traces: Vec<&'t dyn TraceSource>,
         prefetchers: Vec<Box<dyn Prefetcher>>,
     ) -> Self {
         assert_eq!(traces.len(), cfg.cores, "one trace per core required");
@@ -81,7 +90,7 @@ impl<'t> System<'t> {
             .zip(prefetchers)
             .map(|(trace, l1_prefetcher)| PerCore {
                 core: CoreModel::new(cfg.core),
-                cursor: trace.cursor(),
+                reader: trace.reader(),
                 l1_prefetcher,
                 l2_prefetcher: None,
                 prefetch_queue: VecDeque::new(),
@@ -204,7 +213,7 @@ impl<'t> System<'t> {
                 break;
             }
             if pc.pending.is_none() {
-                let rec = pc.cursor.next_record();
+                let rec = pc.reader.next_record();
                 pc.pending = Some((rec, rec.non_mem_before));
             }
             let (rec, remaining) = pc.pending.expect("pending record present");
@@ -420,6 +429,7 @@ impl<'t> System<'t> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::Trace;
     use prefetch_common::prefetcher::NullPrefetcher;
 
     /// A deliberately aggressive prefetcher used only in tests: prefetches
@@ -539,7 +549,7 @@ mod tests {
         let cfg = SimConfig::paper_multi_core(2);
         let mut sys = System::new(
             cfg,
-            vec![&t0, &t1],
+            vec![&t0 as &dyn TraceSource, &t1],
             vec![
                 Box::new(NullPrefetcher::new()),
                 Box::new(NullPrefetcher::new()),
@@ -575,7 +585,7 @@ mod tests {
         let trace = streaming_trace(10);
         let _ = System::new(
             SimConfig::paper_multi_core(2),
-            vec![&trace],
+            vec![&trace as &dyn TraceSource],
             vec![Box::new(NullPrefetcher::new())],
         );
     }
@@ -621,7 +631,7 @@ mod tests {
         let (a, b, ca, cb) = run_pair(&|| {
             System::new(
                 SimConfig::paper_multi_core(2),
-                vec![&stream, &random],
+                vec![&stream as &dyn TraceSource, &random],
                 vec![
                     Box::new(NullPrefetcher::new()),
                     Box::new(NextLine {

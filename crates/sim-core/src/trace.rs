@@ -7,6 +7,19 @@
 //! simulator after decoding, minus branch information (the paper's results
 //! are driven by the data-memory behaviour; the hashed-perceptron branch
 //! predictor is near-perfect on the evaluated traces).
+//!
+//! Traces reach the simulator through the [`TraceSource`] abstraction: a
+//! source describes one pass over a workload and hands out replaying
+//! [`TraceReader`]s. Two implementations exist:
+//!
+//! * [`Trace`] — the whole pass held in memory (synthetic generators),
+//! * [`GztTrace`](crate::gzt::GztTrace) — a pass streamed from a packed
+//!   on-disk GZT file through a bounded chunk buffer ([`crate::gzt`]).
+//!
+//! The simulator only ever sees `&dyn TraceSource`, so in-memory and
+//! on-disk traces are interchangeable, and because both yield the same
+//! record stream the resulting [`SimReport`](crate::stats::SimReport)s are
+//! bit-identical.
 
 use prefetch_common::addr::Addr;
 
@@ -49,6 +62,84 @@ impl TraceRecord {
     pub fn instruction_count(&self) -> u64 {
         1 + self.non_mem_before as u64
     }
+}
+
+/// A replaying stream of [`TraceRecord`]s produced by a [`TraceSource`].
+///
+/// Readers wrap to the beginning of the pass when it is exhausted (the
+/// paper replays a trace until the simulation's instruction budget is met),
+/// so [`next_record`](TraceReader::next_record) never runs dry.
+pub trait TraceReader {
+    /// Returns the next record, wrapping to the beginning of the pass when
+    /// the trace is exhausted.
+    fn next_record(&mut self) -> TraceRecord;
+
+    /// Number of times the reader wrapped past the end of the pass.
+    fn wraps(&self) -> u64;
+}
+
+/// A workload trace the simulator can replay: a named, finite pass of
+/// [`TraceRecord`]s that hands out independent replaying [`TraceReader`]s.
+///
+/// Sources are `Sync` so one read-only source (typically a packed trace
+/// file) can be fanned out across the parallel experiment engine's worker
+/// threads, each worker creating its own reader.
+pub trait TraceSource: Sync {
+    /// The trace's name (workload identifier).
+    fn name(&self) -> &str;
+
+    /// Number of records in one pass over the trace.
+    fn len(&self) -> usize;
+
+    /// Whether the pass holds no records. Always false for valid sources
+    /// (both the in-memory and the on-disk constructors reject empty
+    /// traces); provided for API completeness.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total instructions represented by one pass (memory instructions plus
+    /// the non-memory gaps before them).
+    fn instructions_per_pass(&self) -> u64;
+
+    /// Creates a fresh replaying reader positioned at the start of the pass.
+    fn reader(&self) -> Box<dyn TraceReader + '_>;
+
+    /// FNV-1a fingerprint over one full pass of this source's records.
+    ///
+    /// The fingerprint is a pure function of the record stream, so an
+    /// on-disk source packed from an in-memory trace fingerprints
+    /// identically to the original — which is what lets the baseline
+    /// memoization treat the two as the same workload. The default streams
+    /// one pass; sources backed by expensive I/O should memoize
+    /// (see [`GztTrace`](crate::gzt::GztTrace)).
+    fn fingerprint(&self) -> u64 {
+        streamed_fingerprint(self.len(), &mut *self.reader())
+    }
+}
+
+/// The fingerprint computation shared by every [`TraceSource`]: FNV-1a over
+/// `len` followed by each record's fields, in record order.
+pub fn streamed_fingerprint(len: usize, reader: &mut dyn TraceReader) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    mix(len as u64);
+    for _ in 0..len {
+        let r = reader.next_record();
+        mix(r.pc);
+        mix(r.addr.raw());
+        mix(u64::from(r.is_store));
+        mix(u64::from(r.non_mem_before));
+    }
+    h
+}
+
+/// Fingerprint of one pass of `source` (see [`TraceSource::fingerprint`]).
+pub fn source_fingerprint(source: &dyn TraceSource) -> u64 {
+    source.fingerprint()
 }
 
 /// An in-memory access trace with replay semantics.
@@ -119,6 +210,24 @@ impl Trace {
     }
 }
 
+impl TraceSource for Trace {
+    fn name(&self) -> &str {
+        Trace::name(self)
+    }
+
+    fn len(&self) -> usize {
+        Trace::len(self)
+    }
+
+    fn instructions_per_pass(&self) -> u64 {
+        Trace::instructions_per_pass(self)
+    }
+
+    fn reader(&self) -> Box<dyn TraceReader + '_> {
+        Box::new(self.cursor())
+    }
+}
+
 /// A position within a [`Trace`] that wraps around at the end.
 #[derive(Debug, Clone)]
 pub struct TraceCursor<'a> {
@@ -143,6 +252,16 @@ impl<'a> TraceCursor<'a> {
     /// Number of times the cursor wrapped past the end of the trace.
     pub fn wraps(&self) -> u64 {
         self.wraps
+    }
+}
+
+impl TraceReader for TraceCursor<'_> {
+    fn next_record(&mut self) -> TraceRecord {
+        TraceCursor::next_record(self)
+    }
+
+    fn wraps(&self) -> u64 {
+        TraceCursor::wraps(self)
     }
 }
 
@@ -183,5 +302,29 @@ mod tests {
     #[should_panic(expected = "at least one record")]
     fn empty_trace_rejected() {
         let _ = Trace::new("empty", Vec::new());
+    }
+
+    #[test]
+    fn trace_implements_trace_source() {
+        let t = tiny_trace();
+        let src: &dyn TraceSource = &t;
+        assert_eq!(src.name(), "tiny");
+        assert_eq!(src.len(), 3);
+        assert_eq!(src.instructions_per_pass(), 13);
+        let mut r = src.reader();
+        for i in 0..5 {
+            assert_eq!(r.next_record(), t.records()[i % 3]);
+        }
+        assert_eq!(r.wraps(), 1);
+    }
+
+    #[test]
+    fn fingerprint_depends_on_content() {
+        let a = Trace::new("w", vec![TraceRecord::load(1, 64, 0)]);
+        let b = Trace::new("w", vec![TraceRecord::load(1, 128, 0)]);
+        let c = Trace::new("other-name", vec![TraceRecord::load(1, 64, 0)]);
+        assert_ne!(source_fingerprint(&a), source_fingerprint(&b));
+        // The fingerprint covers the record stream, not the name.
+        assert_eq!(source_fingerprint(&a), source_fingerprint(&c));
     }
 }

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Deterministic synthetic memory-trace generators standing in for the
 //! SPEC06/SPEC17, Ligra, PARSEC, CloudSuite, GAP and QMM traces used by the
 //! Gaze paper (HPCA 2025).
@@ -17,6 +19,12 @@
 //! All generators are deterministic (seeded from the workload name), so every
 //! experiment is exactly reproducible.
 //!
+//! The [`pack`] module (and the `trace-pack` binary built from this crate)
+//! writes any registered workload — or a decoded ChampSim trace — into the
+//! on-disk GZT format of [`sim_core::gzt`], which the simulator streams
+//! back through a bounded buffer. See `docs/TRACES.md` for the format and
+//! the drop-in guide.
+//!
 //! # Example
 //!
 //! ```
@@ -30,10 +38,12 @@
 pub mod builder;
 pub mod graph;
 pub mod irregular;
+pub mod pack;
 pub mod regions;
 pub mod rng;
 pub mod streaming;
 pub mod suite;
 
 pub use builder::TraceBuilder;
+pub use pack::{pack_all_main, pack_suite, pack_workload, PackSummary};
 pub use suite::{all_main_workloads, build_suite, build_workload, workload_names, Suite};

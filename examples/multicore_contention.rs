@@ -15,7 +15,7 @@ fn main() {
     let records = records_for(&params);
     let names = ["bwaves_s", "PageRank", "mcf_s", "cassandra"];
     let traces: Vec<_> = names.iter().map(|n| build_workload(n, records)).collect();
-    let refs: Vec<&_> = traces.iter().collect();
+    let refs: Vec<&dyn sim_core::trace::TraceSource> = traces.iter().map(|t| t as _).collect();
 
     let mut table = Table::new(
         "Four-core heterogeneous mix: per-core speedup over no prefetching",

@@ -136,7 +136,7 @@ fn multicore_contention_preserves_gaze_advantage_over_pmp() {
         .iter()
         .map(|n| build_workload(n, records))
         .collect();
-    let refs: Vec<&_> = traces.iter().collect();
+    let refs: Vec<&dyn sim_core::trace::TraceSource> = traces.iter().map(|t| t as _).collect();
     let (_, _, gaze) = multicore_speedup(&refs, "gaze", &params);
     let (_, _, pmp) = multicore_speedup(&refs, "pmp", &params);
     assert!(
