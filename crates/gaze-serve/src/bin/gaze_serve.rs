@@ -1,0 +1,92 @@
+//! `gaze-serve` — serve the persistent results store over HTTP.
+//!
+//! ```text
+//! gaze-serve --dir DIR [--addr 127.0.0.1:7070] [--threads N] [--scale quick|bench|paper]
+//! ```
+//!
+//! Endpoints (see `docs/RESULTS.md` for the full contract):
+//!
+//! * `GET /healthz` — liveness plus store shape (rows, segments, hit/miss
+//!   counters).
+//! * `GET /runs?workload=&prefetcher=&scale=&trace=&limit=` — stored runs
+//!   as JSON, filtered by any combination of query parameters.
+//! * `GET /figures/{fig06|fig07|fig08|fig09}[?scale=...]` — the figure's
+//!   CSV, byte-identical to `gaze-experiments <figure> --csv` at the same
+//!   scale. Rows already in the store are served without simulation;
+//!   missing rows are simulated once and persisted write-through.
+
+use std::process::ExitCode;
+
+use gaze_serve::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gaze-serve --dir DIR [--addr HOST:PORT] [--threads N] \
+         [--scale quick|bench|paper]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let Some(dir) = flag_value(&args, "--dir").or_else(|| {
+        std::env::var("GAZE_RESULTS_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+    }) else {
+        eprintln!("gaze-serve: missing --dir (or GAZE_RESULTS_DIR)");
+        return usage();
+    };
+    let mut config = ServerConfig::new(dir);
+    if let Some(addr) = flag_value(&args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(threads) = flag_value(&args, "--threads") {
+        match threads.parse::<usize>() {
+            Ok(n) if n >= 1 => config.threads = n,
+            _ => {
+                eprintln!("gaze-serve: --threads must be a positive integer");
+                return usage();
+            }
+        }
+    }
+    if let Some(scale) = flag_value(&args, "--scale") {
+        if gaze_sim::experiments::ExperimentScale::named(&scale).is_none() {
+            eprintln!("gaze-serve: unknown scale '{scale}' (quick|bench|paper)");
+            return usage();
+        }
+        config.default_scale = scale;
+    }
+
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gaze-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "gaze-serve: serving results store '{}' on http://{addr} \
+             (default scale: {})",
+            config.dir.display(),
+            config.default_scale
+        ),
+        Err(e) => eprintln!("gaze-serve: bound (address unknown: {e})"),
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("gaze-serve: serve loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

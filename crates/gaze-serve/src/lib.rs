@@ -1,0 +1,34 @@
+#![deny(missing_docs)]
+
+//! A hand-rolled, dependency-free HTTP/1.1 front-end over the persistent
+//! results store: browse stored sweeps and download figure CSVs without
+//! re-simulation.
+//!
+//! The service is the ROADMAP's "serve results" step toward the
+//! heavy-traffic north star: sweeps accumulated by the experiment engine
+//! (`GAZE_RESULTS_DIR`, see `gaze_sim::results`) become a queryable
+//! corpus. Everything is std-only — `std::net::TcpListener`, a small
+//! worker thread pool ([`server`]), a minimal HTTP/1.1 reader/writer
+//! ([`http`]) and hand-rolled JSON ([`json`]).
+//!
+//! Endpoints ([`routes`]; full contract in `docs/RESULTS.md`):
+//!
+//! * `GET /healthz` — liveness + store shape,
+//! * `GET /runs` — stored runs as JSON, filtered by query string
+//!   (`workload`, `prefetcher`, `scale`, `trace`, `limit`),
+//! * `GET /figures/{fig06..fig09}` — figure CSVs, byte-identical to
+//!   `gaze-experiments <figure> --csv`; stored rows are served without
+//!   simulation and missing rows are simulated once, write-through.
+//!
+//! Run it with the `gaze-serve` binary:
+//!
+//! ```text
+//! cargo run --release -p gaze-serve --bin gaze-serve -- --dir results/
+//! ```
+
+pub mod http;
+pub mod json;
+pub mod routes;
+pub mod server;
+
+pub use server::{Server, ServerConfig, StopHandle};

@@ -1,0 +1,269 @@
+//! Route handlers: `/healthz`, `/runs` and `/figures/{fig06..fig09}`.
+
+use std::sync::Arc;
+
+use gaze_sim::experiments::{run_experiment, ExperimentScale};
+use gaze_sim::results::StoreHandle;
+use results_store::{RunQuery, RunRecord};
+
+use crate::http::{Request, Response};
+use crate::json::{json_array, JsonObject};
+
+/// Figure endpoints the service exposes: the single-core comparison
+/// figures, whose rows are exactly what the results store persists.
+pub const SERVED_FIGURES: [&str; 4] = ["fig06", "fig07", "fig08", "fig09"];
+
+/// Shared state of the service: the open results store and the scale
+/// figures are assembled at unless the request overrides it.
+#[derive(Debug)]
+pub struct AppState {
+    /// The store every query reads (and figure regeneration writes
+    /// through).
+    pub store: Arc<StoreHandle>,
+    /// Default scale name for `/figures` requests (`quick`, `bench`,
+    /// `paper`).
+    pub default_scale: String,
+}
+
+/// Dispatches one parsed request to its handler.
+pub fn handle(state: &AppState, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::error(405, "only GET is supported");
+    }
+    match req.path.as_str() {
+        "/healthz" => healthz(state),
+        "/runs" => runs(state, req),
+        path => match path.strip_prefix("/figures/") {
+            Some(figure) => figures(state, req, figure),
+            None => Response::error(404, "unknown path"),
+        },
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    let (rows, segments, pending) = state.store.with_store(|s| {
+        (
+            s.len() as u64,
+            s.segment_count() as u64,
+            s.pending_len() as u64,
+        )
+    });
+    let body = JsonObject::new()
+        .string("status", "ok")
+        .u64("rows", rows)
+        .u64("segments", segments)
+        .u64("pending", pending)
+        .u64("hits", state.store.hits())
+        .u64("misses", state.store.misses())
+        .build();
+    Response::json(body + "\n")
+}
+
+/// Resolves a `scale=` query value: a named scale (`quick`, `bench`,
+/// `paper`, ...) or a raw hexadecimal params fingerprint.
+fn parse_scale_filter(value: &str) -> Option<u64> {
+    if let Some(scale) = ExperimentScale::named(value) {
+        return Some(scale.params.fingerprint());
+    }
+    u64::from_str_radix(value.trim_start_matches("0x"), 16).ok()
+}
+
+fn runs(state: &AppState, req: &Request) -> Response {
+    let mut query = RunQuery {
+        workload: req.query.get("workload").cloned(),
+        prefetcher: req.query.get("prefetcher").cloned(),
+        ..RunQuery::default()
+    };
+    if let Some(scale) = req.query.get("scale") {
+        match parse_scale_filter(scale) {
+            Some(fp) => query.params_fingerprint = Some(fp),
+            None => {
+                return Response::error(
+                    400,
+                    "scale must be a known scale name or a hex fingerprint",
+                )
+            }
+        }
+    }
+    if let Some(trace) = req.query.get("trace") {
+        match u64::from_str_radix(trace.trim_start_matches("0x"), 16) {
+            Ok(fp) => query.trace_fingerprint = Some(fp),
+            Err(_) => return Response::error(400, "trace must be a hex fingerprint"),
+        }
+    }
+    if let Some(limit) = req.query.get("limit") {
+        match limit.parse::<usize>() {
+            Ok(n) => query.limit = Some(n),
+            Err(_) => return Response::error(400, "limit must be a non-negative integer"),
+        }
+    }
+    let rows = state
+        .store
+        .with_store(|s| s.query(&query).into_iter().cloned().collect::<Vec<_>>());
+    let body = json_array(rows.iter().map(run_json));
+    Response::json(body + "\n")
+}
+
+/// One store row as a JSON object: identity, raw run sizes and every
+/// projected metric. Fingerprints are hex *strings* — they use all 64
+/// bits, beyond JSON's exact-integer range.
+fn run_json(rec: &RunRecord) -> String {
+    JsonObject::new()
+        .string("workload", &rec.workload)
+        .string("prefetcher", &rec.prefetcher)
+        .string(
+            "trace_fingerprint",
+            &format!("{:016x}", rec.trace_fingerprint),
+        )
+        .string(
+            "params_fingerprint",
+            &format!("{:016x}", rec.params_fingerprint),
+        )
+        .u64("instructions", rec.stats.instructions)
+        .u64("cycles", rec.stats.cycles)
+        .f64("ipc", rec.ipc())
+        .f64("baseline_ipc", rec.baseline_ipc())
+        .f64("speedup", rec.speedup())
+        .f64("accuracy", rec.accuracy())
+        .f64("coverage", rec.coverage())
+        .f64("late_fraction", rec.late_fraction())
+        .build()
+}
+
+fn figures(state: &AppState, req: &Request, figure: &str) -> Response {
+    if !SERVED_FIGURES.contains(&figure) {
+        return Response::error(
+            404,
+            &format!("unknown figure (available: {})", SERVED_FIGURES.join(", ")),
+        );
+    }
+    let scale_name = req
+        .query
+        .get("scale")
+        .map(String::as_str)
+        .unwrap_or(&state.default_scale);
+    let Some(scale) = ExperimentScale::named(scale_name) else {
+        return Response::error(400, "scale must be quick, bench/full or paper");
+    };
+    // Assemble the figure through the experiment harness: with this
+    // process's store active, stored rows are used as-is and only missing
+    // (trace × prefetcher) pairs are simulated — and those are persisted
+    // write-through, so they are store hits from then on. The CSV bytes
+    // are identical to `gaze-experiments <figure> --csv` at the same
+    // scale, by construction (same code path, same exact counters).
+    let csv: String = run_experiment(figure, &scale)
+        .iter()
+        .map(|t| t.to_csv())
+        .collect();
+    Response::csv(csv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_target;
+    use sim_core::params::RunParams;
+    use sim_core::stats::CoreStats;
+
+    fn test_state(tag: &str) -> AppState {
+        let dir = std::env::temp_dir().join(format!("gzr-routes-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(StoreHandle::open(&dir).expect("open store"));
+        AppState {
+            store,
+            default_scale: "quick".to_string(),
+        }
+    }
+
+    fn get(state: &AppState, target: &str) -> Response {
+        let (path, query) = parse_target(target);
+        handle(
+            state,
+            &Request {
+                method: "GET".to_string(),
+                path,
+                query,
+            },
+        )
+    }
+
+    fn seed_row(state: &AppState, workload: &str, prefetcher: &str) {
+        let run = gaze_sim::runner::SingleRun {
+            workload: workload.to_string(),
+            prefetcher: prefetcher.to_string(),
+            stats: CoreStats {
+                instructions: 1_000,
+                cycles: 400,
+                ..CoreStats::default()
+            },
+            baseline: CoreStats {
+                instructions: 1_000,
+                cycles: 800,
+                ..CoreStats::default()
+            },
+        };
+        let fp = workload.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        });
+        state.store.record(&run, fp, &RunParams::quick());
+    }
+
+    #[test]
+    fn healthz_reports_store_shape() {
+        let state = test_state("healthz");
+        seed_row(&state, "bwaves_s", "gaze");
+        let resp = get(&state, "/healthz");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.contains("\"status\":\"ok\""));
+        assert!(body.contains("\"rows\":1"));
+    }
+
+    #[test]
+    fn runs_filters_by_query_string() {
+        let state = test_state("runs");
+        seed_row(&state, "bwaves_s", "gaze");
+        seed_row(&state, "bwaves_s", "pmp");
+        seed_row(&state, "mcf_s", "gaze");
+
+        let all = String::from_utf8(get(&state, "/runs").body).expect("utf8");
+        assert_eq!(all.matches("\"workload\"").count(), 3);
+        assert!(all.contains("\"speedup\":2.0"), "2x over baseline: {all}");
+
+        let gaze = String::from_utf8(get(&state, "/runs?prefetcher=gaze").body).expect("utf8");
+        assert_eq!(gaze.matches("\"workload\"").count(), 2);
+
+        let one =
+            String::from_utf8(get(&state, "/runs?workload=mcf_s&scale=quick").body).expect("utf8");
+        assert_eq!(one.matches("\"workload\"").count(), 1);
+
+        let wrong_scale = String::from_utf8(get(&state, "/runs?scale=bench").body).expect("utf8");
+        assert_eq!(wrong_scale.trim(), "[]");
+
+        assert_eq!(get(&state, "/runs?scale=bogus").status, 400);
+        assert_eq!(get(&state, "/runs?limit=x").status, 400);
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_rejected() {
+        let state = test_state("reject");
+        assert_eq!(get(&state, "/nope").status, 404);
+        assert_eq!(get(&state, "/figures/fig99").status, 404);
+        let (path, query) = parse_target("/healthz");
+        let resp = handle(
+            &state,
+            &Request {
+                method: "POST".to_string(),
+                path,
+                query,
+            },
+        );
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn figure_scale_must_be_known() {
+        let state = test_state("figscale");
+        assert_eq!(get(&state, "/figures/fig09?scale=bogus").status, 400);
+    }
+}

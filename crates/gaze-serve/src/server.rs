@@ -1,0 +1,188 @@
+//! The TCP listener and its worker thread pool.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::http::read_request;
+use crate::routes::{handle, AppState};
+
+/// Per-connection socket timeout: a client that connects and then goes
+/// silent (or drains its response arbitrarily slowly) releases its worker
+/// after this long instead of occupying it forever — `threads` silent
+/// clients would otherwise hang every endpoint including `/healthz`.
+const SOCKET_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// How a [`Server`] is set up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Results-store directory to open and serve.
+    pub dir: PathBuf,
+    /// Address to bind (e.g. `127.0.0.1:7070`; port `0` picks an
+    /// ephemeral port).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub threads: usize,
+    /// Default scale for `/figures` requests (`quick`, `bench`, `paper`).
+    pub default_scale: String,
+}
+
+impl ServerConfig {
+    /// A sensible default configuration for `dir`: localhost:7070, four
+    /// workers, quick scale.
+    pub fn new(dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            dir: dir.into(),
+            addr: "127.0.0.1:7070".to_string(),
+            threads: 4,
+            default_scale: "quick".to_string(),
+        }
+    }
+}
+
+/// A bound (but not yet serving) HTTP front-end over one results store.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    threads: usize,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Opens the results store at `config.dir` — activating it
+    /// process-wide so figure regeneration reads/writes it — and binds
+    /// the listen socket.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let store = gaze_sim::results::configure(Some(&config.dir))?
+            .expect("configure(Some) always yields a store");
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(AppState {
+                store,
+                default_scale: config.default_scale.clone(),
+            }),
+            threads: config.threads.max(1),
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop a running [`serve`](Server::serve) loop
+    /// from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.listener.local_addr().ok(),
+        }
+    }
+
+    /// Accepts connections until stopped, dispatching them to the worker
+    /// pool. Blocks the calling thread.
+    pub fn serve(self) -> io::Result<()> {
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(self.threads);
+        for _ in 0..self.threads {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&self.state);
+            workers.push(std::thread::spawn(move || loop {
+                // Senders dropped => recv fails => worker exits.
+                let Ok(stream) = rx.lock().expect("worker queue poisoned").recv() else {
+                    break;
+                };
+                serve_connection(&state, stream);
+            }));
+        }
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // A send can only fail if every worker died; that is a
+                    // bug worth crashing on.
+                    tx.send(stream).expect("worker pool gone");
+                }
+                Err(e) => eprintln!("gaze-serve: accept failed: {e}"),
+            }
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Binds per `config` and serves on a background thread. Returns the
+    /// bound address, a stop handle, and the serving thread's join
+    /// handle — the integration tests and embedding tools use this.
+    pub fn spawn(config: &ServerConfig) -> io::Result<(SocketAddr, StopHandle, JoinHandle<()>)> {
+        let server = Server::bind(config)?;
+        let addr = server.local_addr()?;
+        let stop = server.stop_handle();
+        let join = std::thread::spawn(move || {
+            if let Err(e) = server.serve() {
+                eprintln!("gaze-serve: serve loop failed: {e}");
+            }
+        });
+        Ok((addr, stop, join))
+    }
+}
+
+/// Stops a serving [`Server`] from another thread.
+#[derive(Debug, Clone)]
+pub struct StopHandle {
+    stop: Arc<AtomicBool>,
+    addr: Option<SocketAddr>,
+}
+
+impl StopHandle {
+    /// Requests the accept loop to exit. The loop notices on its next
+    /// wake-up, so this nudges it with one throwaway connection.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(addr) = self.addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Handles one connection: parse, route, respond. All errors are turned
+/// into responses (or dropped connections); a worker never panics on
+/// client input.
+fn serve_connection(state: &AppState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    let response = match read_request(&mut stream) {
+        Ok(req) => handle(state, &req),
+        Err(error_response) => error_response,
+    };
+    if let Err(e) = response.write_to(&mut stream) {
+        // The client hung up first; nothing to do.
+        let _ = e;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = ServerConfig::new("/tmp/some-store");
+        assert_eq!(cfg.addr, "127.0.0.1:7070");
+        assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.default_scale, "quick");
+        assert_eq!(cfg.dir, PathBuf::from("/tmp/some-store"));
+    }
+}

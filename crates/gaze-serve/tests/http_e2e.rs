@@ -1,0 +1,113 @@
+//! End-to-end test of the HTTP service: a real server on an ephemeral
+//! port, spoken to over real TCP, serving a real (temporary) results
+//! store.
+//!
+//! The central assertion is the acceptance criterion of the serving
+//! subsystem: a figure fetched over HTTP is byte-identical to the CSV
+//! the `gaze-experiments` CLI prints for the same sweep, and once the
+//! store is warm it is served with zero simulation.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+use gaze_serve::{Server, ServerConfig};
+use gaze_sim::experiments::{run_experiment, ExperimentScale};
+use gaze_sim::runner::simulated_instructions;
+
+/// Issues one GET and returns (status line, body).
+fn http_get(addr: SocketAddr, target: &str) -> (String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, raw[head_end + 4..].to_vec())
+}
+
+#[test]
+fn server_serves_health_runs_and_byte_identical_figures() {
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = ServerConfig {
+        dir: dir.clone(),
+        addr: "127.0.0.1:0".to_string(), // ephemeral port
+        threads: 2,
+        default_scale: "test".to_string(),
+    };
+    let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
+
+    // Empty store: healthy, no rows.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let body = String::from_utf8(body).expect("utf8");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"rows\":0"), "{body}");
+
+    // What the CLI would print for `fig06 --csv` at this scale. Computing
+    // it in-process ALSO warms the server's store (the store handle is
+    // process-global), which is exactly how a sweep followed by serving
+    // works in production.
+    let scale = ExperimentScale::named("test").expect("test scale");
+    let cli_csv: String = run_experiment("fig06", &scale)
+        .iter()
+        .map(|t| t.to_csv())
+        .collect();
+
+    // The warm figure comes back byte-identical, with zero simulation.
+    let before = simulated_instructions();
+    let (status, body) = http_get(addr, "/figures/fig06");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        simulated_instructions(),
+        before,
+        "a warm store must serve the figure without simulating"
+    );
+    assert_eq!(
+        String::from_utf8(body).expect("utf8"),
+        cli_csv,
+        "HTTP figure CSV must be byte-identical to the CLI output"
+    );
+
+    // /runs sees the persisted sweep and filters it.
+    let (status, body) = http_get(addr, "/runs?prefetcher=gaze&scale=test");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let body = String::from_utf8(body).expect("utf8");
+    assert_eq!(
+        body.matches("\"prefetcher\":\"gaze\"").count(),
+        5,
+        "one gaze row per main-suite workload: {body}"
+    );
+    assert!(body.contains("\"speedup\":"));
+
+    // Unknown routes 404 over the wire; bad methods 405.
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let (status, _) = http_get(addr, "/figures/fig14");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "POST /healthz HTTP/1.1\r\n\r\n").expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+
+    // Health now reports the warm store.
+    let (_, body) = http_get(addr, "/healthz");
+    let body = String::from_utf8(body).expect("utf8");
+    assert!(!body.contains("\"rows\":0"), "store is warm now: {body}");
+
+    stop.stop();
+    join.join().expect("server thread");
+    gaze_sim::results::configure(None).expect("deactivate store");
+    std::fs::remove_dir_all(&dir).ok();
+}

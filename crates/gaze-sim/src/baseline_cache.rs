@@ -23,17 +23,17 @@ use sim_core::trace::{source_fingerprint, TraceSource};
 use crate::factory::make_prefetcher;
 use crate::runner::{run_heterogeneous, run_single_boxed, RunParams};
 
-/// Cache key: trace fingerprint + instruction budgets + full configuration.
+/// Cache key: trace fingerprint + run-parameter fingerprint.
 ///
-/// The configuration is folded in via its `Debug` rendering — `SimConfig` is
-/// a plain-data struct, so the rendering is a faithful value encoding.
+/// [`RunParams::fingerprint`] folds the budgets and every configuration
+/// field into one stable hash — the same key the persistent results store
+/// uses, so the in-process cache and the on-disk store agree on what "the
+/// same run" means. The trace name rides along for diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct BaselineKey {
     trace_name: String,
     trace_fingerprint: u64,
-    warmup: u64,
-    measured: u64,
-    config: String,
+    params_fingerprint: u64,
 }
 
 type CacheMap = Mutex<HashMap<BaselineKey, Arc<OnceLock<CoreStats>>>>;
@@ -60,9 +60,7 @@ pub fn baseline_stats(trace: &dyn TraceSource, params: &RunParams) -> CoreStats 
     let key = BaselineKey {
         trace_name: trace.name().to_string(),
         trace_fingerprint: source_fingerprint(trace),
-        warmup: params.warmup,
-        measured: params.measured,
-        config: format!("{:?}", params.config),
+        params_fingerprint: params.fingerprint(),
     };
     let cell = {
         let mut map = cache().lock().expect("baseline cache poisoned");
@@ -90,9 +88,7 @@ pub fn multicore_baseline(traces: &[&dyn TraceSource], params: &RunParams) -> Si
     let key = BaselineKey {
         trace_name: names,
         trace_fingerprint: fp,
-        warmup: params.warmup,
-        measured: params.measured,
-        config: format!("{:?}", params.config),
+        params_fingerprint: params.fingerprint(),
     };
     let cell = {
         let mut map = multicore_cache().lock().expect("baseline cache poisoned");

@@ -1,25 +1,38 @@
 //! Command-line driver for the experiment harness.
 //!
 //! ```text
-//! cargo run --release -p gaze-sim --bin gaze-experiments -- <experiment|all> [--full] [--csv]
+//! cargo run --release -p gaze-sim --bin gaze-experiments -- <experiment|all> [--full|--paper] [--csv]
 //! ```
 //!
 //! `<experiment>` is one of the names in
 //! [`gaze_sim::experiments::experiment_names`] (e.g. `fig06`, `table1`), or
 //! `all`. `--full` runs every registered workload at the larger bench scale;
+//! `--paper` runs the paper's own 200M+200M budgets (an overnight run on the
+//! parallel engine — pair it with `GAZE_RESULTS_DIR` so the results persist);
 //! the default is the quick scale. `--csv` prints CSV instead of aligned
 //! tables.
 //!
-//! Set `GAZE_TRACE_DIR` to a directory of packed `<workload>.gzt` files
-//! (see the `trace-pack` binary and `docs/TRACES.md`) to stream traces
-//! from disk instead of generating them in memory — results are
-//! bit-identical when the packed record counts match the scale.
+//! Environment:
+//!
+//! * `GAZE_TRACE_DIR` — stream packed `<workload>.gzt` trace files (see the
+//!   `trace-pack` binary and `docs/TRACES.md`) instead of generating
+//!   workloads in memory — results are bit-identical when the packed record
+//!   counts match the scale.
+//! * `GAZE_RESULTS_DIR` — persist every single-core run into the results
+//!   store at this directory and reuse stored runs instead of re-simulating
+//!   (see `docs/RESULTS.md`). A warm store regenerates every single-core
+//!   figure with zero simulation.
+//! * `GAZE_REQUIRE_WARM=1` — exit with an error if any simulation ran
+//!   (i.e. assert that the store served everything). Used by CI to prove
+//!   the warm-restart path.
 
 use gaze_sim::experiments::{experiment_names, run_experiment, ExperimentScale};
+use gaze_sim::runner::simulated_instructions;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
+    let paper = args.iter().any(|a| a == "--paper");
     let csv = args.iter().any(|a| a == "--csv");
     let requested: Vec<&str> = args
         .iter()
@@ -27,7 +40,9 @@ fn main() {
         .map(String::as_str)
         .collect();
 
-    let scale = if full {
+    let scale = if paper {
+        ExperimentScale::paper()
+    } else if full {
         ExperimentScale::default_bench()
     } else {
         ExperimentScale::from_env()
@@ -38,14 +53,16 @@ fn main() {
         requested
     };
 
-    for name in names {
-        if !experiment_names().contains(&name) {
+    for name in &names {
+        if !experiment_names().contains(name) {
             eprintln!(
                 "unknown experiment '{name}'; available: {:?}",
                 experiment_names()
             );
             std::process::exit(2);
         }
+    }
+    for name in names {
         eprintln!("running {name} ...");
         let tables = run_experiment(name, &scale);
         for table in tables {
@@ -55,5 +72,31 @@ fn main() {
                 println!("{table}");
             }
         }
+    }
+
+    // Make the tail of the sweep durable and report how much the store
+    // saved (the per-fan-out flushes already persisted everything else).
+    // A failed final flush loses rows, so it must fail the process, not
+    // just print.
+    if let Err(e) = gaze_sim::results::try_flush() {
+        eprintln!("gaze-experiments: results store flush failed: {e}");
+        std::process::exit(1);
+    }
+    if let Some(store) = gaze_sim::results::active_store() {
+        eprintln!(
+            "results store: {} hits, {} misses ({} rows), {} instructions simulated",
+            store.hits(),
+            store.misses(),
+            store.with_store(|s| s.len()),
+            simulated_instructions(),
+        );
+    }
+    if std::env::var("GAZE_REQUIRE_WARM").as_deref() == Ok("1") && simulated_instructions() > 0 {
+        eprintln!(
+            "GAZE_REQUIRE_WARM: expected a fully warm results store but {} instructions \
+             were simulated",
+            simulated_instructions()
+        );
+        std::process::exit(3);
     }
 }

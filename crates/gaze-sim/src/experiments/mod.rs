@@ -34,12 +34,19 @@ impl ExperimentScale {
     /// full figure set).
     pub fn quick() -> Self {
         ExperimentScale {
-            params: RunParams {
-                warmup: 10_000,
-                measured: 60_000,
-                ..RunParams::experiment()
-            },
+            params: RunParams::quick(),
             workloads_per_suite: 2,
+        }
+    }
+
+    /// The paper's own scale: every registered workload at 200M + 200M
+    /// instructions per run (`gaze-experiments --paper`). An overnight run
+    /// on the parallel engine; pair it with `GAZE_RESULTS_DIR` so the
+    /// results land in the persistent store and never need re-simulating.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            params: RunParams::paper_scale(),
+            workloads_per_suite: usize::MAX,
         }
     }
 
@@ -51,12 +58,37 @@ impl ExperimentScale {
         }
     }
 
-    /// Reads the scale from the `GAZE_SCALE` environment variable
-    /// (`quick`/`bench`), defaulting to `quick`.
+    /// Reads the scale from the `GAZE_SCALE` environment variable (any
+    /// name [`named`](Self::named) accepts), defaulting to `quick`. An
+    /// unrecognized value falls back to `quick` with a warning — a typo'd
+    /// scale silently running the wrong sweep would key the results store
+    /// under a fingerprint the user never asked for.
     pub fn from_env() -> Self {
-        match std::env::var("GAZE_SCALE").as_deref() {
-            Ok("bench") | Ok("full") => Self::default_bench(),
-            _ => Self::quick(),
+        match std::env::var("GAZE_SCALE") {
+            Ok(name) => Self::named(&name).unwrap_or_else(|| {
+                eprintln!(
+                    "gaze-sim: unknown GAZE_SCALE '{name}' \
+                     (test|quick|bench|full|paper); using quick"
+                );
+                Self::quick()
+            }),
+            Err(_) => Self::quick(),
+        }
+    }
+
+    /// Looks up a named scale (`test`, `quick`, `bench`/`full`, `paper`),
+    /// matching the CLI flags and `GAZE_SCALE` values. `test` is the tiny
+    /// budget the integration tests use (one workload per suite).
+    pub fn named(name: &str) -> Option<Self> {
+        match name {
+            "test" => Some(ExperimentScale {
+                params: RunParams::test(),
+                workloads_per_suite: 1,
+            }),
+            "quick" => Some(Self::quick()),
+            "bench" | "full" => Some(Self::default_bench()),
+            "paper" => Some(Self::paper()),
+            _ => None,
         }
     }
 }
@@ -82,7 +114,9 @@ pub fn run_over<S: TraceSource>(
     prefetcher: &str,
     scale: &ExperimentScale,
 ) -> Vec<SingleRun> {
-    parallel_map(traces, |t| run_single(t, prefetcher, &scale.params))
+    let runs = parallel_map(traces, |t| run_single(t, prefetcher, &scale.params));
+    crate::results::flush();
+    runs
 }
 
 /// Fans the full (prefetcher × trace) cross product out over the worker
@@ -102,6 +136,9 @@ pub fn run_matrix<S: TraceSource>(
     let mut flat = parallel_map(&pairs, |&(pi, ti)| {
         run_single(&traces[ti], prefetchers[pi], params)
     });
+    // Newly simulated rows become durable at the end of every fan-out, not
+    // only at process exit.
+    crate::results::flush();
     let mut rows = Vec::with_capacity(prefetchers.len());
     for _ in 0..prefetchers.len() {
         let rest = flat.split_off(traces.len().min(flat.len()));

@@ -11,6 +11,11 @@
 //! * [`trace_store`] — where traces come from: in-memory generators, or
 //!   packed GZT files streamed from `GAZE_TRACE_DIR` (pack them with the
 //!   `trace-pack` binary; format spec in `docs/TRACES.md`),
+//! * [`results`] — write-through persistence of every single-core run into
+//!   the on-disk results store (`GAZE_RESULTS_DIR`; format spec in
+//!   `docs/RESULTS.md`) with a read-before-simulate fast path — a warm
+//!   store regenerates every figure with zero simulation, and the
+//!   `gaze-serve` HTTP front-end browses it,
 //! * [`report`] — text/CSV tables,
 //! * [`experiments`] — one module per figure/table of the paper; each returns
 //!   a [`report::Table`] so the binary, the benches and the integration tests
@@ -27,6 +32,7 @@ pub mod experiments;
 pub mod factory;
 pub mod parallel;
 pub mod report;
+pub mod results;
 pub mod runner;
 pub mod trace_store;
 

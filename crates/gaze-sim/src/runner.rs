@@ -19,7 +19,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use prefetch_common::prefetcher::Prefetcher;
-use sim_core::config::SimConfig;
 use sim_core::stats::{CoreStats, SimReport};
 use sim_core::system::System;
 use sim_core::trace::TraceSource;
@@ -27,67 +26,10 @@ use sim_core::trace::TraceSource;
 use crate::baseline_cache::{baseline_stats, multicore_baseline};
 use crate::factory::make_prefetcher;
 
-/// Instruction budgets and system configuration of one simulation.
-#[derive(Debug, Clone, Copy)]
-pub struct RunParams {
-    /// Warm-up instructions per core (statistics disabled).
-    pub warmup: u64,
-    /// Measured instructions per core.
-    pub measured: u64,
-    /// System configuration.
-    pub config: SimConfig,
-}
-
-impl RunParams {
-    /// A short run suitable for unit/integration tests.
-    pub fn test() -> Self {
-        RunParams {
-            warmup: 5_000,
-            measured: 20_000,
-            config: SimConfig::paper_single_core(),
-        }
-    }
-
-    /// The default experiment scale used by the benches: large enough for
-    /// patterns to be learned and contention to appear, small enough that the
-    /// full figure set regenerates in minutes rather than days.
-    pub fn experiment() -> Self {
-        RunParams {
-            warmup: 50_000,
-            measured: 200_000,
-            config: SimConfig::paper_single_core(),
-        }
-    }
-
-    /// The paper's own per-core budgets (200M warm-up + 200M measured). Only
-    /// practical for spot checks.
-    pub fn paper_scale() -> Self {
-        RunParams {
-            warmup: 200_000_000,
-            measured: 200_000_000,
-            config: SimConfig::paper_single_core(),
-        }
-    }
-
-    /// Returns a copy scaled to `cores` cores (LLC and DRAM scale per
-    /// Table II).
-    pub fn with_cores(mut self, cores: usize) -> Self {
-        let mtps = self.config.dram.mtps;
-        let llc = self.config.llc_per_core;
-        let l2 = self.config.l2c;
-        self.config = SimConfig::paper_multi_core(cores);
-        self.config.dram.mtps = mtps;
-        self.config.llc_per_core = llc;
-        self.config.l2c = l2;
-        self
-    }
-
-    /// Returns a copy with a different system configuration.
-    pub fn with_config(mut self, config: SimConfig) -> Self {
-        self.config = config;
-        self
-    }
-}
+// Run parameters (budgets + configuration + stable fingerprints) live in
+// sim-core so the trace tooling and the results store share them; re-export
+// them here where all the historical call sites import from.
+pub use sim_core::params::{records_for, RunParams};
 
 /// Total instructions simulated by this process (warm-up + measured, summed
 /// over cores), maintained by every runner entry point. The `sim-perf`
@@ -117,13 +59,6 @@ pub fn cycle_skip_enabled() -> bool {
 /// `GAZE_BASELINE_CACHE=0` turns it off for A/B measurements).
 pub fn baseline_cache_enabled() -> bool {
     std::env::var("GAZE_BASELINE_CACHE").as_deref() != Ok("0")
-}
-
-/// Trace length (memory records) generated for a given measured-instruction
-/// budget: enough records that the trace does not wrap too often.
-pub fn records_for(params: &RunParams) -> usize {
-    // Roughly one memory access every 6-10 instructions in the generators.
-    ((params.warmup + params.measured) / 5).max(4_000) as usize
 }
 
 /// Result of a single-core run of one prefetcher on one trace.
@@ -173,11 +108,37 @@ impl SingleRun {
 /// Runs `prefetcher` (built by the factory) on `trace` at single core,
 /// together with the no-prefetching baseline.
 ///
-/// The baseline is memoized per (trace, params) pair — a nine-prefetcher
-/// comparison simulates it once instead of nine times. Memoization is exact:
-/// the simulator is deterministic, so the cached statistics are bit-identical
-/// to a fresh `"none"` run (see the determinism integration test).
+/// Two layers of reuse sit in front of the simulator:
+///
+/// 1. **Persistent results store** (when `GAZE_RESULTS_DIR` or
+///    [`results::configure`](crate::results::configure) activates one):
+///    the (trace fingerprint, params fingerprint, prefetcher) key is
+///    looked up first, and a hit returns the stored run with *zero*
+///    simulation; a miss simulates and records the result write-through.
+/// 2. **Baseline memoization** — the `"none"` baseline is simulated once
+///    per (trace, params) pair per process (see
+///    [`baseline_stats`](crate::baseline_cache::baseline_stats())).
+///
+/// Both layers are exact: the simulator is deterministic and the store
+/// holds raw counters, so a cached or stored result is bit-identical to a
+/// fresh simulation (asserted by the determinism and results-store
+/// integration tests).
 pub fn run_single(trace: &dyn TraceSource, prefetcher: &str, params: &RunParams) -> SingleRun {
+    if let Some(store) = crate::results::active_store() {
+        let fp = sim_core::trace::source_fingerprint(trace);
+        let pfp = params.fingerprint();
+        if let Some(stored) = store.lookup(fp, pfp, prefetcher, trace.name()) {
+            return stored;
+        }
+        let run = run_single_fresh(trace, prefetcher, params);
+        store.record(&run, fp, params);
+        return run;
+    }
+    run_single_fresh(trace, prefetcher, params)
+}
+
+/// The simulate path of [`run_single`] (baseline memoized, no store).
+fn run_single_fresh(trace: &dyn TraceSource, prefetcher: &str, params: &RunParams) -> SingleRun {
     let with = run_single_boxed(trace, make_prefetcher(prefetcher), params);
     let baseline = baseline_stats(trace, params);
     SingleRun {
@@ -288,6 +249,7 @@ pub fn multicore_speedup(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sim_core::config::SimConfig;
     use workloads::build_workload;
 
     #[test]

@@ -1,0 +1,182 @@
+//! Integration tests of the persistent results store: write-through from
+//! the parallel engine, warm-store figure regeneration with zero
+//! simulation, and bit-identical round-trips.
+//!
+//! The store handle is process-global, so every test takes `STORE_LOCK`
+//! and configures its own temporary directory (restoring "no store" on
+//! drop) — tests stay correct regardless of harness thread interleaving.
+
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use gaze_sim::experiments::{run_experiment, run_matrix, ExperimentScale};
+use gaze_sim::results;
+use gaze_sim::runner::{records_for, simulated_instructions, RunParams};
+use results_store::{ResultsStore, RunQuery};
+use sim_core::trace::source_fingerprint;
+use workloads::build_workload;
+
+fn store_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("store test lock")
+}
+
+/// Configures `dir` as the active store and deactivates it again on drop.
+struct ActiveDir;
+
+impl ActiveDir {
+    fn new(dir: &std::path::Path) -> ActiveDir {
+        let _ = std::fs::remove_dir_all(dir);
+        results::configure(Some(dir)).expect("configure store");
+        ActiveDir
+    }
+
+    /// Like [`ActiveDir::new`] but keeps the existing on-disk contents.
+    fn new_existing(dir: &std::path::Path) -> ActiveDir {
+        results::configure(Some(dir)).expect("configure store");
+        ActiveDir
+    }
+}
+
+impl Drop for ActiveDir {
+    fn drop(&mut self) {
+        results::configure(None).expect("deactivate store");
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gzr-it-{}-{tag}", std::process::id()))
+}
+
+fn tiny_scale() -> ExperimentScale {
+    ExperimentScale {
+        params: RunParams {
+            warmup: 2_000,
+            measured: 8_000,
+            ..RunParams::test()
+        },
+        workloads_per_suite: 1,
+    }
+}
+
+#[test]
+fn warm_store_regenerates_figures_with_zero_simulation() {
+    let _guard = store_lock();
+    let dir = temp_dir("warm");
+    let scale = tiny_scale();
+
+    // Cold pass: simulates and persists.
+    let cold_csv: String = {
+        let _active = ActiveDir::new(&dir);
+        let before = simulated_instructions();
+        let tables = run_experiment("fig09", &scale);
+        assert!(simulated_instructions() > before, "cold pass must simulate");
+        tables.iter().map(|t| t.to_csv()).collect()
+    };
+
+    // Warm pass through a *reopened* store (fresh handle, data from disk).
+    let warm_csv: String = {
+        let _active = ActiveDir::new_existing(&dir);
+        let before = simulated_instructions();
+        let tables = run_experiment("fig09", &scale);
+        assert_eq!(
+            simulated_instructions(),
+            before,
+            "a warm store must serve every run without simulating"
+        );
+        tables.iter().map(|t| t.to_csv()).collect()
+    };
+
+    assert_eq!(
+        cold_csv, warm_csv,
+        "store-served figures must be byte-identical to simulated ones"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn parallel_engine_write_through_persists_every_pair() {
+    let _guard = store_lock();
+    let dir = temp_dir("parallel");
+    let params = RunParams {
+        warmup: 1_000,
+        measured: 4_000,
+        ..RunParams::test()
+    };
+    let traces = [
+        build_workload("bwaves_s", records_for(&params)),
+        build_workload("mcf_s", records_for(&params)),
+        build_workload("PageRank", records_for(&params)),
+    ];
+    let prefetchers = ["gaze", "pmp", "ip-stride"];
+    let matrix = {
+        let _active = ActiveDir::new(&dir);
+        run_matrix(&traces, &prefetchers, &params)
+    };
+
+    // Every (prefetcher × trace) pair landed in the store, durably.
+    let store = ResultsStore::open(&dir).expect("reopen");
+    assert_eq!(store.len(), prefetchers.len() * traces.len());
+    assert_eq!(store.pending_len(), 0, "run_matrix flushes");
+    for (pi, prefetcher) in prefetchers.iter().enumerate() {
+        for (ti, trace) in traces.iter().enumerate() {
+            let rec = store
+                .get(source_fingerprint(trace), params.fingerprint(), prefetcher)
+                .unwrap_or_else(|| panic!("missing {prefetcher} × {}", trace.name()));
+            assert_eq!(rec.stats, matrix[pi][ti].stats, "bit-identical stats");
+            assert_eq!(rec.baseline, matrix[pi][ti].baseline);
+            assert_eq!(rec.speedup(), matrix[pi][ti].speedup());
+        }
+    }
+
+    // The typed query API slices the matrix both ways.
+    let per_prefetcher = store.query(&RunQuery {
+        prefetcher: Some("gaze".into()),
+        ..RunQuery::default()
+    });
+    assert_eq!(per_prefetcher.len(), traces.len());
+    let per_workload = store.query(&RunQuery {
+        workload: Some("mcf_s".into()),
+        params_fingerprint: Some(params.fingerprint()),
+        ..RunQuery::default()
+    });
+    assert_eq!(per_workload.len(), prefetchers.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rerunning_a_sweep_adds_no_duplicate_rows() {
+    let _guard = store_lock();
+    let dir = temp_dir("rerun");
+    let params = RunParams {
+        warmup: 1_000,
+        measured: 4_000,
+        ..RunParams::test()
+    };
+    let traces = [build_workload("bwaves_s", records_for(&params))];
+    {
+        let _active = ActiveDir::new(&dir);
+        run_matrix(&traces, &["gaze", "pmp"], &params);
+        run_matrix(&traces, &["gaze", "pmp"], &params);
+    }
+    let store = ResultsStore::open(&dir).expect("reopen");
+    assert_eq!(store.len(), 2, "second sweep was served from the store");
+    assert_eq!(store.conflicting_appends(), 0);
+
+    // A different scale is a different key: the store accumulates both.
+    let other = RunParams {
+        warmup: 1_000,
+        measured: 5_000,
+        ..RunParams::test()
+    };
+    {
+        let _active = ActiveDir::new_existing(&dir);
+        let other_traces = [build_workload("bwaves_s", records_for(&other))];
+        run_matrix(&other_traces, &["gaze"], &other);
+    }
+    let store = ResultsStore::open(&dir).expect("reopen");
+    assert_eq!(store.len(), 3);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,461 @@
+//! GZR — the on-disk segment format of the results store.
+//!
+//! A GZR segment is a compact little-endian encoding of a batch of
+//! [`RunRecord`]s, in the same style as the GZT trace format: a fixed
+//! 32-byte header followed by fixed-width 528-byte records. The full
+//! specification (every field, offset and invariant) lives in
+//! `docs/RESULTS.md`; this module is the reference implementation.
+//!
+//! Layout summary:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic, b"GZR1"
+//! 4       2     version (u16 LE) = 1
+//! 6       2     record_size (u16 LE) = 528
+//! 8       8     record_count (u64 LE)
+//! 16      16    reserved, must be zero
+//! 32      528*k records
+//! ```
+//!
+//! Each record is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     trace_fingerprint (u64 LE)
+//! 8       8     params_fingerprint (u64 LE)
+//! 16      48    workload name (NUL-padded UTF-8)
+//! 64      48    prefetcher name (NUL-padded UTF-8)
+//! 112     208   stats    (CoreStats, 26 × u64 LE)
+//! 320     208   baseline (CoreStats, 26 × u64 LE)
+//! ```
+//!
+//! A `CoreStats` block is `instructions, cycles`, then the six counters of
+//! each of `l1d`, `l2c`, `llc` (`demand_accesses, demand_hits,
+//! demand_misses, prefetch_fills, useful_prefetches, useless_prefetches`),
+//! then the six prefetch counters (`requested, issued, dropped_redundant,
+//! dropped_queue_full, dropped_mshr_full, late`).
+//!
+//! Records store the *raw integer counters*, never derived floats: every
+//! metric (speedup, IPC, coverage, accuracy) is recomputed from the exact
+//! `u64`s, so a figure regenerated from the store is bit-identical to one
+//! computed from a fresh simulation.
+
+use std::io::{self, Read, Write};
+
+use sim_core::stats::{CacheStats, CoreStats, PrefetchStats};
+
+/// Magic bytes at the start of every GZR segment.
+pub const GZR_MAGIC: [u8; 4] = *b"GZR1";
+
+/// Current (and only) format version.
+pub const GZR_VERSION: u16 = 1;
+
+/// Size of the fixed segment header.
+pub const GZR_HEADER_BYTES: usize = 32;
+
+/// Size of one encoded record.
+pub const GZR_RECORD_BYTES: usize = 528;
+
+/// Size of a NUL-padded name field.
+pub const GZR_NAME_BYTES: usize = 48;
+
+/// Size of one encoded [`CoreStats`] block (26 × u64).
+pub const GZR_CORESTATS_BYTES: usize = 208;
+
+/// One persisted single-core run: the key it is stored under plus the raw
+/// statistics of the prefetcher-enabled run and its no-prefetching
+/// baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// FNV-1a fingerprint of the trace's record stream
+    /// ([`sim_core::trace::source_fingerprint`]).
+    pub trace_fingerprint: u64,
+    /// Fingerprint of the run parameters
+    /// ([`sim_core::params::RunParams::fingerprint`]).
+    pub params_fingerprint: u64,
+    /// Workload name (for display and name-based queries; the identity key
+    /// is the trace fingerprint).
+    pub workload: String,
+    /// Prefetcher name, as understood by the experiment factory.
+    pub prefetcher: String,
+    /// Statistics with the prefetcher enabled.
+    pub stats: CoreStats,
+    /// Statistics of the no-prefetching baseline on the same trace.
+    pub baseline: CoreStats,
+}
+
+/// The dedup/lookup key of a record: one row exists in the store per
+/// (trace fingerprint, run-parameter fingerprint, prefetcher).
+pub type RunKey = (u64, u64, String);
+
+impl RunRecord {
+    /// The key this record is stored under.
+    pub fn key(&self) -> RunKey {
+        (
+            self.trace_fingerprint,
+            self.params_fingerprint,
+            self.prefetcher.clone(),
+        )
+    }
+
+    /// IPC of the prefetcher-enabled run.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// IPC of the no-prefetching baseline.
+    pub fn baseline_ipc(&self) -> f64 {
+        self.baseline.ipc()
+    }
+
+    /// IPC speedup over the no-prefetching baseline (1.0 when the baseline
+    /// retired nothing).
+    pub fn speedup(&self) -> f64 {
+        if self.baseline.ipc() == 0.0 {
+            1.0
+        } else {
+            self.stats.ipc() / self.baseline.ipc()
+        }
+    }
+
+    /// Overall prefetch accuracy (paper §IV-A3).
+    pub fn accuracy(&self) -> f64 {
+        self.stats.overall_accuracy()
+    }
+
+    /// LLC miss coverage relative to the baseline's LLC misses.
+    pub fn coverage(&self) -> f64 {
+        let base = self.baseline.llc.demand_misses;
+        if base == 0 {
+            return 0.0;
+        }
+        let remaining = self.stats.llc.demand_misses.min(base);
+        (base - remaining) as f64 / base as f64
+    }
+
+    /// Fraction of useful prefetches that were late.
+    pub fn late_fraction(&self) -> f64 {
+        self.stats.late_fraction()
+    }
+}
+
+fn put_u64(buf: &mut [u8], offset: &mut usize, v: u64) {
+    buf[*offset..*offset + 8].copy_from_slice(&v.to_le_bytes());
+    *offset += 8;
+}
+
+fn get_u64(buf: &[u8], offset: &mut usize) -> u64 {
+    let v = u64::from_le_bytes(buf[*offset..*offset + 8].try_into().expect("8-byte slice"));
+    *offset += 8;
+    v
+}
+
+fn put_cache_stats(buf: &mut [u8], offset: &mut usize, s: &CacheStats) {
+    put_u64(buf, offset, s.demand_accesses);
+    put_u64(buf, offset, s.demand_hits);
+    put_u64(buf, offset, s.demand_misses);
+    put_u64(buf, offset, s.prefetch_fills);
+    put_u64(buf, offset, s.useful_prefetches);
+    put_u64(buf, offset, s.useless_prefetches);
+}
+
+fn get_cache_stats(buf: &[u8], offset: &mut usize) -> CacheStats {
+    CacheStats {
+        demand_accesses: get_u64(buf, offset),
+        demand_hits: get_u64(buf, offset),
+        demand_misses: get_u64(buf, offset),
+        prefetch_fills: get_u64(buf, offset),
+        useful_prefetches: get_u64(buf, offset),
+        useless_prefetches: get_u64(buf, offset),
+    }
+}
+
+fn put_core_stats(buf: &mut [u8], offset: &mut usize, s: &CoreStats) {
+    put_u64(buf, offset, s.instructions);
+    put_u64(buf, offset, s.cycles);
+    put_cache_stats(buf, offset, &s.l1d);
+    put_cache_stats(buf, offset, &s.l2c);
+    put_cache_stats(buf, offset, &s.llc);
+    put_u64(buf, offset, s.prefetch.requested);
+    put_u64(buf, offset, s.prefetch.issued);
+    put_u64(buf, offset, s.prefetch.dropped_redundant);
+    put_u64(buf, offset, s.prefetch.dropped_queue_full);
+    put_u64(buf, offset, s.prefetch.dropped_mshr_full);
+    put_u64(buf, offset, s.prefetch.late);
+}
+
+fn get_core_stats(buf: &[u8], offset: &mut usize) -> CoreStats {
+    CoreStats {
+        instructions: get_u64(buf, offset),
+        cycles: get_u64(buf, offset),
+        l1d: get_cache_stats(buf, offset),
+        l2c: get_cache_stats(buf, offset),
+        llc: get_cache_stats(buf, offset),
+        prefetch: PrefetchStats {
+            requested: get_u64(buf, offset),
+            issued: get_u64(buf, offset),
+            dropped_redundant: get_u64(buf, offset),
+            dropped_queue_full: get_u64(buf, offset),
+            dropped_mshr_full: get_u64(buf, offset),
+            late: get_u64(buf, offset),
+        },
+    }
+}
+
+fn put_name(buf: &mut [u8], offset: &mut usize, name: &str) -> io::Result<()> {
+    let bytes = name.as_bytes();
+    if bytes.is_empty() || bytes.len() > GZR_NAME_BYTES || bytes.contains(&0) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "GZR name must be 1..={GZR_NAME_BYTES} NUL-free bytes, got {:?}",
+                name
+            ),
+        ));
+    }
+    buf[*offset..*offset + bytes.len()].copy_from_slice(bytes);
+    // The remainder is already zero (records encode into zeroed buffers).
+    *offset += GZR_NAME_BYTES;
+    Ok(())
+}
+
+fn get_name(buf: &[u8], offset: &mut usize) -> io::Result<String> {
+    let field = &buf[*offset..*offset + GZR_NAME_BYTES];
+    *offset += GZR_NAME_BYTES;
+    let end = field.iter().position(|&b| b == 0).unwrap_or(GZR_NAME_BYTES);
+    if end == 0 || field[end..].iter().any(|&b| b != 0) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "GZR name field is empty or not NUL-padded",
+        ));
+    }
+    String::from_utf8(field[..end].to_vec())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "GZR name is not UTF-8"))
+}
+
+/// Encodes one record into its 528-byte on-disk form.
+///
+/// Fails if either name is empty, longer than [`GZR_NAME_BYTES`], or
+/// contains a NUL byte.
+pub fn encode_record(rec: &RunRecord) -> io::Result<[u8; GZR_RECORD_BYTES]> {
+    let mut buf = [0u8; GZR_RECORD_BYTES];
+    let mut off = 0;
+    put_u64(&mut buf, &mut off, rec.trace_fingerprint);
+    put_u64(&mut buf, &mut off, rec.params_fingerprint);
+    put_name(&mut buf, &mut off, &rec.workload)?;
+    put_name(&mut buf, &mut off, &rec.prefetcher)?;
+    put_core_stats(&mut buf, &mut off, &rec.stats);
+    put_core_stats(&mut buf, &mut off, &rec.baseline);
+    debug_assert_eq!(off, GZR_RECORD_BYTES);
+    Ok(buf)
+}
+
+/// Decodes one 528-byte on-disk record.
+pub fn decode_record(buf: &[u8; GZR_RECORD_BYTES]) -> io::Result<RunRecord> {
+    let mut off = 0;
+    let trace_fingerprint = get_u64(buf, &mut off);
+    let params_fingerprint = get_u64(buf, &mut off);
+    let workload = get_name(buf, &mut off)?;
+    let prefetcher = get_name(buf, &mut off)?;
+    let stats = get_core_stats(buf, &mut off);
+    let baseline = get_core_stats(buf, &mut off);
+    debug_assert_eq!(off, GZR_RECORD_BYTES);
+    Ok(RunRecord {
+        trace_fingerprint,
+        params_fingerprint,
+        workload,
+        prefetcher,
+        stats,
+        baseline,
+    })
+}
+
+/// Writes a complete segment (header + records) to `out`.
+pub fn write_segment(out: &mut impl Write, records: &[RunRecord]) -> io::Result<()> {
+    let mut header = [0u8; GZR_HEADER_BYTES];
+    header[0..4].copy_from_slice(&GZR_MAGIC);
+    header[4..6].copy_from_slice(&GZR_VERSION.to_le_bytes());
+    header[6..8].copy_from_slice(&(GZR_RECORD_BYTES as u16).to_le_bytes());
+    header[8..16].copy_from_slice(&(records.len() as u64).to_le_bytes());
+    out.write_all(&header)?;
+    for rec in records {
+        out.write_all(&encode_record(rec)?)?;
+    }
+    Ok(())
+}
+
+/// Reads and validates a complete segment from `input`, whose total size
+/// must be `total_len` bytes (used to reject truncated files exactly).
+///
+/// `context` names the segment in error messages (typically its path).
+pub fn read_segment(
+    input: &mut impl Read,
+    total_len: u64,
+    context: &str,
+) -> io::Result<Vec<RunRecord>> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut header = [0u8; GZR_HEADER_BYTES];
+    if total_len < GZR_HEADER_BYTES as u64 {
+        return Err(invalid(format!("{context}: truncated GZR header")));
+    }
+    input.read_exact(&mut header)?;
+    if header[0..4] != GZR_MAGIC {
+        return Err(invalid(format!("{context}: not a GZR segment (bad magic)")));
+    }
+    let version = u16::from_le_bytes(header[4..6].try_into().expect("2-byte slice"));
+    if version != GZR_VERSION {
+        return Err(invalid(format!(
+            "{context}: unsupported GZR version {version} (expected {GZR_VERSION})"
+        )));
+    }
+    let record_size = u16::from_le_bytes(header[6..8].try_into().expect("2-byte slice"));
+    if usize::from(record_size) != GZR_RECORD_BYTES {
+        return Err(invalid(format!(
+            "{context}: unexpected GZR record size {record_size} (expected {GZR_RECORD_BYTES})"
+        )));
+    }
+    let record_count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+    if header[16..32] != [0u8; 16] {
+        return Err(invalid(format!(
+            "{context}: reserved GZR header bytes are non-zero"
+        )));
+    }
+    // Checked arithmetic: a corrupt record_count must be an InvalidData
+    // error, not an overflow panic (debug) or a wrapped length that dodges
+    // the size check (release).
+    let expected = record_count
+        .checked_mul(GZR_RECORD_BYTES as u64)
+        .and_then(|data| data.checked_add(GZR_HEADER_BYTES as u64))
+        .ok_or_else(|| {
+            invalid(format!(
+                "{context}: GZR record count {record_count} overflows the segment size"
+            ))
+        })?;
+    if total_len != expected {
+        return Err(invalid(format!(
+            "{context}: GZR segment size {total_len} does not match header \
+             (expected {expected} for {record_count} records)"
+        )));
+    }
+    let mut records = Vec::with_capacity(record_count as usize);
+    let mut buf = [0u8; GZR_RECORD_BYTES];
+    for _ in 0..record_count {
+        input.read_exact(&mut buf)?;
+        records.push(
+            decode_record(&buf).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("{context}: {e}"))
+            })?,
+        );
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_record(seed: u64) -> RunRecord {
+        let mut stats = CoreStats {
+            instructions: 1_000 + seed,
+            cycles: 2_000 + seed * 3,
+            ..CoreStats::default()
+        };
+        stats.l1d.demand_accesses = 500 + seed;
+        stats.l1d.demand_hits = 400;
+        stats.l1d.demand_misses = 100 + seed;
+        stats.l1d.useful_prefetches = 40;
+        stats.l1d.useless_prefetches = 10;
+        stats.llc.demand_misses = 30;
+        stats.prefetch.requested = 80 + seed;
+        stats.prefetch.issued = 70;
+        stats.prefetch.late = 5;
+        let mut baseline = stats;
+        baseline.cycles = 3_000 + seed * 5;
+        baseline.llc.demand_misses = 60;
+        baseline.prefetch = PrefetchStats::default();
+        RunRecord {
+            trace_fingerprint: 0xdead_beef ^ seed,
+            params_fingerprint: 0x1234_5678 ^ (seed << 8),
+            workload: format!("workload-{seed}"),
+            prefetcher: "gaze".to_string(),
+            stats,
+            baseline,
+        }
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        for seed in 0..20 {
+            let rec = sample_record(seed);
+            let decoded = decode_record(&encode_record(&rec).expect("encode")).expect("decode");
+            assert_eq!(decoded, rec);
+        }
+    }
+
+    #[test]
+    fn segment_round_trips() {
+        let records: Vec<_> = (0..7).map(sample_record).collect();
+        let mut bytes = Vec::new();
+        write_segment(&mut bytes, &records).expect("write");
+        assert_eq!(
+            bytes.len(),
+            GZR_HEADER_BYTES + records.len() * GZR_RECORD_BYTES
+        );
+        let decoded = read_segment(&mut bytes.as_slice(), bytes.len() as u64, "mem").expect("read");
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn bad_names_are_rejected_on_encode() {
+        let mut rec = sample_record(1);
+        rec.workload = String::new();
+        assert!(encode_record(&rec).is_err());
+        rec.workload = "x".repeat(GZR_NAME_BYTES + 1);
+        assert!(encode_record(&rec).is_err());
+        rec.workload = "nul\0name".to_string();
+        assert!(encode_record(&rec).is_err());
+    }
+
+    #[test]
+    fn corrupt_segments_are_rejected() {
+        let records: Vec<_> = (0..3).map(sample_record).collect();
+        let mut bytes = Vec::new();
+        write_segment(&mut bytes, &records).expect("write");
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(read_segment(&mut bad.as_slice(), bad.len() as u64, "m").is_err());
+
+        // Bad version.
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert!(read_segment(&mut bad.as_slice(), bad.len() as u64, "m").is_err());
+
+        // Truncated data.
+        let cut = bytes.len() - 5;
+        assert!(read_segment(&mut bytes[..cut].as_ref(), cut as u64, "m").is_err());
+
+        // Non-zero reserved bytes.
+        let mut bad = bytes.clone();
+        bad[20] = 1;
+        assert!(read_segment(&mut bad.as_slice(), bad.len() as u64, "m").is_err());
+
+        // A record count that overflows the size computation is an error,
+        // not a panic or a wrapped length.
+        let mut bad = bytes.clone();
+        bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_segment(&mut bad.as_slice(), bad.len() as u64, "m").is_err());
+    }
+
+    #[test]
+    fn metrics_project_from_raw_counters() {
+        let rec = sample_record(0);
+        assert!(rec.speedup() > 1.0, "faster than baseline");
+        assert!((rec.ipc() - rec.stats.ipc()).abs() < 1e-15);
+        assert!((rec.accuracy() - 0.8).abs() < 1e-12); // 40 useful / 50 total
+        assert!((rec.coverage() - 0.5).abs() < 1e-12); // 60 -> 30 misses
+        assert!(rec.late_fraction() > 0.0);
+    }
+}

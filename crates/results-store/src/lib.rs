@@ -1,0 +1,54 @@
+#![deny(missing_docs)]
+
+//! A persistent, append-only store for simulation results.
+//!
+//! Every `(trace × prefetcher × run-parameters)` simulation of the
+//! experiment harness is deterministic, so its result only ever needs to
+//! be computed once. This crate stores those results durably — as
+//! directories of little-endian fixed-record **GZR** segment files
+//! ([`mod@format`], spec in `docs/RESULTS.md`) — and serves them back through
+//! an in-memory index with a typed query API ([`store`]).
+//!
+//! Keys are content fingerprints, not names: a record is identified by the
+//! FNV-1a fingerprint of its trace's record stream, the fingerprint of its
+//! [`RunParams`](sim_core::params::RunParams), and the prefetcher name.
+//! Re-running the same sweep therefore hits the store regardless of
+//! whether the trace came from an in-memory generator or a packed GZT
+//! file, and appending the same result twice is a deduplicated no-op.
+//!
+//! The crate is dependency-free (std only) like the rest of the
+//! workspace. The experiment harness integrates it behind the
+//! `GAZE_RESULTS_DIR` environment variable (see `gaze_sim::results`), and
+//! the `gaze-serve` crate puts an HTTP query front-end on top.
+//!
+//! # Example
+//!
+//! ```
+//! use results_store::{ResultsStore, RunQuery, RunRecord};
+//! use sim_core::stats::CoreStats;
+//!
+//! let dir = std::env::temp_dir().join(format!("gzr-doc-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let mut store = ResultsStore::open(&dir).unwrap();
+//! store.append(RunRecord {
+//!     trace_fingerprint: 0xfeed,
+//!     params_fingerprint: 0xbeef,
+//!     workload: "bwaves_s".into(),
+//!     prefetcher: "gaze".into(),
+//!     stats: CoreStats { instructions: 100, cycles: 50, ..Default::default() },
+//!     baseline: CoreStats { instructions: 100, cycles: 100, ..Default::default() },
+//! });
+//! store.flush().unwrap();
+//!
+//! let reopened = ResultsStore::open(&dir).unwrap();
+//! let rows = reopened.query(&RunQuery { prefetcher: Some("gaze".into()), ..Default::default() });
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0].speedup(), 2.0);
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+pub mod format;
+pub mod store;
+
+pub use format::{decode_record, encode_record, RunKey, RunRecord};
+pub use store::{ResultsStore, RunQuery};

@@ -1,0 +1,466 @@
+//! The append-only, directory-backed results store.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::format::{read_segment, write_segment, RunKey, RunRecord};
+
+/// Extension of segment files inside a store directory.
+pub const SEGMENT_EXTENSION: &str = "gzr";
+
+/// Prefix of segment file names (`seg-<seq>-<hash>.gzr`).
+pub const SEGMENT_PREFIX: &str = "seg-";
+
+/// Prefix of in-progress temporary files; never loaded, so a crash
+/// mid-write can leave at most garbage with this prefix behind, not a
+/// corrupt segment.
+pub const TMP_PREFIX: &str = ".tmp-";
+
+/// Typed filter over the store. Every field is optional; `None` matches
+/// everything. Results come back in store order (segment load order, then
+/// append order), so a query is deterministic for a given store state.
+#[derive(Debug, Clone, Default)]
+pub struct RunQuery {
+    /// Keep only rows of this workload name.
+    pub workload: Option<String>,
+    /// Keep only rows of this prefetcher.
+    pub prefetcher: Option<String>,
+    /// Keep only rows recorded under this run-parameter fingerprint
+    /// (i.e. one experiment scale/configuration).
+    pub params_fingerprint: Option<u64>,
+    /// Keep only rows of this trace fingerprint.
+    pub trace_fingerprint: Option<u64>,
+    /// Truncate the result to at most this many rows.
+    pub limit: Option<usize>,
+}
+
+impl RunQuery {
+    /// Whether `rec` passes every set filter.
+    pub fn matches(&self, rec: &RunRecord) -> bool {
+        self.workload.as_deref().is_none_or(|w| rec.workload == w)
+            && self
+                .prefetcher
+                .as_deref()
+                .is_none_or(|p| rec.prefetcher == p)
+            && self
+                .params_fingerprint
+                .is_none_or(|f| rec.params_fingerprint == f)
+            && self
+                .trace_fingerprint
+                .is_none_or(|f| rec.trace_fingerprint == f)
+    }
+}
+
+/// An append-only store of [`RunRecord`]s backed by a directory of GZR
+/// segment files.
+///
+/// * **Durability** — [`flush`](ResultsStore::flush) writes all unpersisted
+///   records as one new segment: the bytes go to a `.tmp-` file first,
+///   are fsynced, and the file is atomically renamed into place. A crash
+///   at any point leaves either the old segment set or the old set plus
+///   one complete new segment — never a half-written segment.
+/// * **Dedup** — one record exists per (trace fingerprint, params
+///   fingerprint, prefetcher) key. Re-appending an existing key is a
+///   no-op (simulations are deterministic, so the row content is
+///   identical); duplicates across segments are collapsed at open time.
+/// * **Index** — the whole store is indexed in memory on open; lookups
+///   and queries never touch the disk afterwards.
+#[derive(Debug)]
+pub struct ResultsStore {
+    dir: PathBuf,
+    records: Vec<RunRecord>,
+    index: HashMap<RunKey, usize>,
+    /// Indices of records not yet written to a segment.
+    pending: Vec<usize>,
+    segments: usize,
+    duplicates_skipped: u64,
+    conflicting_appends: u64,
+}
+
+/// Per-process counter folded into segment names so concurrent stores in
+/// one process can never race to the same file name.
+static SEGMENT_NONCE: AtomicU64 = AtomicU64::new(0);
+
+impl ResultsStore {
+    /// Opens (creating if needed) the store at `dir`, loading and
+    /// validating every segment.
+    ///
+    /// Fails if the directory cannot be created/read or if any segment is
+    /// corrupt or truncated — a store that silently dropped a damaged
+    /// segment would quietly re-simulate (or worse, serve partial sweeps),
+    /// so damage is loud.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultsStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let mut segment_paths: Vec<PathBuf> = fs::read_dir(&dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXTENSION)
+                    && p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with(SEGMENT_PREFIX))
+            })
+            .collect();
+        segment_paths.sort();
+        let mut store = ResultsStore {
+            dir,
+            records: Vec::new(),
+            index: HashMap::new(),
+            pending: Vec::new(),
+            segments: 0,
+            duplicates_skipped: 0,
+            conflicting_appends: 0,
+        };
+        for path in segment_paths {
+            let file = File::open(&path)?;
+            let len = file.metadata()?.len();
+            let records =
+                read_segment(&mut BufReader::new(file), len, &path.display().to_string())?;
+            for rec in records {
+                store.insert(rec, false);
+            }
+            store.segments += 1;
+        }
+        Ok(store)
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of distinct records (persisted + pending).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of segment files loaded or written so far.
+    pub fn segment_count(&self) -> usize {
+        self.segments
+    }
+
+    /// Number of appended-but-not-yet-flushed records.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of re-appends (and cross-segment duplicates at open time)
+    /// that were collapsed by dedup.
+    pub fn duplicates_skipped(&self) -> u64 {
+        self.duplicates_skipped
+    }
+
+    /// Number of appends whose key already existed *with different
+    /// statistics* — always zero for a deterministic simulator; non-zero
+    /// values indicate a fingerprint collision or nondeterminism and are
+    /// worth investigating.
+    pub fn conflicting_appends(&self) -> u64 {
+        self.conflicting_appends
+    }
+
+    /// Looks up the record stored under (trace fingerprint, params
+    /// fingerprint, prefetcher).
+    pub fn get(
+        &self,
+        trace_fingerprint: u64,
+        params_fingerprint: u64,
+        prefetcher: &str,
+    ) -> Option<&RunRecord> {
+        self.index
+            .get(&(
+                trace_fingerprint,
+                params_fingerprint,
+                prefetcher.to_string(),
+            ))
+            .map(|&i| &self.records[i])
+    }
+
+    /// Appends a record, deduplicating on its key. Returns `true` when the
+    /// record was new; `false` when an identical key already existed (the
+    /// stored row wins and the new one is dropped).
+    ///
+    /// The record is only durable after the next [`flush`](Self::flush).
+    pub fn append(&mut self, rec: RunRecord) -> bool {
+        self.insert(rec, true)
+    }
+
+    fn insert(&mut self, rec: RunRecord, pending: bool) -> bool {
+        let key = rec.key();
+        if let Some(&existing) = self.index.get(&key) {
+            self.duplicates_skipped += 1;
+            if self.records[existing].stats != rec.stats
+                || self.records[existing].baseline != rec.baseline
+            {
+                self.conflicting_appends += 1;
+            }
+            return false;
+        }
+        let idx = self.records.len();
+        self.records.push(rec);
+        self.index.insert(key, idx);
+        if pending {
+            self.pending.push(idx);
+        }
+        true
+    }
+
+    /// Writes every pending record as one new segment (write `.tmp-` file,
+    /// fsync, atomic rename, fsync directory) and returns how many records
+    /// were persisted. A no-op returning 0 when nothing is pending.
+    pub fn flush(&mut self) -> io::Result<usize> {
+        if self.pending.is_empty() {
+            return Ok(0);
+        }
+        let batch: Vec<RunRecord> = self
+            .pending
+            .iter()
+            .map(|&i| self.records[i].clone())
+            .collect();
+
+        let nonce = SEGMENT_NONCE.fetch_add(1, Ordering::Relaxed);
+        let mut hasher = sim_core::params::Fnv1a::new();
+        hasher.mix(u64::from(std::process::id()));
+        hasher.mix(nonce);
+        for rec in &batch {
+            hasher.mix(rec.trace_fingerprint);
+            hasher.mix(rec.params_fingerprint);
+            hasher.mix(rec.stats.cycles);
+        }
+        let hash = hasher.finish();
+
+        let tmp = self
+            .dir
+            .join(format!("{TMP_PREFIX}{}-{nonce:x}", std::process::id()));
+        {
+            let mut out = BufWriter::new(File::create(&tmp)?);
+            write_segment(&mut out, &batch)?;
+            out.flush()?;
+            out.into_inner().map_err(io::Error::from)?.sync_all()?;
+        }
+
+        // Pick an unused segment name; the sequence number keeps load order
+        // stable, the hash disambiguates writers racing across processes.
+        let mut seq = self.segments;
+        let final_path = loop {
+            let candidate = self.dir.join(format!(
+                "{SEGMENT_PREFIX}{seq:08}-{hash:016x}.{SEGMENT_EXTENSION}"
+            ));
+            if !candidate.exists() {
+                break candidate;
+            }
+            seq += 1;
+        };
+        fs::rename(&tmp, &final_path)?;
+        if let Ok(dir_handle) = File::open(&self.dir) {
+            // Persist the rename itself; best-effort on filesystems that
+            // refuse to fsync directories.
+            let _ = dir_handle.sync_all();
+        }
+        self.segments += 1;
+        let written = self.pending.len();
+        self.pending.clear();
+        Ok(written)
+    }
+
+    /// All records matching `query`, in deterministic store order.
+    pub fn query(&self, query: &RunQuery) -> Vec<&RunRecord> {
+        let mut out: Vec<&RunRecord> = self.records.iter().filter(|r| query.matches(r)).collect();
+        if let Some(limit) = query.limit {
+            out.truncate(limit);
+        }
+        out
+    }
+
+    /// Every record in the store, in store order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::stats::CoreStats;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gzr-store-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(workload: &str, prefetcher: &str, cycles: u64) -> RunRecord {
+        let mut stats = CoreStats {
+            instructions: 10_000,
+            cycles,
+            ..CoreStats::default()
+        };
+        stats.l1d.demand_accesses = 2_000;
+        let mut baseline = stats;
+        baseline.cycles = cycles * 2;
+        baseline.llc.demand_misses = 100;
+        RunRecord {
+            trace_fingerprint: fnv(workload),
+            params_fingerprint: 42,
+            workload: workload.to_string(),
+            prefetcher: prefetcher.to_string(),
+            stats,
+            baseline,
+        }
+    }
+
+    fn fnv(s: &str) -> u64 {
+        s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        })
+    }
+
+    #[test]
+    fn round_trip_append_flush_reopen() {
+        let dir = temp_dir("roundtrip");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        assert!(store.is_empty());
+        for (w, p) in [("bwaves_s", "gaze"), ("bwaves_s", "pmp"), ("mcf_s", "gaze")] {
+            assert!(store.append(record(w, p, 5_000)));
+        }
+        assert_eq!(store.pending_len(), 3);
+        assert_eq!(store.flush().expect("flush"), 3);
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(store.segment_count(), 1);
+
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.records(), store.records());
+        let hit = reopened
+            .get(fnv("bwaves_s"), 42, "pmp")
+            .expect("stored row");
+        assert_eq!(hit.workload, "bwaves_s");
+        assert_eq!(hit.stats.cycles, 5_000);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dedup_on_reappend_and_across_segments() {
+        let dir = temp_dir("dedup");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        assert!(store.append(record("mcf_s", "gaze", 7_000)));
+        assert!(!store.append(record("mcf_s", "gaze", 7_000)), "same key");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.duplicates_skipped(), 1);
+        assert_eq!(store.conflicting_appends(), 0);
+        store.flush().expect("flush");
+
+        // Re-appending after a flush is still deduplicated and flushing
+        // writes no new segment content.
+        assert!(!store.append(record("mcf_s", "gaze", 7_000)));
+        assert_eq!(store.flush().expect("flush"), 0);
+        assert_eq!(store.segment_count(), 1);
+
+        // A conflicting row (same key, different stats) is dropped but
+        // counted.
+        assert!(!store.append(record("mcf_s", "gaze", 9_999)));
+        assert_eq!(store.conflicting_appends(), 1);
+
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multiple_flushes_make_multiple_segments_and_merge_on_open() {
+        let dir = temp_dir("segments");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        store.append(record("a", "gaze", 1_000));
+        store.flush().expect("flush");
+        store.append(record("b", "gaze", 2_000));
+        store.append(record("c", "pmp", 3_000));
+        store.flush().expect("flush");
+        assert_eq!(store.segment_count(), 2);
+
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.segment_count(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_rejected_on_open() {
+        let dir = temp_dir("corrupt");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        store.append(record("a", "gaze", 1_000));
+        store.flush().expect("flush");
+
+        // Truncate the one segment file.
+        let seg = fs::read_dir(&dir)
+            .expect("dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().and_then(|e| e.to_str()) == Some("gzr"))
+            .expect("segment file");
+        let bytes = fs::read(&seg).expect("read");
+        fs::write(&seg, &bytes[..bytes.len() - 9]).expect("truncate");
+        assert!(ResultsStore::open(&dir).is_err(), "truncated segment");
+
+        // Flip the magic instead.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        fs::write(&seg, &bad).expect("write");
+        assert!(ResultsStore::open(&dir).is_err(), "bad magic");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leftover_tmp_files_are_ignored() {
+        let dir = temp_dir("tmp-files");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        store.append(record("a", "gaze", 1_000));
+        store.flush().expect("flush");
+        // Simulate a crash mid-write: a half-written tmp file remains.
+        fs::write(dir.join(".tmp-9999-abc"), b"partial garbage").expect("write");
+        let reopened = ResultsStore::open(&dir).expect("reopen ignores tmp");
+        assert_eq!(reopened.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn queries_filter_and_limit() {
+        let dir = temp_dir("query");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        store.append(record("bwaves_s", "gaze", 1_000));
+        store.append(record("bwaves_s", "pmp", 2_000));
+        store.append(record("mcf_s", "gaze", 3_000));
+
+        let all = store.query(&RunQuery::default());
+        assert_eq!(all.len(), 3);
+
+        let gaze_only = store.query(&RunQuery {
+            prefetcher: Some("gaze".into()),
+            ..RunQuery::default()
+        });
+        assert_eq!(gaze_only.len(), 2);
+
+        let one_workload = store.query(&RunQuery {
+            workload: Some("bwaves_s".into()),
+            limit: Some(1),
+            ..RunQuery::default()
+        });
+        assert_eq!(one_workload.len(), 1);
+        assert_eq!(one_workload[0].prefetcher, "gaze");
+
+        let wrong_scale = store.query(&RunQuery {
+            params_fingerprint: Some(999),
+            ..RunQuery::default()
+        });
+        assert!(wrong_scale.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

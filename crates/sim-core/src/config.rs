@@ -1,5 +1,7 @@
 //! Simulator configuration mirroring Table II of the paper.
 
+use crate::params::Fnv1a;
+
 /// Configuration of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -29,6 +31,14 @@ impl CacheConfig {
             "cache sets must be a power of two, got {sets}"
         );
         sets
+    }
+
+    fn fingerprint_into(&self, h: &mut Fnv1a) {
+        h.mix(self.size_bytes);
+        h.mix(self.line_size);
+        h.mix(self.ways as u64);
+        h.mix(self.latency);
+        h.mix(self.mshrs as u64);
     }
 
     /// Paper L1D: 48 KB, 12-way, 5-cycle, 16 MSHRs.
@@ -93,6 +103,18 @@ pub struct DramConfig {
 }
 
 impl DramConfig {
+    fn fingerprint_into(&self, h: &mut Fnv1a) {
+        h.mix(self.channels as u64);
+        h.mix(self.ranks_per_channel as u64);
+        h.mix(self.banks_per_rank as u64);
+        h.mix(self.mtps);
+        h.mix(self.bus_width_bits);
+        h.mix(self.row_buffer_bytes);
+        h.mix_f64(self.trp_trcd_tcas_ns);
+        h.mix_f64(self.core_ghz);
+        h.mix(self.controller_overhead_cycles);
+    }
+
     /// Single-channel configuration used for 1-core runs ("1C" in Table II).
     pub fn paper_single_channel() -> Self {
         DramConfig {
@@ -161,6 +183,13 @@ pub struct CoreConfig {
 }
 
 impl CoreConfig {
+    fn fingerprint_into(&self, h: &mut Fnv1a) {
+        h.mix(self.width as u64);
+        h.mix(self.rob_entries as u64);
+        h.mix(self.load_queue as u64);
+        h.mix(self.store_queue as u64);
+    }
+
     /// Paper core: 4-wide OoO, 352-entry ROB, 128/72-entry LQ/SQ.
     pub fn paper_default() -> Self {
         CoreConfig {
@@ -243,6 +272,28 @@ impl SimConfig {
     pub fn with_dram_mtps(mut self, mtps: u64) -> Self {
         self.dram.mtps = mtps;
         self
+    }
+
+    /// Folds every configuration field into an FNV-1a hash (see
+    /// [`RunParams::fingerprint`](crate::params::RunParams::fingerprint),
+    /// which keys the baseline memoization and the persistent results
+    /// store on it).
+    pub fn fingerprint_into(&self, h: &mut Fnv1a) {
+        h.mix(self.cores as u64);
+        self.core.fingerprint_into(h);
+        self.l1d.fingerprint_into(h);
+        self.l2c.fingerprint_into(h);
+        self.llc_per_core.fingerprint_into(h);
+        self.dram.fingerprint_into(h);
+        h.mix(self.prefetch_queue as u64);
+        h.mix(self.prefetch_issue_width as u64);
+    }
+
+    /// Stable FNV-1a fingerprint of the full configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
     }
 
     /// Total LLC capacity across all cores.

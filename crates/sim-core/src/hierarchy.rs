@@ -9,7 +9,8 @@
 //! prefetches, and every off-chip transfer occupies DRAM bank and channel-bus
 //! time, which is how useless prefetch traffic hurts co-running cores.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use prefetch_common::addr::BlockAddr;
 use prefetch_common::request::{FillLevel, PrefetchRequest};
@@ -121,9 +122,26 @@ pub struct MemoryHierarchy {
     l2_pf_inflight: Vec<HashMap<u64, u64>>,
     l2_inflight: Vec<Vec<u64>>,
     llc_inflight: Vec<u64>,
-    pending_fills: Vec<PendingFill>,
-    /// Cached `min(pending_fills.at)` (`u64::MAX` when empty) so the
-    /// per-access `advance_to` is an O(1) early-out between fill times.
+    /// Pending cache fills, keyed by insertion sequence number. The heap
+    /// below orders them; the map owns them so in-flight promotion can
+    /// mutate an entry (lower its completion time, mark it
+    /// demand-touched) without re-sorting anything.
+    pending_fills: HashMap<u64, PendingFill>,
+    /// Min-heap of (completion cycle, insertion seq) handles into
+    /// `pending_fills`. Applying fills pops in (cycle, seq) order, which
+    /// is exactly the stable sort-by-completion order the previous
+    /// sorted-Vec implementation produced — bit-exact LRU evolution,
+    /// without the per-apply sort. Promotion pushes a fresh handle at
+    /// the lowered cycle (same seq); the superseded handle becomes
+    /// stale and is skipped lazily when it surfaces.
+    fill_queue: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Monotone insertion counter feeding `fill_queue` tie-breaking.
+    fill_seq: u64,
+    /// Cached minimum completion cycle over live pending fills
+    /// (`u64::MAX` when none): the O(1) early-out of `advance_to` and
+    /// the O(1) answer of [`next_fill_at`](Self::next_fill_at). Exact at
+    /// all times — pushes and promotions only lower it, and every drain
+    /// recomputes it from the heap.
     next_pending_at: u64,
     l1_fill_events: Vec<Vec<L1FillEvent>>,
     l1_evict_events: Vec<Vec<BlockAddr>>,
@@ -149,7 +167,9 @@ impl MemoryHierarchy {
             l2_pf_inflight: (0..cores).map(|_| HashMap::new()).collect(),
             l2_inflight: (0..cores).map(|_| Vec::new()).collect(),
             llc_inflight: Vec::new(),
-            pending_fills: Vec::new(),
+            pending_fills: HashMap::new(),
+            fill_queue: BinaryHeap::new(),
+            fill_seq: 0,
             next_pending_at: u64::MAX,
             l1_fill_events: (0..cores).map(|_| Vec::new()).collect(),
             l1_evict_events: (0..cores).map(|_| Vec::new()).collect(),
@@ -229,36 +249,57 @@ impl MemoryHierarchy {
     /// The earliest completion cycle among pending fills, if any. After
     /// [`advance_to`](Self::advance_to)`(now)` every remaining fill is
     /// strictly in the future, so this is the hierarchy's next event time —
-    /// the cycle-skipping fast-forward target.
+    /// the cycle-skipping fast-forward target. O(1): the cached minimum is
+    /// exact at all times.
     pub fn next_fill_at(&self) -> Option<u64> {
-        self.pending_fills.iter().map(|f| f.at).min()
+        (self.next_pending_at != u64::MAX).then_some(self.next_pending_at)
+    }
+
+    /// Schedules a fill and keeps the event queue's invariants.
+    fn push_fill(&mut self, fill: PendingFill) {
+        let seq = self.fill_seq;
+        self.fill_seq += 1;
+        self.next_pending_at = self.next_pending_at.min(fill.at);
+        self.fill_queue.push(Reverse((fill.at, seq)));
+        self.pending_fills.insert(seq, fill);
     }
 
     /// Applies all fills scheduled at or before `now`.
     pub fn advance_to(&mut self, now: u64) {
         // Called on every access and every cycle; the cached minimum makes
-        // the no-fill-due case O(1) instead of a sort per call.
+        // the no-fill-due case O(1).
         if self.next_pending_at > now {
             return;
         }
-        // Apply in time order so LRU state evolves deterministically.
-        self.pending_fills.sort_by_key(|f| f.at);
-        let mut remaining = Vec::with_capacity(self.pending_fills.len());
-        let fills = std::mem::take(&mut self.pending_fills);
-        for fill in fills {
-            if fill.at <= now {
-                self.apply_fill(fill);
-            } else {
-                remaining.push(fill);
+        // Pop due fills in (completion cycle, insertion seq) order so LRU
+        // state evolves deterministically; skip handles superseded by a
+        // promotion (their entry is gone by the time they surface, because
+        // the promoted handle sorts earlier).
+        while let Some(&Reverse((at, seq))) = self.fill_queue.peek() {
+            let Some(fill) = self.pending_fills.get(&seq) else {
+                self.fill_queue.pop();
+                continue;
+            };
+            debug_assert_eq!(fill.at, at, "live heap handle matches its entry");
+            if at > now {
+                break;
             }
+            self.fill_queue.pop();
+            let fill = self
+                .pending_fills
+                .remove(&seq)
+                .expect("entry checked above");
+            self.apply_fill(fill);
         }
-        self.pending_fills = remaining;
-        self.next_pending_at = self
-            .pending_fills
-            .iter()
-            .map(|f| f.at)
-            .min()
-            .unwrap_or(u64::MAX);
+        // Recompute the cached minimum from the first live handle.
+        self.next_pending_at = u64::MAX;
+        while let Some(&Reverse((at, seq))) = self.fill_queue.peek() {
+            if self.pending_fills.contains_key(&seq) {
+                self.next_pending_at = at;
+                break;
+            }
+            self.fill_queue.pop();
+        }
         self.l2_inflight
             .iter_mut()
             .for_each(|v| v.retain(|&r| r > now));
@@ -412,12 +453,22 @@ impl MemoryHierarchy {
                 let fresh = self.dram.estimate_demand(block, now + path);
                 if fresh < entry.ready {
                     entry.ready = fresh;
-                    for pending in &mut self.pending_fills {
-                        if pending.core == core && pending.block == block && pending.is_prefetch {
-                            pending.at = pending.at.min(fresh);
+                    let mut promoted = Vec::new();
+                    for (&seq, pending) in &mut self.pending_fills {
+                        if pending.core == core
+                            && pending.block == block
+                            && pending.is_prefetch
+                            && fresh < pending.at
+                        {
+                            pending.at = fresh;
+                            promoted.push(seq);
                         }
                     }
-                    self.next_pending_at = self.next_pending_at.min(fresh);
+                    for seq in promoted {
+                        // Original seq keeps equal-cycle ordering stable.
+                        self.fill_queue.push(Reverse((fresh, seq)));
+                        self.next_pending_at = self.next_pending_at.min(fresh);
+                    }
                 }
             }
             let ready = entry.ready.max(now + self.cfg.l1d.latency);
@@ -463,13 +514,20 @@ impl MemoryHierarchy {
                 let fresh = self.dram.estimate_demand(block, l2_lookup_at + path);
                 let promoted = pf_ready.min(fresh);
                 self.l2_pf_inflight[core].insert(block.raw(), promoted);
-                for pending in &mut self.pending_fills {
+                let mut lowered = Vec::new();
+                for (&seq, pending) in &mut self.pending_fills {
                     if pending.core == core && pending.block == block && pending.is_prefetch {
                         pending.demand_touched = true;
-                        pending.at = pending.at.min(promoted);
+                        if promoted < pending.at {
+                            pending.at = promoted;
+                            lowered.push(seq);
+                        }
                     }
                 }
-                self.next_pending_at = self.next_pending_at.min(promoted);
+                for seq in lowered {
+                    self.fill_queue.push(Reverse((promoted, seq)));
+                    self.next_pending_at = self.next_pending_at.min(promoted);
+                }
                 let ready = promoted.max(l2_lookup_at) + self.cfg.l2c.latency;
                 (ready, HitLevel::InFlight, false, false)
             } else {
@@ -515,7 +573,7 @@ impl MemoryHierarchy {
             "demand insert over an existing outstanding entry"
         );
         self.l1_demand_count[core] += 1;
-        self.pending_fills.push(PendingFill {
+        self.push_fill(PendingFill {
             at: ready,
             core,
             block,
@@ -526,7 +584,6 @@ impl MemoryHierarchy {
             fill_llc,
             target: None,
         });
-        self.next_pending_at = self.next_pending_at.min(ready);
         DemandResult {
             complete_at: ready,
             l1_hit: false,
@@ -637,7 +694,7 @@ impl MemoryHierarchy {
         if fill_llc {
             self.llc_inflight.push(ready);
         }
-        self.pending_fills.push(PendingFill {
+        self.push_fill(PendingFill {
             at: ready,
             core,
             block,
@@ -648,7 +705,6 @@ impl MemoryHierarchy {
             fill_llc: fill_llc || (req.fill_level == FillLevel::Llc),
             target: Some(req.fill_level),
         });
-        self.next_pending_at = self.next_pending_at.min(ready);
         PrefetchOutcome::Issued
     }
 

@@ -13,6 +13,8 @@
 //!   [`hierarchy`]),
 //! * a banked, channel-limited DRAM with open-row policy ([`dram`]),
 //! * multi-core execution with shared-resource contention ([`system`]),
+//! * run parameters with scale presets and the stable fingerprints that key
+//!   caches and the persistent results store ([`params`]),
 //! * the metrics reported in the paper: IPC/speedup, overall prefetch
 //!   accuracy, LLC coverage and late-prefetch fraction ([`stats`]),
 //! * the [`TraceSource`] abstraction over in-memory and streamed on-disk
@@ -46,6 +48,7 @@ pub mod core;
 pub mod dram;
 pub mod gzt;
 pub mod hierarchy;
+pub mod params;
 pub mod stats;
 pub mod system;
 pub mod trace;
@@ -53,6 +56,7 @@ pub mod trace;
 pub use config::{CacheConfig, CoreConfig, DramConfig, SimConfig};
 pub use gzt::{GztReader, GztTrace, GztWriter};
 pub use hierarchy::{HitLevel, MemoryHierarchy, PrefetchOutcome};
+pub use params::{records_for, RunParams};
 pub use stats::{geometric_mean, CacheStats, CoreStats, PrefetchStats, SimReport};
 pub use system::System;
 pub use trace::{source_fingerprint, Trace, TraceCursor, TraceReader, TraceRecord, TraceSource};

@@ -1,18 +1,22 @@
 //! `trace-pack` — pack workloads into GZT trace files and inspect them.
 //!
 //! ```text
-//! trace-pack synth <workload> --records N --out FILE.gzt
-//! trace-pack suite <suite>    --records N --out-dir DIR
-//! trace-pack all              --records N --out-dir DIR
+//! trace-pack synth <workload> (--records N | --scale SCALE) --out FILE.gzt
+//! trace-pack suite <suite>    (--records N | --scale SCALE) --out-dir DIR
+//! trace-pack all              (--records N | --scale SCALE) --out-dir DIR
 //! trace-pack champsim <FILE>  --name NAME --out FILE.gzt [--max-records N]
 //! trace-pack info <FILE.gzt>
-//! trace-pack verify <FILE.gzt> --records N
+//! trace-pack verify <FILE.gzt> (--records N | --scale SCALE)
 //! ```
 //!
 //! * `synth` packs one synthetic workload of the registry; `suite` packs a
 //!   whole suite (`spec06|spec17|ligra|parsec|cloud|gap|qmm`); `all` packs
 //!   every main-suite workload. `--records` is the memory accesses per pass
-//!   — match it to the experiment scale (see `docs/TRACES.md`).
+//!   — match it to the experiment scale (see `docs/TRACES.md`). Better:
+//!   pass `--scale test|quick|bench|paper` and the record count is derived
+//!   from the scale's `RunParams` directly (the same `records_for`
+//!   computation the experiment harness uses), so packed files are always
+//!   bit-identical to what the figures generate in memory.
 //! * `champsim` decodes an **uncompressed** ChampSim/DPC-3 instruction
 //!   trace (64-byte records) into GZT; decompress `.xz`/`.gz` first.
 //! * `info` prints the header of a packed file; `verify` replays it against
@@ -34,12 +38,13 @@ use workloads::pack::{
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  trace-pack synth <workload> --records N --out FILE.gzt\n  \
-         trace-pack suite <suite> --records N --out-dir DIR\n  \
-         trace-pack all --records N --out-dir DIR\n  \
+        "usage:\n  trace-pack synth <workload> (--records N | --scale SCALE) --out FILE.gzt\n  \
+         trace-pack suite <suite> (--records N | --scale SCALE) --out-dir DIR\n  \
+         trace-pack all (--records N | --scale SCALE) --out-dir DIR\n  \
          trace-pack champsim <FILE> --name NAME --out FILE.gzt [--max-records N]\n  \
          trace-pack info <FILE.gzt>\n  \
-         trace-pack verify <FILE.gzt> --records N"
+         trace-pack verify <FILE.gzt> (--records N | --scale SCALE)\n\
+         SCALE is test|quick|bench|paper (record count derived from the scale's RunParams)"
     );
     ExitCode::from(2)
 }
@@ -56,6 +61,20 @@ fn parse_count(args: &[String], flag: &str) -> Result<usize, String> {
     flag_value(args, flag)
         .and_then(|v| v.replace('_', "").parse().ok())
         .ok_or_else(|| format!("missing or invalid {flag} <N>"))
+}
+
+/// The records-per-pass for this invocation: an explicit `--records N`, or
+/// derived from `--scale <name>` via the experiment harness's own
+/// [`records_for`](sim_core::params::records_for) computation.
+fn parse_records(args: &[String]) -> Result<usize, String> {
+    match (flag_value(args, "--records"), flag_value(args, "--scale")) {
+        (Some(_), Some(_)) => Err("--records and --scale are mutually exclusive".to_string()),
+        (Some(_), None) => parse_count(args, "--records"),
+        (None, Some(scale)) => sim_core::params::RunParams::named_scale(&scale)
+            .map(|p| sim_core::params::records_for(&p))
+            .ok_or_else(|| format!("unknown scale '{scale}' (test|quick|bench|paper)")),
+        (None, None) => Err("missing --records <N> or --scale <SCALE>".to_string()),
+    }
 }
 
 fn print_summary(s: &PackSummary) {
@@ -81,7 +100,7 @@ fn run() -> Result<(), String> {
                 .get(1)
                 .filter(|a| !a.starts_with("--"))
                 .ok_or("missing <workload>")?;
-            let records = parse_count(&args, "--records")?;
+            let records = parse_records(&args)?;
             let out = PathBuf::from(
                 flag_value(&args, "--out").unwrap_or_else(|| gzt_file_name(workload)),
             );
@@ -96,14 +115,14 @@ fn run() -> Result<(), String> {
             let suite = parse_suite(label).ok_or_else(|| {
                 format!("unknown suite '{label}' (spec06|spec17|ligra|parsec|cloud|gap|qmm)")
             })?;
-            let records = parse_count(&args, "--records")?;
+            let records = parse_records(&args)?;
             let dir = PathBuf::from(flag_value(&args, "--out-dir").unwrap_or_else(|| ".".into()));
             for s in pack_suite(suite, records, &dir).map_err(io_err)? {
                 print_summary(&s);
             }
         }
         "all" => {
-            let records = parse_count(&args, "--records")?;
+            let records = parse_records(&args)?;
             let dir = PathBuf::from(flag_value(&args, "--out-dir").unwrap_or_else(|| ".".into()));
             for s in pack_all_main(records, &dir).map_err(io_err)? {
                 print_summary(&s);
@@ -140,7 +159,7 @@ fn run() -> Result<(), String> {
                 .get(1)
                 .filter(|a| !a.starts_with("--"))
                 .ok_or("missing <FILE.gzt>")?;
-            let records = parse_count(&args, "--records")?;
+            let records = parse_records(&args)?;
             let gzt = GztTrace::open(path.as_str()).map_err(io_err)?;
             let fp = verify_pack(&gzt, records).map_err(io_err)?;
             println!(

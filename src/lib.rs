@@ -3,12 +3,14 @@
 //! This crate re-exports the workspace crates so that the examples under
 //! `examples/` and the integration tests under `tests/` can use a single
 //! dependency. Library users should depend on the individual crates
-//! ([`gaze`], [`sim_core`], [`baselines`], [`workloads`], [`gaze_sim`])
-//! directly.
+//! ([`gaze`], [`sim_core`], [`baselines`], [`workloads`], [`gaze_sim`],
+//! [`results_store`], [`gaze_serve`]) directly.
 
 pub use baselines;
 pub use gaze;
+pub use gaze_serve;
 pub use gaze_sim;
 pub use prefetch_common;
+pub use results_store;
 pub use sim_core;
 pub use workloads;
