@@ -1,17 +1,21 @@
-//! Route handlers: `/healthz`, `/runs` and `/figures/{fig06..fig09}`.
+//! Route handlers: `/healthz`, `/runs` and
+//! `/figures/{fig06..fig09,fig13..fig18}`.
 
 use std::sync::Arc;
 
 use gaze_sim::experiments::{run_experiment, ExperimentScale};
 use gaze_sim::results::StoreHandle;
-use results_store::{RunQuery, RunRecord};
+use results_store::{MixQuery, MixRecord, RunQuery, RunRecord};
 
 use crate::http::{Request, Response};
-use crate::json::{json_array, JsonObject};
+use crate::json::{json_array, json_f64, JsonObject};
 
 /// Figure endpoints the service exposes: the single-core comparison
-/// figures, whose rows are exactly what the results store persists.
-pub const SERVED_FIGURES: [&str; 4] = ["fig06", "fig07", "fig08", "fig09"];
+/// figures (store-backed by v1 records) and the multi-core/sensitivity
+/// figures (store-backed by v1 + v2 records).
+pub const SERVED_FIGURES: [&str; 10] = [
+    "fig06", "fig07", "fig08", "fig09", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+];
 
 /// Shared state of the service: the open results store and the scale
 /// figures are assembled at unless the request overrides it.
@@ -26,9 +30,18 @@ pub struct AppState {
 }
 
 /// Dispatches one parsed request to its handler.
+///
+/// Every request first checks the store directory for segments flushed
+/// by *other* processes since the store was opened and reloads if so
+/// (reopen-on-stale): a server started before an experiment sweep sees
+/// the sweep's rows without a restart. A failed check serves the
+/// (possibly stale) in-memory data rather than erroring.
 pub fn handle(state: &AppState, req: &Request) -> Response {
     if req.method != "GET" {
         return Response::error(405, "only GET is supported");
+    }
+    if let Err(e) = state.store.reload_if_stale() {
+        eprintln!("gaze-serve: stale-store reload failed (serving in-memory data): {e}");
     }
     match req.path.as_str() {
         "/healthz" => healthz(state),
@@ -41,9 +54,10 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
 }
 
 fn healthz(state: &AppState) -> Response {
-    let (rows, segments, pending) = state.store.with_store(|s| {
+    let (rows, mix_rows, segments, pending) = state.store.with_store(|s| {
         (
             s.len() as u64,
+            s.mix_len() as u64,
             s.segment_count() as u64,
             s.pending_len() as u64,
         )
@@ -51,6 +65,7 @@ fn healthz(state: &AppState) -> Response {
     let body = JsonObject::new()
         .string("status", "ok")
         .u64("rows", rows)
+        .u64("mix_rows", mix_rows)
         .u64("segments", segments)
         .u64("pending", pending)
         .u64("hits", state.store.hits())
@@ -65,10 +80,22 @@ fn parse_scale_filter(value: &str) -> Option<u64> {
     if let Some(scale) = ExperimentScale::named(value) {
         return Some(scale.params.fingerprint());
     }
+    parse_hex(value)
+}
+
+fn parse_hex(value: &str) -> Option<u64> {
     u64::from_str_radix(value.trim_start_matches("0x"), 16).ok()
 }
 
 fn runs(state: &AppState, req: &Request) -> Response {
+    match req.query.get("kind").map(String::as_str) {
+        None | Some("single") => single_runs(state, req),
+        Some("mix") => mix_runs(state, req),
+        Some(_) => Response::error(400, "kind must be single or mix"),
+    }
+}
+
+fn single_runs(state: &AppState, req: &Request) -> Response {
     let mut query = RunQuery {
         workload: req.query.get("workload").cloned(),
         prefetcher: req.query.get("prefetcher").cloned(),
@@ -86,9 +113,9 @@ fn runs(state: &AppState, req: &Request) -> Response {
         }
     }
     if let Some(trace) = req.query.get("trace") {
-        match u64::from_str_radix(trace.trim_start_matches("0x"), 16) {
-            Ok(fp) => query.trace_fingerprint = Some(fp),
-            Err(_) => return Response::error(400, "trace must be a hex fingerprint"),
+        match parse_hex(trace) {
+            Some(fp) => query.trace_fingerprint = Some(fp),
+            None => return Response::error(400, "trace must be a hex fingerprint"),
         }
     }
     if let Some(limit) = req.query.get("limit") {
@@ -101,6 +128,73 @@ fn runs(state: &AppState, req: &Request) -> Response {
         .store
         .with_store(|s| s.query(&query).into_iter().cloned().collect::<Vec<_>>());
     let body = json_array(rows.iter().map(run_json));
+    Response::json(body + "\n")
+}
+
+/// `/runs?kind=mix` — the store's multi-core rows. Filters: `label=`,
+/// `prefetcher=`, `scale=` (name or hex params fingerprint), `mix=`
+/// (hex mix fingerprint), `cores=N`, `limit=N`.
+fn mix_runs(state: &AppState, req: &Request) -> Response {
+    let mut query = MixQuery {
+        label: req.query.get("label").cloned(),
+        prefetcher: req.query.get("prefetcher").cloned(),
+        ..MixQuery::default()
+    };
+    // Mix rows are keyed on `params.with_cores(n)`, whose fingerprint
+    // differs per core count — so a *named* scale matches its params at
+    // every supported core count, while a raw hex fingerprint (already
+    // core-count specific) matches exactly.
+    let mut scale_fps: Option<Vec<u64>> = None;
+    if let Some(scale) = req.query.get("scale") {
+        if let Some(named) = ExperimentScale::named(scale) {
+            scale_fps = Some(
+                (1..=results_store::format::GZR_MAX_CORES)
+                    .map(|n| named.params.with_cores(n).fingerprint())
+                    .collect(),
+            );
+        } else if let Some(fp) = parse_hex(scale) {
+            query.params_fingerprint = Some(fp);
+        } else {
+            return Response::error(400, "scale must be a known scale name or a hex fingerprint");
+        }
+    }
+    if let Some(mix) = req.query.get("mix") {
+        match parse_hex(mix) {
+            Some(fp) => query.mix_fingerprint = Some(fp),
+            None => return Response::error(400, "mix must be a hex fingerprint"),
+        }
+    }
+    if let Some(cores) = req.query.get("cores") {
+        match cores.parse::<usize>() {
+            Ok(n) => query.cores = Some(n),
+            Err(_) => return Response::error(400, "cores must be a non-negative integer"),
+        }
+    }
+    let mut limit = usize::MAX;
+    if let Some(value) = req.query.get("limit") {
+        match value.parse::<usize>() {
+            Ok(n) => limit = n,
+            Err(_) => return Response::error(400, "limit must be a non-negative integer"),
+        }
+    }
+    // Serialize inside the lock from references: each row pairs with the
+    // "none" baseline of its mix (if stored) so the response carries the
+    // paper's geometric-mean speedup without a second client query.
+    let body = state.store.with_store(|s| {
+        let rows = s
+            .query_mixes(&query)
+            .into_iter()
+            .filter(|rec| {
+                scale_fps
+                    .as_ref()
+                    .is_none_or(|fps| fps.contains(&rec.params_fingerprint))
+            })
+            .take(limit);
+        json_array(rows.map(|rec| {
+            let base = s.get_mix(rec.mix_fingerprint, rec.params_fingerprint, "none");
+            mix_json(rec, base)
+        }))
+    });
     Response::json(body + "\n")
 }
 
@@ -127,6 +221,38 @@ fn run_json(rec: &RunRecord) -> String {
         .f64("accuracy", rec.accuracy())
         .f64("coverage", rec.coverage())
         .f64("late_fraction", rec.late_fraction())
+        .build()
+}
+
+/// One mix row as a JSON object: identity, core count, per-core IPCs and
+/// — when the mix's `"none"` baseline is stored — the geometric-mean
+/// speedup over it (`null` otherwise).
+///
+/// A baseline row whose core count disagrees with the run's (possible
+/// only in a store written by external tooling — the harness derives
+/// both from the same mix) is treated as missing rather than asserted
+/// on: `speedup_over` panicking here would poison the store mutex held
+/// by the enclosing `with_store`.
+fn mix_json(rec: &MixRecord, baseline: Option<&MixRecord>) -> String {
+    let speedup = match baseline {
+        Some(base) if base.cores() == rec.cores() => json_f64(rec.speedup_over(base)),
+        _ => "null".to_string(),
+    };
+    JsonObject::new()
+        .string("label", &rec.label)
+        .string("prefetcher", &rec.prefetcher)
+        .string("mix_fingerprint", &format!("{:016x}", rec.mix_fingerprint))
+        .string(
+            "params_fingerprint",
+            &format!("{:016x}", rec.params_fingerprint),
+        )
+        .u64("cores", rec.cores() as u64)
+        .raw(
+            "ipc",
+            json_array(rec.report.cores.iter().map(|c| json_f64(c.ipc()))),
+        )
+        .f64("mean_ipc", rec.mean_ipc())
+        .raw("speedup", speedup)
         .build()
 }
 
@@ -242,6 +368,101 @@ mod tests {
 
         assert_eq!(get(&state, "/runs?scale=bogus").status, 400);
         assert_eq!(get(&state, "/runs?limit=x").status, 400);
+    }
+
+    fn seed_mix_row(state: &AppState, label: &str, prefetcher: &str, cores: usize, cycles: u64) {
+        let report = sim_core::stats::SimReport {
+            cores: (0..cores)
+                .map(|_| CoreStats {
+                    instructions: 1_000,
+                    cycles,
+                    ..CoreStats::default()
+                })
+                .collect(),
+        };
+        let mix_fp = label.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+        }) ^ cores as u64;
+        state.store.record_mix(
+            &report,
+            mix_fp,
+            &RunParams::quick().with_cores(cores),
+            prefetcher,
+            label,
+        );
+    }
+
+    #[test]
+    fn mix_runs_filter_and_carry_speedup() {
+        let state = test_state("mixruns");
+        seed_mix_row(&state, "a+b", "gaze", 2, 400);
+        seed_mix_row(&state, "a+b", "none", 2, 800);
+        seed_mix_row(&state, "a+b+c+d", "gaze", 4, 500);
+
+        let all = String::from_utf8(get(&state, "/runs?kind=mix").body).expect("utf8");
+        assert_eq!(all.matches("\"label\"").count(), 3);
+        // The 2-core gaze row pairs with its stored "none" baseline: 2x.
+        assert!(all.contains("\"speedup\":2.0"), "{all}");
+        // The 4-core row has no baseline row: speedup is null.
+        assert!(all.contains("\"speedup\":null"), "{all}");
+
+        let four = String::from_utf8(get(&state, "/runs?kind=mix&cores=4").body).expect("utf8");
+        assert_eq!(four.matches("\"label\"").count(), 1);
+        assert!(four.contains("\"cores\":4"), "{four}");
+        assert!(four.contains("\"ipc\":["), "{four}");
+
+        let labelled =
+            String::from_utf8(get(&state, "/runs?kind=mix&label=a%2Bb&prefetcher=gaze").body)
+                .expect("utf8");
+        assert_eq!(labelled.matches("\"label\"").count(), 1);
+
+        // A *named* scale matches mix rows at every core count (their
+        // keys fingerprint params.with_cores(n)); the wrong name matches
+        // nothing; a raw hex fingerprint matches its exact core count.
+        let named = String::from_utf8(get(&state, "/runs?kind=mix&scale=quick").body).expect("u8");
+        assert_eq!(named.matches("\"label\"").count(), 3);
+        let wrong = String::from_utf8(get(&state, "/runs?kind=mix&scale=bench").body).expect("u8");
+        assert_eq!(wrong.trim(), "[]");
+        let fp = RunParams::quick().with_cores(4).fingerprint();
+        let exact = String::from_utf8(get(&state, &format!("/runs?kind=mix&scale={fp:016x}")).body)
+            .expect("utf8");
+        assert_eq!(exact.matches("\"label\"").count(), 1);
+        let limited =
+            String::from_utf8(get(&state, "/runs?kind=mix&scale=quick&limit=2").body).expect("u8");
+        assert_eq!(limited.matches("\"label\"").count(), 2);
+
+        // Single-core rows and mix rows are separate listings.
+        let single = String::from_utf8(get(&state, "/runs").body).expect("utf8");
+        assert_eq!(single.trim(), "[]");
+
+        // A baseline row with a mismatched core count (only possible in a
+        // store written by external tooling) yields speedup null, not a
+        // panic under the store lock.
+        let mismatched = mix_json(
+            &results_store::MixRecord {
+                mix_fingerprint: 1,
+                params_fingerprint: 2,
+                prefetcher: "gaze".into(),
+                label: "x+y".into(),
+                report: sim_core::stats::SimReport {
+                    cores: vec![CoreStats::default(); 2],
+                },
+            },
+            Some(&results_store::MixRecord {
+                mix_fingerprint: 1,
+                params_fingerprint: 2,
+                prefetcher: "none".into(),
+                label: "x+y".into(),
+                report: sim_core::stats::SimReport {
+                    cores: vec![CoreStats::default(); 4],
+                },
+            }),
+        );
+        assert!(mismatched.contains("\"speedup\":null"), "{mismatched}");
+
+        assert_eq!(get(&state, "/runs?kind=bogus").status, 400);
+        assert_eq!(get(&state, "/runs?kind=mix&cores=x").status, 400);
+        assert_eq!(get(&state, "/runs?kind=mix&mix=zz").status, 400);
     }
 
     #[test]

@@ -10,10 +10,20 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use gaze_serve::{Server, ServerConfig};
 use gaze_sim::experiments::{run_experiment, ExperimentScale};
 use gaze_sim::runner::simulated_instructions;
+
+/// The results-store handle is process-global, so the server tests must
+/// not run concurrently.
+fn server_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .expect("server test lock")
+}
 
 /// Issues one GET and returns (status line, body).
 fn http_get(addr: SocketAddr, target: &str) -> (String, Vec<u8>) {
@@ -36,6 +46,7 @@ fn http_get(addr: SocketAddr, target: &str) -> (String, Vec<u8>) {
 
 #[test]
 fn server_serves_health_runs_and_byte_identical_figures() {
+    let _guard = server_lock();
     let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -93,7 +104,7 @@ fn server_serves_health_runs_and_byte_identical_figures() {
     // Unknown routes 404 over the wire; bad methods 405.
     let (status, _) = http_get(addr, "/nope");
     assert_eq!(status, "HTTP/1.1 404 Not Found");
-    let (status, _) = http_get(addr, "/figures/fig14");
+    let (status, _) = http_get(addr, "/figures/fig99");
     assert_eq!(status, "HTTP/1.1 404 Not Found");
     let mut stream = TcpStream::connect(addr).expect("connect");
     write!(stream, "POST /healthz HTTP/1.1\r\n\r\n").expect("send");
@@ -105,6 +116,108 @@ fn server_serves_health_runs_and_byte_identical_figures() {
     let (_, body) = http_get(addr, "/healthz");
     let body = String::from_utf8(body).expect("utf8");
     assert!(!body.contains("\"rows\":0"), "store is warm now: {body}");
+
+    stop.stop();
+    join.join().expect("server thread");
+    gaze_sim::results::configure(None).expect("deactivate store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The multi-core serving path end-to-end: `/figures/fig13` over real TCP
+/// is byte-identical to the CLI CSV and warm-served with zero simulation;
+/// and rows flushed by a *second* store handle after server start appear
+/// without a restart (reopen-on-stale).
+#[test]
+fn server_serves_fig13_and_reloads_stale_stores() {
+    let _guard = server_lock();
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}-fig13", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = ServerConfig {
+        dir: dir.clone(),
+        addr: "127.0.0.1:0".to_string(), // ephemeral port
+        threads: 2,
+        default_scale: "test".to_string(),
+    };
+    let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
+
+    // What the CLI would print for `fig13 --csv` at this scale (warms the
+    // server's process-global store as a side effect).
+    let scale = ExperimentScale::named("test").expect("test scale");
+    let cli_csv: String = run_experiment("fig13", &scale)
+        .iter()
+        .map(|t| t.to_csv())
+        .collect();
+
+    let before = simulated_instructions();
+    let (status, body) = http_get(addr, "/figures/fig13");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        simulated_instructions(),
+        before,
+        "a warm store must serve fig13 without simulating"
+    );
+    assert_eq!(
+        String::from_utf8(body).expect("utf8"),
+        cli_csv,
+        "HTTP fig13 CSV must be byte-identical to the CLI output"
+    );
+
+    // Reopen-on-stale: a second, independent handle — another process in
+    // production — flushes new rows (one of each record kind) after the
+    // server opened its store.
+    let probe_fp = 0xfeed_faceu64;
+    {
+        let mut writer = results_store::ResultsStore::open(&dir).expect("second handle");
+        let stats = sim_core::stats::CoreStats {
+            instructions: 1_000,
+            cycles: 500,
+            ..Default::default()
+        };
+        let mut baseline = stats;
+        baseline.cycles = 1_000;
+        writer.append(results_store::RunRecord {
+            trace_fingerprint: probe_fp,
+            params_fingerprint: 0x1,
+            workload: "stale-probe".to_string(),
+            prefetcher: "gaze".to_string(),
+            stats,
+            baseline,
+        });
+        writer.append_mix(results_store::MixRecord {
+            mix_fingerprint: probe_fp ^ 1,
+            params_fingerprint: 0x2,
+            prefetcher: "gaze".to_string(),
+            label: "stale+probe".to_string(),
+            report: sim_core::stats::SimReport {
+                cores: vec![stats, stats],
+            },
+        });
+        writer.flush().expect("flush from second handle");
+    }
+
+    // Both rows appear over HTTP without restarting the server.
+    let (status, body) = http_get(addr, "/runs?workload=stale-probe");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let body = String::from_utf8(body).expect("utf8");
+    assert_eq!(
+        body.matches("\"workload\":\"stale-probe\"").count(),
+        1,
+        "the v1 row flushed after server start must be visible: {body}"
+    );
+    let (_, body) = http_get(addr, "/runs?kind=mix&label=stale%2Bprobe");
+    let body = String::from_utf8(body).expect("utf8");
+    assert_eq!(
+        body.matches("\"label\":\"stale+probe\"").count(),
+        1,
+        "the v2 row flushed after server start must be visible: {body}"
+    );
+    let (_, body) = http_get(addr, "/healthz");
+    let body = String::from_utf8(body).expect("utf8");
+    assert!(
+        !body.contains("\"mix_rows\":0"),
+        "health reflects the reloaded store: {body}"
+    );
 
     stop.stop();
     join.join().expect("server thread");

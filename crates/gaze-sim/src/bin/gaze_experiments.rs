@@ -18,13 +18,14 @@
 //!   `trace-pack` binary and `docs/TRACES.md`) instead of generating
 //!   workloads in memory — results are bit-identical when the packed record
 //!   counts match the scale.
-//! * `GAZE_RESULTS_DIR` — persist every single-core run into the results
-//!   store at this directory and reuse stored runs instead of re-simulating
-//!   (see `docs/RESULTS.md`). A warm store regenerates every single-core
-//!   figure with zero simulation.
+//! * `GAZE_RESULTS_DIR` — persist every run into the results store at this
+//!   directory and reuse stored runs instead of re-simulating (see
+//!   `docs/RESULTS.md`). Single-core runs persist as v1 records and
+//!   multi-core mixes as v2 records, so a warm store regenerates the
+//!   *entire* figure set — fig13–fig18 included — with zero simulation.
 //! * `GAZE_REQUIRE_WARM=1` — exit with an error if any simulation ran
-//!   (i.e. assert that the store served everything). Used by CI to prove
-//!   the warm-restart path.
+//!   (i.e. assert that the store served everything, multi-core paths
+//!   included). Used by CI to prove the warm-restart path.
 
 use gaze_sim::experiments::{experiment_names, run_experiment, ExperimentScale};
 use gaze_sim::runner::simulated_instructions;
@@ -83,11 +84,12 @@ fn main() {
         std::process::exit(1);
     }
     if let Some(store) = gaze_sim::results::active_store() {
+        let (rows, mix_rows) = store.with_store(|s| (s.len(), s.mix_len()));
         eprintln!(
-            "results store: {} hits, {} misses ({} rows), {} instructions simulated",
+            "results store: {} hits, {} misses ({rows} single-core rows, \
+             {mix_rows} mix rows), {} instructions simulated",
             store.hits(),
             store.misses(),
-            store.with_store(|s| s.len()),
             simulated_instructions(),
         );
     }

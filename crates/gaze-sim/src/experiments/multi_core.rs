@@ -3,12 +3,12 @@
 use sim_core::config::SimConfig;
 use sim_core::trace::TraceSource;
 
-use crate::baseline_cache::{baseline_stats, multicore_baseline};
+use crate::baseline_cache::multicore_baseline;
 use crate::factory::MULTICORE_PREFETCHERS;
 use crate::parallel::parallel_map;
 use crate::report::{mean, Table};
 use crate::runner::{
-    multicore_speedup, records_for, run_homogeneous, run_multi_level, run_single, RunParams,
+    multicore_speedup, records_for, run_homogeneous, run_multi_level_single, run_single, RunParams,
 };
 use crate::trace_store::{load_or_build, AnyTrace};
 
@@ -34,6 +34,10 @@ fn mix_workloads(scale: &ExperimentScale) -> Vec<&'static str> {
 
 /// Fig. 13: multi-level prefetching. Group 1 pairs each L1 prefetcher with an
 /// L2 prefetcher; Group 2 uses IP-stride at the L1 instead.
+///
+/// Every (trace × level-combination) cell goes through the store-backed
+/// [`run_multi_level_single`] (keyed by the combined `l1+l2` name), so a
+/// warm results store regenerates this figure with zero simulation.
 pub fn fig13_multilevel(scale: &ExperimentScale) -> Table {
     let mut table = Table::new(
         "Fig. 13 — multi-level prefetching (normalized IPC over no prefetching)",
@@ -42,16 +46,16 @@ pub fn fig13_multilevel(scale: &ExperimentScale) -> Table {
     let records = records_for(&scale.params);
     let names = mix_workloads(scale);
     let traces: Vec<_> = names.iter().map(|n| load_or_build(n, records)).collect();
-    let baselines: Vec<f64> = parallel_map(&traces, |t| baseline_stats(t, &scale.params).ipc());
 
     let eval = |group: &str, l1: &str, l2: Option<&str>, table: &mut Table| {
-        let stats = parallel_map(&traces, |trace| {
-            run_multi_level(trace, l1, l2, &scale.params)
+        let runs = parallel_map(&traces, |trace| {
+            run_multi_level_single(trace, l1, l2, &scale.params)
         });
         let mut speedups = Vec::new();
-        for (stats, base) in stats.iter().zip(&baselines) {
-            if *base > 0.0 {
-                speedups.push(stats.ipc() / base);
+        for run in &runs {
+            let base = run.baseline.ipc();
+            if base > 0.0 {
+                speedups.push(run.stats.ipc() / base);
             }
         }
         table.push_row(vec![
@@ -72,6 +76,7 @@ pub fn fig13_multilevel(scale: &ExperimentScale) -> Table {
     }
     // Reference: Gaze alone at the L1.
     eval("reference", "gaze", None, &mut table);
+    crate::results::flush();
     table
 }
 
@@ -126,6 +131,7 @@ pub fn fig14_multicore_scaling(scale: &ExperimentScale) -> Table {
             format!("{het:.3}"),
         ]);
     }
+    crate::results::flush();
     table
 }
 
@@ -182,6 +188,7 @@ pub fn fig15_fourcore_mixes(scale: &ExperimentScale) -> Table {
         row.push(format!("{speedup:.3}"));
         table.push_row(row);
     }
+    crate::results::flush();
     table
 }
 
@@ -238,6 +245,7 @@ pub fn fig16_system_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
             .collect();
         l2.push_values(p, &vals);
     }
+    crate::results::flush();
     vec![dram, llc, l2]
 }
 
@@ -284,6 +292,7 @@ pub fn fig17_gaze_sensitivity(scale: &ExperimentScale) -> Vec<Table> {
             format!("{:.3}", if base > 0.0 { s / base } else { 1.0 }),
         ]);
     }
+    crate::results::flush();
     vec![region, pht]
 }
 

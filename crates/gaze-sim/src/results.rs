@@ -12,9 +12,17 @@
 //! * **miss** — the pair is simulated as usual and the result is recorded
 //!   write-through, so the *next* process to ask gets the hit.
 //!
-//! A warm store thus regenerates the full figure set with zero
-//! simulation; see the `results_store` integration test and the CI warm
-//! restart smoke.
+//! Multi-core runs follow the same pattern with v2 *mix* records:
+//! [`run_heterogeneous`](crate::runner::run_heterogeneous) (and therefore
+//! `run_homogeneous` and the multicore baseline) consults
+//! [`lookup_mix`](StoreHandle::lookup_mix) before simulating and records
+//! misses via [`record_mix`](StoreHandle::record_mix), keyed by the mix
+//! fingerprint ([`sim_core::params::mix_fingerprint`]) and the params
+//! fingerprint *at the mix's core count*.
+//!
+//! A warm store thus regenerates the full figure set — multi-core
+//! fig13–fig18 included — with zero simulation; see the `results_store`
+//! integration test and the CI warm restart smoke.
 //!
 //! Appends are buffered and written as one crash-safe segment per
 //! [`flush`] (the parallel engine flushes after each fan-out, the CLI
@@ -27,8 +35,9 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use results_store::{ResultsStore, RunRecord};
+use results_store::{MixRecord, ResultsStore, RunRecord};
 use sim_core::params::RunParams;
+use sim_core::stats::SimReport;
 
 use crate::runner::SingleRun;
 
@@ -107,9 +116,74 @@ impl StoreHandle {
         }
     }
 
-    /// Flushes pending appends as one crash-safe segment.
+    /// Looks up the stored multi-core run for (mix fingerprint, params
+    /// fingerprint, prefetcher) and returns its [`SimReport`].
+    ///
+    /// Like [`lookup`](Self::lookup), the stored mix label must match
+    /// `label` — a mismatch is treated as a miss so reports always carry
+    /// the right workloads even under a fingerprint collision.
+    pub fn lookup_mix(
+        &self,
+        mix_fingerprint: u64,
+        params_fingerprint: u64,
+        prefetcher: &str,
+        label: &str,
+    ) -> Option<SimReport> {
+        let store = self.store.lock().expect("results store poisoned");
+        let rec = store.get_mix(mix_fingerprint, params_fingerprint, prefetcher)?;
+        if rec.label != label {
+            return None;
+        }
+        let report = rec.report.clone();
+        drop(store);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(report)
+    }
+
+    /// Records a freshly simulated multi-core run write-through
+    /// (deduplicated inside the store). `params` must already be at the
+    /// mix's core count (the runners key on `params.with_cores(n)`).
+    /// Auto-flushes when the pending batch reaches [`AUTO_FLUSH_RECORDS`].
+    pub fn record_mix(
+        &self,
+        report: &SimReport,
+        mix_fingerprint: u64,
+        params: &RunParams,
+        prefetcher: &str,
+        label: &str,
+    ) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let rec = MixRecord {
+            mix_fingerprint,
+            params_fingerprint: params.fingerprint(),
+            prefetcher: prefetcher.to_string(),
+            label: label.to_string(),
+            report: report.clone(),
+        };
+        let mut store = self.store.lock().expect("results store poisoned");
+        store.append_mix(rec);
+        if store.pending_len() >= AUTO_FLUSH_RECORDS {
+            if let Err(e) = store.flush() {
+                eprintln!("gaze-sim: results store auto-flush failed: {e}");
+            }
+        }
+    }
+
+    /// Flushes pending appends as one crash-safe segment per record kind.
     pub fn flush(&self) -> io::Result<usize> {
         self.store.lock().expect("results store poisoned").flush()
+    }
+
+    /// Reloads the store from disk when another process has flushed new
+    /// segments since this handle opened (or last reloaded); pending rows
+    /// of this handle are carried over. Returns whether a reload
+    /// happened. `gaze-serve` calls this per request so a server sees
+    /// stores written by concurrent experiment runs without a restart.
+    pub fn reload_if_stale(&self) -> io::Result<bool> {
+        self.store
+            .lock()
+            .expect("results store poisoned")
+            .reload_if_stale()
     }
 
     /// Store lookups served without simulation since this handle opened.
@@ -245,6 +319,50 @@ mod tests {
         // A mismatched workload name is a miss even with the right key.
         assert!(reopened
             .lookup(fp, params.fingerprint(), "gaze", "other-name")
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn handle_round_trips_a_mix_report() {
+        let dir = std::env::temp_dir().join(format!("gzr-handle-{}-mix", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let params = RunParams {
+            warmup: 500,
+            measured: 2_000,
+            ..RunParams::test()
+        }
+        .with_cores(2);
+        let report = sim_core::stats::SimReport {
+            cores: vec![
+                sim_core::stats::CoreStats {
+                    instructions: 2_000,
+                    cycles: 5_000,
+                    ..Default::default()
+                },
+                sim_core::stats::CoreStats {
+                    instructions: 2_000,
+                    cycles: 6_000,
+                    ..Default::default()
+                },
+            ],
+        };
+        let handle = StoreHandle::open(&dir).expect("open");
+        assert!(handle
+            .lookup_mix(0xabc, params.fingerprint(), "gaze", "a+b")
+            .is_none());
+        handle.record_mix(&report, 0xabc, &params, "gaze", "a+b");
+        handle.flush().expect("flush");
+
+        let reopened = StoreHandle::open(&dir).expect("reopen");
+        let hit = reopened
+            .lookup_mix(0xabc, params.fingerprint(), "gaze", "a+b")
+            .expect("stored mix");
+        assert_eq!(hit, report);
+        assert_eq!(reopened.hits(), 1);
+        // A mismatched label is a miss even with the right key.
+        assert!(reopened
+            .lookup_mix(0xabc, params.fingerprint(), "gaze", "other+mix")
             .is_none());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -182,7 +182,63 @@ pub fn run_single_boxed(
     report.cores[0]
 }
 
+/// The store key name of a multi-level configuration: `"l1+l2"` (just
+/// `l1` when no L2 prefetcher is set), e.g. `"gaze+bingo"`.
+pub fn multi_level_name(l1: &str, l2: Option<&str>) -> String {
+    match l2 {
+        Some(l2) => format!("{l1}+{l2}"),
+        None => l1.to_string(),
+    }
+}
+
+/// Runs a multi-level configuration (`l1` at the L1D, `l2` at the L2C)
+/// together with its no-prefetching baseline, store-backed like
+/// [`run_single`]: the result persists as a single-core record keyed by
+/// the combined prefetcher name [`multi_level_name`], so a warm store
+/// serves Fig. 13 with zero simulation.
+pub fn run_multi_level_single(
+    trace: &dyn TraceSource,
+    l1: &str,
+    l2: Option<&str>,
+    params: &RunParams,
+) -> SingleRun {
+    let Some(l2) = l2 else {
+        // No L2 prefetcher: identical to a plain single-core run (and
+        // shares its store rows).
+        return run_single(trace, l1, params);
+    };
+    let name = multi_level_name(l1, Some(l2));
+    if let Some(store) = crate::results::active_store() {
+        let fp = sim_core::trace::source_fingerprint(trace);
+        let pfp = params.fingerprint();
+        if let Some(stored) = store.lookup(fp, pfp, &name, trace.name()) {
+            return stored;
+        }
+        let run = run_multi_level_fresh(trace, l1, l2, &name, params);
+        store.record(&run, fp, params);
+        return run;
+    }
+    run_multi_level_fresh(trace, l1, l2, &name, params)
+}
+
+fn run_multi_level_fresh(
+    trace: &dyn TraceSource,
+    l1: &str,
+    l2: &str,
+    name: &str,
+    params: &RunParams,
+) -> SingleRun {
+    SingleRun {
+        workload: trace.name().to_string(),
+        prefetcher: name.to_string(),
+        stats: run_multi_level(trace, l1, Some(l2), params),
+        baseline: baseline_stats(trace, params),
+    }
+}
+
 /// Runs a multi-level configuration: `l1` at the L1D and `l2` at the L2C.
+/// The raw simulate path — no store, no baseline; see
+/// [`run_multi_level_single`] for the store-backed entry point.
 pub fn run_multi_level(
     trace: &dyn TraceSource,
     l1: &str,
@@ -201,25 +257,73 @@ pub fn run_multi_level(
     report.cores[0]
 }
 
+/// The store label of a trace mix: the core's workload names joined by
+/// `+`, truncated (at a character boundary) to the store's label width.
+/// Purely a function of the mix, so every path that runs the same mix
+/// labels it identically.
+pub fn mix_label(traces: &[&dyn TraceSource]) -> String {
+    let mut label = traces
+        .iter()
+        .map(|t| t.name())
+        .collect::<Vec<_>>()
+        .join("+");
+    let max = results_store::format::GZR_LABEL_BYTES;
+    if label.len() > max {
+        let mut end = max;
+        while !label.is_char_boundary(end) {
+            end -= 1;
+        }
+        label.truncate(end);
+    }
+    label
+}
+
 /// Runs a homogeneous multi-core mix (`cores` copies of `trace`) and returns
-/// the full report.
+/// the full report. Store-backed: a mix of `n` copies keys identically to
+/// the same mix run heterogeneously.
 pub fn run_homogeneous(
     trace: &dyn TraceSource,
     prefetcher: &str,
     cores: usize,
     params: &RunParams,
 ) -> SimReport {
-    let p = params.with_cores(cores);
-    let traces = vec![trace; cores];
-    let prefetchers = (0..cores).map(|_| make_prefetcher(prefetcher)).collect();
-    let mut system = System::new(p.config, traces, prefetchers);
-    system.set_cycle_skip(cycle_skip_enabled());
-    count_instructions(&p, cores);
-    system.run(p.warmup, p.measured)
+    let traces: Vec<&dyn TraceSource> = vec![trace; cores];
+    run_heterogeneous(&traces, prefetcher, params)
 }
 
 /// Runs a heterogeneous multi-core mix (one trace per core).
+///
+/// Store-backed like [`run_single`]: with an active results store the
+/// (mix fingerprint, params-at-core-count fingerprint, prefetcher) key is
+/// looked up first — a hit returns the stored [`SimReport`] with zero
+/// simulation — and misses are simulated and recorded write-through as a
+/// v2 mix record.
 pub fn run_heterogeneous(
+    traces: &[&dyn TraceSource],
+    prefetcher: &str,
+    params: &RunParams,
+) -> SimReport {
+    if let Some(store) = crate::results::active_store() {
+        let fps: Vec<u64> = traces
+            .iter()
+            .map(|t| sim_core::trace::source_fingerprint(*t))
+            .collect();
+        let mix_fp = sim_core::params::mix_fingerprint(&fps);
+        let keyed = params.with_cores(traces.len());
+        let pfp = keyed.fingerprint();
+        let label = mix_label(traces);
+        if let Some(report) = store.lookup_mix(mix_fp, pfp, prefetcher, &label) {
+            return report;
+        }
+        let report = run_heterogeneous_fresh(traces, prefetcher, params);
+        store.record_mix(&report, mix_fp, &keyed, prefetcher, &label);
+        return report;
+    }
+    run_heterogeneous_fresh(traces, prefetcher, params)
+}
+
+/// The simulate path of [`run_heterogeneous`] (no store).
+fn run_heterogeneous_fresh(
     traces: &[&dyn TraceSource],
     prefetcher: &str,
     params: &RunParams,
@@ -314,5 +418,38 @@ mod tests {
         let trace = build_workload("fotonik3d_s", 8_000);
         let stats = run_multi_level(&trace, "gaze", Some("bingo"), &params);
         assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn multi_level_single_carries_combined_name_and_baseline() {
+        let params = RunParams {
+            warmup: 1_000,
+            measured: 4_000,
+            ..RunParams::test()
+        };
+        let trace = build_workload("bwaves_s", 4_000);
+        let run = run_multi_level_single(&trace, "gaze", Some("bingo"), &params);
+        assert_eq!(run.prefetcher, "gaze+bingo");
+        assert!(run.baseline.ipc() > 0.0);
+        // No L2 prefetcher degenerates to the plain single-core run.
+        let plain = run_multi_level_single(&trace, "gaze", None, &params);
+        assert_eq!(plain.prefetcher, "gaze");
+        assert_eq!(plain.stats, run_single(&trace, "gaze", &params).stats);
+    }
+
+    #[test]
+    fn mix_labels_join_names_and_truncate_to_label_width() {
+        let t1 = build_workload("bwaves_s", 2_000);
+        let t2 = build_workload("mcf_s", 2_000);
+        assert_eq!(mix_label(&[&t1, &t2]), "bwaves_s+mcf_s");
+        assert_eq!(mix_label(&[&t1, &t1, &t1]), "bwaves_s+bwaves_s+bwaves_s");
+        // 16 copies exceed the on-disk label field; the label truncates
+        // deterministically instead of failing to encode.
+        let many: Vec<&dyn TraceSource> =
+            std::iter::repeat_n(&t1 as &dyn TraceSource, 16).collect();
+        let label = mix_label(&many);
+        assert_eq!(label.len(), results_store::format::GZR_LABEL_BYTES);
+        assert_eq!(multi_level_name("gaze", Some("bingo")), "gaze+bingo");
+        assert_eq!(multi_level_name("gaze", None), "gaze");
     }
 }

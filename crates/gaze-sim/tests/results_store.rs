@@ -11,9 +11,12 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use gaze_sim::experiments::{run_experiment, run_matrix, ExperimentScale};
 use gaze_sim::results;
-use gaze_sim::runner::{records_for, simulated_instructions, RunParams};
+use gaze_sim::runner::{
+    mix_label, multicore_speedup, records_for, run_homogeneous, simulated_instructions, RunParams,
+};
 use results_store::{ResultsStore, RunQuery};
-use sim_core::trace::source_fingerprint;
+use sim_core::params::mix_fingerprint;
+use sim_core::trace::{source_fingerprint, TraceSource};
 use workloads::build_workload;
 
 fn store_lock() -> MutexGuard<'static, ()> {
@@ -93,6 +96,103 @@ fn warm_store_regenerates_figures_with_zero_simulation() {
         cold_csv, warm_csv,
         "store-served figures must be byte-identical to simulated ones"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The warm-store acceptance criterion for the multi-core path: Fig. 13
+/// (multi-level, persisted as v1 rows keyed by the combined `l1+l2`
+/// name) regenerates from a reopened store with zero simulation,
+/// byte-identical to the cold pass.
+#[test]
+fn warm_store_regenerates_fig13_with_zero_simulation() {
+    let _guard = store_lock();
+    let dir = temp_dir("warm-fig13");
+    let scale = tiny_scale();
+
+    let cold_csv: String = {
+        let _active = ActiveDir::new(&dir);
+        let before = simulated_instructions();
+        let tables = run_experiment("fig13", &scale);
+        assert!(simulated_instructions() > before, "cold pass must simulate");
+        tables.iter().map(|t| t.to_csv()).collect()
+    };
+
+    let warm_csv: String = {
+        let _active = ActiveDir::new_existing(&dir);
+        let before = simulated_instructions();
+        let tables = run_experiment("fig13", &scale);
+        assert_eq!(
+            simulated_instructions(),
+            before,
+            "a warm store must serve every multi-level run without simulating"
+        );
+        tables.iter().map(|t| t.to_csv()).collect()
+    };
+
+    assert_eq!(cold_csv, warm_csv, "byte-identical fig13 from the store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Multi-core runs (heterogeneous, homogeneous and their shared "none"
+/// baseline) persist as v2 mix records and are served back bit-identically
+/// with zero simulation after a reopen.
+#[test]
+fn multicore_runs_round_trip_through_the_store() {
+    let _guard = store_lock();
+    let dir = temp_dir("multicore");
+    let params = RunParams {
+        warmup: 1_000,
+        measured: 4_000,
+        ..RunParams::test()
+    };
+    let t1 = build_workload("bwaves_s", records_for(&params));
+    let t2 = build_workload("mcf_s", records_for(&params));
+
+    // Cold: simulate a heterogeneous pair and a homogeneous pair.
+    let (cold_het, cold_base, cold_speedup) = {
+        let _active = ActiveDir::new(&dir);
+        let out = multicore_speedup(&[&t1, &t2], "gaze", &params);
+        results::flush();
+        out
+    };
+    let cold_homo = {
+        let _active = ActiveDir::new_existing(&dir);
+        let report = run_homogeneous(&t1, "pmp", 2, &params);
+        results::flush();
+        report
+    };
+
+    // The v2 rows are durable and typed correctly.
+    let store = ResultsStore::open(&dir).expect("reopen");
+    assert_eq!(store.len(), 0, "no single-core rows in this sweep");
+    assert_eq!(store.mix_len(), 3, "het gaze + het none + homo pmp");
+    let het_fp = mix_fingerprint(&[source_fingerprint(&t1), source_fingerprint(&t2)]);
+    let keyed = params.with_cores(2).fingerprint();
+    let rec = store.get_mix(het_fp, keyed, "gaze").expect("het row");
+    assert_eq!(rec.label, mix_label(&[&t1 as &dyn TraceSource, &t2]));
+    assert_eq!(rec.report, cold_het, "bit-identical per-core counters");
+    let base = store.get_mix(het_fp, keyed, "none").expect("baseline row");
+    assert_eq!(base.report, cold_base);
+    assert_eq!(rec.speedup_over(base), cold_speedup);
+
+    // Warm: a fresh process (handle) serves everything with zero
+    // simulation, bit-identically. The in-process baseline cache would
+    // also hit, so drive it cold through a *new* store handle.
+    {
+        let _active = ActiveDir::new_existing(&dir);
+        let before = simulated_instructions();
+        let (warm_het, warm_base, warm_speedup) = multicore_speedup(&[&t1, &t2], "gaze", &params);
+        let warm_homo = run_homogeneous(&t1, "pmp", 2, &params);
+        assert_eq!(
+            simulated_instructions(),
+            before,
+            "a warm store must serve every mix without simulating"
+        );
+        assert_eq!(warm_het, cold_het);
+        assert_eq!(warm_base, cold_base);
+        assert_eq!(warm_speedup, cold_speedup);
+        assert_eq!(warm_homo, cold_homo);
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,24 +1,34 @@
 //! GZR — the on-disk segment format of the results store.
 //!
 //! A GZR segment is a compact little-endian encoding of a batch of
-//! [`RunRecord`]s, in the same style as the GZT trace format: a fixed
-//! 32-byte header followed by fixed-width 528-byte records. The full
-//! specification (every field, offset and invariant) lives in
-//! `docs/RESULTS.md`; this module is the reference implementation.
+//! records, in the same style as the GZT trace format: a fixed 32-byte
+//! header followed by fixed-width records. The full specification (every
+//! field, offset and invariant) lives in `docs/RESULTS.md`; this module
+//! is the reference implementation.
 //!
-//! Layout summary:
+//! Two record schemas exist, distinguished by the header's version field
+//! (the magic identifies the file *family*; a segment holds records of
+//! exactly one version):
+//!
+//! * **version 1** — [`RunRecord`]: one single-core run plus its
+//!   no-prefetching baseline (528 bytes);
+//! * **version 2** — [`MixRecord`]: one multi-core run — the per-core
+//!   raw counters of a full `SimReport` — keyed by a *mix* fingerprint
+//!   folding every trace in the mix and the core count (1864 bytes).
+//!
+//! Header layout (shared by both versions):
 //!
 //! ```text
 //! offset  size  field
 //! 0       4     magic, b"GZR1"
-//! 4       2     version (u16 LE) = 1
-//! 6       2     record_size (u16 LE) = 528
+//! 4       2     version (u16 LE) = 1 or 2
+//! 6       2     record_size (u16 LE) = 528 (v1) or 1864 (v2)
 //! 8       8     record_count (u64 LE)
 //! 16      16    reserved, must be zero
-//! 32      528*k records
+//! 32      record_size*k records
 //! ```
 //!
-//! Each record is:
+//! A v1 record is:
 //!
 //! ```text
 //! offset  size  field
@@ -28,6 +38,18 @@
 //! 64      48    prefetcher name (NUL-padded UTF-8)
 //! 112     208   stats    (CoreStats, 26 × u64 LE)
 //! 320     208   baseline (CoreStats, 26 × u64 LE)
+//! ```
+//!
+//! A v2 record is:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     mix_fingerprint (u64 LE)
+//! 8       8     params_fingerprint (u64 LE)
+//! 16      48    prefetcher name (NUL-padded UTF-8)
+//! 64      128   mix label (NUL-padded UTF-8)
+//! 192     8     core_count (u64 LE, 1..=8)
+//! 200     208×8 per-core CoreStats; slots ≥ core_count must be zero
 //! ```
 //!
 //! A `CoreStats` block is `instructions, cycles`, then the six counters of
@@ -43,25 +65,41 @@
 
 use std::io::{self, Read, Write};
 
-use sim_core::stats::{CacheStats, CoreStats, PrefetchStats};
+use sim_core::stats::{CacheStats, CoreStats, PrefetchStats, SimReport};
 
-/// Magic bytes at the start of every GZR segment.
+/// Magic bytes at the start of every GZR segment (both versions; the
+/// version field selects the record schema).
 pub const GZR_MAGIC: [u8; 4] = *b"GZR1";
 
-/// Current (and only) format version.
+/// Format version of single-core [`RunRecord`] segments.
 pub const GZR_VERSION: u16 = 1;
+
+/// Format version of multi-core [`MixRecord`] segments.
+pub const GZR_VERSION_MIX: u16 = 2;
 
 /// Size of the fixed segment header.
 pub const GZR_HEADER_BYTES: usize = 32;
 
-/// Size of one encoded record.
+/// Size of one encoded v1 record.
 pub const GZR_RECORD_BYTES: usize = 528;
 
 /// Size of a NUL-padded name field.
 pub const GZR_NAME_BYTES: usize = 48;
 
+/// Size of the NUL-padded mix label field of a v2 record.
+pub const GZR_LABEL_BYTES: usize = 128;
+
+/// Maximum cores per v2 record (the paper's multi-core studies top out at
+/// eight).
+pub const GZR_MAX_CORES: usize = 8;
+
 /// Size of one encoded [`CoreStats`] block (26 × u64).
 pub const GZR_CORESTATS_BYTES: usize = 208;
+
+/// Size of one encoded v2 record: two fingerprints, prefetcher name, mix
+/// label, core count, and [`GZR_MAX_CORES`] `CoreStats` slots.
+pub const GZR_MIX_RECORD_BYTES: usize =
+    8 + 8 + GZR_NAME_BYTES + GZR_LABEL_BYTES + 8 + GZR_MAX_CORES * GZR_CORESTATS_BYTES;
 
 /// One persisted single-core run: the key it is stored under plus the raw
 /// statistics of the prefetcher-enabled run and its no-prefetching
@@ -88,6 +126,72 @@ pub struct RunRecord {
 /// The dedup/lookup key of a record: one row exists in the store per
 /// (trace fingerprint, run-parameter fingerprint, prefetcher).
 pub type RunKey = (u64, u64, String);
+
+/// One persisted multi-core run (format version 2): the key it is stored
+/// under plus the raw per-core statistics of the full [`SimReport`].
+///
+/// Unlike [`RunRecord`], a mix record does *not* embed its baseline: the
+/// no-prefetching run of the same mix is its own record under
+/// `prefetcher = "none"`, shared by every prefetcher evaluated on that
+/// mix instead of being duplicated into each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixRecord {
+    /// Fingerprint of the trace mix: FNV-1a folding the core count and
+    /// every core's trace fingerprint in core order
+    /// ([`sim_core::params::mix_fingerprint`]).
+    pub mix_fingerprint: u64,
+    /// Fingerprint of the run parameters *at the mix's core count*
+    /// ([`sim_core::params::RunParams::fingerprint`]).
+    pub params_fingerprint: u64,
+    /// Prefetcher name (`"none"` for the baseline row of a mix).
+    pub prefetcher: String,
+    /// Human-readable mix label (workload names joined by `+`, possibly
+    /// truncated to [`GZR_LABEL_BYTES`]); the identity key is the mix
+    /// fingerprint, the label guards lookups against collisions.
+    pub label: String,
+    /// Per-core raw counters (1..=[`GZR_MAX_CORES`] cores).
+    pub report: SimReport,
+}
+
+/// The dedup/lookup key of a mix record: one row exists per
+/// (mix fingerprint, run-parameter fingerprint, prefetcher).
+pub type MixKey = (u64, u64, String);
+
+impl MixRecord {
+    /// The key this record is stored under.
+    pub fn key(&self) -> MixKey {
+        (
+            self.mix_fingerprint,
+            self.params_fingerprint,
+            self.prefetcher.clone(),
+        )
+    }
+
+    /// Number of cores in the mix.
+    pub fn cores(&self) -> usize {
+        self.report.cores.len()
+    }
+
+    /// Arithmetic-mean IPC across cores.
+    pub fn mean_ipc(&self) -> f64 {
+        self.report.mean_ipc()
+    }
+
+    /// Geometric-mean per-core speedup over `baseline` (normally the
+    /// `"none"` record of the same mix).
+    pub fn speedup_over(&self, baseline: &MixRecord) -> f64 {
+        self.report.speedup_over(&baseline.report)
+    }
+}
+
+/// The records of one decoded segment, tagged by format version.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentRecords {
+    /// A version-1 segment of single-core [`RunRecord`]s.
+    Runs(Vec<RunRecord>),
+    /// A version-2 segment of multi-core [`MixRecord`]s.
+    Mixes(Vec<MixRecord>),
+}
 
 impl RunRecord {
     /// The key this record is stored under.
@@ -203,27 +307,27 @@ fn get_core_stats(buf: &[u8], offset: &mut usize) -> CoreStats {
     }
 }
 
-fn put_name(buf: &mut [u8], offset: &mut usize, name: &str) -> io::Result<()> {
+fn put_name(buf: &mut [u8], offset: &mut usize, name: &str, width: usize) -> io::Result<()> {
     let bytes = name.as_bytes();
-    if bytes.is_empty() || bytes.len() > GZR_NAME_BYTES || bytes.contains(&0) {
+    if bytes.is_empty() || bytes.len() > width || bytes.contains(&0) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
             format!(
-                "GZR name must be 1..={GZR_NAME_BYTES} NUL-free bytes, got {:?}",
+                "GZR name must be 1..={width} NUL-free bytes, got {:?}",
                 name
             ),
         ));
     }
     buf[*offset..*offset + bytes.len()].copy_from_slice(bytes);
     // The remainder is already zero (records encode into zeroed buffers).
-    *offset += GZR_NAME_BYTES;
+    *offset += width;
     Ok(())
 }
 
-fn get_name(buf: &[u8], offset: &mut usize) -> io::Result<String> {
-    let field = &buf[*offset..*offset + GZR_NAME_BYTES];
-    *offset += GZR_NAME_BYTES;
-    let end = field.iter().position(|&b| b == 0).unwrap_or(GZR_NAME_BYTES);
+fn get_name(buf: &[u8], offset: &mut usize, width: usize) -> io::Result<String> {
+    let field = &buf[*offset..*offset + width];
+    *offset += width;
+    let end = field.iter().position(|&b| b == 0).unwrap_or(width);
     if end == 0 || field[end..].iter().any(|&b| b != 0) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
@@ -243,8 +347,8 @@ pub fn encode_record(rec: &RunRecord) -> io::Result<[u8; GZR_RECORD_BYTES]> {
     let mut off = 0;
     put_u64(&mut buf, &mut off, rec.trace_fingerprint);
     put_u64(&mut buf, &mut off, rec.params_fingerprint);
-    put_name(&mut buf, &mut off, &rec.workload)?;
-    put_name(&mut buf, &mut off, &rec.prefetcher)?;
+    put_name(&mut buf, &mut off, &rec.workload, GZR_NAME_BYTES)?;
+    put_name(&mut buf, &mut off, &rec.prefetcher, GZR_NAME_BYTES)?;
     put_core_stats(&mut buf, &mut off, &rec.stats);
     put_core_stats(&mut buf, &mut off, &rec.baseline);
     debug_assert_eq!(off, GZR_RECORD_BYTES);
@@ -256,8 +360,8 @@ pub fn decode_record(buf: &[u8; GZR_RECORD_BYTES]) -> io::Result<RunRecord> {
     let mut off = 0;
     let trace_fingerprint = get_u64(buf, &mut off);
     let params_fingerprint = get_u64(buf, &mut off);
-    let workload = get_name(buf, &mut off)?;
-    let prefetcher = get_name(buf, &mut off)?;
+    let workload = get_name(buf, &mut off, GZR_NAME_BYTES)?;
+    let prefetcher = get_name(buf, &mut off, GZR_NAME_BYTES)?;
     let stats = get_core_stats(buf, &mut off);
     let baseline = get_core_stats(buf, &mut off);
     debug_assert_eq!(off, GZR_RECORD_BYTES);
@@ -271,29 +375,105 @@ pub fn decode_record(buf: &[u8; GZR_RECORD_BYTES]) -> io::Result<RunRecord> {
     })
 }
 
-/// Writes a complete segment (header + records) to `out`.
-pub fn write_segment(out: &mut impl Write, records: &[RunRecord]) -> io::Result<()> {
+/// Encodes one mix record into its 1864-byte on-disk form.
+///
+/// Fails if the prefetcher name or label is empty, over-long or contains
+/// a NUL byte, or if the report has zero or more than [`GZR_MAX_CORES`]
+/// cores.
+pub fn encode_mix_record(rec: &MixRecord) -> io::Result<[u8; GZR_MIX_RECORD_BYTES]> {
+    let cores = rec.report.cores.len();
+    if cores == 0 || cores > GZR_MAX_CORES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("GZR mix record must hold 1..={GZR_MAX_CORES} cores, got {cores}"),
+        ));
+    }
+    let mut buf = [0u8; GZR_MIX_RECORD_BYTES];
+    let mut off = 0;
+    put_u64(&mut buf, &mut off, rec.mix_fingerprint);
+    put_u64(&mut buf, &mut off, rec.params_fingerprint);
+    put_name(&mut buf, &mut off, &rec.prefetcher, GZR_NAME_BYTES)?;
+    put_name(&mut buf, &mut off, &rec.label, GZR_LABEL_BYTES)?;
+    put_u64(&mut buf, &mut off, cores as u64);
+    for core in &rec.report.cores {
+        put_core_stats(&mut buf, &mut off, core);
+    }
+    // Unused core slots stay zero (the buffer starts zeroed).
+    debug_assert_eq!(off, 200 + cores * GZR_CORESTATS_BYTES);
+    Ok(buf)
+}
+
+/// Decodes one 1864-byte on-disk mix record, rejecting impossible core
+/// counts and non-zero padding in unused core slots.
+pub fn decode_mix_record(buf: &[u8; GZR_MIX_RECORD_BYTES]) -> io::Result<MixRecord> {
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut off = 0;
+    let mix_fingerprint = get_u64(buf, &mut off);
+    let params_fingerprint = get_u64(buf, &mut off);
+    let prefetcher = get_name(buf, &mut off, GZR_NAME_BYTES)?;
+    let label = get_name(buf, &mut off, GZR_LABEL_BYTES)?;
+    let core_count = get_u64(buf, &mut off);
+    if core_count == 0 || core_count > GZR_MAX_CORES as u64 {
+        return Err(invalid(format!(
+            "GZR mix record core count {core_count} outside 1..={GZR_MAX_CORES}"
+        )));
+    }
+    let mut cores = Vec::with_capacity(core_count as usize);
+    for _ in 0..core_count {
+        cores.push(get_core_stats(buf, &mut off));
+    }
+    if buf[off..].iter().any(|&b| b != 0) {
+        return Err(invalid(
+            "GZR mix record has non-zero bytes in unused core slots".to_string(),
+        ));
+    }
+    Ok(MixRecord {
+        mix_fingerprint,
+        params_fingerprint,
+        prefetcher,
+        label,
+        report: SimReport { cores },
+    })
+}
+
+fn write_header(
+    out: &mut impl Write,
+    version: u16,
+    record_size: usize,
+    count: usize,
+) -> io::Result<()> {
     let mut header = [0u8; GZR_HEADER_BYTES];
     header[0..4].copy_from_slice(&GZR_MAGIC);
-    header[4..6].copy_from_slice(&GZR_VERSION.to_le_bytes());
-    header[6..8].copy_from_slice(&(GZR_RECORD_BYTES as u16).to_le_bytes());
-    header[8..16].copy_from_slice(&(records.len() as u64).to_le_bytes());
-    out.write_all(&header)?;
+    header[4..6].copy_from_slice(&version.to_le_bytes());
+    header[6..8].copy_from_slice(&(record_size as u16).to_le_bytes());
+    header[8..16].copy_from_slice(&(count as u64).to_le_bytes());
+    out.write_all(&header)
+}
+
+/// Writes a complete version-1 segment (header + single-core records) to
+/// `out`.
+pub fn write_segment(out: &mut impl Write, records: &[RunRecord]) -> io::Result<()> {
+    write_header(out, GZR_VERSION, GZR_RECORD_BYTES, records.len())?;
     for rec in records {
         out.write_all(&encode_record(rec)?)?;
     }
     Ok(())
 }
 
-/// Reads and validates a complete segment from `input`, whose total size
-/// must be `total_len` bytes (used to reject truncated files exactly).
-///
-/// `context` names the segment in error messages (typically its path).
-pub fn read_segment(
-    input: &mut impl Read,
-    total_len: u64,
-    context: &str,
-) -> io::Result<Vec<RunRecord>> {
+/// Writes a complete version-2 segment (header + multi-core mix records)
+/// to `out`.
+pub fn write_mix_segment(out: &mut impl Write, records: &[MixRecord]) -> io::Result<()> {
+    write_header(out, GZR_VERSION_MIX, GZR_MIX_RECORD_BYTES, records.len())?;
+    for rec in records {
+        out.write_all(&encode_mix_record(rec)?)?;
+    }
+    Ok(())
+}
+
+/// Parses and validates a segment header, returning `(version,
+/// record_count)`. The record size implied by the version must match the
+/// header's, and `total_len` must equal header + records exactly.
+fn read_header(input: &mut impl Read, total_len: u64, context: &str) -> io::Result<(u16, u64)> {
     let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut header = [0u8; GZR_HEADER_BYTES];
     if total_len < GZR_HEADER_BYTES as u64 {
@@ -304,15 +484,21 @@ pub fn read_segment(
         return Err(invalid(format!("{context}: not a GZR segment (bad magic)")));
     }
     let version = u16::from_le_bytes(header[4..6].try_into().expect("2-byte slice"));
-    if version != GZR_VERSION {
-        return Err(invalid(format!(
-            "{context}: unsupported GZR version {version} (expected {GZR_VERSION})"
-        )));
-    }
+    let expected_size = match version {
+        GZR_VERSION => GZR_RECORD_BYTES,
+        GZR_VERSION_MIX => GZR_MIX_RECORD_BYTES,
+        other => {
+            return Err(invalid(format!(
+                "{context}: unsupported GZR version {other} \
+                 (expected {GZR_VERSION} or {GZR_VERSION_MIX})"
+            )))
+        }
+    };
     let record_size = u16::from_le_bytes(header[6..8].try_into().expect("2-byte slice"));
-    if usize::from(record_size) != GZR_RECORD_BYTES {
+    if usize::from(record_size) != expected_size {
         return Err(invalid(format!(
-            "{context}: unexpected GZR record size {record_size} (expected {GZR_RECORD_BYTES})"
+            "{context}: unexpected GZR v{version} record size {record_size} \
+             (expected {expected_size})"
         )));
     }
     let record_count = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
@@ -325,7 +511,7 @@ pub fn read_segment(
     // error, not an overflow panic (debug) or a wrapped length that dodges
     // the size check (release).
     let expected = record_count
-        .checked_mul(GZR_RECORD_BYTES as u64)
+        .checked_mul(expected_size as u64)
         .and_then(|data| data.checked_add(GZR_HEADER_BYTES as u64))
         .ok_or_else(|| {
             invalid(format!(
@@ -335,20 +521,61 @@ pub fn read_segment(
     if total_len != expected {
         return Err(invalid(format!(
             "{context}: GZR segment size {total_len} does not match header \
-             (expected {expected} for {record_count} records)"
+             (expected {expected} for {record_count} v{version} records)"
         )));
     }
-    let mut records = Vec::with_capacity(record_count as usize);
-    let mut buf = [0u8; GZR_RECORD_BYTES];
-    for _ in 0..record_count {
-        input.read_exact(&mut buf)?;
-        records.push(
-            decode_record(&buf).map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("{context}: {e}"))
-            })?,
-        );
+    Ok((version, record_count))
+}
+
+/// Reads and validates a complete segment of either version from `input`,
+/// whose total size must be `total_len` bytes (used to reject truncated
+/// files exactly).
+///
+/// `context` names the segment in error messages (typically its path).
+pub fn read_segment_any(
+    input: &mut impl Read,
+    total_len: u64,
+    context: &str,
+) -> io::Result<SegmentRecords> {
+    let (version, record_count) = read_header(input, total_len, context)?;
+    let wrap = |e: io::Error| io::Error::new(io::ErrorKind::InvalidData, format!("{context}: {e}"));
+    match version {
+        GZR_VERSION => {
+            let mut records = Vec::with_capacity(record_count as usize);
+            let mut buf = [0u8; GZR_RECORD_BYTES];
+            for _ in 0..record_count {
+                input.read_exact(&mut buf)?;
+                records.push(decode_record(&buf).map_err(wrap)?);
+            }
+            Ok(SegmentRecords::Runs(records))
+        }
+        _ => {
+            let mut records = Vec::with_capacity(record_count as usize);
+            let mut buf = [0u8; GZR_MIX_RECORD_BYTES];
+            for _ in 0..record_count {
+                input.read_exact(&mut buf)?;
+                records.push(decode_mix_record(&buf).map_err(wrap)?);
+            }
+            Ok(SegmentRecords::Mixes(records))
+        }
     }
-    Ok(records)
+}
+
+/// Reads and validates a complete **version-1** segment. A valid v2
+/// segment is an `InvalidData` error here — use [`read_segment_any`] when
+/// both versions may appear.
+pub fn read_segment(
+    input: &mut impl Read,
+    total_len: u64,
+    context: &str,
+) -> io::Result<Vec<RunRecord>> {
+    match read_segment_any(input, total_len, context)? {
+        SegmentRecords::Runs(records) => Ok(records),
+        SegmentRecords::Mixes(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{context}: expected a v1 (single-core) GZR segment, found v2"),
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +674,102 @@ mod tests {
         let mut bad = bytes.clone();
         bad[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
         assert!(read_segment(&mut bad.as_slice(), bad.len() as u64, "m").is_err());
+    }
+
+    pub(crate) fn sample_mix_record(seed: u64, cores: usize) -> MixRecord {
+        let core_stats: Vec<CoreStats> = (0..cores as u64)
+            .map(|c| {
+                let mut s = CoreStats {
+                    instructions: 10_000 + seed * 7 + c,
+                    cycles: 25_000 + seed * 11 + c * 3,
+                    ..CoreStats::default()
+                };
+                s.l1d.demand_accesses = 4_000 + c;
+                s.l1d.demand_misses = 900 + seed;
+                s.llc.demand_misses = 120 + c;
+                s.prefetch.requested = 500 + seed + c;
+                s.prefetch.issued = 480;
+                s
+            })
+            .collect();
+        MixRecord {
+            mix_fingerprint: 0xabad_1dea ^ (seed << 4) ^ cores as u64,
+            params_fingerprint: 0x5eed_f00d ^ seed,
+            prefetcher: "gaze".to_string(),
+            label: format!("mix-{seed}-{cores}"),
+            report: SimReport { cores: core_stats },
+        }
+    }
+
+    #[test]
+    fn mix_record_encoding_round_trips_every_core_count() {
+        for cores in 1..=GZR_MAX_CORES {
+            let rec = sample_mix_record(cores as u64, cores);
+            let decoded =
+                decode_mix_record(&encode_mix_record(&rec).expect("encode")).expect("decode");
+            assert_eq!(decoded, rec);
+        }
+    }
+
+    #[test]
+    fn mix_segment_round_trips_and_v1_reader_rejects_it() {
+        let records: Vec<_> = (1..=4)
+            .map(|s| sample_mix_record(s, s as usize * 2))
+            .collect();
+        let mut bytes = Vec::new();
+        write_mix_segment(&mut bytes, &records).expect("write");
+        assert_eq!(
+            bytes.len(),
+            GZR_HEADER_BYTES + records.len() * GZR_MIX_RECORD_BYTES
+        );
+        match read_segment_any(&mut bytes.as_slice(), bytes.len() as u64, "mem").expect("read") {
+            SegmentRecords::Mixes(decoded) => assert_eq!(decoded, records),
+            SegmentRecords::Runs(_) => panic!("v2 segment decoded as v1"),
+        }
+        // The v1-only entry point refuses a valid v2 segment.
+        let err = read_segment(&mut bytes.as_slice(), bytes.len() as u64, "mem").unwrap_err();
+        assert!(err.to_string().contains("found v2"), "{err}");
+    }
+
+    #[test]
+    fn bad_mix_records_are_rejected() {
+        // Zero cores and too many cores fail on encode.
+        let mut rec = sample_mix_record(1, 1);
+        rec.report.cores.clear();
+        assert!(encode_mix_record(&rec).is_err());
+        let rec = sample_mix_record(1, GZR_MAX_CORES + 1);
+        assert!(encode_mix_record(&rec).is_err());
+
+        // Over-long labels fail on encode.
+        let mut rec = sample_mix_record(2, 2);
+        rec.label = "x".repeat(GZR_LABEL_BYTES + 1);
+        assert!(encode_mix_record(&rec).is_err());
+
+        // A corrupt core count fails on decode.
+        let rec = sample_mix_record(3, 2);
+        let mut buf = encode_mix_record(&rec).expect("encode");
+        buf[192..200].copy_from_slice(&0u64.to_le_bytes());
+        assert!(decode_mix_record(&buf).is_err(), "zero core count");
+        buf[192..200].copy_from_slice(&(GZR_MAX_CORES as u64 + 1).to_le_bytes());
+        assert!(decode_mix_record(&buf).is_err(), "impossible core count");
+
+        // Non-zero bytes in an unused core slot fail on decode.
+        let mut buf = encode_mix_record(&rec).expect("encode");
+        buf[GZR_MIX_RECORD_BYTES - 1] = 1;
+        assert!(decode_mix_record(&buf).is_err(), "dirty core-slot padding");
+    }
+
+    #[test]
+    fn mix_metrics_project_from_raw_counters() {
+        let with = sample_mix_record(0, 4);
+        let mut base = with.clone();
+        base.prefetcher = "none".to_string();
+        for core in &mut base.report.cores {
+            core.cycles *= 2;
+        }
+        assert_eq!(with.cores(), 4);
+        assert!(with.mean_ipc() > 0.0);
+        assert!((with.speedup_over(&base) - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -16,6 +16,13 @@
 //! whether the trace came from an in-memory generator or a packed GZT
 //! file, and appending the same result twice is a deduplicated no-op.
 //!
+//! Two record schemas coexist (a store directory may mix segments of
+//! both): version-1 [`RunRecord`]s hold one single-core run plus its
+//! no-prefetching baseline, and version-2 [`MixRecord`]s hold the
+//! per-core counters of one multi-core run, keyed by a *mix* fingerprint
+//! ([`sim_core::params::mix_fingerprint`]) folding the core count and
+//! every trace in the mix.
+//!
 //! The crate is dependency-free (std only) like the rest of the
 //! workspace. The experiment harness integrates it behind the
 //! `GAZE_RESULTS_DIR` environment variable (see `gaze_sim::results`), and
@@ -50,5 +57,8 @@
 pub mod format;
 pub mod store;
 
-pub use format::{decode_record, encode_record, RunKey, RunRecord};
-pub use store::{ResultsStore, RunQuery};
+pub use format::{
+    decode_mix_record, decode_record, encode_mix_record, encode_record, MixKey, MixRecord, RunKey,
+    RunRecord, SegmentRecords,
+};
+pub use store::{MixQuery, ResultsStore, RunQuery};

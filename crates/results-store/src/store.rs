@@ -1,12 +1,16 @@
 //! The append-only, directory-backed results store.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::ffi::OsString;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::format::{read_segment, write_segment, RunKey, RunRecord};
+use crate::format::{
+    read_segment_any, write_mix_segment, write_segment, MixKey, MixRecord, RunKey, RunRecord,
+    SegmentRecords,
+};
 
 /// Extension of segment files inside a store directory.
 pub const SEGMENT_EXTENSION: &str = "gzr";
@@ -54,6 +58,42 @@ impl RunQuery {
     }
 }
 
+/// Typed filter over the store's multi-core (v2) rows. Every field is
+/// optional; `None` matches everything. Results come back in store order.
+#[derive(Debug, Clone, Default)]
+pub struct MixQuery {
+    /// Keep only rows of this mix label.
+    pub label: Option<String>,
+    /// Keep only rows of this prefetcher (`"none"` selects baselines).
+    pub prefetcher: Option<String>,
+    /// Keep only rows recorded under this run-parameter fingerprint.
+    pub params_fingerprint: Option<u64>,
+    /// Keep only rows of this mix fingerprint.
+    pub mix_fingerprint: Option<u64>,
+    /// Keep only rows with this many cores.
+    pub cores: Option<usize>,
+    /// Truncate the result to at most this many rows.
+    pub limit: Option<usize>,
+}
+
+impl MixQuery {
+    /// Whether `rec` passes every set filter.
+    pub fn matches(&self, rec: &MixRecord) -> bool {
+        self.label.as_deref().is_none_or(|l| rec.label == l)
+            && self
+                .prefetcher
+                .as_deref()
+                .is_none_or(|p| rec.prefetcher == p)
+            && self
+                .params_fingerprint
+                .is_none_or(|f| rec.params_fingerprint == f)
+            && self
+                .mix_fingerprint
+                .is_none_or(|f| rec.mix_fingerprint == f)
+            && self.cores.is_none_or(|c| rec.cores() == c)
+    }
+}
+
 /// An append-only store of [`RunRecord`]s backed by a directory of GZR
 /// segment files.
 ///
@@ -67,22 +107,50 @@ impl RunQuery {
 ///   no-op (simulations are deterministic, so the row content is
 ///   identical); duplicates across segments are collapsed at open time.
 /// * **Index** — the whole store is indexed in memory on open; lookups
-///   and queries never touch the disk afterwards.
+///   and queries never touch the disk afterwards. Single-core (v1) and
+///   multi-core (v2) records live in separate indexes; a segment holds
+///   records of exactly one version and a flush writes one segment per
+///   record kind with pending rows.
 #[derive(Debug)]
 pub struct ResultsStore {
     dir: PathBuf,
     records: Vec<RunRecord>,
     index: HashMap<RunKey, usize>,
-    /// Indices of records not yet written to a segment.
+    mix_records: Vec<MixRecord>,
+    mix_index: HashMap<MixKey, usize>,
+    /// Indices of single-core records not yet written to a segment.
     pending: Vec<usize>,
+    /// Indices of mix records not yet written to a segment.
+    pending_mixes: Vec<usize>,
     segments: usize,
+    /// Names of every segment file this store has loaded or written.
+    /// Segments are immutable and only ever added, so comparing this set
+    /// against the directory listing detects stores grown by *other*
+    /// processes ([`is_stale`](Self::is_stale)).
+    known_segments: BTreeSet<OsString>,
     duplicates_skipped: u64,
     conflicting_appends: u64,
+    rejected_appends: u64,
 }
 
 /// Per-process counter folded into segment names so concurrent stores in
 /// one process can never race to the same file name.
 static SEGMENT_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Every `seg-*.gzr` path currently in `dir` (unsorted).
+fn segment_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    Ok(fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXTENSION)
+                && p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(SEGMENT_PREFIX))
+        })
+        .collect())
+}
 
 impl ResultsStore {
     /// Opens (creating if needed) the store at `dir`, loading and
@@ -95,36 +163,43 @@ impl ResultsStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultsStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        let mut segment_paths: Vec<PathBuf> = fs::read_dir(&dir)?
-            .collect::<io::Result<Vec<_>>>()?
-            .into_iter()
-            .map(|e| e.path())
-            .filter(|p| {
-                p.extension().and_then(|e| e.to_str()) == Some(SEGMENT_EXTENSION)
-                    && p.file_name()
-                        .and_then(|n| n.to_str())
-                        .is_some_and(|n| n.starts_with(SEGMENT_PREFIX))
-            })
-            .collect();
+        let mut segment_paths = segment_files(&dir)?;
         segment_paths.sort();
         let mut store = ResultsStore {
             dir,
             records: Vec::new(),
             index: HashMap::new(),
+            mix_records: Vec::new(),
+            mix_index: HashMap::new(),
             pending: Vec::new(),
+            pending_mixes: Vec::new(),
             segments: 0,
+            known_segments: BTreeSet::new(),
             duplicates_skipped: 0,
             conflicting_appends: 0,
+            rejected_appends: 0,
         };
         for path in segment_paths {
             let file = File::open(&path)?;
             let len = file.metadata()?.len();
             let records =
-                read_segment(&mut BufReader::new(file), len, &path.display().to_string())?;
-            for rec in records {
-                store.insert(rec, false);
+                read_segment_any(&mut BufReader::new(file), len, &path.display().to_string())?;
+            match records {
+                SegmentRecords::Runs(records) => {
+                    for rec in records {
+                        store.insert(rec, false);
+                    }
+                }
+                SegmentRecords::Mixes(records) => {
+                    for rec in records {
+                        store.insert_mix(rec, false);
+                    }
+                }
             }
             store.segments += 1;
+            if let Some(name) = path.file_name() {
+                store.known_segments.insert(name.to_os_string());
+            }
         }
         Ok(store)
     }
@@ -134,14 +209,19 @@ impl ResultsStore {
         &self.dir
     }
 
-    /// Number of distinct records (persisted + pending).
+    /// Number of distinct single-core records (persisted + pending).
     pub fn len(&self) -> usize {
         self.records.len()
     }
 
-    /// Whether the store holds no records.
+    /// Number of distinct multi-core mix records (persisted + pending).
+    pub fn mix_len(&self) -> usize {
+        self.mix_records.len()
+    }
+
+    /// Whether the store holds no records of either kind.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.records.is_empty() && self.mix_records.is_empty()
     }
 
     /// Number of segment files loaded or written so far.
@@ -149,9 +229,9 @@ impl ResultsStore {
         self.segments
     }
 
-    /// Number of appended-but-not-yet-flushed records.
+    /// Number of appended-but-not-yet-flushed records (both kinds).
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.pending_mixes.len()
     }
 
     /// Number of re-appends (and cross-segment duplicates at open time)
@@ -166,6 +246,15 @@ impl ResultsStore {
     /// worth investigating.
     pub fn conflicting_appends(&self) -> u64 {
         self.conflicting_appends
+    }
+
+    /// Number of appends dropped because the record was not encodable
+    /// (over-long/empty names, or a mix with zero or more than
+    /// [`GZR_MAX_CORES`](crate::format::GZR_MAX_CORES) cores) — always
+    /// zero for rows produced by the experiment harness, whose labels are
+    /// truncated to fit and whose core counts are bounded.
+    pub fn rejected_appends(&self) -> u64 {
+        self.rejected_appends
     }
 
     /// Looks up the record stored under (trace fingerprint, params
@@ -185,13 +274,46 @@ impl ResultsStore {
             .map(|&i| &self.records[i])
     }
 
+    /// Looks up the mix record stored under (mix fingerprint, params
+    /// fingerprint, prefetcher).
+    pub fn get_mix(
+        &self,
+        mix_fingerprint: u64,
+        params_fingerprint: u64,
+        prefetcher: &str,
+    ) -> Option<&MixRecord> {
+        self.mix_index
+            .get(&(mix_fingerprint, params_fingerprint, prefetcher.to_string()))
+            .map(|&i| &self.mix_records[i])
+    }
+
     /// Appends a record, deduplicating on its key. Returns `true` when the
     /// record was new; `false` when an identical key already existed (the
-    /// stored row wins and the new one is dropped).
+    /// stored row wins and the new one is dropped) or when the record is
+    /// not encodable (over-long/empty names, counted in
+    /// [`rejected_appends`](Self::rejected_appends)) — admitting an
+    /// unencodable record would make every later [`flush`](Self::flush)
+    /// fail, wedging the pending queue forever.
     ///
     /// The record is only durable after the next [`flush`](Self::flush).
     pub fn append(&mut self, rec: RunRecord) -> bool {
+        if crate::format::encode_record(&rec).is_err() {
+            self.rejected_appends += 1;
+            return false;
+        }
         self.insert(rec, true)
+    }
+
+    /// Appends a multi-core mix record, deduplicating on its key. Same
+    /// semantics as [`append`](Self::append), including the rejection of
+    /// unencodable records (here also zero or more than
+    /// [`GZR_MAX_CORES`](crate::format::GZR_MAX_CORES) cores).
+    pub fn append_mix(&mut self, rec: MixRecord) -> bool {
+        if crate::format::encode_mix_record(&rec).is_err() {
+            self.rejected_appends += 1;
+            return false;
+        }
+        self.insert_mix(rec, true)
     }
 
     fn insert(&mut self, rec: RunRecord, pending: bool) -> bool {
@@ -214,28 +336,76 @@ impl ResultsStore {
         true
     }
 
-    /// Writes every pending record as one new segment (write `.tmp-` file,
-    /// fsync, atomic rename, fsync directory) and returns how many records
-    /// were persisted. A no-op returning 0 when nothing is pending.
-    pub fn flush(&mut self) -> io::Result<usize> {
-        if self.pending.is_empty() {
-            return Ok(0);
+    fn insert_mix(&mut self, rec: MixRecord, pending: bool) -> bool {
+        let key = rec.key();
+        if let Some(&existing) = self.mix_index.get(&key) {
+            self.duplicates_skipped += 1;
+            if self.mix_records[existing].report != rec.report {
+                self.conflicting_appends += 1;
+            }
+            return false;
         }
-        let batch: Vec<RunRecord> = self
-            .pending
-            .iter()
-            .map(|&i| self.records[i].clone())
-            .collect();
+        let idx = self.mix_records.len();
+        self.mix_records.push(rec);
+        self.mix_index.insert(key, idx);
+        if pending {
+            self.pending_mixes.push(idx);
+        }
+        true
+    }
 
+    /// Writes every pending record durably and returns how many records
+    /// were persisted. Pending single-core rows become one new v1 segment
+    /// and pending mix rows one new v2 segment (each: write `.tmp-` file,
+    /// fsync, atomic rename, fsync directory). A no-op returning 0 when
+    /// nothing is pending.
+    pub fn flush(&mut self) -> io::Result<usize> {
+        let mut written = 0;
+        if !self.pending.is_empty() {
+            let batch: Vec<RunRecord> = self
+                .pending
+                .iter()
+                .map(|&i| self.records[i].clone())
+                .collect();
+            let mut hasher = sim_core::params::Fnv1a::new();
+            for rec in &batch {
+                hasher.mix(rec.trace_fingerprint);
+                hasher.mix(rec.params_fingerprint);
+                hasher.mix(rec.stats.cycles);
+            }
+            self.write_segment_file(hasher, |out| write_segment(out, &batch))?;
+            written += self.pending.len();
+            self.pending.clear();
+        }
+        if !self.pending_mixes.is_empty() {
+            let batch: Vec<MixRecord> = self
+                .pending_mixes
+                .iter()
+                .map(|&i| self.mix_records[i].clone())
+                .collect();
+            let mut hasher = sim_core::params::Fnv1a::new();
+            for rec in &batch {
+                hasher.mix(rec.mix_fingerprint);
+                hasher.mix(rec.params_fingerprint);
+                hasher.mix(rec.cores() as u64);
+            }
+            self.write_segment_file(hasher, |out| write_mix_segment(out, &batch))?;
+            written += self.pending_mixes.len();
+            self.pending_mixes.clear();
+        }
+        Ok(written)
+    }
+
+    /// Writes one segment crash-safely: `.tmp-` file, fsync, atomic rename
+    /// to an unused `seg-` name, fsync directory.
+    fn write_segment_file(
+        &mut self,
+        mut hasher: sim_core::params::Fnv1a,
+        write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+    ) -> io::Result<()> {
         let nonce = SEGMENT_NONCE.fetch_add(1, Ordering::Relaxed);
-        let mut hasher = sim_core::params::Fnv1a::new();
         hasher.mix(u64::from(std::process::id()));
         hasher.mix(nonce);
-        for rec in &batch {
-            hasher.mix(rec.trace_fingerprint);
-            hasher.mix(rec.params_fingerprint);
-            hasher.mix(rec.stats.cycles);
-        }
         let hash = hasher.finish();
 
         let tmp = self
@@ -243,7 +413,7 @@ impl ResultsStore {
             .join(format!("{TMP_PREFIX}{}-{nonce:x}", std::process::id()));
         {
             let mut out = BufWriter::new(File::create(&tmp)?);
-            write_segment(&mut out, &batch)?;
+            write(&mut out)?;
             out.flush()?;
             out.into_inner().map_err(io::Error::from)?.sync_all()?;
         }
@@ -267,12 +437,90 @@ impl ResultsStore {
             let _ = dir_handle.sync_all();
         }
         self.segments += 1;
-        let written = self.pending.len();
-        self.pending.clear();
-        Ok(written)
+        if let Some(name) = final_path.file_name() {
+            self.known_segments.insert(name.to_os_string());
+        }
+        Ok(())
     }
 
-    /// All records matching `query`, in deterministic store order.
+    /// Whether the directory holds segment files this store has not
+    /// loaded (or has lost segments it did load) — i.e. another process
+    /// has grown or rebuilt the store since this one opened it. Segments
+    /// are immutable once written, so comparing file-name sets is exact.
+    pub fn is_stale(&self) -> io::Result<bool> {
+        let on_disk: BTreeSet<OsString> = segment_files(&self.dir)?
+            .into_iter()
+            .filter_map(|p| p.file_name().map(|n| n.to_os_string()))
+            .collect();
+        Ok(on_disk != self.known_segments)
+    }
+
+    /// Reloads from disk if [`is_stale`](Self::is_stale), so rows written
+    /// by concurrent processes become visible; returns whether a reload
+    /// happened. Pending (unflushed) records of *this* store are always
+    /// kept.
+    ///
+    /// Segments are immutable, so the common case — new segments appended
+    /// by another process — loads **only the unknown files**, O(new
+    /// data); records already in memory keep their positions, and foreign
+    /// rows duplicating in-memory keys are collapsed by the usual dedup.
+    /// Only when a known segment has *disappeared* (the directory was
+    /// rebuilt) does the store fall back to a full reopen, re-appending
+    /// its pending rows and resetting the diagnostic counters.
+    pub fn reload_if_stale(&mut self) -> io::Result<bool> {
+        let mut on_disk = segment_files(&self.dir)?;
+        let names: BTreeSet<OsString> = on_disk
+            .iter()
+            .filter_map(|p| p.file_name().map(|n| n.to_os_string()))
+            .collect();
+        if names == self.known_segments {
+            return Ok(false);
+        }
+        if !self.known_segments.is_subset(&names) {
+            // A segment this store loaded is gone: the directory was
+            // rebuilt, so the in-memory state cannot be patched — reopen.
+            let mut fresh = ResultsStore::open(&self.dir)?;
+            for &i in &self.pending {
+                fresh.insert(self.records[i].clone(), true);
+            }
+            for &i in &self.pending_mixes {
+                fresh.insert_mix(self.mix_records[i].clone(), true);
+            }
+            *self = fresh;
+            return Ok(true);
+        }
+        on_disk.retain(|p| {
+            p.file_name()
+                .is_some_and(|n| !self.known_segments.contains(n))
+        });
+        on_disk.sort();
+        for path in on_disk {
+            let file = File::open(&path)?;
+            let len = file.metadata()?.len();
+            let records =
+                read_segment_any(&mut BufReader::new(file), len, &path.display().to_string())?;
+            match records {
+                SegmentRecords::Runs(records) => {
+                    for rec in records {
+                        self.insert(rec, false);
+                    }
+                }
+                SegmentRecords::Mixes(records) => {
+                    for rec in records {
+                        self.insert_mix(rec, false);
+                    }
+                }
+            }
+            self.segments += 1;
+            if let Some(name) = path.file_name() {
+                self.known_segments.insert(name.to_os_string());
+            }
+        }
+        Ok(true)
+    }
+
+    /// All single-core records matching `query`, in deterministic store
+    /// order.
     pub fn query(&self, query: &RunQuery) -> Vec<&RunRecord> {
         let mut out: Vec<&RunRecord> = self.records.iter().filter(|r| query.matches(r)).collect();
         if let Some(limit) = query.limit {
@@ -281,16 +529,35 @@ impl ResultsStore {
         out
     }
 
-    /// Every record in the store, in store order.
+    /// All multi-core mix records matching `query`, in deterministic
+    /// store order.
+    pub fn query_mixes(&self, query: &MixQuery) -> Vec<&MixRecord> {
+        let mut out: Vec<&MixRecord> = self
+            .mix_records
+            .iter()
+            .filter(|r| query.matches(r))
+            .collect();
+        if let Some(limit) = query.limit {
+            out.truncate(limit);
+        }
+        out
+    }
+
+    /// Every single-core record in the store, in store order.
     pub fn records(&self) -> &[RunRecord] {
         &self.records
+    }
+
+    /// Every multi-core mix record in the store, in store order.
+    pub fn mix_records(&self) -> &[MixRecord] {
+        &self.mix_records
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sim_core::stats::CoreStats;
+    use sim_core::stats::{CoreStats, SimReport};
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("gzr-store-{}-{tag}", std::process::id()));
@@ -428,6 +695,152 @@ mod tests {
         fs::write(dir.join(".tmp-9999-abc"), b"partial garbage").expect("write");
         let reopened = ResultsStore::open(&dir).expect("reopen ignores tmp");
         assert_eq!(reopened.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    fn mix_record(label: &str, prefetcher: &str, cores: usize, cycles: u64) -> MixRecord {
+        let core_stats: Vec<CoreStats> = (0..cores as u64)
+            .map(|c| CoreStats {
+                instructions: 10_000 + c,
+                cycles: cycles + c,
+                ..CoreStats::default()
+            })
+            .collect();
+        MixRecord {
+            mix_fingerprint: fnv(label) ^ cores as u64,
+            params_fingerprint: 77,
+            prefetcher: prefetcher.to_string(),
+            label: label.to_string(),
+            report: SimReport { cores: core_stats },
+        }
+    }
+
+    #[test]
+    fn mix_records_round_trip_dedup_and_query() {
+        let dir = temp_dir("mix-roundtrip");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        assert!(store.append_mix(mix_record("a+b", "gaze", 2, 9_000)));
+        assert!(store.append_mix(mix_record("a+b", "none", 2, 14_000)));
+        assert!(store.append_mix(mix_record("a+b+c+d", "gaze", 4, 9_500)));
+        assert!(
+            !store.append_mix(mix_record("a+b", "gaze", 2, 9_000)),
+            "dup"
+        );
+        assert_eq!(store.mix_len(), 3);
+        assert_eq!(store.pending_len(), 3);
+        // A same-key row with different counters is dropped but counted.
+        assert!(!store.append_mix(mix_record("a+b", "gaze", 2, 1)));
+        assert_eq!(store.conflicting_appends(), 1);
+        store.flush().expect("flush");
+
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.mix_len(), 3);
+        assert_eq!(reopened.mix_records(), store.mix_records());
+        let hit = reopened
+            .get_mix(fnv("a+b") ^ 2, 77, "none")
+            .expect("baseline row");
+        assert_eq!(hit.cores(), 2);
+        assert_eq!(hit.report.cores[0].cycles, 14_000);
+
+        let four_core = reopened.query_mixes(&MixQuery {
+            cores: Some(4),
+            ..MixQuery::default()
+        });
+        assert_eq!(four_core.len(), 1);
+        assert_eq!(four_core[0].label, "a+b+c+d");
+        let gaze = reopened.query_mixes(&MixQuery {
+            prefetcher: Some("gaze".into()),
+            limit: Some(1),
+            ..MixQuery::default()
+        });
+        assert_eq!(gaze.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unencodable_appends_are_rejected_and_do_not_wedge_flush() {
+        let dir = temp_dir("reject");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        // A mix with more cores than the on-disk format holds.
+        assert!(!store.append_mix(mix_record("too+many", "gaze", 9, 1_000)));
+        // A run with an over-long workload name.
+        let mut bad = record("x", "gaze", 1_000);
+        bad.workload = "w".repeat(100);
+        assert!(!store.append(bad));
+        assert_eq!(store.rejected_appends(), 2);
+        assert_eq!(store.pending_len(), 0, "rejected rows never go pending");
+
+        // Valid rows appended afterwards still flush fine.
+        assert!(store.append(record("good", "gaze", 2_000)));
+        assert!(store.append_mix(mix_record("a+b", "gaze", 2, 3_000)));
+        assert_eq!(store.flush().expect("flush"), 2);
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!((reopened.len(), reopened.mix_len()), (1, 1));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flush_writes_one_segment_per_record_kind() {
+        let dir = temp_dir("two-kinds");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        store.append(record("a", "gaze", 1_000));
+        store.append_mix(mix_record("a+a", "gaze", 2, 2_000));
+        assert_eq!(store.pending_len(), 2);
+        assert_eq!(store.flush().expect("flush"), 2);
+        assert_eq!(store.segment_count(), 2, "one v1 + one v2 segment");
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!((reopened.len(), reopened.mix_len()), (1, 1));
+        assert!(!reopened.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_if_stale_sees_foreign_segments_and_keeps_pending() {
+        let dir = temp_dir("stale");
+        let mut server = ResultsStore::open(&dir).expect("open server");
+        server.append(record("local-pending", "gaze", 1_000));
+        assert!(!server.is_stale().expect("fresh store is not stale"));
+
+        // A second handle (another process, in production) flushes rows.
+        let mut writer = ResultsStore::open(&dir).expect("open writer");
+        writer.append(record("foreign", "pmp", 2_000));
+        writer.append_mix(mix_record("f+f", "gaze", 2, 3_000));
+        writer.flush().expect("flush");
+
+        assert!(server.is_stale().expect("new segments make it stale"));
+        assert!(server.reload_if_stale().expect("reload"));
+        assert!(!server.is_stale().expect("reload clears staleness"));
+        // Foreign rows are visible; the local pending row survived.
+        assert_eq!(server.len(), 2);
+        assert_eq!(server.mix_len(), 1);
+        assert_eq!(server.pending_len(), 1);
+        assert!(server.get(fnv("foreign"), 42, "pmp").is_some());
+        server.flush().expect("flush pending");
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.len(), 2);
+        assert!(!server.reload_if_stale().expect("no-op when current"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_falls_back_to_full_reopen_when_directory_was_rebuilt() {
+        let dir = temp_dir("rebuild");
+        let mut server = ResultsStore::open(&dir).expect("open");
+        server.append(record("old", "gaze", 1_000));
+        server.flush().expect("flush");
+        server.append(record("pending", "pmp", 2_000));
+
+        // The directory is wiped and rebuilt with different content — a
+        // known segment disappears, so patching in place is impossible.
+        fs::remove_dir_all(&dir).expect("wipe");
+        let mut rebuilt = ResultsStore::open(&dir).expect("rebuild");
+        rebuilt.append(record("new", "gaze", 3_000));
+        rebuilt.flush().expect("flush");
+
+        assert!(server.reload_if_stale().expect("full reopen"));
+        assert!(server.get(fnv("old"), 42, "gaze").is_none(), "old row gone");
+        assert!(server.get(fnv("new"), 42, "gaze").is_some());
+        assert_eq!(server.pending_len(), 1, "pending row carried over");
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -41,6 +41,45 @@ impl CacheConfig {
         h.mix(self.mshrs as u64);
     }
 
+    /// Returns a copy resized to `size_bytes`, minimally growing the
+    /// associativity when the implied set count would not be a power of
+    /// two — the same trick Table II's 48 KB / 12-way L1D uses: the odd
+    /// factor of the block count moves into the ways, keeping the
+    /// capacity exact and the set count a power of two. Sizes that
+    /// already divide evenly keep their associativity (and therefore
+    /// their fingerprint) unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_bytes` is not a whole number of cache lines (a
+    /// fractional size would silently realize less capacity than the
+    /// fingerprint hashes) or holds fewer blocks than the current
+    /// associativity.
+    pub fn resized(mut self, size_bytes: u64) -> Self {
+        self.size_bytes = size_bytes;
+        assert!(
+            size_bytes.is_multiple_of(self.line_size),
+            "cache size {size_bytes} is not a whole number of {}-byte lines",
+            self.line_size
+        );
+        let blocks = (size_bytes / self.line_size) as usize;
+        assert!(
+            blocks >= self.ways,
+            "cache of {size_bytes} bytes holds fewer than {} blocks",
+            self.ways
+        );
+        if blocks.is_multiple_of(self.ways) && (blocks / self.ways).is_power_of_two() {
+            return self;
+        }
+        let odd = blocks >> blocks.trailing_zeros();
+        let mut ways = odd;
+        while ways < self.ways {
+            ways *= 2;
+        }
+        self.ways = ways;
+        self
+    }
+
     /// Paper L1D: 48 KB, 12-way, 5-cycle, 16 MSHRs.
     pub fn paper_l1d() -> Self {
         CacheConfig {
@@ -256,14 +295,16 @@ impl SimConfig {
     /// Returns a copy with a different LLC capacity per core, in megabytes
     /// (Fig. 16b sweep). Fractional sizes (0.5 MB) are supported.
     pub fn with_llc_mb_per_core(mut self, mb: f64) -> Self {
-        self.llc_per_core.size_bytes = (mb * 1024.0 * 1024.0) as u64;
+        self.llc_per_core = self.llc_per_core.resized((mb * 1024.0 * 1024.0) as u64);
         self
     }
 
     /// Returns a copy with a different L2 capacity per core, in kilobytes
-    /// (Fig. 16c sweep).
+    /// (Fig. 16c sweep). Sizes whose block count is not
+    /// associativity × power-of-two (the paper's 1536 KB point) get a
+    /// minimally larger associativity via [`CacheConfig::resized`].
     pub fn with_l2_kb(mut self, kb: u64) -> Self {
-        self.l2c.size_bytes = kb * 1024;
+        self.l2c = self.l2c.resized(kb * 1024);
         self
     }
 
@@ -358,6 +399,30 @@ mod tests {
         assert_eq!(cfg.llc_per_core.size_bytes, 512 * 1024);
         assert_eq!(cfg.l2c.size_bytes, 128 * 1024);
         assert_eq!(cfg.dram.mtps, 800);
+    }
+
+    #[test]
+    fn resizing_keeps_sets_a_power_of_two() {
+        // Power-of-two friendly sizes keep the paper's 8 ways.
+        for kb in [128u64, 256, 512, 1024] {
+            let l2 = SimConfig::paper_single_core().with_l2_kb(kb).l2c;
+            assert_eq!(l2.ways, 8, "{kb}KB");
+            assert!(l2.sets().is_power_of_two());
+        }
+        // The paper's 1536 KB point (Fig. 16c) has 3×2^13 blocks: the odd
+        // factor moves into the associativity (8 -> 12), like the 48 KB /
+        // 12-way L1D.
+        let l2 = SimConfig::paper_single_core().with_l2_kb(1536).l2c;
+        assert_eq!(l2.size_bytes, 1536 * 1024);
+        assert_eq!(l2.ways, 12);
+        assert_eq!(l2.sets(), 2048);
+        // Every Fig. 16 sweep point builds a valid geometry.
+        for mb in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
+            let llc = SimConfig::paper_single_core()
+                .with_llc_mb_per_core(mb)
+                .llc_per_core;
+            assert!(llc.sets().is_power_of_two());
+        }
     }
 
     #[test]

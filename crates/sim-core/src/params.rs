@@ -123,6 +123,24 @@ pub fn records_for(params: &RunParams) -> usize {
     ((params.warmup + params.measured) / 5).max(4_000) as usize
 }
 
+/// Stable FNV-1a fingerprint of a multi-core trace *mix*: folds the core
+/// count, then every core's trace fingerprint in core order.
+///
+/// This keys the results store's multi-core (v2) records. Folding the
+/// count first means a one-core mix never fingerprints identically to its
+/// lone trace's own [`source_fingerprint`](crate::trace::source_fingerprint),
+/// so single-run and mix key spaces cannot alias; folding in core order
+/// means `[a, b]` and `[b, a]` are distinct mixes (core placement matters
+/// under shared-LLC contention).
+pub fn mix_fingerprint(core_trace_fingerprints: &[u64]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.mix(core_trace_fingerprints.len() as u64);
+    for &fp in core_trace_fingerprints {
+        h.mix(fp);
+    }
+    h.finish()
+}
+
 /// An incremental FNV-1a hasher over `u64` words (the same constants as the
 /// trace-stream fingerprint in [`crate::trace`]).
 #[derive(Debug, Clone)]
@@ -205,5 +223,15 @@ mod tests {
         let one = RunParams::test();
         let four = RunParams::test().with_cores(4);
         assert_ne!(one.fingerprint(), four.fingerprint());
+    }
+
+    #[test]
+    fn mix_fingerprint_is_order_count_and_content_sensitive() {
+        let (a, b) = (0x1111u64, 0x2222u64);
+        assert_eq!(mix_fingerprint(&[a, b]), mix_fingerprint(&[a, b]));
+        assert_ne!(mix_fingerprint(&[a, b]), mix_fingerprint(&[b, a]));
+        assert_ne!(mix_fingerprint(&[a]), mix_fingerprint(&[a, a]));
+        // A one-core mix is not the trace fingerprint itself.
+        assert_ne!(mix_fingerprint(&[a]), a);
     }
 }

@@ -1,0 +1,101 @@
+//! Golden-figure regression harness.
+//!
+//! `tests/fixtures/` holds a small committed GZR store (v1 single-core
+//! segments from fig06/fig13 and a v2 multi-core segment from fig15, all
+//! at the `test` scale) plus the exact CSVs those figures printed when
+//! the store was generated. This test regenerates each figure from the
+//! fixture store and asserts:
+//!
+//! 1. **zero simulation** — every row is served from the store, proving
+//!    the fingerprint definitions (trace, params, mix) and both record
+//!    codecs still reproduce the keys and counters written by the
+//!    generating build;
+//! 2. **byte-identical CSV** — the whole figure pipeline (store decode →
+//!    metric projection → table formatting) matches the committed bytes.
+//!
+//! Any change to the on-disk format, the fingerprints, the metric
+//! arithmetic or the figure assembly that would alter served results
+//! fails here — without a single simulation, so the test is cheap enough
+//! for tier-1. If a change is *intentional* (e.g. a format version bump
+//! with a re-keyed store), regenerate the fixtures:
+//!
+//! ```text
+//! rm -rf tests/fixtures/gzr-store tests/fixtures/fig{06,13,15}.csv
+//! export GAZE_SCALE=test GAZE_RESULTS_DIR=$PWD/tests/fixtures/gzr-store
+//! cargo run --release -p gaze-sim --bin gaze-experiments -- fig06 --csv > tests/fixtures/fig06.csv
+//! cargo run --release -p gaze-sim --bin gaze-experiments -- fig13 --csv > tests/fixtures/fig13.csv
+//! cargo run --release -p gaze-sim --bin gaze-experiments -- fig15 --csv > tests/fixtures/fig15.csv
+//! ```
+//!
+//! The store is copied into a temporary directory before use so a
+//! regression that *misses* (and would simulate + write through) can
+//! never dirty the committed fixtures.
+
+use std::path::{Path, PathBuf};
+
+use gaze_repro::gaze_sim::experiments::{run_experiment, ExperimentScale};
+use gaze_repro::gaze_sim::results;
+use gaze_repro::gaze_sim::runner::simulated_instructions;
+
+const GOLDEN: [(&str, &str); 3] = [
+    ("fig06", include_str!("fixtures/fig06.csv")),
+    ("fig13", include_str!("fixtures/fig13.csv")),
+    ("fig15", include_str!("fixtures/fig15.csv")),
+];
+
+fn copy_fixture_store(into: &Path) {
+    let src = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/gzr-store");
+    std::fs::create_dir_all(into).expect("create temp store dir");
+    let mut copied = 0;
+    for entry in std::fs::read_dir(&src).expect("fixture store dir") {
+        let path = entry.expect("fixture entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("gzr") {
+            std::fs::copy(&path, into.join(path.file_name().expect("file name")))
+                .expect("copy fixture segment");
+            copied += 1;
+        }
+    }
+    assert!(copied >= 3, "expected the committed v1 + v2 segments");
+}
+
+/// Deactivates the process-global store on drop even if an assertion
+/// fails mid-test, so no other test in this binary inherits it.
+struct StoreGuard;
+
+impl Drop for StoreGuard {
+    fn drop(&mut self) {
+        results::configure(None).expect("deactivate store");
+    }
+}
+
+#[test]
+fn golden_figures_regenerate_byte_identically_from_the_committed_store() {
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_fixture_store(&dir);
+
+    results::configure(Some(&dir)).expect("activate fixture store");
+    let _guard = StoreGuard;
+    let scale = ExperimentScale::named("test").expect("test scale");
+
+    for (figure, expected) in GOLDEN {
+        let before = simulated_instructions();
+        let csv: String = run_experiment(figure, &scale)
+            .iter()
+            .map(|t| t.to_csv())
+            .collect();
+        assert_eq!(
+            simulated_instructions(),
+            before,
+            "{figure}: the committed store must serve every row without \
+             simulating — a key or codec regression made the harness miss"
+        );
+        assert_eq!(
+            csv, expected,
+            "{figure}: CSV regenerated from the committed store must be \
+             byte-identical to tests/fixtures/{figure}.csv"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
