@@ -13,7 +13,7 @@ use prefetch_common::access::DemandAccess;
 use prefetch_common::sink::RequestSink;
 
 use gaze_sim::factory::make_prefetcher;
-use gaze_sim::runner::{run_single_boxed, RunParams};
+use gaze_sim::runner::{simulate_core, RunParams};
 use workloads::build_workload;
 
 fn prefetcher_training_throughput() {
@@ -65,7 +65,7 @@ fn simulator_throughput() {
     let start = Instant::now();
     let mut ipc = 0.0;
     for _ in 0..REPS {
-        ipc = run_single_boxed(&trace, make_prefetcher("gaze"), &params).ipc();
+        ipc = simulate_core(&trace, make_prefetcher("gaze"), None, &params).ipc();
     }
     let secs = start.elapsed().as_secs_f64();
     let instr = (params.warmup + params.measured) as f64 * REPS as f64;

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gaze-serve --dir DIR [--addr 127.0.0.1:7070] [--threads N] [--scale quick|bench|paper]
+//!            [--spec-dir DIR]
 //! ```
 //!
 //! Endpoints (see `docs/RESULTS.md` for the full contract):
@@ -10,10 +11,16 @@
 //!   counters).
 //! * `GET /runs?workload=&prefetcher=&scale=&trace=&limit=` — stored runs
 //!   as JSON, filtered by any combination of query parameters.
-//! * `GET /figures/{fig06|fig07|fig08|fig09}[?scale=...]` — the figure's
-//!   CSV, byte-identical to `gaze-experiments <figure> --csv` at the same
+//! * `GET /figures/{fig06..fig18}[?scale=...]` — the figure's CSV,
+//!   byte-identical to `gaze-experiments <figure> --csv` at the same
 //!   scale. Rows already in the store are served without simulation;
 //!   missing rows are simulated once and persisted write-through.
+//! * `GET /specs` — every runnable spec: built-in figure specs plus the
+//!   `.spec` files of `--spec-dir`.
+//! * `GET /experiments?spec=NAME[&scale=...]` — run an arbitrary
+//!   experiment spec (built-in or from `--spec-dir`) and return its CSV,
+//!   byte-identical to `gaze-experiments run --spec NAME --csv`. A warm
+//!   store serves it with zero simulation.
 
 use std::process::ExitCode;
 
@@ -22,7 +29,7 @@ use gaze_serve::{Server, ServerConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gaze-serve --dir DIR [--addr HOST:PORT] [--threads N] \
-         [--scale quick|bench|paper]"
+         [--scale quick|bench|paper] [--spec-dir DIR]"
     );
     ExitCode::from(2)
 }
@@ -66,6 +73,17 @@ fn main() -> ExitCode {
             return usage();
         }
         config.default_scale = scale;
+    }
+    if let Some(spec_dir) = flag_value(&args, "--spec-dir") {
+        let dir = std::path::PathBuf::from(spec_dir);
+        if !dir.is_dir() {
+            eprintln!(
+                "gaze-serve: --spec-dir '{}' is not a directory",
+                dir.display()
+            );
+            return usage();
+        }
+        config.spec_dir = Some(dir);
     }
 
     let server = match Server::bind(&config) {

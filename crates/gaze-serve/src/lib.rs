@@ -16,9 +16,14 @@
 //! * `GET /healthz` — liveness + store shape,
 //! * `GET /runs` — stored runs as JSON, filtered by query string
 //!   (`workload`, `prefetcher`, `scale`, `trace`, `limit`),
-//! * `GET /figures/{fig06..fig09}` — figure CSVs, byte-identical to
+//! * `GET /figures/{fig06..fig18}` — figure CSVs, byte-identical to
 //!   `gaze-experiments <figure> --csv`; stored rows are served without
-//!   simulation and missing rows are simulated once, write-through.
+//!   simulation and missing rows are simulated once, write-through,
+//! * `GET /specs` — every runnable experiment spec (built-in figures
+//!   plus `--spec-dir` files; see `docs/EXPERIMENTS.md`),
+//! * `GET /experiments?spec=NAME` — run an arbitrary spec and return its
+//!   CSV, byte-identical to `gaze-experiments run --spec NAME --csv`; a
+//!   warm store serves it with zero simulation.
 //!
 //! Run it with the `gaze-serve` binary:
 //!

@@ -1,14 +1,16 @@
-//! Route handlers: `/healthz`, `/runs` and
-//! `/figures/{fig06..fig09,fig13..fig18}`.
+//! Route handlers: `/healthz`, `/runs`,
+//! `/figures/{fig06..fig09,fig13..fig18}`, `/specs` and `/experiments`.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use gaze_sim::experiments::{run_experiment, ExperimentScale};
 use gaze_sim::results::StoreHandle;
+use gaze_sim::spec::{builtin, run_spec, text, ExperimentSpec};
 use results_store::{MixQuery, MixRecord, RunQuery, RunRecord};
 
 use crate::http::{Request, Response};
-use crate::json::{json_array, json_f64, JsonObject};
+use crate::json::{json_array, json_f64, json_string, JsonObject};
 
 /// Figure endpoints the service exposes: the single-core comparison
 /// figures (store-backed by v1 records) and the multi-core/sensitivity
@@ -24,9 +26,12 @@ pub struct AppState {
     /// The store every query reads (and figure regeneration writes
     /// through).
     pub store: Arc<StoreHandle>,
-    /// Default scale name for `/figures` requests (`quick`, `bench`,
-    /// `paper`).
+    /// Default scale name for `/figures` and `/experiments` requests
+    /// (`quick`, `bench`, `paper`).
     pub default_scale: String,
+    /// Directory of custom `.spec` files served by
+    /// `/experiments?spec=<name>` alongside the built-ins (`--spec-dir`).
+    pub spec_dir: Option<PathBuf>,
 }
 
 /// Dispatches one parsed request to its handler.
@@ -46,11 +51,123 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
     match req.path.as_str() {
         "/healthz" => healthz(state),
         "/runs" => runs(state, req),
+        "/specs" => specs(state),
+        "/experiments" => experiments(state, req),
         path => match path.strip_prefix("/figures/") {
             Some(figure) => figures(state, req, figure),
             None => Response::error(404, "unknown path"),
         },
     }
+}
+
+/// `GET /specs` — every spec this server can run: the built-in figure
+/// specs plus any `.spec` files in the configured spec directory.
+fn specs(state: &AppState) -> Response {
+    let mut entries: Vec<String> = builtin::builtin_names()
+        .into_iter()
+        .map(|name| {
+            let spec = builtin::builtin_spec(name).expect("registered builtin");
+            JsonObject::new()
+                .string("name", name)
+                .string("source", "builtin")
+                .u64("tables", spec.tables.len() as u64)
+                .raw(
+                    "titles",
+                    json_array(spec.tables.iter().map(|t| json_string(&t.title))),
+                )
+                .build()
+        })
+        .collect();
+    if let Some(dir) = &state.spec_dir {
+        let mut files: Vec<String> = match std::fs::read_dir(dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("spec"))
+                .filter_map(|p| p.file_stem()?.to_str().map(str::to_string))
+                .collect(),
+            Err(e) => {
+                return Response::error(500, &format!("cannot list spec dir: {e}"));
+            }
+        };
+        files.sort();
+        for name in files {
+            // Built-ins win name resolution in /experiments; a file that
+            // collides is visibly marked rather than silently unservable.
+            let mut obj = JsonObject::new()
+                .string("name", &name)
+                .string("source", "file");
+            if builtin::builtin_spec(&name).is_some() {
+                obj = obj.string("shadowed_by", "builtin");
+            }
+            entries.push(obj.build());
+        }
+    }
+    Response::json(json_array(entries) + "\n")
+}
+
+/// Resolves the `spec=` parameter of `/experiments`: built-in specs
+/// first, then `<spec-dir>/<name>.spec`. The name must be a plain file
+/// stem — path separators and traversal are rejected.
+fn resolve_spec(state: &AppState, name: &str) -> Result<ExperimentSpec, Response> {
+    if let Some(spec) = builtin::builtin_spec(name) {
+        return Ok(spec);
+    }
+    if name.is_empty()
+        || name.contains('/')
+        || name.contains('\\')
+        || name.contains("..")
+        || name.starts_with('.')
+    {
+        return Err(Response::error(400, "spec must be a plain spec name"));
+    }
+    let Some(dir) = &state.spec_dir else {
+        return Err(Response::error(
+            404,
+            &format!(
+                "unknown spec '{name}' (no --spec-dir configured; built-ins: {})",
+                builtin::builtin_names().join(", ")
+            ),
+        ));
+    };
+    let path = dir.join(format!("{name}.spec"));
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(Response::error(404, &format!("unknown spec '{name}'")));
+        }
+        Err(e) => {
+            return Err(Response::error(
+                500,
+                &format!("cannot read spec '{name}': {e}"),
+            ));
+        }
+    };
+    text::parse(&content).map_err(|e| Response::error(400, &format!("spec '{name}': {e}")))
+}
+
+/// `GET /experiments?spec=<name>[&scale=...]` — runs an arbitrary spec
+/// (built-in or from the spec directory) through the spec pipeline and
+/// returns its CSV. With a warm store this serves without simulating;
+/// missing rows are simulated once and persisted write-through.
+fn experiments(state: &AppState, req: &Request) -> Response {
+    let Some(name) = req.query.get("spec") else {
+        return Response::error(400, "missing spec=<name> parameter");
+    };
+    let spec = match resolve_spec(state, name) {
+        Ok(spec) => spec,
+        Err(resp) => return resp,
+    };
+    let scale_name = req
+        .query
+        .get("scale")
+        .map(String::as_str)
+        .unwrap_or(&state.default_scale);
+    let Some(scale) = ExperimentScale::named(scale_name) else {
+        return Response::error(400, "scale must be test, quick, bench/full or paper");
+    };
+    let csv: String = run_spec(&spec, &scale).iter().map(|t| t.to_csv()).collect();
+    Response::csv(csv)
 }
 
 fn healthz(state: &AppState) -> Response {
@@ -298,6 +415,7 @@ mod tests {
         AppState {
             store,
             default_scale: "quick".to_string(),
+            spec_dir: None,
         }
     }
 
@@ -486,5 +604,77 @@ mod tests {
     fn figure_scale_must_be_known() {
         let state = test_state("figscale");
         assert_eq!(get(&state, "/figures/fig09?scale=bogus").status, 400);
+    }
+
+    #[test]
+    fn specs_endpoint_lists_builtins_and_spec_dir_files() {
+        let mut state = test_state("specs");
+        let body = String::from_utf8(get(&state, "/specs").body).expect("utf8");
+        assert!(body.contains("\"name\":\"fig06\""), "{body}");
+        assert!(body.contains("\"source\":\"builtin\""), "{body}");
+        assert!(body.contains("Fig. 6 — single-core speedup"), "{body}");
+
+        let dir = std::env::temp_dir().join(format!("gzr-specdir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("spec dir");
+        std::fs::write(
+            dir.join("mini.spec"),
+            "spec mini\n\ntable\ntitle Mini storage\nkind storage-list\nrow gaze\nend\n",
+        )
+        .expect("write spec");
+        // A file named like a builtin is listed but marked shadowed —
+        // /experiments would serve the builtin, never the file.
+        std::fs::write(
+            dir.join("fig06.spec"),
+            "spec fig06\n\ntable\ntitle shadowed\nkind storage-list\nrow gaze\nend\n",
+        )
+        .expect("write spec");
+        state.spec_dir = Some(dir.clone());
+        let body = String::from_utf8(get(&state, "/specs").body).expect("utf8");
+        assert!(body.contains("\"name\":\"mini\""), "{body}");
+        assert!(body.contains("\"source\":\"file\""), "{body}");
+        assert!(body.contains("\"shadowed_by\":\"builtin\""), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn experiments_endpoint_runs_specs_and_rejects_bad_requests() {
+        let mut state = test_state("experiments");
+        // A static builtin runs without touching the simulator.
+        let resp = get(&state, "/experiments?spec=table4&scale=test");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.starts_with("prefetcher,KB"), "{body}");
+        assert_eq!(body.lines().count(), 9);
+
+        assert_eq!(get(&state, "/experiments").status, 400);
+        assert_eq!(get(&state, "/experiments?spec=nope").status, 404);
+        assert_eq!(
+            get(&state, "/experiments?spec=table4&scale=bogus").status,
+            400
+        );
+        assert_eq!(get(&state, "/experiments?spec=..%2Fetc").status, 400);
+
+        // A spec-dir file resolves by stem; an invalid one is a loud 400.
+        let dir = std::env::temp_dir().join(format!("gzr-expdir-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("spec dir");
+        std::fs::write(
+            dir.join("mini.spec"),
+            "spec mini\n\ntable\ntitle Mini storage\nkind storage-list\nrow gaze\nend\n",
+        )
+        .expect("write spec");
+        std::fs::write(dir.join("broken.spec"), "spec broken\n").expect("write spec");
+        state.spec_dir = Some(dir.clone());
+        let resp = get(&state, "/experiments?spec=mini");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.starts_with("prefetcher,KB"), "{body}");
+        let resp = get(&state, "/experiments?spec=broken");
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.contains("has no tables"), "{body}");
+        assert_eq!(get(&state, "/experiments?spec=missing").status, 404);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -27,8 +27,12 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads handling connections.
     pub threads: usize,
-    /// Default scale for `/figures` requests (`quick`, `bench`, `paper`).
+    /// Default scale for `/figures` and `/experiments` requests
+    /// (`quick`, `bench`, `paper`).
     pub default_scale: String,
+    /// Directory of custom `.spec` files served by `/experiments`
+    /// (`--spec-dir`); `None` serves built-ins only.
+    pub spec_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -40,6 +44,7 @@ impl ServerConfig {
             addr: "127.0.0.1:7070".to_string(),
             threads: 4,
             default_scale: "quick".to_string(),
+            spec_dir: None,
         }
     }
 }
@@ -66,6 +71,7 @@ impl Server {
             state: Arc::new(AppState {
                 store,
                 default_scale: config.default_scale.clone(),
+                spec_dir: config.spec_dir.clone(),
             }),
             threads: config.threads.max(1),
             stop: Arc::new(AtomicBool::new(false)),

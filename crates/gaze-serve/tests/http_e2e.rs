@@ -15,6 +15,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use gaze_serve::{Server, ServerConfig};
 use gaze_sim::experiments::{run_experiment, ExperimentScale};
 use gaze_sim::runner::simulated_instructions;
+use gaze_sim::spec::{run_spec, text};
 
 /// The results-store handle is process-global, so the server tests must
 /// not run concurrently.
@@ -50,11 +51,28 @@ fn server_serves_health_runs_and_byte_identical_figures() {
     let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
+    let spec_dir = dir.join("specs");
+    std::fs::create_dir_all(&spec_dir).expect("spec dir");
+    const CUSTOM_SPEC: &str = "\
+spec tiny-sweep
+
+table
+title Custom tiny sweep (speedup)
+kind workload-rows
+traces list:bwaves_s,mcf_s
+metric speedup
+avg-row AVG
+row gaze
+row pmp
+end
+";
+    std::fs::write(spec_dir.join("tiny-sweep.spec"), CUSTOM_SPEC).expect("write spec");
     let config = ServerConfig {
         dir: dir.clone(),
         addr: "127.0.0.1:0".to_string(), // ephemeral port
         threads: 2,
         default_scale: "test".to_string(),
+        spec_dir: Some(spec_dir),
     };
     let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
 
@@ -117,6 +135,32 @@ fn server_serves_health_runs_and_byte_identical_figures() {
     let body = String::from_utf8(body).expect("utf8");
     assert!(!body.contains("\"rows\":0"), "store is warm now: {body}");
 
+    // /specs lists built-ins and the custom spec-dir file.
+    let (status, body) = http_get(addr, "/specs");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let body = String::from_utf8(body).expect("utf8");
+    assert!(body.contains("\"name\":\"fig06\""), "{body}");
+    assert!(body.contains("\"name\":\"tiny-sweep\""), "{body}");
+
+    // /experiments runs the custom spec over the wire, byte-identical to
+    // the in-process spec pipeline at the same scale (which also warms
+    // the store for it, shared rows included).
+    let spec = text::parse(CUSTOM_SPEC).expect("valid custom spec");
+    let expected: String = run_spec(&spec, &scale).iter().map(|t| t.to_csv()).collect();
+    let before = simulated_instructions();
+    let (status, body) = http_get(addr, "/experiments?spec=tiny-sweep&scale=test");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        String::from_utf8(body).expect("utf8"),
+        expected,
+        "served custom-spec CSV must match the CLI spec pipeline"
+    );
+    assert_eq!(
+        simulated_instructions(),
+        before,
+        "the warm store must serve the custom spec without simulating"
+    );
+
     stop.stop();
     join.join().expect("server thread");
     gaze_sim::results::configure(None).expect("deactivate store");
@@ -138,6 +182,7 @@ fn server_serves_fig13_and_reloads_stale_stores() {
         addr: "127.0.0.1:0".to_string(), // ephemeral port
         threads: 2,
         default_scale: "test".to_string(),
+        spec_dir: None,
     };
     let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
 

@@ -21,7 +21,7 @@ use sim_core::stats::SimReport;
 use sim_core::trace::{source_fingerprint, TraceSource};
 
 use crate::factory::make_prefetcher;
-use crate::runner::{run_heterogeneous, run_single_boxed, RunParams};
+use crate::runner::{run_heterogeneous, simulate_core, RunParams};
 
 /// Cache key: trace fingerprint + run-parameter fingerprint.
 ///
@@ -55,7 +55,7 @@ fn multicore_cache() -> &'static MulticoreCacheMap {
 /// `GAZE_BASELINE_CACHE=0` bypasses the cache entirely (A/B measurements).
 pub fn baseline_stats(trace: &dyn TraceSource, params: &RunParams) -> CoreStats {
     if !crate::runner::baseline_cache_enabled() {
-        return run_single_boxed(trace, make_prefetcher("none"), params);
+        return simulate_core(trace, make_prefetcher("none"), None, params);
     }
     let key = BaselineKey {
         trace_name: trace.name().to_string(),
@@ -66,7 +66,7 @@ pub fn baseline_stats(trace: &dyn TraceSource, params: &RunParams) -> CoreStats 
         let mut map = cache().lock().expect("baseline cache poisoned");
         Arc::clone(map.entry(key).or_default())
     };
-    *cell.get_or_init(|| run_single_boxed(trace, make_prefetcher("none"), params))
+    *cell.get_or_init(|| simulate_core(trace, make_prefetcher("none"), None, params))
 }
 
 /// The no-prefetching baseline of a heterogeneous multi-core mix (one trace
@@ -116,7 +116,7 @@ mod tests {
             ..RunParams::test()
         };
         let trace = build_workload("bwaves_s", 4_000);
-        let direct = run_single_boxed(&trace, make_prefetcher("none"), &params);
+        let direct = simulate_core(&trace, make_prefetcher("none"), None, &params);
         let cached_a = baseline_stats(&trace, &params);
         let cached_b = baseline_stats(&trace, &params);
         assert_eq!(direct, cached_a);

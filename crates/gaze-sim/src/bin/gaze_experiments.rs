@@ -1,16 +1,26 @@
 //! Command-line driver for the experiment harness.
 //!
 //! ```text
-//! cargo run --release -p gaze-sim --bin gaze-experiments -- <experiment|all> [--full|--paper] [--csv]
+//! gaze-experiments <experiment|all> [--scale NAME|--full|--paper] [--csv]
+//! gaze-experiments run  --spec <file|name> [--spec ...] [--scale NAME] [--csv]
+//! gaze-experiments plan --spec <file|name> [--spec ...] [--scale NAME]
+//! gaze-experiments specs
 //! ```
 //!
-//! `<experiment>` is one of the names in
-//! [`gaze_sim::experiments::experiment_names`] (e.g. `fig06`, `table1`), or
-//! `all`. `--full` runs every registered workload at the larger bench scale;
-//! `--paper` runs the paper's own 200M+200M budgets (an overnight run on the
-//! parallel engine — pair it with `GAZE_RESULTS_DIR` so the results persist);
-//! the default is the quick scale. `--csv` prints CSV instead of aligned
-//! tables.
+//! The first form runs built-in experiments by name (the names in
+//! [`gaze_sim::experiments::experiment_names`], e.g. `fig06`, `table1`,
+//! or `all`). The `run` form additionally accepts *spec files* in the
+//! text format of `docs/EXPERIMENTS.md`, so arbitrary sweeps run without
+//! recompiling; several `--spec` flags are planned jointly, so jobs
+//! shared across specs simulate once. The `plan` form is a dry run: it
+//! prints the job count and — with a results store active — the
+//! warm/cold split, without simulating anything. `specs` lists every
+//! built-in spec.
+//!
+//! `--scale` accepts `test`, `quick`, `bench`/`full` or `paper`
+//! (`--full`/`--paper` remain as shorthands); unknown scales are
+//! rejected. The default comes from `GAZE_SCALE`, falling back to
+//! `quick`. `--csv` prints CSV instead of aligned tables.
 //!
 //! Environment:
 //!
@@ -22,50 +32,114 @@
 //!   directory and reuse stored runs instead of re-simulating (see
 //!   `docs/RESULTS.md`). Single-core runs persist as v1 records and
 //!   multi-core mixes as v2 records, so a warm store regenerates the
-//!   *entire* figure set — fig13–fig18 included — with zero simulation.
+//!   *entire* figure set — and any custom spec it covers — with zero
+//!   simulation.
 //! * `GAZE_REQUIRE_WARM=1` — exit with an error if any simulation ran
 //!   (i.e. assert that the store served everything, multi-core paths
 //!   included). Used by CI to prove the warm-restart path.
 
-use gaze_sim::experiments::{experiment_names, run_experiment, ExperimentScale};
+use gaze_sim::experiments::{experiment_names, ExperimentScale};
 use gaze_sim::runner::simulated_instructions;
+use gaze_sim::spec::{builtin, plan, run_specs, text, ExperimentSpec};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let paper = args.iter().any(|a| a == "--paper");
-    let csv = args.iter().any(|a| a == "--csv");
-    let requested: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-
-    let scale = if paper {
-        ExperimentScale::paper()
-    } else if full {
-        ExperimentScale::default_bench()
-    } else {
-        ExperimentScale::from_env()
-    };
-    let names: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+fn usage() -> ! {
+    eprintln!(
+        "usage: gaze-experiments <experiment|all> [--scale NAME|--full|--paper] [--csv]\n\
+         \x20      gaze-experiments run  --spec <file|name> [--spec ...] [--scale NAME] [--csv]\n\
+         \x20      gaze-experiments plan --spec <file|name> [--spec ...] [--scale NAME]\n\
+         \x20      gaze-experiments specs\n\
+         experiments: {:?}",
         experiment_names()
-    } else {
-        requested
-    };
+    );
+    std::process::exit(2);
+}
 
-    for name in &names {
-        if !experiment_names().contains(name) {
-            eprintln!(
-                "unknown experiment '{name}'; available: {:?}",
-                experiment_names()
-            );
-            std::process::exit(2);
+/// Resolves one `--spec` argument: a built-in name first, then a file in
+/// the spec text format.
+fn resolve_spec(arg: &str) -> ExperimentSpec {
+    if let Some(spec) = builtin::builtin_spec(arg) {
+        return spec;
+    }
+    let path = std::path::Path::new(arg);
+    if !path.exists() {
+        eprintln!(
+            "gaze-experiments: '{arg}' is neither a built-in spec {:?} nor a file",
+            builtin::builtin_names()
+        );
+        std::process::exit(2);
+    }
+    let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("gaze-experiments: cannot read {arg}: {e}");
+        std::process::exit(2);
+    });
+    text::parse(&content).unwrap_or_else(|e| {
+        eprintln!("gaze-experiments: {arg}: {e}");
+        std::process::exit(2);
+    })
+}
+
+struct Cli {
+    scale: ExperimentScale,
+    csv: bool,
+    specs: Vec<String>,
+    positional: Vec<String>,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut scale_name: Option<String> = None;
+    let mut csv = false;
+    let mut specs = Vec::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--full" => scale_name = Some("full".to_string()),
+            "--paper" => scale_name = Some("paper".to_string()),
+            "--scale" => match it.next() {
+                Some(name) => scale_name = Some(name.clone()),
+                None => {
+                    eprintln!("gaze-experiments: --scale needs a value");
+                    usage();
+                }
+            },
+            "--spec" => match it.next() {
+                Some(spec) => specs.push(spec.clone()),
+                None => {
+                    eprintln!("gaze-experiments: --spec needs a value");
+                    usage();
+                }
+            },
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("gaze-experiments: unknown flag '{flag}'");
+                usage();
+            }
+            name => positional.push(name.to_string()),
         }
     }
-    for name in names {
-        eprintln!("running {name} ...");
-        let tables = run_experiment(name, &scale);
+    let scale = match &scale_name {
+        Some(name) => ExperimentScale::named(name).unwrap_or_else(|| {
+            eprintln!("gaze-experiments: unknown scale '{name}' (test|quick|bench|full|paper)");
+            std::process::exit(2);
+        }),
+        None => ExperimentScale::from_env(),
+    };
+    Cli {
+        scale,
+        csv,
+        specs,
+        positional,
+    }
+}
+
+/// Renders every spec (jointly planned and executed) and prints the
+/// tables in spec order.
+fn run_and_print(specs: &[ExperimentSpec], scale: &ExperimentScale, csv: bool) {
+    let refs: Vec<&ExperimentSpec> = specs.iter().collect();
+    let all_tables = run_specs(&refs, scale);
+    for (spec, tables) in specs.iter().zip(all_tables) {
+        eprintln!("rendered {} ({} tables)", spec.name, tables.len());
         for table in tables {
             if csv {
                 print!("{}", table.to_csv());
@@ -74,7 +148,9 @@ fn main() {
             }
         }
     }
+}
 
+fn finish() {
     // Make the tail of the sweep durable and report how much the store
     // saved (the per-fan-out flushes already persisted everything else).
     // A failed final flush loses rows, so it must fail the process, not
@@ -101,4 +177,113 @@ fn main() {
         );
         std::process::exit(3);
     }
+}
+
+/// `specs` — lists every built-in spec, or with `--dump NAME` prints one
+/// in the canonical text form (a ready-made starting point for custom
+/// sweeps).
+fn run_specs_command(args: &[String]) {
+    if let Some(pos) = args.iter().position(|a| a == "--dump") {
+        let Some(name) = args.get(pos + 1) else {
+            eprintln!("gaze-experiments: --dump needs a spec name");
+            usage();
+        };
+        let Some(spec) = builtin::builtin_spec(name) else {
+            eprintln!(
+                "gaze-experiments: unknown built-in spec '{name}' (available: {:?})",
+                builtin::builtin_names()
+            );
+            std::process::exit(2);
+        };
+        print!("{}", text::to_text(&spec));
+        return;
+    }
+    for name in builtin::builtin_names() {
+        let spec = builtin::builtin_spec(name).expect("registered builtin");
+        println!("{name}\t{}\t{} tables", spec.name, spec.tables.len());
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args.first().map(String::as_str) {
+        Some("run") | Some("plan") | Some("specs") => args.remove(0),
+        _ => String::new(),
+    };
+    if command == "specs" {
+        run_specs_command(&args);
+        return;
+    }
+    let cli = parse_cli(&args);
+
+    match command.as_str() {
+        "run" | "plan" => {
+            if cli.specs.is_empty() {
+                eprintln!("gaze-experiments: '{command}' needs at least one --spec");
+                usage();
+            }
+            if !cli.positional.is_empty() {
+                eprintln!(
+                    "gaze-experiments: unexpected arguments {:?} (use --spec)",
+                    cli.positional
+                );
+                usage();
+            }
+            let specs: Vec<ExperimentSpec> = cli.specs.iter().map(|s| resolve_spec(s)).collect();
+            let spec_refs: Vec<&ExperimentSpec> = specs.iter().collect();
+            if command == "plan" {
+                let job_plan = gaze_sim::spec::plan_specs(&spec_refs, &cli.scale);
+                let report = plan::dry_run(&job_plan, &cli.scale);
+                for spec in &specs {
+                    println!("spec {}: {} tables", spec.name, spec.tables.len());
+                }
+                println!(
+                    "jobs: {} total ({} single-core, {} mix), {} distinct workloads",
+                    report.jobs, report.singles, report.mixes, report.workloads
+                );
+                if report.store_active {
+                    println!("store: active");
+                    println!("warm: {}", report.warm);
+                    println!("cold: {}", report.cold);
+                } else {
+                    println!("store: none (all {} jobs cold)", report.cold);
+                }
+                return;
+            }
+            run_and_print(&specs, &cli.scale, cli.csv);
+            finish();
+            return;
+        }
+        _ => {}
+    }
+
+    // Legacy positional form: built-in experiment names (or `all`),
+    // jointly planned so shared jobs run once. A stray --spec here means
+    // the user forgot the subcommand — falling through would silently
+    // ignore the spec and run EVERYTHING, so refuse instead.
+    if !cli.specs.is_empty() {
+        eprintln!("gaze-experiments: --spec requires the 'run' or 'plan' subcommand");
+        usage();
+    }
+    let names: Vec<&str> = if cli.positional.is_empty() || cli.positional.iter().any(|a| a == "all")
+    {
+        experiment_names()
+    } else {
+        cli.positional.iter().map(String::as_str).collect()
+    };
+    for name in &names {
+        if !experiment_names().contains(name) {
+            eprintln!(
+                "unknown experiment '{name}'; available: {:?}",
+                experiment_names()
+            );
+            std::process::exit(2);
+        }
+    }
+    let specs: Vec<ExperimentSpec> = names
+        .iter()
+        .map(|n| builtin::builtin_spec(n).expect("validated name"))
+        .collect();
+    run_and_print(&specs, &cli.scale, cli.csv);
+    finish();
 }

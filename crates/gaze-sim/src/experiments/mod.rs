@@ -1,13 +1,16 @@
-//! One module per figure/table of the Gaze (HPCA 2025) evaluation.
+//! The experiment registry and scale presets.
 //!
-//! Every experiment function takes an [`ExperimentScale`] controlling the
-//! instruction budgets and how many workloads per suite are simulated, and
-//! returns one or more [`Table`]s containing exactly the rows/series the
-//! paper's figure reports. The `gaze-experiments` binary, the Criterion bench
-//! targets and the integration tests all call these same functions.
-
-pub mod multi_core;
-pub mod single_core;
+//! Every figure/table of the Gaze (HPCA 2025) evaluation is a built-in
+//! declarative [`ExperimentSpec`](crate::spec::ExperimentSpec) (see
+//! [`crate::spec`]); [`run_experiment`] resolves a name and runs it
+//! through the spec pipeline (plan → execute → render). The
+//! `gaze-experiments` binary, the bench targets, `gaze-serve` and the
+//! integration tests all go through this one path, so CLI, HTTP and test
+//! output are byte-identical by construction.
+//!
+//! This module also keeps the generic fan-out helpers ([`run_matrix`],
+//! [`run_over`]) and the per-suite table shaping helpers the renderer
+//! uses.
 
 use std::collections::BTreeMap;
 
@@ -15,7 +18,7 @@ use sim_core::trace::TraceSource;
 use workloads::{workload_names, Suite};
 
 use crate::parallel::parallel_map;
-use crate::report::{mean, Table};
+use crate::report::Table;
 use crate::runner::{records_for, run_single, RunParams, SingleRun};
 use crate::trace_store::{load_or_build, AnyTrace};
 
@@ -123,8 +126,10 @@ pub fn run_over<S: TraceSource>(
 /// pool and returns one row of [`SingleRun`]s (in trace order) per
 /// prefetcher (in prefetcher order).
 ///
-/// This is the engine behind every comparison figure: all simulations of a
-/// figure become one flat parallel workload instead of nested serial loops.
+/// The spec pipeline's [`plan::execute`](crate::spec::plan::execute) is
+/// the engine behind the figures; this helper remains for ad-hoc sweeps
+/// and the determinism tests that compare the parallel engine against a
+/// serial reference.
 pub fn run_matrix<S: TraceSource>(
     traces: &[S],
     prefetchers: &[&str],
@@ -146,84 +151,6 @@ pub fn run_matrix<S: TraceSource>(
         flat = rest;
     }
     rows
-}
-
-/// Per-suite summaries used by the Fig. 6–8 style plots.
-#[derive(Debug, Clone, Default)]
-pub struct SuiteSummary {
-    /// Mean speedup per suite.
-    pub speedup: BTreeMap<Suite, f64>,
-    /// Mean overall accuracy per suite.
-    pub accuracy: BTreeMap<Suite, f64>,
-    /// Mean LLC coverage per suite.
-    pub coverage: BTreeMap<Suite, f64>,
-    /// Mean late-prefetch fraction per suite.
-    pub late: BTreeMap<Suite, f64>,
-    /// Average speedup across every workload.
-    pub avg_speedup: f64,
-    /// Average accuracy across every workload.
-    pub avg_accuracy: f64,
-    /// Average coverage across every workload.
-    pub avg_coverage: f64,
-    /// Average late fraction across every workload.
-    pub avg_late: f64,
-}
-
-/// Runs several prefetchers over all main suites with one flat parallel
-/// fan-out over every (prefetcher × trace) pair, and summarizes each
-/// prefetcher per suite. Returns one summary per prefetcher, in order.
-pub fn summarize_many(prefetchers: &[&str], scale: &ExperimentScale) -> Vec<SuiteSummary> {
-    let mut traces: Vec<AnyTrace> = Vec::new();
-    let mut suite_of: Vec<Suite> = Vec::new();
-    for suite in Suite::main_suites() {
-        for trace in suite_traces(suite, scale) {
-            traces.push(trace);
-            suite_of.push(suite);
-        }
-    }
-    let matrix = run_matrix(&traces, prefetchers, &scale.params);
-    matrix
-        .into_iter()
-        .map(|runs| {
-            let mut summary = SuiteSummary::default();
-            let mut all_speedups = Vec::new();
-            let mut all_acc = Vec::new();
-            let mut all_cov = Vec::new();
-            let mut all_late = Vec::new();
-            for suite in Suite::main_suites() {
-                let suite_runs: Vec<&SingleRun> = runs
-                    .iter()
-                    .zip(&suite_of)
-                    .filter(|(_, s)| **s == suite)
-                    .map(|(r, _)| r)
-                    .collect();
-                let speedups: Vec<f64> = suite_runs.iter().map(|r| r.speedup()).collect();
-                let accs: Vec<f64> = suite_runs.iter().map(|r| r.accuracy()).collect();
-                let covs: Vec<f64> = suite_runs.iter().map(|r| r.coverage()).collect();
-                let lates: Vec<f64> = suite_runs.iter().map(|r| r.late_fraction()).collect();
-                summary.speedup.insert(suite, mean(&speedups));
-                summary.accuracy.insert(suite, mean(&accs));
-                summary.coverage.insert(suite, mean(&covs));
-                summary.late.insert(suite, mean(&lates));
-                all_speedups.extend(speedups);
-                all_acc.extend(accs);
-                all_cov.extend(covs);
-                all_late.extend(lates);
-            }
-            summary.avg_speedup = mean(&all_speedups);
-            summary.avg_accuracy = mean(&all_acc);
-            summary.avg_coverage = mean(&all_cov);
-            summary.avg_late = mean(&all_late);
-            summary
-        })
-        .collect()
-}
-
-/// Runs one prefetcher over all main suites and summarizes per suite.
-pub fn summarize_prefetcher(prefetcher: &str, scale: &ExperimentScale) -> SuiteSummary {
-    summarize_many(&[prefetcher], scale)
-        .pop()
-        .expect("one summary per prefetcher")
 }
 
 /// Formats a per-suite metric row (5 suites + AVG) for a prefetcher.
@@ -256,38 +183,22 @@ pub fn suite_table(title: &str, metric: &str) -> Table {
     Table::new(title, &refs)
 }
 
-/// All experiment names runnable from the binary.
+/// All experiment names runnable from the binary (the built-in spec
+/// registry).
 pub fn experiment_names() -> Vec<&'static str> {
-    vec![
-        "fig01", "fig04", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13",
-        "fig14", "fig15", "fig16", "fig17", "fig18", "table1", "table4",
-    ]
+    crate::spec::builtin::builtin_names()
 }
 
-/// Runs the named experiment and returns its tables.
+/// Runs the named experiment through the spec pipeline and returns its
+/// tables.
 ///
 /// # Panics
 ///
 /// Panics if the name is not one of [`experiment_names`].
 pub fn run_experiment(name: &str, scale: &ExperimentScale) -> Vec<Table> {
-    match name {
-        "fig01" => vec![single_core::fig01_characterization(scale)],
-        "fig04" => vec![single_core::fig04_initial_accesses(scale)],
-        "fig06" | "fig07" | "fig08" => single_core::fig06_08_main_comparison(scale),
-        "fig09" => vec![single_core::fig09_characterization_ablation(scale)],
-        "fig10" => vec![single_core::fig10_streaming_ablation(scale)],
-        "fig11" => vec![single_core::fig11_head_to_head(scale)],
-        "fig12" => vec![single_core::fig12_gap_qmm(scale)],
-        "fig13" => vec![multi_core::fig13_multilevel(scale)],
-        "fig14" => vec![multi_core::fig14_multicore_scaling(scale)],
-        "fig15" => vec![multi_core::fig15_fourcore_mixes(scale)],
-        "fig16" => multi_core::fig16_system_sensitivity(scale),
-        "fig17" => multi_core::fig17_gaze_sensitivity(scale),
-        "fig18" => vec![multi_core::fig18_vgaze_regions(scale)],
-        "table1" => vec![single_core::table1_storage()],
-        "table4" => vec![single_core::table4_baseline_storage()],
-        other => panic!("unknown experiment '{other}'"),
-    }
+    let spec = crate::spec::builtin::builtin_spec(name)
+        .unwrap_or_else(|| panic!("unknown experiment '{name}'"));
+    crate::spec::run_spec(&spec, scale)
 }
 
 #[cfg(test)]

@@ -55,6 +55,38 @@ pub fn known_prefetchers() -> Vec<&'static str> {
     ]
 }
 
+/// Whether [`make_prefetcher`] accepts `name` *and* can construct it:
+/// one of the [`known_prefetchers`], or a parameterized variant
+/// (`vgaze-<KB>`, `gaze-pht-<entries>`, `gaze-region-<bytes>`) whose
+/// parameter satisfies the [`GazeConfig`] constraints the constructors
+/// assert (power-of-two regions of at least two blocks; PHT entries a
+/// positive multiple of the associativity).
+///
+/// The experiment-spec validator uses this to reject bad prefetcher
+/// names at parse time instead of panicking mid-sweep.
+pub fn is_valid_prefetcher(name: &str) -> bool {
+    let cfg = GazeConfig::paper_default();
+    let valid_region = |bytes: u64| bytes.is_power_of_two() && bytes >= 2 * cfg.block_size;
+    if let Some(kb) = name.strip_prefix("vgaze-") {
+        return kb
+            .parse::<u64>()
+            .ok()
+            .and_then(|kb| kb.checked_mul(1024))
+            .is_some_and(valid_region);
+    }
+    if let Some(entries) = name.strip_prefix("gaze-pht-") {
+        // A multiple of the associativity whose set count is a power of
+        // two (the set-associative table asserts both on construction).
+        return entries.parse::<usize>().is_ok_and(|e| {
+            e >= cfg.pht_ways && e % cfg.pht_ways == 0 && (e / cfg.pht_ways).is_power_of_two()
+        });
+    }
+    if let Some(bytes) = name.strip_prefix("gaze-region-") {
+        return bytes.parse::<u64>().is_ok_and(valid_region);
+    }
+    known_prefetchers().contains(&name)
+}
+
 /// Builds a prefetcher by name.
 ///
 /// Besides the evaluated baselines, the Gaze ablation variants of Fig. 4 /
@@ -137,6 +169,37 @@ mod tests {
         assert_eq!(make_prefetcher("vgaze-16").name(), "vgaze-16");
         assert_eq!(make_prefetcher("gaze-pht-512").name(), "gaze-pht-512");
         assert_eq!(make_prefetcher("gaze-region-512").name(), "gaze-region-512");
+    }
+
+    #[test]
+    fn validity_check_matches_the_factory() {
+        for name in known_prefetchers() {
+            assert!(is_valid_prefetcher(name), "{name}");
+        }
+        // Every accepted parameterized variant must actually construct
+        // (is_valid_prefetcher's contract is "no panic mid-sweep").
+        for name in ["vgaze-16", "gaze-pht-512", "gaze-region-4096"] {
+            assert!(is_valid_prefetcher(name), "{name}");
+            let _ = make_prefetcher(name);
+        }
+        for name in [
+            "",
+            "does-not-exist",
+            "vgaze-",
+            "vgaze-x",
+            "gaze-pht-0x2",
+            "vgaze-0",
+            // Parameters the GazeConfig constructors would reject:
+            "vgaze-3",                    // region not a power of two
+            "gaze-region-100",            // not a power of two
+            "gaze-region-64",             // smaller than two blocks
+            "gaze-pht-2",                 // below the associativity
+            "gaze-pht-100",               // set count not a power of two
+            "gaze-pht-12",                // set count not a power of two
+            "vgaze-18446744073709551615", // KB->bytes overflow
+        ] {
+            assert!(!is_valid_prefetcher(name), "{name}");
+        }
     }
 
     #[test]

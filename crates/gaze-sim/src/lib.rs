@@ -17,14 +17,20 @@
 //!   store regenerates every figure with zero simulation, and the
 //!   `gaze-serve` HTTP front-end browses it,
 //! * [`report`] — text/CSV tables,
-//! * [`experiments`] — one module per figure/table of the paper; each returns
-//!   a [`report::Table`] so the binary, the benches and the integration tests
-//!   share the same code path.
+//! * [`spec`] — the declarative experiment layer: every paper figure is a
+//!   built-in [`spec::ExperimentSpec`] and any custom sweep is a spec text
+//!   file (`docs/EXPERIMENTS.md`); specs compile to a deduplicated job
+//!   plan, execute on the parallel engine through the results store, and
+//!   render to [`report::Table`]s,
+//! * [`experiments`] — the experiment registry (scales, names,
+//!   [`experiments::run_experiment`]) the binary, the benches,
+//!   `gaze-serve` and the integration tests share.
 //!
 //! The `gaze-experiments` binary runs any experiment from the command line:
 //!
 //! ```text
-//! cargo run --release -p gaze-sim --bin gaze-experiments -- fig06 --scale 1
+//! cargo run --release -p gaze-sim --bin gaze-experiments -- fig06 --csv
+//! cargo run --release -p gaze-sim --bin gaze-experiments -- run --spec my-sweep.spec
 //! ```
 
 pub mod baseline_cache;
@@ -34,6 +40,7 @@ pub mod parallel;
 pub mod report;
 pub mod results;
 pub mod runner;
+pub mod spec;
 pub mod trace_store;
 
 pub use factory::{make_prefetcher, HEAD_TO_HEAD, MAIN_PREFETCHERS, MULTICORE_PREFETCHERS};

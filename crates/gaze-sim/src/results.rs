@@ -94,6 +94,39 @@ impl StoreHandle {
         Some(run)
     }
 
+    /// Whether the store holds the run for (trace fingerprint, params
+    /// fingerprint, prefetcher) under the expected workload name — the same
+    /// test [`lookup`](Self::lookup) applies, but without touching the
+    /// hit/miss counters. The spec planner's warm/cold dry-run uses this.
+    pub fn contains(
+        &self,
+        trace_fingerprint: u64,
+        params_fingerprint: u64,
+        prefetcher: &str,
+        workload: &str,
+    ) -> bool {
+        self.with_store(|s| {
+            s.get(trace_fingerprint, params_fingerprint, prefetcher)
+                .is_some_and(|rec| rec.workload == workload)
+        })
+    }
+
+    /// Whether the store holds the multi-core run for (mix fingerprint,
+    /// params fingerprint, prefetcher) under the expected label, without
+    /// touching the hit/miss counters.
+    pub fn contains_mix(
+        &self,
+        mix_fingerprint: u64,
+        params_fingerprint: u64,
+        prefetcher: &str,
+        label: &str,
+    ) -> bool {
+        self.with_store(|s| {
+            s.get_mix(mix_fingerprint, params_fingerprint, prefetcher)
+                .is_some_and(|rec| rec.label == label)
+        })
+    }
+
     /// Records a freshly simulated run write-through (deduplicated inside
     /// the store). Auto-flushes when the pending batch reaches
     /// [`AUTO_FLUSH_RECORDS`].

@@ -105,6 +105,41 @@ impl SingleRun {
     }
 }
 
+/// Runs already-constructed prefetchers on `trace` at single core and
+/// returns the core statistics (no baseline, no caching).
+///
+/// This is the *one* primitive that drives a single-core [`System`]: the
+/// store-backed job path ([`run_single`] / [`run_multi_level_single`]),
+/// the baseline memoization and the microbenchmarks all go through it, so
+/// there is exactly one place where a core simulation is configured
+/// (cycle skipping, instruction accounting, optional L2 prefetcher).
+pub fn simulate_core(
+    trace: &dyn TraceSource,
+    l1: Box<dyn Prefetcher>,
+    l2: Option<Box<dyn Prefetcher>>,
+    params: &RunParams,
+) -> CoreStats {
+    let mut cfg = params.config;
+    cfg.cores = 1;
+    let mut system = System::single_core(cfg, trace, l1);
+    if let Some(l2) = l2 {
+        system.set_l2_prefetcher(0, l2);
+    }
+    system.set_cycle_skip(cycle_skip_enabled());
+    count_instructions(params, 1);
+    let report = system.run(params.warmup, params.measured);
+    report.cores[0]
+}
+
+/// The store key name of a multi-level configuration: `"l1+l2"` (just
+/// `l1` when no L2 prefetcher is set), e.g. `"gaze+bingo"`.
+pub fn multi_level_name(l1: &str, l2: Option<&str>) -> String {
+    match l2 {
+        Some(l2) => format!("{l1}+{l2}"),
+        None => l1.to_string(),
+    }
+}
+
 /// Runs `prefetcher` (built by the factory) on `trace` at single core,
 /// together with the no-prefetching baseline.
 ///
@@ -124,137 +159,53 @@ impl SingleRun {
 /// fresh simulation (asserted by the determinism and results-store
 /// integration tests).
 pub fn run_single(trace: &dyn TraceSource, prefetcher: &str, params: &RunParams) -> SingleRun {
-    if let Some(store) = crate::results::active_store() {
-        let fp = sim_core::trace::source_fingerprint(trace);
-        let pfp = params.fingerprint();
-        if let Some(stored) = store.lookup(fp, pfp, prefetcher, trace.name()) {
-            return stored;
-        }
-        let run = run_single_fresh(trace, prefetcher, params);
-        store.record(&run, fp, params);
-        return run;
-    }
-    run_single_fresh(trace, prefetcher, params)
-}
-
-/// The simulate path of [`run_single`] (baseline memoized, no store).
-fn run_single_fresh(trace: &dyn TraceSource, prefetcher: &str, params: &RunParams) -> SingleRun {
-    let with = run_single_boxed(trace, make_prefetcher(prefetcher), params);
-    let baseline = baseline_stats(trace, params);
-    SingleRun {
-        workload: trace.name().to_string(),
-        prefetcher: prefetcher.to_string(),
-        stats: with,
-        baseline,
-    }
-}
-
-/// Like [`run_single`] but bypassing the baseline cache (reference path for
-/// the determinism tests).
-pub fn run_single_uncached(
-    trace: &dyn TraceSource,
-    prefetcher: &str,
-    params: &RunParams,
-) -> SingleRun {
-    let with = run_single_boxed(trace, make_prefetcher(prefetcher), params);
-    let baseline = run_single_boxed(trace, make_prefetcher("none"), params);
-    SingleRun {
-        workload: trace.name().to_string(),
-        prefetcher: prefetcher.to_string(),
-        stats: with,
-        baseline,
-    }
-}
-
-/// Runs an already-constructed prefetcher on `trace` and returns its core
-/// statistics (no baseline).
-pub fn run_single_boxed(
-    trace: &dyn TraceSource,
-    prefetcher: Box<dyn Prefetcher>,
-    params: &RunParams,
-) -> CoreStats {
-    let mut cfg = params.config;
-    cfg.cores = 1;
-    let mut system = System::single_core(cfg, trace, prefetcher);
-    system.set_cycle_skip(cycle_skip_enabled());
-    count_instructions(params, 1);
-    let report = system.run(params.warmup, params.measured);
-    report.cores[0]
-}
-
-/// The store key name of a multi-level configuration: `"l1+l2"` (just
-/// `l1` when no L2 prefetcher is set), e.g. `"gaze+bingo"`.
-pub fn multi_level_name(l1: &str, l2: Option<&str>) -> String {
-    match l2 {
-        Some(l2) => format!("{l1}+{l2}"),
-        None => l1.to_string(),
-    }
+    run_multi_level_single(trace, prefetcher, None, params)
 }
 
 /// Runs a multi-level configuration (`l1` at the L1D, `l2` at the L2C)
 /// together with its no-prefetching baseline, store-backed like
 /// [`run_single`]: the result persists as a single-core record keyed by
 /// the combined prefetcher name [`multi_level_name`], so a warm store
-/// serves Fig. 13 with zero simulation.
+/// serves Fig. 13 with zero simulation. With no L2 prefetcher this *is*
+/// [`run_single`] — the two entry points share one job-execution path.
 pub fn run_multi_level_single(
     trace: &dyn TraceSource,
     l1: &str,
     l2: Option<&str>,
     params: &RunParams,
 ) -> SingleRun {
-    let Some(l2) = l2 else {
-        // No L2 prefetcher: identical to a plain single-core run (and
-        // shares its store rows).
-        return run_single(trace, l1, params);
-    };
-    let name = multi_level_name(l1, Some(l2));
+    let name = multi_level_name(l1, l2);
     if let Some(store) = crate::results::active_store() {
         let fp = sim_core::trace::source_fingerprint(trace);
         let pfp = params.fingerprint();
         if let Some(stored) = store.lookup(fp, pfp, &name, trace.name()) {
             return stored;
         }
-        let run = run_multi_level_fresh(trace, l1, l2, &name, params);
+        let run = run_level_fresh(trace, l1, l2, name, params);
         store.record(&run, fp, params);
         return run;
     }
-    run_multi_level_fresh(trace, l1, l2, &name, params)
+    run_level_fresh(trace, l1, l2, name, params)
 }
 
-fn run_multi_level_fresh(
-    trace: &dyn TraceSource,
-    l1: &str,
-    l2: &str,
-    name: &str,
-    params: &RunParams,
-) -> SingleRun {
-    SingleRun {
-        workload: trace.name().to_string(),
-        prefetcher: name.to_string(),
-        stats: run_multi_level(trace, l1, Some(l2), params),
-        baseline: baseline_stats(trace, params),
-    }
-}
-
-/// Runs a multi-level configuration: `l1` at the L1D and `l2` at the L2C.
-/// The raw simulate path — no store, no baseline; see
-/// [`run_multi_level_single`] for the store-backed entry point.
-pub fn run_multi_level(
+/// The simulate path of the single-core job: prefetcher(s) via
+/// [`simulate_core`], baseline via the memoizing
+/// [`baseline_stats`](crate::baseline_cache::baseline_stats()).
+fn run_level_fresh(
     trace: &dyn TraceSource,
     l1: &str,
     l2: Option<&str>,
+    name: String,
     params: &RunParams,
-) -> CoreStats {
-    let mut cfg = params.config;
-    cfg.cores = 1;
-    let mut system = System::single_core(cfg, trace, make_prefetcher(l1));
-    if let Some(l2) = l2 {
-        system.set_l2_prefetcher(0, make_prefetcher(l2));
+) -> SingleRun {
+    let with = simulate_core(trace, make_prefetcher(l1), l2.map(make_prefetcher), params);
+    let baseline = baseline_stats(trace, params);
+    SingleRun {
+        workload: trace.name().to_string(),
+        prefetcher: name,
+        stats: with,
+        baseline,
     }
-    system.set_cycle_skip(cycle_skip_enabled());
-    count_instructions(params, 1);
-    let report = system.run(params.warmup, params.measured);
-    report.cores[0]
 }
 
 /// The store label of a trace mix: the core's workload names joined by
@@ -416,7 +367,12 @@ mod tests {
     fn multi_level_run_executes() {
         let params = RunParams::test();
         let trace = build_workload("fotonik3d_s", 8_000);
-        let stats = run_multi_level(&trace, "gaze", Some("bingo"), &params);
+        let stats = simulate_core(
+            &trace,
+            make_prefetcher("gaze"),
+            Some(make_prefetcher("bingo")),
+            &params,
+        );
         assert!(stats.ipc() > 0.0);
     }
 

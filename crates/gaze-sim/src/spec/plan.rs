@@ -1,0 +1,603 @@
+//! Spec compilation: tables → deduplicated atomic simulation jobs, and
+//! the engine that executes a plan through the store-backed runners.
+
+use std::collections::{HashMap, HashSet};
+
+use sim_core::stats::SimReport;
+use sim_core::trace::TraceSource;
+
+use crate::baseline_cache::multicore_baseline;
+use crate::experiments::ExperimentScale;
+use crate::parallel::parallel_map;
+use crate::runner::{
+    mix_label, multi_level_name, records_for, run_heterogeneous, run_multi_level_single, RunParams,
+    SingleRun,
+};
+use crate::trace_store::{load_or_build, AnyTrace};
+
+use super::{resolve_workloads, split_levels, ConfigAxis, Entry, TableKind, TraceSel};
+
+/// One atomic simulation job.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// A single-core run (optionally multi-level) with its baseline.
+    Single {
+        /// Workload name.
+        workload: String,
+        /// L1D prefetcher.
+        l1: String,
+        /// Optional L2C prefetcher.
+        l2: Option<String>,
+        /// Run parameters (config overrides already applied).
+        params: RunParams,
+    },
+    /// A multi-core mix run (`prefetcher == "none"` is the baseline).
+    Mix {
+        /// Per-core workloads, in core order.
+        workloads: Vec<String>,
+        /// Prefetcher run on every core.
+        prefetcher: String,
+        /// Base run parameters (`with_cores` is applied at execution).
+        params: RunParams,
+    },
+}
+
+impl Job {
+    /// The job's dedup/lookup key.
+    pub fn key(&self) -> JobKey {
+        match self {
+            Job::Single {
+                workload,
+                l1,
+                l2,
+                params,
+            } => JobKey::Single {
+                workload: workload.clone(),
+                name: multi_level_name(l1, l2.as_deref()),
+                params_fp: params.fingerprint(),
+            },
+            Job::Mix {
+                workloads,
+                prefetcher,
+                params,
+            } => JobKey::Mix {
+                workloads: workloads.clone(),
+                prefetcher: prefetcher.clone(),
+                params_fp: params.with_cores(workloads.len()).fingerprint(),
+            },
+        }
+    }
+
+    /// Workload names this job touches.
+    fn workload_names(&self) -> Vec<&str> {
+        match self {
+            Job::Single { workload, .. } => vec![workload.as_str()],
+            Job::Mix { workloads, .. } => workloads.iter().map(String::as_str).collect(),
+        }
+    }
+}
+
+/// Identity of a job: what it simulates, not how it was requested. Two
+/// tables (or two specs) asking for the same cell produce one job.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JobKey {
+    /// Key of a [`Job::Single`], with the combined `l1+l2` store name.
+    Single {
+        /// Workload name.
+        workload: String,
+        /// Combined prefetcher name ([`multi_level_name`]).
+        name: String,
+        /// Fingerprint of the run parameters.
+        params_fp: u64,
+    },
+    /// Key of a [`Job::Mix`].
+    Mix {
+        /// Per-core workloads.
+        workloads: Vec<String>,
+        /// Prefetcher name.
+        prefetcher: String,
+        /// Fingerprint of the parameters at the mix's core count.
+        params_fp: u64,
+    },
+}
+
+/// A deduplicated, ordered list of jobs.
+#[derive(Debug, Default)]
+pub struct JobPlan {
+    jobs: Vec<Job>,
+    seen: HashSet<JobKey>,
+}
+
+impl JobPlan {
+    /// Adds a job unless an identical one is already planned.
+    pub fn push(&mut self, job: Job) {
+        if self.seen.insert(job.key()) {
+            self.jobs.push(job);
+        }
+    }
+
+    /// The planned jobs, in first-request order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of planned jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the plan is empty (static tables only).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Counts of (single-core jobs, mix jobs).
+    pub fn kind_counts(&self) -> (usize, usize) {
+        let singles = self
+            .jobs
+            .iter()
+            .filter(|j| matches!(j, Job::Single { .. }))
+            .count();
+        (singles, self.jobs.len() - singles)
+    }
+
+    /// Distinct workloads the plan touches.
+    pub fn workload_count(&self) -> usize {
+        let mut names = HashSet::new();
+        for job in &self.jobs {
+            names.extend(job.workload_names());
+        }
+        names.len()
+    }
+}
+
+/// Run parameters of one sweep point: the scale's budgets with the axis
+/// override applied to the configuration.
+pub fn sweep_params(scale: &ExperimentScale, axis: ConfigAxis, value: f64) -> RunParams {
+    RunParams {
+        config: axis.apply(scale.params.config, value),
+        ..scale.params
+    }
+}
+
+/// The heterogeneous mix of `cores` workloads drawn round-robin from the
+/// selection (the Fig. 14 rule).
+pub fn cycled_mix(names: &[String], cores: usize) -> Vec<String> {
+    names.iter().cloned().cycle().take(cores).collect()
+}
+
+/// Appends the jobs one table needs to the plan.
+pub fn table_jobs(kind: &TableKind, scale: &ExperimentScale, plan: &mut JobPlan) {
+    let single = |plan: &mut JobPlan, workload: &str, name: &str, params: RunParams| {
+        let (l1, l2) = split_levels(name);
+        plan.push(Job::Single {
+            workload: workload.to_string(),
+            l1: l1.to_string(),
+            l2: l2.map(str::to_string),
+            params,
+        });
+    };
+    let singles_over = |plan: &mut JobPlan, names: &[String], rows: &[Entry]| {
+        for entry in rows {
+            for workload in names {
+                single(plan, workload, &entry.name, scale.params);
+            }
+        }
+    };
+    match kind {
+        TableKind::SuiteSummary { rows, .. } | TableKind::AvgColumn { rows, .. } => {
+            singles_over(plan, &resolve_workloads(&TraceSel::MainSuites, scale), rows);
+        }
+        TableKind::TraceGroupMeans { rows, groups, .. } => {
+            for (_, sel) in groups {
+                singles_over(plan, &resolve_workloads(sel, scale), rows);
+            }
+        }
+        TableKind::VariantSummary { traces, rows, .. }
+        | TableKind::WorkloadRows { traces, rows, .. } => {
+            singles_over(plan, &resolve_workloads(traces, scale), rows);
+        }
+        TableKind::SuiteSections { traces, rows, .. } => {
+            singles_over(plan, &resolve_workloads(traces, scale), rows);
+        }
+        TableKind::MultiLevel { traces, rows } => {
+            let names = resolve_workloads(traces, scale);
+            for row in rows {
+                let combined = multi_level_name(&row.l1, row.l2.as_deref());
+                for workload in &names {
+                    single(plan, workload, &combined, scale.params);
+                }
+            }
+        }
+        TableKind::MulticoreScaling {
+            traces,
+            rows,
+            cores,
+        } => {
+            let names = resolve_workloads(traces, scale);
+            for entry in rows {
+                for &c in cores {
+                    for workload in &names {
+                        let homo = vec![workload.clone(); c];
+                        for prefetcher in [entry.name.as_str(), "none"] {
+                            plan.push(Job::Mix {
+                                workloads: homo.clone(),
+                                prefetcher: prefetcher.to_string(),
+                                params: scale.params,
+                            });
+                        }
+                    }
+                    let het = cycled_mix(&names, c);
+                    for prefetcher in [entry.name.as_str(), "none"] {
+                        plan.push(Job::Mix {
+                            workloads: het.clone(),
+                            prefetcher: prefetcher.to_string(),
+                            params: scale.params,
+                        });
+                    }
+                }
+            }
+        }
+        TableKind::MixPerCore { mixes, rows } => {
+            for mix in mixes {
+                for entry in rows {
+                    for prefetcher in [entry.name.as_str(), "none"] {
+                        plan.push(Job::Mix {
+                            workloads: mix.workloads.clone(),
+                            prefetcher: prefetcher.to_string(),
+                            params: scale.params,
+                        });
+                    }
+                }
+            }
+        }
+        TableKind::ConfigSweep {
+            traces,
+            axis,
+            points,
+            rows,
+            ..
+        } => {
+            let names = resolve_workloads(traces, scale);
+            for entry in rows {
+                for point in points {
+                    let params = sweep_params(scale, *axis, point.value);
+                    for workload in &names {
+                        single(plan, workload, &entry.name, params);
+                    }
+                }
+            }
+        }
+        TableKind::NormalizedVariants {
+            traces, base, rows, ..
+        } => {
+            let names = resolve_workloads(traces, scale);
+            // The base variant first, matching the reference arithmetic
+            // that normalizes everything to it.
+            for workload in &names {
+                single(plan, workload, base, scale.params);
+            }
+            singles_over(plan, &names, rows);
+        }
+        TableKind::StorageBreakdown | TableKind::StorageList { .. } => {}
+    }
+}
+
+/// Results of an executed plan, keyed by [`JobKey`].
+#[derive(Debug, Default)]
+pub struct JobResults {
+    singles: HashMap<JobKey, SingleRun>,
+    mixes: HashMap<JobKey, SimReport>,
+}
+
+impl JobResults {
+    /// The single-core run of (workload, combined prefetcher name) under
+    /// `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job was not planned — a renderer/planner mismatch,
+    /// which is a bug.
+    pub fn single(&self, workload: &str, name: &str, params: &RunParams) -> &SingleRun {
+        let key = JobKey::Single {
+            workload: workload.to_string(),
+            name: name.to_string(),
+            params_fp: params.fingerprint(),
+        };
+        self.singles
+            .get(&key)
+            .unwrap_or_else(|| panic!("unplanned single job {workload}/{name}"))
+    }
+
+    /// The mix report of (workloads, prefetcher) under `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job was not planned.
+    pub fn mix(&self, workloads: &[String], prefetcher: &str, params: &RunParams) -> &SimReport {
+        let key = JobKey::Mix {
+            workloads: workloads.to_vec(),
+            prefetcher: prefetcher.to_string(),
+            params_fp: params.with_cores(workloads.len()).fingerprint(),
+        };
+        self.mixes
+            .get(&key)
+            .unwrap_or_else(|| panic!("unplanned mix job {workloads:?}/{prefetcher}"))
+    }
+
+    /// Number of executed jobs.
+    pub fn len(&self) -> usize {
+        self.singles.len() + self.mixes.len()
+    }
+
+    /// Whether no jobs were executed.
+    pub fn is_empty(&self) -> bool {
+        self.singles.is_empty() && self.mixes.is_empty()
+    }
+}
+
+/// Loads (or streams) every workload a plan touches, once each, in
+/// first-use order.
+fn load_traces(plan: &JobPlan, scale: &ExperimentScale) -> HashMap<String, AnyTrace> {
+    let records = records_for(&scale.params);
+    let mut traces = HashMap::new();
+    for job in plan.jobs() {
+        for name in job.workload_names() {
+            if !traces.contains_key(name) {
+                traces.insert(name.to_string(), load_or_build(name, records));
+            }
+        }
+    }
+    traces
+}
+
+/// Executes a plan: one flat parallel fan-out over every job, each going
+/// through the store-backed runners (read-before-simulate, write-through,
+/// memoized baselines). Results become durable before this returns.
+pub fn execute(plan: &JobPlan, scale: &ExperimentScale) -> JobResults {
+    let traces = load_traces(plan, scale);
+    let outputs = parallel_map(plan.jobs(), |job| match job {
+        Job::Single {
+            workload,
+            l1,
+            l2,
+            params,
+        } => Output::Single(Box::new(run_multi_level_single(
+            &traces[workload.as_str()],
+            l1,
+            l2.as_deref(),
+            params,
+        ))),
+        Job::Mix {
+            workloads,
+            prefetcher,
+            params,
+        } => {
+            let refs: Vec<&dyn TraceSource> = workloads
+                .iter()
+                .map(|w| &traces[w.as_str()] as &dyn TraceSource)
+                .collect();
+            // The "none" mix goes through the process-wide baseline
+            // memoization, exactly like the pre-spec figure code did.
+            let report = if prefetcher == "none" {
+                multicore_baseline(&refs, params)
+            } else {
+                run_heterogeneous(&refs, prefetcher, params)
+            };
+            Output::Mix(report)
+        }
+    });
+    crate::results::flush();
+    let mut results = JobResults::default();
+    for (job, output) in plan.jobs().iter().zip(outputs) {
+        match output {
+            Output::Single(run) => {
+                results.singles.insert(job.key(), *run);
+            }
+            Output::Mix(report) => {
+                results.mixes.insert(job.key(), report);
+            }
+        }
+    }
+    results
+}
+
+enum Output {
+    Single(Box<SingleRun>),
+    Mix(SimReport),
+}
+
+/// The `plan --spec` dry-run summary: job counts plus the warm/cold
+/// split against the active results store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanReport {
+    /// Total planned jobs.
+    pub jobs: usize,
+    /// Single-core jobs.
+    pub singles: usize,
+    /// Multi-core mix jobs.
+    pub mixes: usize,
+    /// Distinct workloads touched.
+    pub workloads: usize,
+    /// Whether a results store was active for the warm/cold split.
+    pub store_active: bool,
+    /// Jobs the store would serve without simulation.
+    pub warm: usize,
+    /// Jobs that would simulate.
+    pub cold: usize,
+}
+
+/// Computes the dry-run summary of a plan: how many jobs, and — when a
+/// results store is active — how many are already stored (warm) versus
+/// would simulate (cold). Loads traces (to fingerprint them) but never
+/// simulates.
+pub fn dry_run(plan: &JobPlan, scale: &ExperimentScale) -> PlanReport {
+    let (singles, mixes) = plan.kind_counts();
+    let mut report = PlanReport {
+        jobs: plan.len(),
+        singles,
+        mixes,
+        workloads: plan.workload_count(),
+        store_active: false,
+        warm: 0,
+        cold: plan.len(),
+    };
+    let Some(store) = crate::results::active_store() else {
+        return report;
+    };
+    report.store_active = true;
+    report.cold = 0;
+    let traces = load_traces(plan, scale);
+    for job in plan.jobs() {
+        let warm = match job {
+            Job::Single {
+                workload,
+                l1,
+                l2,
+                params,
+            } => {
+                let fp = sim_core::trace::source_fingerprint(&traces[workload.as_str()]);
+                store.contains(
+                    fp,
+                    params.fingerprint(),
+                    &multi_level_name(l1, l2.as_deref()),
+                    workload,
+                )
+            }
+            Job::Mix {
+                workloads,
+                prefetcher,
+                params,
+            } => {
+                let refs: Vec<&dyn TraceSource> = workloads
+                    .iter()
+                    .map(|w| &traces[w.as_str()] as &dyn TraceSource)
+                    .collect();
+                let fps: Vec<u64> = refs
+                    .iter()
+                    .map(|t| sim_core::trace::source_fingerprint(*t))
+                    .collect();
+                store.contains_mix(
+                    sim_core::params::mix_fingerprint(&fps),
+                    params.with_cores(workloads.len()).fingerprint(),
+                    prefetcher,
+                    &mix_label(&refs),
+                )
+            }
+        };
+        if warm {
+            report.warm += 1;
+        } else {
+            report.cold += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{builtin, Metric};
+    use crate::spec::{Entry, TableKind};
+
+    fn scale() -> ExperimentScale {
+        ExperimentScale {
+            params: RunParams {
+                warmup: 1_000,
+                measured: 4_000,
+                ..RunParams::test()
+            },
+            workloads_per_suite: 1,
+        }
+    }
+
+    #[test]
+    fn plans_deduplicate_within_and_across_tables() {
+        let s = scale();
+        let kind = TableKind::WorkloadRows {
+            traces: TraceSel::List(vec!["bwaves_s".into(), "mcf_s".into()]),
+            metric: Metric::Speedup,
+            rows: vec![Entry::plain("gaze"), Entry::plain("pmp")],
+            normalize_to_first: false,
+            avg_label: None,
+        };
+        let mut plan = JobPlan::default();
+        table_jobs(&kind, &s, &mut plan);
+        assert_eq!(plan.len(), 4);
+        // Planning the same table again adds nothing.
+        table_jobs(&kind, &s, &mut plan);
+        assert_eq!(plan.len(), 4);
+        // An overlapping table only adds its new cells.
+        let overlapping = TableKind::WorkloadRows {
+            traces: TraceSel::List(vec!["bwaves_s".into()]),
+            metric: Metric::Accuracy,
+            rows: vec![Entry::plain("gaze"), Entry::plain("vberti")],
+            normalize_to_first: false,
+            avg_label: None,
+        };
+        table_jobs(&overlapping, &s, &mut plan);
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.workload_count(), 2);
+        assert_eq!(plan.kind_counts(), (5, 0));
+    }
+
+    #[test]
+    fn multicore_plans_share_baselines_across_prefetchers() {
+        let s = scale();
+        let kind = TableKind::MixPerCore {
+            mixes: vec![crate::spec::MixDef {
+                name: "m1".into(),
+                workloads: vec!["bwaves_s".into(), "mcf_s".into()],
+            }],
+            rows: vec![Entry::plain("gaze"), Entry::plain("pmp")],
+        };
+        let mut plan = JobPlan::default();
+        table_jobs(&kind, &s, &mut plan);
+        // gaze + pmp + one shared "none" baseline.
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.kind_counts(), (0, 3));
+    }
+
+    #[test]
+    fn executing_a_small_plan_yields_queryable_results() {
+        let s = scale();
+        let mut plan = JobPlan::default();
+        table_jobs(
+            &TableKind::WorkloadRows {
+                traces: TraceSel::List(vec!["bwaves_s".into()]),
+                metric: Metric::Speedup,
+                rows: vec![Entry::plain("gaze"), Entry::plain("gaze+bingo")],
+                normalize_to_first: false,
+                avg_label: None,
+            },
+            &s,
+            &mut plan,
+        );
+        let results = execute(&plan, &s);
+        assert_eq!(results.len(), 2);
+        let plain = results.single("bwaves_s", "gaze", &s.params);
+        assert_eq!(plain.prefetcher, "gaze");
+        assert!(plain.stats.ipc() > 0.0);
+        let combined = results.single("bwaves_s", "gaze+bingo", &s.params);
+        assert_eq!(combined.prefetcher, "gaze+bingo");
+    }
+
+    #[test]
+    fn dry_run_without_a_store_reports_everything_cold() {
+        let s = scale();
+        let spec = builtin::builtin_spec("fig09").expect("builtin");
+        let plan = crate::spec::plan_specs(&[&spec], &s);
+        // 3 variants x 5 suites x 1 workload each.
+        assert_eq!(plan.len(), 15);
+        // The dry run only consults the store when one is explicitly
+        // active; configure(None) pins "no store" for this process even
+        // if the environment carries GAZE_RESULTS_DIR.
+        crate::results::configure(None).expect("deactivate store");
+        let report = dry_run(&plan, &s);
+        crate::results::configure(None).expect("deactivate store");
+        assert_eq!(report.jobs, 15);
+        assert!(!report.store_active);
+        assert_eq!(report.cold, 15);
+        assert_eq!(report.warm, 0);
+    }
+}

@@ -6,9 +6,22 @@
 //! simulation of every pair.
 
 use gaze_sim::experiments::{run_matrix, run_over, ExperimentScale};
-use gaze_sim::runner::{records_for, run_single, run_single_uncached, RunParams};
+use gaze_sim::factory::make_prefetcher;
+use gaze_sim::runner::{records_for, run_single, simulate_core, RunParams};
 use gaze_sim::SingleRun;
+use sim_core::trace::TraceSource;
 use workloads::build_workload;
+
+/// Serial, cache-free reference: fresh simulation of both runs of a
+/// pair through the unified [`simulate_core`] primitive.
+fn run_uncached(trace: &dyn TraceSource, prefetcher: &str, params: &RunParams) -> SingleRun {
+    SingleRun {
+        workload: trace.name().to_string(),
+        prefetcher: prefetcher.to_string(),
+        stats: simulate_core(trace, make_prefetcher(prefetcher), None, params),
+        baseline: simulate_core(trace, make_prefetcher("none"), None, params),
+    }
+}
 
 fn scale() -> ExperimentScale {
     ExperimentScale {
@@ -52,7 +65,7 @@ fn parallel_run_over_matches_serial_uncached_reference() {
         // cache, no thread pool.
         let reference: Vec<SingleRun> = traces
             .iter()
-            .map(|t| run_single_uncached(t, prefetcher, &s.params))
+            .map(|t| run_uncached(t, prefetcher, &s.params))
             .collect();
         let parallel = run_over(&traces, prefetcher, &s);
         assert_same_runs(&parallel, &reference);
@@ -76,7 +89,7 @@ fn run_matrix_matches_serial_reference_and_is_repeatable() {
     for (pi, prefetcher) in prefetchers.iter().enumerate() {
         let reference: Vec<SingleRun> = traces
             .iter()
-            .map(|t| run_single_uncached(t, prefetcher, &s.params))
+            .map(|t| run_uncached(t, prefetcher, &s.params))
             .collect();
         assert_same_runs(&first[pi], &reference);
     }
@@ -87,7 +100,7 @@ fn memoized_baseline_is_bit_identical_to_fresh_baseline() {
     let s = scale();
     let trace = build_workload("lbm_s", records_for(&s.params));
     let cached = run_single(&trace, "gaze", &s.params);
-    let fresh = run_single_uncached(&trace, "gaze", &s.params);
+    let fresh = run_uncached(&trace, "gaze", &s.params);
     assert_eq!(cached.stats, fresh.stats);
     assert_eq!(cached.baseline, fresh.baseline);
     // Second cached call: still identical (cache hit path).

@@ -9,7 +9,8 @@
 use std::path::{Path, PathBuf};
 
 use gaze_sim::experiments::run_matrix;
-use gaze_sim::runner::{records_for, run_heterogeneous, run_single_uncached, RunParams};
+use gaze_sim::factory::make_prefetcher;
+use gaze_sim::runner::{records_for, run_heterogeneous, simulate_core, RunParams};
 use gaze_sim::trace_store::{load_from_dir_or_build, AnyTrace};
 use sim_core::trace::{TraceRecord, TraceSource};
 use workloads::build_workload;
@@ -144,16 +145,19 @@ fn streamed_fig06_matrix_is_bit_identical_across_the_parallel_engine() {
     // trace *uncached* so the streamed "none" baseline path is genuinely
     // exercised, and compare against the in-memory matrix bit-for-bit.
     for (ti, streamed_trace) in streamed.iter().enumerate() {
-        let fresh = run_single_uncached(streamed_trace, "gaze", &p);
+        let fresh_stats = simulate_core(streamed_trace, make_prefetcher("gaze"), None, &p);
+        let fresh_baseline = simulate_core(streamed_trace, make_prefetcher("none"), None, &p);
         assert_eq!(
-            fresh.stats, mem_matrix[0][ti].stats,
+            fresh_stats,
+            mem_matrix[0][ti].stats,
             "{}: fresh streamed stats diverged",
-            fresh.workload
+            streamed_trace.name()
         );
         assert_eq!(
-            fresh.baseline, mem_matrix[0][ti].baseline,
+            fresh_baseline,
+            mem_matrix[0][ti].baseline,
             "{}: fresh streamed baseline diverged",
-            fresh.workload
+            streamed_trace.name()
         );
     }
     std::fs::remove_dir_all(&dir).ok();

@@ -74,6 +74,178 @@ struct Outstanding {
     demand_touched: bool,
 }
 
+/// Open-addressed map from outstanding block number to its
+/// [`Outstanding`] entry: linear probing, Fibonacci hashing, and
+/// backward-shift deletion (no tombstones), sized to a power of two and
+/// doubled at 7/8 load.
+///
+/// This sits on the per-access hot path (every demand access and every
+/// prefetch issue probes it at least once), where it replaces a
+/// `HashMap<u64, Outstanding>`: entries live in one flat slot array, so
+/// a probe is one multiply plus a short linear scan with no SipHash and
+/// no per-entry indirection. All operations are deterministic, and the
+/// only iteration ([`min_ready`](Self::min_ready)) computes an
+/// order-independent minimum, so simulations stay bit-exact (guarded by
+/// the determinism integration tests).
+#[derive(Debug)]
+struct OutstandingTable {
+    /// Slot keys (block numbers); [`Self::EMPTY`] marks a free slot.
+    /// Block numbers are byte addresses shifted right by the line bits,
+    /// so the sentinel can never collide with a real key.
+    keys: Vec<u64>,
+    entries: Vec<Outstanding>,
+    mask: usize,
+    len: usize,
+}
+
+impl OutstandingTable {
+    const EMPTY: u64 = u64::MAX;
+    const INITIAL_CAPACITY: usize = 64;
+
+    fn new() -> Self {
+        OutstandingTable {
+            keys: vec![Self::EMPTY; Self::INITIAL_CAPACITY],
+            entries: vec![
+                Outstanding {
+                    ready: 0,
+                    is_prefetch: false,
+                    demand_touched: false,
+                };
+                Self::INITIAL_CAPACITY
+            ],
+            mask: Self::INITIAL_CAPACITY - 1,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The home slot of a key: Fibonacci hashing spreads consecutive
+    /// block numbers across the table, then the high bits select a slot.
+    fn home(&self, key: u64) -> usize {
+        let hash = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (hash >> (64 - self.mask.count_ones())) as usize & self.mask
+    }
+
+    fn find(&self, key: u64) -> Option<usize> {
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == Self::EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    fn get_mut(&mut self, key: u64) -> Option<&mut Outstanding> {
+        self.find(key).map(|i| &mut self.entries[i])
+    }
+
+    fn insert(&mut self, key: u64, entry: Outstanding) -> Option<Outstanding> {
+        debug_assert_ne!(key, Self::EMPTY, "block number collides with sentinel");
+        // Grow before the probe so the table never saturates (a full
+        // table would loop forever) and stays below 7/8 load.
+        if (self.len + 1) * 8 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let mut i = self.home(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(std::mem::replace(&mut self.entries[i], entry));
+            }
+            if k == Self::EMPTY {
+                self.keys[i] = key;
+                self.entries[i] = entry;
+                self.len += 1;
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<Outstanding> {
+        let mut i = self.find(key)?;
+        let removed = self.entries[i];
+        self.len -= 1;
+        // Backward-shift deletion: walk the probe chain after the hole
+        // and slide every entry whose home slot lies cyclically outside
+        // (i, j] back into the hole, keeping lookups tombstone-free.
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let k = self.keys[j];
+            if k == Self::EMPTY {
+                break;
+            }
+            let home = self.home(k);
+            let in_gap = if i <= j {
+                i < home && home <= j
+            } else {
+                i < home || home <= j
+            };
+            if !in_gap {
+                self.keys[i] = k;
+                self.entries[i] = self.entries[j];
+                i = j;
+            }
+        }
+        self.keys[i] = Self::EMPTY;
+        Some(removed)
+    }
+
+    /// The minimum `ready` cycle over all entries (`None` when empty).
+    fn min_ready(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut min = None;
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k != Self::EMPTY {
+                let ready = self.entries[i].ready;
+                min = Some(match min {
+                    Some(m) if m <= ready => m,
+                    _ => ready,
+                });
+            }
+        }
+        min
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![Self::EMPTY; new_cap]);
+        let old_entries = std::mem::replace(
+            &mut self.entries,
+            vec![
+                Outstanding {
+                    ready: 0,
+                    is_prefetch: false,
+                    demand_touched: false,
+                };
+                new_cap
+            ],
+        );
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for (key, entry) in old_keys.into_iter().zip(old_entries) {
+            if key != Self::EMPTY {
+                self.insert(key, entry);
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct PendingFill {
     at: u64,
@@ -112,7 +284,7 @@ pub struct MemoryHierarchy {
     l2c: Vec<CacheArray>,
     llc: CacheArray,
     dram: DramModel,
-    l1_outstanding: Vec<HashMap<u64, Outstanding>>,
+    l1_outstanding: Vec<OutstandingTable>,
     /// Per-core counts of outstanding L1 demands/prefetches, maintained
     /// incrementally (the occupancy checks run on every dispatch slot).
     l1_demand_count: Vec<usize>,
@@ -161,7 +333,7 @@ impl MemoryHierarchy {
             l2c: (0..cores).map(|_| CacheArray::new(&cfg.l2c)).collect(),
             llc: CacheArray::with_shape(llc_sets, llc_cfg.ways),
             dram: DramModel::with_line_size(cfg.dram, cfg.l1d.line_size),
-            l1_outstanding: (0..cores).map(|_| HashMap::new()).collect(),
+            l1_outstanding: (0..cores).map(|_| OutstandingTable::new()).collect(),
             l1_demand_count: vec![0; cores],
             l1_prefetch_count: vec![0; cores],
             l2_pf_inflight: (0..cores).map(|_| HashMap::new()).collect(),
@@ -354,7 +526,7 @@ impl MemoryHierarchy {
                 was_prefetch: fill.is_prefetch,
             });
             // The miss (or prefetch) is no longer outstanding at the L1.
-            if let Some(entry) = self.l1_outstanding[core].remove(&fill.block.raw()) {
+            if let Some(entry) = self.l1_outstanding[core].remove(fill.block.raw()) {
                 if entry.is_prefetch {
                     self.l1_prefetch_count[core] -= 1;
                 } else {
@@ -373,12 +545,7 @@ impl MemoryHierarchy {
         if outstanding.len() < self.cfg.l1d.mshrs {
             now
         } else {
-            outstanding
-                .values()
-                .map(|o| o.ready)
-                .min()
-                .unwrap_or(now)
-                .max(now)
+            outstanding.min_ready().unwrap_or(now).max(now)
         }
     }
 
@@ -441,7 +608,7 @@ impl MemoryHierarchy {
         // Merge with an in-flight request if one exists. A late prefetch is
         // promoted to demand priority at the memory controller, so the merged
         // request completes no later than a freshly issued demand would.
-        if let Some(entry) = self.l1_outstanding[core].get_mut(&block.raw()) {
+        if let Some(entry) = self.l1_outstanding[core].get_mut(block.raw()) {
             let was_untouched_prefetch = entry.is_prefetch && !entry.demand_touched;
             if was_untouched_prefetch && enabled {
                 self.stats[core].prefetch.late += 1;
@@ -614,7 +781,7 @@ impl MemoryHierarchy {
                     || self.l2c[core].contains(block)
                     || self.llc.contains(block)
             }
-        } || self.l1_outstanding[core].contains_key(&block.raw())
+        } || self.l1_outstanding[core].contains(block.raw())
             || self.l2_pf_inflight[core].contains_key(&block.raw());
         if redundant {
             if enabled {
@@ -919,6 +1086,87 @@ mod tests {
         assert_eq!(h.stats(0).l1d.demand_accesses, 1);
         h.reset_stats();
         assert_eq!(h.stats(0).l1d.demand_accesses, 0);
+    }
+
+    #[test]
+    fn outstanding_table_matches_a_reference_map_under_churn() {
+        // Deterministic LCG churn: interleaved inserts, removes, lookups
+        // and mutations, mirrored against std's HashMap.
+        let mut table = OutstandingTable::new();
+        let mut reference: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut lcg = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        for step in 0..20_000u64 {
+            let r = lcg();
+            // Small key space forces collisions; keys look like block numbers.
+            let key = (r >> 8) % 257;
+            match r % 4 {
+                0 | 1 => {
+                    let entry = Outstanding {
+                        ready: step,
+                        is_prefetch: r & 16 != 0,
+                        demand_touched: false,
+                    };
+                    let prev = table.insert(key, entry).map(|o| o.ready);
+                    assert_eq!(prev, reference.insert(key, step), "step {step}");
+                }
+                2 => {
+                    let removed = table.remove(key).map(|o| o.ready);
+                    assert_eq!(removed, reference.remove(&key), "step {step}");
+                }
+                _ => {
+                    let got = table.get_mut(key).map(|o| &mut o.ready);
+                    match (got, reference.get_mut(&key)) {
+                        (Some(a), Some(b)) => {
+                            assert_eq!(*a, *b, "step {step}");
+                            *a += 1;
+                            *b += 1;
+                        }
+                        (None, None) => {}
+                        (a, b) => panic!("step {step}: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+            assert_eq!(table.len(), reference.len(), "step {step}");
+            assert_eq!(table.contains(key), reference.contains_key(&key));
+            assert_eq!(table.min_ready(), reference.values().min().copied());
+        }
+        // Drain everything through backward-shift deletion.
+        let keys: Vec<u64> = reference.keys().copied().collect();
+        for key in keys {
+            assert!(table.remove(key).is_some());
+        }
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.min_ready(), None);
+    }
+
+    #[test]
+    fn outstanding_table_grows_past_its_initial_capacity() {
+        let mut table = OutstandingTable::new();
+        let n = (OutstandingTable::INITIAL_CAPACITY * 4) as u64;
+        for key in 0..n {
+            assert!(table
+                .insert(
+                    key,
+                    Outstanding {
+                        ready: key * 10,
+                        is_prefetch: false,
+                        demand_touched: false,
+                    },
+                )
+                .is_none());
+        }
+        assert_eq!(table.len(), n as usize);
+        assert_eq!(table.min_ready(), Some(0));
+        for key in 0..n {
+            assert_eq!(table.remove(key).map(|o| o.ready), Some(key * 10));
+        }
+        assert_eq!(table.len(), 0);
     }
 
     #[test]

@@ -45,6 +45,27 @@ impl Suite {
         ]
     }
 
+    /// Every suite, main and supplementary, in report order.
+    pub fn all_suites() -> [Suite; 7] {
+        [
+            Suite::Spec06,
+            Suite::Spec17,
+            Suite::Ligra,
+            Suite::Parsec,
+            Suite::Cloud,
+            Suite::Gap,
+            Suite::Qmm,
+        ]
+    }
+
+    /// Looks a suite up by its display [`label`](Self::label)
+    /// (case-insensitive), e.g. for parsing experiment specs.
+    pub fn from_label(label: &str) -> Option<Suite> {
+        Suite::all_suites()
+            .into_iter()
+            .find(|s| s.label().eq_ignore_ascii_case(label))
+    }
+
     /// Display name used in reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -126,6 +147,15 @@ pub fn all_main_workloads() -> Vec<(Suite, &'static str)> {
         .into_iter()
         .flat_map(|s| workload_names(s).into_iter().map(move |n| (s, n)))
         .collect()
+}
+
+/// Whether `name` is a registered workload [`build_workload`] accepts
+/// (any suite's names plus the `gups` microbenchmark).
+pub fn is_known_workload(name: &str) -> bool {
+    name == "gups"
+        || Suite::all_suites()
+            .into_iter()
+            .any(|s| workload_names(s).contains(&name))
 }
 
 /// Builds the named workload as a trace of roughly `records` memory accesses.
@@ -399,5 +429,25 @@ mod tests {
     fn suite_labels_are_stable() {
         assert_eq!(Suite::Spec17.label(), "SPEC17");
         assert_eq!(Suite::Cloud.label(), "Cloud");
+    }
+
+    #[test]
+    fn suites_resolve_from_labels() {
+        for suite in Suite::all_suites() {
+            assert_eq!(Suite::from_label(suite.label()), Some(suite));
+            assert_eq!(
+                Suite::from_label(&suite.label().to_lowercase()),
+                Some(suite)
+            );
+        }
+        assert_eq!(Suite::from_label("NotASuite"), None);
+    }
+
+    #[test]
+    fn workload_registry_membership_is_checkable() {
+        assert!(is_known_workload("bwaves_s"));
+        assert!(is_known_workload("PageRank"));
+        assert!(is_known_workload("gups"));
+        assert!(!is_known_workload("not-a-workload"));
     }
 }

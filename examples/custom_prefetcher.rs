@@ -15,7 +15,7 @@ use prefetch_common::request::PrefetchRequest;
 use prefetch_common::sink::RequestSink;
 
 use gaze_sim::report::Table;
-use gaze_sim::runner::{records_for, run_single, run_single_boxed, RunParams};
+use gaze_sim::runner::{records_for, run_single, simulate_core, RunParams};
 use workloads::build_workload;
 
 /// A minimal sequential prefetcher: on every demand miss, fetch the next
@@ -59,12 +59,13 @@ fn main() {
     );
     for workload in ["bwaves_s", "cassandra"] {
         let trace = build_workload(workload, records_for(&params));
-        let baseline = run_single_boxed(
+        let baseline = simulate_core(
             &trace,
             Box::new(prefetch_common::NullPrefetcher::new()),
+            None,
             &params,
         );
-        let custom = run_single_boxed(&trace, Box::new(NextNLine::new(4)), &params);
+        let custom = simulate_core(&trace, Box::new(NextNLine::new(4)), None, &params);
         let gaze = run_single(&trace, "gaze", &params);
         table.push_row(vec![
             workload.to_string(),

@@ -36,6 +36,7 @@ use std::path::{Path, PathBuf};
 use gaze_repro::gaze_sim::experiments::{run_experiment, ExperimentScale};
 use gaze_repro::gaze_sim::results;
 use gaze_repro::gaze_sim::runner::simulated_instructions;
+use gaze_repro::gaze_sim::spec;
 
 const GOLDEN: [(&str, &str); 3] = [
     ("fig06", include_str!("fixtures/fig06.csv")),
@@ -94,6 +95,32 @@ fn golden_figures_regenerate_byte_identically_from_the_committed_store() {
             csv, expected,
             "{figure}: CSV regenerated from the committed store must be \
              byte-identical to tests/fixtures/{figure}.csv"
+        );
+
+        // The same figure through the *serialized* spec path: the
+        // built-in spec rendered to the text format, re-parsed, and run
+        // through plan/execute/render must reproduce the same bytes —
+        // again with zero simulation. This pins spec↔legacy equivalence
+        // end to end (text format included), not just the in-memory
+        // registry.
+        let builtin = spec::builtin::builtin_spec(figure).expect("built-in spec");
+        let reparsed = spec::text::parse(&spec::text::to_text(&builtin))
+            .unwrap_or_else(|e| panic!("{figure}: built-in spec failed to re-parse: {e}"));
+        let before = simulated_instructions();
+        let spec_csv: String = spec::run_spec(&reparsed, &scale)
+            .iter()
+            .map(|t| t.to_csv())
+            .collect();
+        assert_eq!(
+            simulated_instructions(),
+            before,
+            "{figure}: the spec path must also be simulation-free from \
+             the committed store"
+        );
+        assert_eq!(
+            spec_csv, expected,
+            "{figure}: the serialized-spec path must regenerate the \
+             golden CSV byte-identically"
         );
     }
 
