@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! gaze-serve --dir DIR [--addr 127.0.0.1:7070] [--threads N] [--scale quick|bench|paper]
-//!            [--spec-dir DIR]
+//!            [--spec-dir DIR] [--job-workers N] [--job-queue N]
 //! ```
 //!
 //! Endpoints (see `docs/RESULTS.md` for the full contract):
@@ -21,6 +21,12 @@
 //!   experiment spec (built-in or from `--spec-dir`) and return its CSV,
 //!   byte-identical to `gaze-experiments run --spec NAME --csv`. A warm
 //!   store serves it with zero simulation.
+//! * `POST /experiments?spec=NAME` (or `GET` + `async=1`) — submit the
+//!   spec as a background job (`202` + id; `429` when the queue is
+//!   full); poll `GET /jobs/<id>` and fetch `GET /jobs/<id>/result`.
+//!
+//! SIGTERM and SIGINT shut down gracefully: stop accepting, drain
+//! running jobs, flush the store, exit 0.
 
 use std::process::ExitCode;
 
@@ -29,9 +35,35 @@ use gaze_serve::{Server, ServerConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gaze-serve --dir DIR [--addr HOST:PORT] [--threads N] \
-         [--scale quick|bench|paper] [--spec-dir DIR]"
+         [--scale quick|bench|paper] [--spec-dir DIR] [--job-workers N] [--job-queue N]"
     );
     ExitCode::from(2)
+}
+
+/// Graceful-shutdown signal plumbing, std-only: a C `signal()` handler
+/// flips an atomic, and a watchdog thread turns that flag into a
+/// [`gaze_serve::StopHandle::stop`] call (signal handlers themselves
+/// must not take locks or allocate).
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SIGINT = 2 and SIGTERM = 15 on every Unix this builds on.
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -85,6 +117,24 @@ fn main() -> ExitCode {
         }
         config.spec_dir = Some(dir);
     }
+    if let Some(workers) = flag_value(&args, "--job-workers") {
+        match workers.parse::<usize>() {
+            Ok(n) if n >= 1 => config.job_workers = n,
+            _ => {
+                eprintln!("gaze-serve: --job-workers must be a positive integer");
+                return usage();
+            }
+        }
+    }
+    if let Some(depth) = flag_value(&args, "--job-queue") {
+        match depth.parse::<usize>() {
+            Ok(n) if n >= 1 => config.job_queue_depth = n,
+            _ => {
+                eprintln!("gaze-serve: --job-queue must be a positive integer");
+                return usage();
+            }
+        }
+    }
 
     let server = match Server::bind(&config) {
         Ok(s) => s,
@@ -102,9 +152,23 @@ fn main() -> ExitCode {
         ),
         Err(e) => eprintln!("gaze-serve: bound (address unknown: {e})"),
     }
+    #[cfg(unix)]
+    {
+        signals::install();
+        let stop = server.stop_handle();
+        std::thread::spawn(move || loop {
+            if signals::REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
+                eprintln!("gaze-serve: shutdown requested; draining jobs and flushing store");
+                stop.stop();
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
     if let Err(e) = server.serve() {
         eprintln!("gaze-serve: serve loop failed: {e}");
         return ExitCode::FAILURE;
     }
+    eprintln!("gaze-serve: stopped cleanly");
     ExitCode::SUCCESS
 }

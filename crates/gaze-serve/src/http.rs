@@ -1,9 +1,9 @@
 //! Minimal HTTP/1.1 request parsing and response writing on plain
 //! `std::io` streams.
 //!
-//! The service only needs `GET` with query strings, so that is all this
-//! module speaks: requests are parsed up to the blank line after the
-//! headers (bodies are ignored), targets are split into a
+//! The service only needs `GET`/`POST` with query strings, so that is
+//! all this module speaks: requests are parsed up to the blank line
+//! after the headers (bodies are ignored), targets are split into a
 //! percent-decoded path and query parameters, and every response carries
 //! `Content-Length` and `Connection: close` so clients never wait on a
 //! kept-alive socket.
@@ -27,13 +27,16 @@ pub struct Request {
     pub query: BTreeMap<String, String>,
 }
 
-/// A response about to be written: status, content type and body.
+/// A response about to be written: status, content type, extra headers
+/// and body.
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// Additional headers (name, value), e.g. `Retry-After` on `429`.
+    pub headers: Vec<(&'static str, String)>,
     /// Response body bytes.
     pub body: Vec<u8>,
 }
@@ -44,6 +47,7 @@ impl Response {
         Response {
             status: 200,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -53,6 +57,7 @@ impl Response {
         Response {
             status: 200,
             content_type: "text/csv; charset=utf-8",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -62,19 +67,37 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: format!("{{\"error\":{}}}\n", crate::json::json_string(message)).into_bytes(),
         }
+    }
+
+    /// The same response with a different status code (e.g. a JSON body
+    /// on `202 Accepted`).
+    pub fn with_status(mut self, status: u16) -> Response {
+        self.status = status;
+        self
+    }
+
+    /// The same response with one more header appended.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.headers.push((name, value.into()));
+        self
     }
 
     /// The standard reason phrase for the statuses this service emits.
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            202 => "Accepted",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            409 => "Conflict",
             414 => "URI Too Long",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "",
         }
     }
@@ -83,12 +106,16 @@ impl Response {
     pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
             self.status,
             self.reason(),
             self.content_type,
             self.body.len()
         )?;
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
         out.write_all(&self.body)?;
         out.flush()
     }
@@ -236,5 +263,21 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn extra_headers_and_status_overrides_serialize() {
+        let mut out = Vec::new();
+        Response::error(429, "queue full")
+            .with_header("Retry-After", "10")
+            .write_to(&mut out)
+            .expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 10\r\n"));
+
+        let accepted = Response::json("{}".into()).with_status(202);
+        assert_eq!(accepted.status, 202);
+        assert_eq!(accepted.reason(), "Accepted");
     }
 }

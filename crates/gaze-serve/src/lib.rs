@@ -23,7 +23,19 @@
 //!   plus `--spec-dir` files; see `docs/EXPERIMENTS.md`),
 //! * `GET /experiments?spec=NAME` — run an arbitrary spec and return its
 //!   CSV, byte-identical to `gaze-experiments run --spec NAME --csv`; a
-//!   warm store serves it with zero simulation.
+//!   warm store serves it with zero simulation,
+//! * `POST /experiments?spec=NAME` (or `GET` with `async=1`) — submit
+//!   the same work as a background job ([`jobs`]): `202 Accepted` + job
+//!   id, bounded queue with `429` + `Retry-After` admission control,
+//!   in-flight dedup of identical submissions,
+//! * `GET /jobs`, `GET /jobs/<id>`, `GET /jobs/<id>/result` — job
+//!   listing, lifecycle status (`queued|running|done|failed`), and the
+//!   finished CSV.
+//!
+//! Long sweeps run on the job executor pool, never inside an HTTP
+//! worker; a panicking handler costs one `500`, not a worker thread; and
+//! stopping the server drains running jobs and flushes the store before
+//! exiting (the binary wires SIGTERM/SIGINT to this graceful path).
 //!
 //! Run it with the `gaze-serve` binary:
 //!
@@ -32,6 +44,7 @@
 //! ```
 
 pub mod http;
+pub mod jobs;
 pub mod json;
 pub mod routes;
 pub mod server;

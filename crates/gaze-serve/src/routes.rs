@@ -1,6 +1,8 @@
 //! Route handlers: `/healthz`, `/runs`,
-//! `/figures/{fig06..fig09,fig13..fig18}`, `/specs` and `/experiments`.
+//! `/figures/{fig06..fig09,fig13..fig18}`, `/specs`, `/experiments` and
+//! `/jobs`.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -10,6 +12,7 @@ use gaze_sim::spec::{builtin, run_spec, text, ExperimentSpec};
 use results_store::{MixQuery, MixRecord, RunQuery, RunRecord};
 
 use crate::http::{Request, Response};
+use crate::jobs::{panic_message, JobInfo, JobManager, JobResult, JobStatus, SubmitOutcome};
 use crate::json::{json_array, json_f64, json_string, JsonObject};
 
 /// Figure endpoints the service exposes: the single-core comparison
@@ -32,6 +35,9 @@ pub struct AppState {
     /// Directory of custom `.spec` files served by
     /// `/experiments?spec=<name>` alongside the built-ins (`--spec-dir`).
     pub spec_dir: Option<PathBuf>,
+    /// The async sweep-job executor behind `POST /experiments` and
+    /// `/jobs`.
+    pub jobs: JobManager,
 }
 
 /// Dispatches one parsed request to its handler.
@@ -42,8 +48,19 @@ pub struct AppState {
 /// the sweep's rows without a restart. A failed check serves the
 /// (possibly stale) in-memory data rather than erroring.
 pub fn handle(state: &AppState, req: &Request) -> Response {
-    if req.method != "GET" {
-        return Response::error(405, "only GET is supported");
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", _) | ("POST", "/experiments") => {}
+        _ => {
+            return Response::error(
+                405,
+                "only GET is supported (plus POST /experiments to submit a job)",
+            )
+        }
+    }
+    // Failpoint for the pool-survival test: a panicking handler must
+    // cost one 500 response, not a worker thread.
+    if let Err(e) = results_store::fault::check_io("serve.handle") {
+        return Response::error(500, &e.to_string());
     }
     if let Err(e) = state.store.reload_if_stale() {
         eprintln!("gaze-serve: stale-store reload failed (serving in-memory data): {e}");
@@ -53,10 +70,16 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         "/runs" => runs(state, req),
         "/specs" => specs(state),
         "/experiments" => experiments(state, req),
-        path => match path.strip_prefix("/figures/") {
-            Some(figure) => figures(state, req, figure),
-            None => Response::error(404, "unknown path"),
-        },
+        "/jobs" => jobs_list(state),
+        path => {
+            if let Some(figure) = path.strip_prefix("/figures/") {
+                figures(state, req, figure)
+            } else if let Some(rest) = path.strip_prefix("/jobs/") {
+                job_detail(state, rest)
+            } else {
+                Response::error(404, "unknown path")
+            }
+        }
     }
 }
 
@@ -150,6 +173,12 @@ fn resolve_spec(state: &AppState, name: &str) -> Result<ExperimentSpec, Response
 /// (built-in or from the spec directory) through the spec pipeline and
 /// returns its CSV. With a warm store this serves without simulating;
 /// missing rows are simulated once and persisted write-through.
+///
+/// `POST /experiments?...` (or `GET` with `async=1`) *submits* the same
+/// work as a background job instead: `202 Accepted` + a job id to poll
+/// at `/jobs/<id>`, `429` + `Retry-After` when the job queue is full,
+/// `503` while shutting down. Identical in-flight submissions dedup
+/// onto one job.
 fn experiments(state: &AppState, req: &Request) -> Response {
     let Some(name) = req.query.get("spec") else {
         return Response::error(400, "missing spec=<name> parameter");
@@ -166,8 +195,106 @@ fn experiments(state: &AppState, req: &Request) -> Response {
     let Some(scale) = ExperimentScale::named(scale_name) else {
         return Response::error(400, "scale must be test, quick, bench/full or paper");
     };
-    let csv: String = run_spec(&spec, &scale).iter().map(|t| t.to_csv()).collect();
-    Response::csv(csv)
+    let wants_async = req.method == "POST"
+        || matches!(
+            req.query.get("async").map(String::as_str),
+            Some("1") | Some("true")
+        );
+    if wants_async {
+        return submit_job(state, spec, name, scale, scale_name);
+    }
+    // A panic inside spec execution (misconfigured future spec, bug in a
+    // prefetcher model) must cost this request a 500, not the worker
+    // thread — and the store mutex is not held across this call, so a
+    // panic cannot poison it.
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_spec(&spec, &scale).iter().map(|t| t.to_csv()).collect()
+    })) {
+        Ok(csv) => Response::csv(csv),
+        Err(payload) => Response::error(
+            500,
+            &format!(
+                "spec execution panicked: {}",
+                panic_message(payload.as_ref())
+            ),
+        ),
+    }
+}
+
+/// Admits `spec` to the job queue and maps the outcome to HTTP.
+fn submit_job(
+    state: &AppState,
+    spec: ExperimentSpec,
+    name: &str,
+    scale: ExperimentScale,
+    scale_name: &str,
+) -> Response {
+    match state.jobs.submit(spec, name, scale, scale_name) {
+        SubmitOutcome::Accepted { id, deduped } => {
+            let body = JsonObject::new()
+                .string("id", &id)
+                .string("status", "accepted")
+                .raw("deduped", deduped.to_string())
+                .string("poll", &format!("/jobs/{id}"))
+                .build();
+            Response::json(body + "\n").with_status(202)
+        }
+        SubmitOutcome::QueueFull { depth } => Response::error(
+            429,
+            &format!("job queue is full ({depth} queued); retry later"),
+        )
+        .with_header("Retry-After", crate::jobs::RETRY_AFTER_SECONDS.to_string()),
+        SubmitOutcome::ShuttingDown => {
+            Response::error(503, "server is shutting down; not accepting jobs")
+        }
+    }
+}
+
+/// One job snapshot as a JSON object.
+fn job_json(info: &JobInfo) -> String {
+    let mut obj = JsonObject::new()
+        .string("id", &info.id)
+        .string("spec", &info.spec_name)
+        .string("scale", &info.scale_name)
+        .string("status", info.status.phase());
+    match &info.status {
+        JobStatus::Running { done, total } => {
+            obj = obj.u64("done", *done as u64).u64("total", *total as u64);
+        }
+        JobStatus::Done { total } => {
+            obj = obj
+                .u64("total", *total as u64)
+                .string("result", &format!("/jobs/{}/result", info.id));
+        }
+        JobStatus::Failed { error } => obj = obj.string("error", error),
+        JobStatus::Queued => {}
+    }
+    obj.build()
+}
+
+/// `GET /jobs` — every job submitted to this process, in order.
+fn jobs_list(state: &AppState) -> Response {
+    let body = json_array(state.jobs.list().iter().map(job_json));
+    Response::json(body + "\n")
+}
+
+/// `GET /jobs/<id>` — one job's status; `GET /jobs/<id>/result` — a
+/// finished job's CSV (`409` while unfinished, `500` if it failed).
+fn job_detail(state: &AppState, rest: &str) -> Response {
+    if let Some(id) = rest.strip_suffix("/result") {
+        return match state.jobs.result(id) {
+            None => Response::error(404, "unknown job id"),
+            Some(JobResult::Ready(csv)) => Response::csv(csv),
+            Some(JobResult::Failed(error)) => Response::error(500, &format!("job failed: {error}")),
+            Some(JobResult::NotFinished) => {
+                Response::error(409, "job has not finished; poll its status")
+            }
+        };
+    }
+    match state.jobs.get(rest) {
+        Some(info) => Response::json(job_json(&info) + "\n"),
+        None => Response::error(404, "unknown job id"),
+    }
 }
 
 fn healthz(state: &AppState) -> Response {
@@ -394,11 +521,21 @@ fn figures(state: &AppState, req: &Request, figure: &str) -> Response {
     // write-through, so they are store hits from then on. The CSV bytes
     // are identical to `gaze-experiments <figure> --csv` at the same
     // scale, by construction (same code path, same exact counters).
-    let csv: String = run_experiment(figure, &scale)
-        .iter()
-        .map(|t| t.to_csv())
-        .collect();
-    Response::csv(csv)
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_experiment(figure, &scale)
+            .iter()
+            .map(|t| t.to_csv())
+            .collect::<String>()
+    })) {
+        Ok(csv) => Response::csv(csv),
+        Err(payload) => Response::error(
+            500,
+            &format!(
+                "figure assembly panicked: {}",
+                panic_message(payload.as_ref())
+            ),
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +553,7 @@ mod tests {
             store,
             default_scale: "quick".to_string(),
             spec_dir: None,
+            jobs: JobManager::new(1, 2),
         }
     }
 
@@ -676,5 +814,128 @@ mod tests {
         assert!(body.contains("has no tables"), "{body}");
         assert_eq!(get(&state, "/experiments?spec=missing").status, 404);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn post(state: &AppState, target: &str) -> Response {
+        let (path, query) = parse_target(target);
+        handle(
+            state,
+            &Request {
+                method: "POST".to_string(),
+                path,
+                query,
+            },
+        )
+    }
+
+    fn extract(body: &str, key: &str) -> String {
+        let marker = format!("\"{key}\":\"");
+        let start = body.find(&marker).expect("key present") + marker.len();
+        body[start..]
+            .split('"')
+            .next()
+            .expect("closing quote")
+            .to_string()
+    }
+
+    #[test]
+    fn async_submission_runs_a_job_to_done_with_matching_csv() {
+        // Failpoints are process-global; keep other fault tests out.
+        let _fx = results_store::fault::exclusive();
+        let state = test_state("jobs");
+        let resp = post(&state, "/experiments?spec=table4&scale=test");
+        assert_eq!(resp.status, 202);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.contains("\"status\":\"accepted\""), "{body}");
+        let id = extract(&body, "id");
+
+        // An identical GET submission with async=1 dedups while queued or
+        // running; once done it would start a fresh job, so only check
+        // the response shape when the first job is still in flight.
+        let resp = get(&state, "/experiments?spec=table4&scale=test&async=1");
+        assert_eq!(resp.status, 202);
+
+        let status = loop {
+            let body = String::from_utf8(get(&state, &format!("/jobs/{id}")).body).expect("utf8");
+            let phase = extract(&body, "status");
+            if phase == "done" || phase == "failed" {
+                break body;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        assert!(status.contains("\"status\":\"done\""), "{status}");
+        assert!(status.contains(&format!("/jobs/{id}/result")), "{status}");
+
+        let result = get(&state, &format!("/jobs/{id}/result"));
+        assert_eq!(result.status, 200);
+        let csv = String::from_utf8(result.body).expect("utf8");
+        let sync = String::from_utf8(get(&state, "/experiments?spec=table4&scale=test").body)
+            .expect("utf8");
+        assert_eq!(csv, sync, "async job CSV matches the synchronous path");
+
+        let listing = String::from_utf8(get(&state, "/jobs").body).expect("utf8");
+        assert!(listing.contains(&id), "{listing}");
+        assert_eq!(get(&state, "/jobs/nope").status, 404);
+        assert_eq!(get(&state, "/jobs/nope/result").status, 404);
+        state.jobs.shutdown();
+    }
+
+    #[test]
+    fn full_queue_maps_to_429_with_retry_after() {
+        let _fx = results_store::fault::exclusive();
+        let mut state = test_state("admission");
+        // No executors: submissions stay queued, so the bound (depth 1)
+        // is hit deterministically by the second distinct spec.
+        state.jobs = JobManager::new(0, 1);
+        assert_eq!(
+            post(&state, "/experiments?spec=table4&scale=test").status,
+            202
+        );
+        let resp = post(&state, "/experiments?spec=table4&scale=quick");
+        assert_eq!(resp.status, 429);
+        assert!(
+            resp.headers.iter().any(|(n, _)| *n == "Retry-After"),
+            "{:?}",
+            resp.headers
+        );
+        state.jobs.shutdown();
+        // After shutdown, submissions are refused with 503 and the
+        // queued job reports failed.
+        assert_eq!(
+            post(&state, "/experiments?spec=table4&scale=test").status,
+            503
+        );
+        let listing = String::from_utf8(get(&state, "/jobs").body).expect("utf8");
+        assert!(listing.contains("\"status\":\"failed\""), "{listing}");
+        assert!(listing.contains("shut down"), "{listing}");
+    }
+
+    #[test]
+    fn unfinished_job_result_is_409_and_failed_job_result_is_500() {
+        let _fx = results_store::fault::exclusive();
+        let mut state = test_state("jobresult");
+        state.jobs = JobManager::new(0, 2);
+        let body = String::from_utf8(post(&state, "/experiments?spec=table4&scale=test").body)
+            .expect("utf8");
+        let id = extract(&body, "id");
+        assert_eq!(get(&state, &format!("/jobs/{id}/result")).status, 409);
+        state.jobs.shutdown();
+        let failed = get(&state, &format!("/jobs/{id}/result"));
+        assert_eq!(failed.status, 500);
+        let body = String::from_utf8(failed.body).expect("utf8");
+        assert!(body.contains("shut down"), "{body}");
+    }
+
+    #[test]
+    fn handler_panic_is_oneshot_and_later_requests_succeed() {
+        let _fx = results_store::fault::exclusive();
+        let state = test_state("panic500");
+        // A panic escapes handle() for serve_connection to contain (the
+        // pool-survival e2e test covers the 500 mapping end to end).
+        results_store::fault::arm_nth("serve.handle", 0, results_store::fault::FaultKind::Panic);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| get(&state, "/healthz")));
+        assert!(result.is_err(), "panic propagates out of handle()");
+        // The next request is served normally.
+        assert_eq!(get(&state, "/healthz").status, 200);
     }
 }

@@ -2,20 +2,24 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crate::http::read_request;
+use crate::http::{read_request, Response};
+use crate::jobs::{panic_message, JobManager};
 use crate::routes::{handle, AppState};
 
-/// Per-connection socket timeout: a client that connects and then goes
-/// silent (or drains its response arbitrarily slowly) releases its worker
-/// after this long instead of occupying it forever — `threads` silent
-/// clients would otherwise hang every endpoint including `/healthz`.
-const SOCKET_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+/// Default per-connection socket timeout (read *and* write): a client
+/// that connects and then goes silent — or drains its response
+/// arbitrarily slowly — releases its worker after this long instead of
+/// occupying it forever; `threads` such clients would otherwise hang
+/// every endpoint including `/healthz`.
+pub const DEFAULT_SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// How a [`Server`] is set up.
 #[derive(Debug, Clone)]
@@ -33,11 +37,19 @@ pub struct ServerConfig {
     /// Directory of custom `.spec` files served by `/experiments`
     /// (`--spec-dir`); `None` serves built-ins only.
     pub spec_dir: Option<PathBuf>,
+    /// Executor threads running async sweep jobs (separate from the HTTP
+    /// workers, so a sweep never blocks request handling).
+    pub job_workers: usize,
+    /// Bound on async jobs waiting to start; submissions past it get
+    /// `429` + `Retry-After`.
+    pub job_queue_depth: usize,
+    /// Per-connection read/write timeout on client sockets.
+    pub socket_timeout: Duration,
 }
 
 impl ServerConfig {
     /// A sensible default configuration for `dir`: localhost:7070, four
-    /// workers, quick scale.
+    /// workers, quick scale, two job executors with a queue of eight.
     pub fn new(dir: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             dir: dir.into(),
@@ -45,6 +57,9 @@ impl ServerConfig {
             threads: 4,
             default_scale: "quick".to_string(),
             spec_dir: None,
+            job_workers: crate::jobs::DEFAULT_JOB_WORKERS,
+            job_queue_depth: crate::jobs::DEFAULT_JOB_QUEUE_DEPTH,
+            socket_timeout: DEFAULT_SOCKET_TIMEOUT,
         }
     }
 }
@@ -55,6 +70,7 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<AppState>,
     threads: usize,
+    socket_timeout: Duration,
     stop: Arc<AtomicBool>,
 }
 
@@ -72,8 +88,10 @@ impl Server {
                 store,
                 default_scale: config.default_scale.clone(),
                 spec_dir: config.spec_dir.clone(),
+                jobs: JobManager::new(config.job_workers.max(1), config.job_queue_depth),
             }),
             threads: config.threads.max(1),
+            socket_timeout: config.socket_timeout,
             stop: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -94,6 +112,12 @@ impl Server {
 
     /// Accepts connections until stopped, dispatching them to the worker
     /// pool. Blocks the calling thread.
+    ///
+    /// On stop, shutdown is graceful and ordered: the accept loop exits,
+    /// the HTTP workers drain their queued connections, the job executor
+    /// drains (queued jobs are failed, *running* jobs finish), and the
+    /// store flushes — so a SIGTERM mid-sweep never loses landed rows and
+    /// always leaves a loadable store.
     pub fn serve(self) -> io::Result<()> {
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
         let rx = Arc::new(Mutex::new(rx));
@@ -101,12 +125,18 @@ impl Server {
         for _ in 0..self.threads {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&self.state);
+            let socket_timeout = self.socket_timeout;
             workers.push(std::thread::spawn(move || loop {
-                // Senders dropped => recv fails => worker exits.
-                let Ok(stream) = rx.lock().expect("worker queue poisoned").recv() else {
+                // Senders dropped => recv fails => worker exits. A
+                // poisoned lock (a worker panicked at exactly the wrong
+                // instant) is recovered, not propagated: the queue itself
+                // is still consistent, and one panicking handler must
+                // never take down the whole pool.
+                let received = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
+                let Ok(stream) = received else {
                     break;
                 };
-                serve_connection(&state, stream);
+                serve_connection(&state, stream, socket_timeout);
             }));
         }
         for stream in self.listener.incoming() {
@@ -125,6 +155,13 @@ impl Server {
         drop(tx);
         for w in workers {
             let _ = w.join();
+        }
+        // HTTP is quiesced; drain the job layer (running sweeps finish,
+        // queued ones fail loudly) and make everything that landed
+        // durable before returning.
+        self.state.jobs.shutdown();
+        if let Err(e) = self.state.store.flush() {
+            eprintln!("gaze-serve: final store flush failed: {e}");
         }
         Ok(())
     }
@@ -164,17 +201,25 @@ impl StopHandle {
 }
 
 /// Handles one connection: parse, route, respond. All errors are turned
-/// into responses (or dropped connections); a worker never panics on
-/// client input.
-fn serve_connection(state: &AppState, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+/// into responses (or dropped connections), and a panicking handler is
+/// caught and mapped to a `500` — a worker thread survives anything a
+/// single request does.
+fn serve_connection(state: &AppState, mut stream: TcpStream, timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
     let response = match read_request(&mut stream) {
-        Ok(req) => handle(state, &req),
+        Ok(req) => {
+            catch_unwind(AssertUnwindSafe(|| handle(state, &req))).unwrap_or_else(|payload| {
+                Response::error(
+                    500,
+                    &format!("handler panicked: {}", panic_message(payload.as_ref())),
+                )
+            })
+        }
         Err(error_response) => error_response,
     };
     if let Err(e) = response.write_to(&mut stream) {
-        // The client hung up first; nothing to do.
+        // The client hung up first (or timed out); nothing to do.
         let _ = e;
     }
 }
@@ -190,5 +235,8 @@ mod tests {
         assert_eq!(cfg.threads, 4);
         assert_eq!(cfg.default_scale, "quick");
         assert_eq!(cfg.dir, PathBuf::from("/tmp/some-store"));
+        assert_eq!(cfg.job_workers, crate::jobs::DEFAULT_JOB_WORKERS);
+        assert_eq!(cfg.job_queue_depth, crate::jobs::DEFAULT_JOB_QUEUE_DEPTH);
+        assert_eq!(cfg.socket_timeout, DEFAULT_SOCKET_TIMEOUT);
     }
 }

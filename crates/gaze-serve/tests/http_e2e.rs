@@ -68,11 +68,11 @@ end
 ";
     std::fs::write(spec_dir.join("tiny-sweep.spec"), CUSTOM_SPEC).expect("write spec");
     let config = ServerConfig {
-        dir: dir.clone(),
         addr: "127.0.0.1:0".to_string(), // ephemeral port
         threads: 2,
         default_scale: "test".to_string(),
         spec_dir: Some(spec_dir),
+        ..ServerConfig::new(&dir)
     };
     let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
 
@@ -167,6 +167,221 @@ end
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Pulls `"key":"value"` out of a JSON body (the hand-rolled server
+/// never escapes the values these tests read).
+fn json_str(body: &str, key: &str) -> String {
+    let needle = format!("\"{key}\":\"");
+    let start = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key:?} in {body}"))
+        + needle.len();
+    body[start..]
+        .split('"')
+        .next()
+        .expect("closing quote")
+        .to_string()
+}
+
+/// Issues one POST (empty body) and returns (status line, headers, body).
+fn http_post(addr: SocketAddr, target: &str) -> (String, String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, head, raw[head_end + 4..].to_vec())
+}
+
+/// The async job path end-to-end: POST a spec over real TCP, get `202` +
+/// an id, poll `/jobs/<id>` to `done`, and the `/result` CSV is
+/// byte-identical to the synchronous pipeline. Stopping the server
+/// afterwards leaves a loadable store.
+#[test]
+fn async_job_over_the_wire_matches_the_sync_csv() {
+    let _guard = server_lock();
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}-jobs", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec_dir = dir.join("specs");
+    std::fs::create_dir_all(&spec_dir).expect("spec dir");
+    const JOB_SPEC: &str = "\
+spec job-sweep
+
+table
+title Async job sweep (speedup)
+kind workload-rows
+traces list:bwaves_s,mcf_s
+metric speedup
+row gaze
+end
+";
+    std::fs::write(spec_dir.join("job-sweep.spec"), JOB_SPEC).expect("write spec");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        default_scale: "test".to_string(),
+        spec_dir: Some(spec_dir),
+        ..ServerConfig::new(&dir)
+    };
+    let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
+
+    // What the synchronous pipeline produces (also warms the store, as a
+    // prior sweep would have).
+    let scale = ExperimentScale::named("test").expect("test scale");
+    let spec = text::parse(JOB_SPEC).expect("valid spec");
+    let expected: String = run_spec(&spec, &scale).iter().map(|t| t.to_csv()).collect();
+
+    // Submit: 202 Accepted with a pollable id.
+    let (status, _, body) = http_post(addr, "/experiments?spec=job-sweep&scale=test");
+    assert_eq!(status, "HTTP/1.1 202 Accepted");
+    let body = String::from_utf8(body).expect("utf8");
+    let id = json_str(&body, "id");
+    assert!(id.starts_with("job-"), "{body}");
+
+    // Poll the lifecycle to `done` (the warm job takes milliseconds; the
+    // deadline only bounds a wedged executor).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let (status, body) = http_get(addr, &format!("/jobs/{id}"));
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let body = String::from_utf8(body).expect("utf8");
+        match json_str(&body, "status").as_str() {
+            "done" => break,
+            "failed" => panic!("job failed: {body}"),
+            "queued" | "running" => {}
+            other => panic!("unexpected phase {other}: {body}"),
+        }
+        assert!(std::time::Instant::now() < deadline, "job never finished");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // The finished CSV matches the synchronous pipeline byte-for-byte,
+    // and the job shows up in the listing.
+    let (status, body) = http_get(addr, &format!("/jobs/{id}/result"));
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert_eq!(
+        String::from_utf8(body).expect("utf8"),
+        expected,
+        "async job CSV must match the synchronous spec pipeline"
+    );
+    let (_, body) = http_get(addr, "/jobs");
+    let body = String::from_utf8(body).expect("utf8");
+    assert!(body.contains(&format!("\"id\":\"{id}\"")), "{body}");
+
+    // Resubmitting the identical finished spec starts a fresh job (only
+    // *in-flight* submissions dedup).
+    let (status, _, body) = http_post(addr, "/experiments?spec=job-sweep&scale=test");
+    assert_eq!(status, "HTTP/1.1 202 Accepted");
+    let body = String::from_utf8(body).expect("utf8");
+    assert!(body.contains("\"deduped\":false"), "{body}");
+
+    stop.stop();
+    join.join().expect("server thread");
+    gaze_sim::results::configure(None).expect("deactivate store");
+
+    // The store the jobs wrote through reopens cleanly.
+    let reopened = results_store::ResultsStore::open(&dir).expect("store loadable after stop");
+    assert!(!reopened.is_empty(), "job rows persisted");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A client that connects and then goes silent (or trickles its request)
+/// must not starve the pool: the socket timeout releases the worker, so
+/// `/healthz` keeps answering even with a single worker thread.
+#[test]
+fn slow_client_releases_the_worker_via_socket_timeout() {
+    let _guard = server_lock();
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}-slow", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1, // one stuck client would freeze everything
+        default_scale: "test".to_string(),
+        socket_timeout: std::time::Duration::from_millis(250),
+        ..ServerConfig::new(&dir)
+    };
+    let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
+
+    // Two hostile clients: one connects and sends nothing, one sends half
+    // a request line and stalls. Both sit on the sole worker until the
+    // read timeout fires.
+    let silent = TcpStream::connect(addr).expect("silent client");
+    let mut trickle = TcpStream::connect(addr).expect("trickle client");
+    trickle.write_all(b"GET /runs HT").expect("partial request");
+
+    let started = std::time::Instant::now();
+    let (status, body) = http_get(addr, "/healthz");
+    let waited = started.elapsed();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(
+        String::from_utf8(body)
+            .expect("utf8")
+            .contains("\"status\":\"ok\""),
+        "healthz while slow clients are connected"
+    );
+    assert!(
+        waited < std::time::Duration::from_secs(5),
+        "socket timeout must release the worker quickly, waited {waited:?}"
+    );
+
+    drop(silent);
+    drop(trickle);
+    stop.stop();
+    join.join().expect("server thread");
+    gaze_sim::results::configure(None).expect("deactivate store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A panicking route handler costs exactly one `500` — the worker thread
+/// and the shared state survive, and the next request succeeds.
+#[test]
+fn panicking_handler_costs_one_500_not_the_pool() {
+    let _guard = server_lock();
+    let _fx = results_store::fault::exclusive();
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}-panic", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1, // a dead worker would be unmissable
+        default_scale: "test".to_string(),
+        ..ServerConfig::new(&dir)
+    };
+    let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
+
+    results_store::fault::arm_nth("serve.handle", 0, results_store::fault::FaultKind::Panic);
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 500 Internal Server Error");
+    assert!(
+        String::from_utf8(body)
+            .expect("utf8")
+            .contains("handler panicked"),
+        "panic surfaces in the error body"
+    );
+
+    // Same worker, next request: business as usual.
+    for _ in 0..3 {
+        let (status, _) = http_get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK", "pool survived the panic");
+    }
+
+    results_store::fault::clear_all();
+    stop.stop();
+    join.join().expect("server thread");
+    gaze_sim::results::configure(None).expect("deactivate store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The multi-core serving path end-to-end: `/figures/fig13` over real TCP
 /// is byte-identical to the CLI CSV and warm-served with zero simulation;
 /// and rows flushed by a *second* store handle after server start appear
@@ -178,11 +393,10 @@ fn server_serves_fig13_and_reloads_stale_stores() {
     let _ = std::fs::remove_dir_all(&dir);
 
     let config = ServerConfig {
-        dir: dir.clone(),
         addr: "127.0.0.1:0".to_string(), // ephemeral port
         threads: 2,
         default_scale: "test".to_string(),
-        spec_dir: None,
+        ..ServerConfig::new(&dir)
     };
     let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
 

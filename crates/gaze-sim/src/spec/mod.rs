@@ -449,8 +449,19 @@ impl TableKind {
 /// from the results store) exactly once. Returns each spec's tables, in
 /// input order.
 pub fn run_specs(specs: &[&ExperimentSpec], scale: &ExperimentScale) -> Vec<Vec<Table>> {
+    run_specs_with_progress(specs, scale, None)
+}
+
+/// [`run_specs`] with an optional `(done, total)` jobs-completed callback
+/// (see [`plan::Progress`]), used by the serving layer to report async
+/// job progress.
+pub fn run_specs_with_progress(
+    specs: &[&ExperimentSpec],
+    scale: &ExperimentScale,
+    progress: Option<plan::Progress<'_>>,
+) -> Vec<Vec<Table>> {
     let job_plan = plan_specs(specs, scale);
-    let results = plan::execute(&job_plan, scale);
+    let results = plan::execute_with_progress(&job_plan, scale, progress);
     specs
         .iter()
         .map(|spec| render::render_spec(spec, scale, &results))

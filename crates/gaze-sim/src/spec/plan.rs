@@ -351,41 +351,68 @@ fn load_traces(plan: &JobPlan, scale: &ExperimentScale) -> HashMap<String, AnyTr
     traces
 }
 
+/// A jobs-completed observer for [`execute_with_progress`]: called as
+/// `(done, total)` after each job finishes, from whichever worker thread
+/// finished it.
+pub type Progress<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
 /// Executes a plan: one flat parallel fan-out over every job, each going
 /// through the store-backed runners (read-before-simulate, write-through,
 /// memoized baselines). Results become durable before this returns.
 pub fn execute(plan: &JobPlan, scale: &ExperimentScale) -> JobResults {
+    execute_with_progress(plan, scale, None)
+}
+
+/// [`execute`] with an optional progress callback, so long-running sweeps
+/// (e.g. async serving jobs) can report how many of the plan's jobs have
+/// completed without waiting for the whole fan-out.
+pub fn execute_with_progress(
+    plan: &JobPlan,
+    scale: &ExperimentScale,
+    progress: Option<Progress<'_>>,
+) -> JobResults {
     let traces = load_traces(plan, scale);
-    let outputs = parallel_map(plan.jobs(), |job| match job {
-        Job::Single {
-            workload,
-            l1,
-            l2,
-            params,
-        } => Output::Single(Box::new(run_multi_level_single(
-            &traces[workload.as_str()],
-            l1,
-            l2.as_deref(),
-            params,
-        ))),
-        Job::Mix {
-            workloads,
-            prefetcher,
-            params,
-        } => {
-            let refs: Vec<&dyn TraceSource> = workloads
-                .iter()
-                .map(|w| &traces[w.as_str()] as &dyn TraceSource)
-                .collect();
-            // The "none" mix goes through the process-wide baseline
-            // memoization, exactly like the pre-spec figure code did.
-            let report = if prefetcher == "none" {
-                multicore_baseline(&refs, params)
-            } else {
-                run_heterogeneous(&refs, prefetcher, params)
-            };
-            Output::Mix(report)
+    let total = plan.len();
+    let done = std::sync::atomic::AtomicUsize::new(0);
+    let report_done = |output| {
+        if let Some(report) = progress {
+            let finished = done.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+            report(finished, total);
         }
+        output
+    };
+    let outputs = parallel_map(plan.jobs(), |job| {
+        report_done(match job {
+            Job::Single {
+                workload,
+                l1,
+                l2,
+                params,
+            } => Output::Single(Box::new(run_multi_level_single(
+                &traces[workload.as_str()],
+                l1,
+                l2.as_deref(),
+                params,
+            ))),
+            Job::Mix {
+                workloads,
+                prefetcher,
+                params,
+            } => {
+                let refs: Vec<&dyn TraceSource> = workloads
+                    .iter()
+                    .map(|w| &traces[w.as_str()] as &dyn TraceSource)
+                    .collect();
+                // The "none" mix goes through the process-wide baseline
+                // memoization, exactly like the pre-spec figure code did.
+                let report = if prefetcher == "none" {
+                    multicore_baseline(&refs, params)
+                } else {
+                    run_heterogeneous(&refs, prefetcher, params)
+                };
+                Output::Mix(report)
+            }
+        })
     });
     crate::results::flush();
     let mut results = JobResults::default();

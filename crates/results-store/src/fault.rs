@@ -1,0 +1,357 @@
+//! Deterministic fault injection for crash-safety tests.
+//!
+//! A *failpoint* is a named hook compiled into production code paths (the
+//! segment flush pipeline, the serving job executor). In normal operation
+//! every hook is a single relaxed atomic load — no registry lock, no map
+//! lookup, no allocation. Tests (or the `GAZE_FAILPOINTS` environment
+//! variable) *arm* a failpoint with a [`FaultKind`]; the next time the
+//! hooked code path runs, the fault fires: an injected [`io::Error`], a
+//! panic, or a short write.
+//!
+//! The registry is process-global, so tests that arm failpoints must not
+//! run concurrently with each other — serialize them with
+//! [`exclusive`], which also clears the registry when the guard drops.
+//!
+//! Registered points (name → code path):
+//!
+//! | point                | fires in                                        |
+//! |----------------------|-------------------------------------------------|
+//! | `gzr.segment.create` | before creating the `.tmp-` segment file        |
+//! | `gzr.segment.write`  | on each write of segment bytes to the tmp file  |
+//! | `gzr.segment.fsync`  | before fsyncing the tmp file                    |
+//! | `gzr.segment.rename` | before the atomic rename into place             |
+//! | `gzr.segment.dirsync`| after the rename, before the directory fsync    |
+//! | `gzr.segment.read`   | before opening each segment during load/reload  |
+//! | `jobs.execute`       | at the start of an async sweep job (gaze-serve) |
+//! | `serve.handle`       | at the top of HTTP request routing (gaze-serve) |
+//!
+//! Environment syntax: `GAZE_FAILPOINTS="point=kind;point=N:kind"` where
+//! `kind` is one of `error` (generic I/O error), `interrupted`, `panic`,
+//! `short-write`, or `sleep:<millis>`, and the optional `N:` prefix skips
+//! the first `N` hits before firing (env-armed points are sticky — they
+//! fire on every hit from then on).
+
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return an [`io::Error`] of this kind from the hooked operation.
+    Error(io::ErrorKind),
+    /// Panic inside the hooked operation.
+    Panic,
+    /// For write hooks: write only half of the buffer to the underlying
+    /// writer, then fail. At non-write hooks this behaves like a generic
+    /// I/O error.
+    ShortWrite,
+    /// Sleep this many milliseconds, then continue normally. Lets tests
+    /// hold an executor busy for a deterministic window.
+    Sleep(u64),
+}
+
+impl FaultKind {
+    fn into_error(self, point: &str) -> io::Error {
+        match self {
+            FaultKind::Error(kind) => {
+                io::Error::new(kind, format!("failpoint '{point}': injected {kind:?}"))
+            }
+            _ => io::Error::other(format!("failpoint '{point}': injected fault")),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ArmState {
+    kind: FaultKind,
+    /// Hits to skip before firing (0 = fire on the first hit).
+    fire_at: u64,
+    /// Hits observed so far.
+    hits: u64,
+    /// Sticky points fire on every hit past `fire_at`; one-shot points
+    /// fire exactly once.
+    sticky: bool,
+    fired: bool,
+}
+
+/// Fast path: a single relaxed load decides "no failpoints anywhere".
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<HashMap<String, ArmState>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, ArmState>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("GAZE_FAILPOINTS") {
+            for (point, arm) in parse_env(&spec) {
+                map.insert(point, arm);
+            }
+        }
+        if !map.is_empty() {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+        Mutex::new(map)
+    })
+}
+
+fn lock() -> MutexGuard<'static, HashMap<String, ArmState>> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn parse_env(spec: &str) -> Vec<(String, ArmState)> {
+    let mut arms = Vec::new();
+    for entry in spec.split(';').filter(|e| !e.trim().is_empty()) {
+        let Some((point, action)) = entry.split_once('=') else {
+            continue;
+        };
+        let action = action.trim();
+        let (fire_at, action) = match action.split_once(':') {
+            Some((n, rest)) if n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => {
+                (n.parse().unwrap_or(0), rest)
+            }
+            _ => (0, action),
+        };
+        let kind = match action {
+            "error" => FaultKind::Error(io::ErrorKind::Other),
+            "interrupted" => FaultKind::Error(io::ErrorKind::Interrupted),
+            "panic" => FaultKind::Panic,
+            "short-write" => FaultKind::ShortWrite,
+            _ => match action.strip_prefix("sleep:").and_then(|ms| ms.parse().ok()) {
+                Some(ms) => FaultKind::Sleep(ms),
+                None => continue,
+            },
+        };
+        arms.push((
+            point.trim().to_string(),
+            ArmState {
+                kind,
+                fire_at,
+                hits: 0,
+                sticky: true,
+                fired: false,
+            },
+        ));
+    }
+    arms
+}
+
+/// Arms `point` so that every hit fires `kind` until [`clear_all`].
+pub fn arm(point: &str, kind: FaultKind) {
+    arm_state(
+        point,
+        ArmState {
+            kind,
+            fire_at: 0,
+            hits: 0,
+            sticky: true,
+            fired: false,
+        },
+    );
+}
+
+/// Arms `point` to fire `kind` exactly once, on its `n`-th hit (0-based)
+/// after arming. Later hits pass through. This is what exhaustive flush
+/// tests use to fault the second segment of a two-segment flush.
+pub fn arm_nth(point: &str, n: u64, kind: FaultKind) {
+    arm_state(
+        point,
+        ArmState {
+            kind,
+            fire_at: n,
+            hits: 0,
+            sticky: false,
+            fired: false,
+        },
+    );
+}
+
+fn arm_state(point: &str, state: ArmState) {
+    let mut reg = lock();
+    reg.insert(point.to_string(), state);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms every failpoint and restores the zero-cost fast path.
+pub fn clear_all() {
+    let mut reg = lock();
+    reg.clear();
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether the failpoint armed at `point` has fired at least once.
+/// Returns `false` for unarmed points.
+pub fn fired(point: &str) -> bool {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return false;
+    }
+    lock().get(point).is_some_and(|a| a.fired)
+}
+
+/// Consults `point` and returns the fault to inject, if any. Sleep
+/// faults are served here (the caller just continues). Production code
+/// normally goes through [`check_io`] or [`FaultyWriter`] instead.
+pub fn fire(point: &str) -> Option<FaultKind> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let kind = {
+        let mut reg = lock();
+        let arm = reg.get_mut(point)?;
+        let hit = arm.hits;
+        arm.hits += 1;
+        if hit < arm.fire_at || (!arm.sticky && arm.fired) {
+            return None;
+        }
+        arm.fired = true;
+        arm.kind
+    };
+    if let FaultKind::Sleep(ms) = kind {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        return None;
+    }
+    Some(kind)
+}
+
+/// The standard hook for fallible I/O steps: a no-op unless `point` is
+/// armed, in which case it returns the injected error (or panics, for
+/// [`FaultKind::Panic`]).
+pub fn check_io(point: &str) -> io::Result<()> {
+    match fire(point) {
+        None => Ok(()),
+        Some(FaultKind::Panic) => panic!("failpoint '{point}': injected panic"),
+        Some(kind) => Err(kind.into_error(point)),
+    }
+}
+
+/// Serializes tests that arm failpoints: the registry is process-global,
+/// so two concurrently armed tests would see each other's faults. Drops
+/// clear the registry, so a panicking test cannot leak armed points into
+/// the next one.
+pub fn exclusive() -> ExclusiveGuard {
+    static GATE: Mutex<()> = Mutex::new(());
+    let guard = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    clear_all();
+    ExclusiveGuard { _guard: guard }
+}
+
+/// Guard returned by [`exclusive`]; clears all failpoints when dropped.
+pub struct ExclusiveGuard {
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl Drop for ExclusiveGuard {
+    fn drop(&mut self) {
+        clear_all();
+    }
+}
+
+/// A [`Write`] wrapper that consults a named failpoint on every write.
+/// [`FaultKind::ShortWrite`] writes half the buffer to the inner writer
+/// and then fails, modelling a torn write that left real bytes on disk.
+#[derive(Debug)]
+pub struct FaultyWriter<W: Write> {
+    inner: W,
+    point: &'static str,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner`, consulting `point` on every [`Write::write`].
+    pub fn new(inner: W, point: &'static str) -> FaultyWriter<W> {
+        FaultyWriter { inner, point }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match fire(self.point) {
+            None => self.inner.write(buf),
+            Some(FaultKind::Panic) => panic!("failpoint '{}': injected panic", self.point),
+            Some(FaultKind::ShortWrite) => {
+                let half = buf.len() / 2;
+                if half > 0 {
+                    self.inner.write_all(&buf[..half])?;
+                }
+                // Deliberately not `Interrupted`: `BufWriter` would retry
+                // an interrupted write and quietly double the torn bytes.
+                Err(io::Error::other(format!(
+                    "failpoint '{}': injected short write ({half} of {} bytes)",
+                    self.point,
+                    buf.len()
+                )))
+            }
+            Some(kind) => Err(kind.into_error(self.point)),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_points_are_inert() {
+        let _x = exclusive();
+        assert!(fire("gzr.segment.rename").is_none());
+        assert!(check_io("gzr.segment.rename").is_ok());
+        assert!(!fired("gzr.segment.rename"));
+    }
+
+    #[test]
+    fn sticky_arm_fires_every_hit_until_cleared() {
+        let _x = exclusive();
+        arm("p", FaultKind::Error(io::ErrorKind::Interrupted));
+        for _ in 0..3 {
+            let err = check_io("p").expect_err("armed");
+            assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        }
+        assert!(fired("p"));
+        clear_all();
+        assert!(check_io("p").is_ok());
+    }
+
+    #[test]
+    fn arm_nth_fires_exactly_once_on_the_nth_hit() {
+        let _x = exclusive();
+        arm_nth("p", 2, FaultKind::Error(io::ErrorKind::Other));
+        assert!(check_io("p").is_ok());
+        assert!(check_io("p").is_ok());
+        assert!(!fired("p"));
+        assert!(check_io("p").is_err());
+        assert!(fired("p"));
+        assert!(check_io("p").is_ok(), "one-shot");
+    }
+
+    #[test]
+    fn short_write_leaves_half_the_bytes() {
+        let _x = exclusive();
+        arm("w", FaultKind::ShortWrite);
+        let mut sink = Vec::new();
+        let mut writer = FaultyWriter::new(&mut sink, "w");
+        let err = writer.write(&[1, 2, 3, 4]).expect_err("short write");
+        assert_ne!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(sink, vec![1, 2]);
+    }
+
+    #[test]
+    fn env_spec_parses_kinds_and_fire_at() {
+        let arms = parse_env("a=error;b=3:panic;c=short-write;d=sleep:25;junk;e=nope");
+        let by_name: HashMap<_, _> = arms.into_iter().collect();
+        assert_eq!(by_name["a"].kind, FaultKind::Error(io::ErrorKind::Other));
+        assert_eq!(by_name["b"].kind, FaultKind::Panic);
+        assert_eq!(by_name["b"].fire_at, 3);
+        assert_eq!(by_name["c"].kind, FaultKind::ShortWrite);
+        assert_eq!(by_name["d"].kind, FaultKind::Sleep(25));
+        assert!(!by_name.contains_key("e"));
+        assert_eq!(by_name.len(), 4);
+    }
+}

@@ -28,6 +28,11 @@
 //! `GAZE_RESULTS_DIR` environment variable (see `gaze_sim::results`), and
 //! the `gaze-serve` crate puts an HTTP query front-end on top.
 //!
+//! Crash-safety of the flush pipeline is provable, not assumed: every
+//! fallible step (tmp-file create, write, fsync, rename, directory sync,
+//! segment read) carries a named [`fault`] injection point that tests arm
+//! to simulate torn writes, failed renames, and kills mid-flush.
+//!
 //! # Example
 //!
 //! ```
@@ -54,6 +59,7 @@
 //! std::fs::remove_dir_all(&dir).ok();
 //! ```
 
+pub mod fault;
 pub mod format;
 pub mod store;
 

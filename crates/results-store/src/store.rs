@@ -15,7 +15,10 @@ use crate::format::{
 /// Extension of segment files inside a store directory.
 pub const SEGMENT_EXTENSION: &str = "gzr";
 
-/// Prefix of segment file names (`seg-<seq>-<hash>.gzr`).
+/// Prefix of segment file names
+/// (`seg-<seq>-<pid>-<nonce>-<hash>.gzr`); loading only requires the
+/// prefix and extension, so stores written under older naming schemes
+/// stay readable.
 pub const SEGMENT_PREFIX: &str = "seg-";
 
 /// Prefix of in-progress temporary files; never loaded, so a crash
@@ -180,6 +183,7 @@ impl ResultsStore {
             rejected_appends: 0,
         };
         for path in segment_paths {
+            crate::fault::check_io("gzr.segment.read")?;
             let file = File::open(&path)?;
             let len = file.metadata()?.len();
             let records =
@@ -373,7 +377,7 @@ impl ResultsStore {
                 hasher.mix(rec.params_fingerprint);
                 hasher.mix(rec.stats.cycles);
             }
-            self.write_segment_file(hasher, |out| write_segment(out, &batch))?;
+            self.write_segment_file(hasher, |mut out| write_segment(&mut out, &batch))?;
             written += self.pending.len();
             self.pending.clear();
         }
@@ -389,7 +393,7 @@ impl ResultsStore {
                 hasher.mix(rec.params_fingerprint);
                 hasher.mix(rec.cores() as u64);
             }
-            self.write_segment_file(hasher, |out| write_mix_segment(out, &batch))?;
+            self.write_segment_file(hasher, |mut out| write_mix_segment(&mut out, &batch))?;
             written += self.pending_mixes.len();
             self.pending_mixes.clear();
         }
@@ -397,40 +401,66 @@ impl ResultsStore {
     }
 
     /// Writes one segment crash-safely: `.tmp-` file, fsync, atomic rename
-    /// to an unused `seg-` name, fsync directory.
+    /// to an unused `seg-` name, fsync directory. On any failure the tmp
+    /// file is removed (best-effort; a leftover is ignored by loads) and
+    /// the store's in-memory bookkeeping is untouched, so the pending rows
+    /// stay pending and a retried flush starts clean.
     fn write_segment_file(
         &mut self,
         mut hasher: sim_core::params::Fnv1a,
-        write: impl FnOnce(&mut BufWriter<File>) -> io::Result<()>,
+        write: impl FnOnce(&mut dyn Write) -> io::Result<()>,
     ) -> io::Result<()> {
         let nonce = SEGMENT_NONCE.fetch_add(1, Ordering::Relaxed);
-        hasher.mix(u64::from(std::process::id()));
+        let pid = std::process::id();
+        hasher.mix(u64::from(pid));
         hasher.mix(nonce);
         let hash = hasher.finish();
 
-        let tmp = self
-            .dir
-            .join(format!("{TMP_PREFIX}{}-{nonce:x}", std::process::id()));
-        {
-            let mut out = BufWriter::new(File::create(&tmp)?);
+        let tmp = self.dir.join(format!("{TMP_PREFIX}{pid}-{nonce:x}"));
+        let result = self.write_segment_at(&tmp, pid, nonce, hash, write);
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
+    }
+
+    fn write_segment_at(
+        &mut self,
+        tmp: &Path,
+        pid: u32,
+        nonce: u64,
+        hash: u64,
+        write: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+    ) -> io::Result<()> {
+        crate::fault::check_io("gzr.segment.create")?;
+        let file = {
+            let raw = File::create(tmp)?;
+            let mut out = BufWriter::new(crate::fault::FaultyWriter::new(raw, "gzr.segment.write"));
             write(&mut out)?;
             out.flush()?;
-            out.into_inner().map_err(io::Error::from)?.sync_all()?;
-        }
+            out.into_inner().map_err(io::Error::from)?.into_inner()
+        };
+        crate::fault::check_io("gzr.segment.fsync")?;
+        file.sync_all()?;
 
-        // Pick an unused segment name; the sequence number keeps load order
-        // stable, the hash disambiguates writers racing across processes.
+        // Pick an unused segment name; the sequence number keeps load
+        // order stable while the pid + nonce (and the hash, which also
+        // folds them) guarantee that two writers — concurrent stores in
+        // one process or independent processes appending to the same
+        // directory — can never target the same file name.
         let mut seq = self.segments;
         let final_path = loop {
             let candidate = self.dir.join(format!(
-                "{SEGMENT_PREFIX}{seq:08}-{hash:016x}.{SEGMENT_EXTENSION}"
+                "{SEGMENT_PREFIX}{seq:08}-{pid:08x}-{nonce:08x}-{hash:016x}.{SEGMENT_EXTENSION}"
             ));
             if !candidate.exists() {
                 break candidate;
             }
             seq += 1;
         };
-        fs::rename(&tmp, &final_path)?;
+        crate::fault::check_io("gzr.segment.rename")?;
+        fs::rename(tmp, &final_path)?;
+        crate::fault::check_io("gzr.segment.dirsync")?;
         if let Ok(dir_handle) = File::open(&self.dir) {
             // Persist the rename itself; best-effort on filesystems that
             // refuse to fsync directories.
@@ -495,6 +525,7 @@ impl ResultsStore {
         });
         on_disk.sort();
         for path in on_disk {
+            crate::fault::check_io("gzr.segment.read")?;
             let file = File::open(&path)?;
             let len = file.metadata()?.len();
             let records =
