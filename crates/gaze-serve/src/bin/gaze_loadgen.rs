@@ -1,0 +1,163 @@
+//! `gaze-loadgen` — load-test a `gaze-serve` instance and record the
+//! latency/throughput benchmark (`BENCH_serve.json` schema).
+//!
+//! ```text
+//! gaze-loadgen (--addr HOST:PORT | --dir DIR) [--clients N] [--requests N]
+//!              [--scale test|quick|bench|paper] [--spec NAME] [--figure NAME]
+//!              [--jobs N] [--out FILE]
+//! ```
+//!
+//! With `--addr`, an already-running server is driven. With `--dir`, a
+//! server is spawned in-process over that results store (ephemeral
+//! port), driven, and shut down gracefully — one command produces a
+//! full cold + warm benchmark from an empty directory.
+//!
+//! Scenarios (see `gaze_serve::loadgen`): `cold_experiments` (first
+//! request of a never-seen sweep), `warm_figures`, `warm_runs` and
+//! `job_churn`. The JSON report goes to `--out` (default
+//! `BENCH_serve.json`); a human summary goes to stderr. Exits non-zero
+//! if any scenario recorded zero successful requests or any error.
+
+use std::process::ExitCode;
+
+use gaze_serve::loadgen::{bench_json, run_benchmark, LoadgenConfig};
+use gaze_serve::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gaze-loadgen (--addr HOST:PORT | --dir DIR) [--clients N] [--requests N] \
+         [--scale test|quick|bench|paper] [--spec NAME] [--figure NAME] [--jobs N] [--out FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_count(args: &[String], flag: &str) -> Result<Option<usize>, ExitCode> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => {
+                eprintln!("gaze-loadgen: {flag} must be a positive integer");
+                Err(usage())
+            }
+        },
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+
+    // Either drive a running server or self-host one over --dir.
+    let addr_flag = flag_value(&args, "--addr");
+    let dir_flag = flag_value(&args, "--dir");
+    let (addr, server) = match (addr_flag, dir_flag) {
+        (Some(_), Some(_)) => {
+            eprintln!("gaze-loadgen: --addr and --dir are mutually exclusive");
+            return usage();
+        }
+        (Some(addr), None) => match addr.parse() {
+            Ok(parsed) => (parsed, None),
+            Err(e) => {
+                eprintln!("gaze-loadgen: --addr '{addr}': {e}");
+                return usage();
+            }
+        },
+        (None, Some(dir)) => {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..ServerConfig::new(dir)
+            };
+            match Server::spawn(&config) {
+                Ok((addr, stop, join)) => {
+                    eprintln!(
+                        "gaze-loadgen: self-hosting store '{}' on http://{addr}",
+                        config.dir.display()
+                    );
+                    (addr, Some((stop, join)))
+                }
+                Err(e) => {
+                    eprintln!("gaze-loadgen: cannot spawn server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        (None, None) => {
+            eprintln!("gaze-loadgen: one of --addr or --dir is required");
+            return usage();
+        }
+    };
+
+    let mut config = LoadgenConfig::new(addr);
+    match (
+        parse_count(&args, "--clients"),
+        parse_count(&args, "--requests"),
+        parse_count(&args, "--jobs"),
+    ) {
+        (Ok(clients), Ok(requests), Ok(jobs)) => {
+            if let Some(n) = clients {
+                config.clients = n;
+            }
+            if let Some(n) = requests {
+                config.requests = n;
+            }
+            if let Some(n) = jobs {
+                config.jobs = n;
+            }
+        }
+        (Err(code), _, _) | (_, Err(code), _) | (_, _, Err(code)) => return code,
+    }
+    if let Some(scale) = flag_value(&args, "--scale") {
+        if gaze_sim::experiments::ExperimentScale::named(&scale).is_none() {
+            eprintln!("gaze-loadgen: unknown scale '{scale}' (test|quick|bench|paper)");
+            return usage();
+        }
+        config.scale = scale;
+    }
+    if let Some(spec) = flag_value(&args, "--spec") {
+        config.spec = spec;
+    }
+    if let Some(figure) = flag_value(&args, "--figure") {
+        config.figure = figure;
+    }
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let results = run_benchmark(&config);
+
+    if let Some((stop, join)) = server {
+        stop.stop();
+        let _ = join.join();
+    }
+
+    let mut failed = false;
+    for r in &results {
+        eprintln!(
+            "gaze-loadgen: {:<16} clients={:<4} ok={:<6} errors={:<3} {:>8.2} req/s  \
+             p50={:.2}ms p99={:.2}ms",
+            r.name, r.clients, r.requests, r.errors, r.rps, r.p50_ms, r.p99_ms
+        );
+        if r.requests == 0 || r.errors > 0 {
+            failed = true;
+        }
+    }
+    let body = bench_json(&config.scale, &results);
+    if let Err(e) = std::fs::write(&out, &body) {
+        eprintln!("gaze-loadgen: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("gaze-loadgen: wrote {out}");
+    if failed {
+        eprintln!("gaze-loadgen: FAILED: a scenario had zero successes or recorded errors");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

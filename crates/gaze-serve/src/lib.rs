@@ -30,7 +30,15 @@
 //!   in-flight dedup of identical submissions,
 //! * `GET /jobs`, `GET /jobs/<id>`, `GET /jobs/<id>/result` — job
 //!   listing, lifecycle status (`queued|running|done|failed`), and the
-//!   finished CSV.
+//!   finished CSV,
+//! * `POST /admin/compact` — merge every store segment into at most one
+//!   per record kind, dropping superseded duplicates; returns the
+//!   compaction stats as JSON.
+//!
+//! The [`loadgen`] module (and its `gaze-loadgen` binary) drives
+//! hundreds of concurrent closed-loop clients against these endpoints
+//! and records latency percentiles and throughput into
+//! `BENCH_serve.json`.
 //!
 //! Long sweeps run on the job executor pool, never inside an HTTP
 //! worker; a panicking handler costs one `500`, not a worker thread; and
@@ -46,6 +54,7 @@
 pub mod http;
 pub mod jobs;
 pub mod json;
+pub mod loadgen;
 pub mod routes;
 pub mod server;
 

@@ -1,0 +1,375 @@
+//! Closed-loop HTTP load generator for the serving front-end.
+//!
+//! [`run_benchmark`] drives a configurable number of concurrent clients
+//! against a running `gaze-serve` instance — each client is a thread
+//! issuing one request at a time over its own TCP connection
+//! (`Connection: close`, exactly what short-lived CLI clients do) — and
+//! records per-request latency. Four scenarios cover the serving paths
+//! that matter under heavy traffic:
+//!
+//! * `cold_experiments` — the first `GET /experiments?spec=…` against a
+//!   cold store: the spec simulates and persists write-through, so this
+//!   measures worst-case time-to-first-byte for a brand-new sweep;
+//! * `warm_figures` — `GET /figures/<fig>` after priming, served
+//!   entirely from stored rows (zero simulation);
+//! * `warm_runs` — `GET /runs?…` point/range queries over the store;
+//! * `job_churn` — `POST /experiments` submissions polled via
+//!   `/jobs/<id>` to completion: the async job pipeline under load.
+//!
+//! Results aggregate into [`ScenarioResult`]s (throughput, p50/p99
+//! latency) and serialize to the `BENCH_serve.json` schema
+//! (`gaze-serve-bench-v1`) via [`bench_json`] — the CI loadgen smoke and
+//! the committed benchmark file both come from this module through the
+//! `gaze-loadgen` binary.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::json::{json_array, JsonObject};
+
+/// How a load-generation run is set up.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Address of the server under test.
+    pub addr: SocketAddr,
+    /// Concurrent clients per warm scenario (each is one thread issuing
+    /// requests back to back).
+    pub clients: usize,
+    /// Requests each client issues per warm scenario.
+    pub requests: usize,
+    /// Scale name sent with figure/experiment requests (`test`, `quick`,
+    /// `bench`, `paper`).
+    pub scale: String,
+    /// Spec name driven by the cold-experiments and job-churn scenarios.
+    pub spec: String,
+    /// Figure endpoint driven by the warm-figures scenario.
+    pub figure: String,
+    /// Async jobs submitted (and polled to completion) per client by the
+    /// job-churn scenario.
+    pub jobs: usize,
+    /// Per-request socket timeout.
+    pub timeout: Duration,
+}
+
+impl LoadgenConfig {
+    /// A small default run against `addr`: 8 clients × 25 requests at
+    /// the `test` scale — enough to exercise every path in seconds.
+    pub fn new(addr: SocketAddr) -> LoadgenConfig {
+        LoadgenConfig {
+            addr,
+            clients: 8,
+            requests: 25,
+            scale: "test".to_string(),
+            spec: "fig06".to_string(),
+            figure: "fig06".to_string(),
+            jobs: 2,
+            timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Aggregated outcome of one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// Scenario name (`cold_experiments`, `warm_figures`, `warm_runs`,
+    /// `job_churn`).
+    pub name: String,
+    /// Concurrent clients that drove the scenario.
+    pub clients: usize,
+    /// Requests that completed successfully (HTTP 2xx).
+    pub requests: usize,
+    /// Requests that failed (transport error or non-2xx status).
+    pub errors: usize,
+    /// Wall-clock duration of the scenario.
+    pub seconds: f64,
+    /// Successful requests per second of wall-clock time.
+    pub rps: f64,
+    /// Median request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// One HTTP/1.1 request over a fresh connection (`Connection: close`).
+/// Returns the status code and body.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    timeout: Duration,
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let mut stream = stream;
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, raw[head_end + 4..].to_vec()))
+}
+
+/// Latency percentile (0.0..=1.0) over a sorted sample, in milliseconds.
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1_000.0
+}
+
+/// Runs `clients` threads, each calling `work(client_index, iteration)`
+/// `per_client` times; aggregates latencies of `Ok` iterations.
+fn run_closed_loop(
+    name: &str,
+    clients: usize,
+    per_client: usize,
+    work: impl Fn(usize, usize) -> std::io::Result<Duration> + Send + Sync,
+) -> ScenarioResult {
+    let errors = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let errors = Arc::clone(&errors);
+                scope.spawn(move || {
+                    let mut mine = Vec::with_capacity(per_client);
+                    for iteration in 0..per_client {
+                        match work(client, iteration) {
+                            Ok(latency) => mine.push(latency),
+                            Err(e) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("gaze-loadgen: {name} client {client}: {e}");
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut all = Vec::with_capacity(clients * per_client);
+        for handle in handles {
+            all.extend(handle.join().expect("loadgen client thread"));
+        }
+        all
+    });
+    let seconds = started.elapsed().as_secs_f64();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    ScenarioResult {
+        name: name.to_string(),
+        clients,
+        requests: sorted.len(),
+        errors: errors.load(Ordering::Relaxed),
+        seconds,
+        rps: if seconds > 0.0 {
+            sorted.len() as f64 / seconds
+        } else {
+            0.0
+        },
+        p50_ms: percentile_ms(&sorted, 0.50),
+        p99_ms: percentile_ms(&sorted, 0.99),
+    }
+}
+
+/// One timed GET whose response must be 2xx.
+fn timed_get(addr: SocketAddr, target: &str, timeout: Duration) -> std::io::Result<Duration> {
+    let started = Instant::now();
+    let (status, _body) = http_request(addr, "GET", target, timeout)?;
+    if !(200..300).contains(&status) {
+        return Err(std::io::Error::other(format!("{target}: HTTP {status}")));
+    }
+    Ok(started.elapsed())
+}
+
+/// Submits one async job and polls it to completion; the latency covers
+/// submit through the job reporting `done`.
+fn timed_job(
+    addr: SocketAddr,
+    spec: &str,
+    scale: &str,
+    timeout: Duration,
+) -> std::io::Result<Duration> {
+    let started = Instant::now();
+    let target = format!("/experiments?spec={spec}&scale={scale}");
+    let (status, body) = http_request(addr, "POST", &target, timeout)?;
+    if status != 202 {
+        return Err(std::io::Error::other(format!("submit: HTTP {status}")));
+    }
+    let body = String::from_utf8_lossy(&body).into_owned();
+    let id = body
+        .split("\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .ok_or_else(|| std::io::Error::other(format!("submit: no job id in {body}")))?
+        .to_string();
+    loop {
+        let (status, body) = http_request(addr, "GET", &format!("/jobs/{id}"), timeout)?;
+        if status != 200 {
+            return Err(std::io::Error::other(format!("poll {id}: HTTP {status}")));
+        }
+        let body = String::from_utf8_lossy(&body).into_owned();
+        if body.contains("\"status\":\"done\"") {
+            return Ok(started.elapsed());
+        }
+        if body.contains("\"status\":\"failed\"") {
+            return Err(std::io::Error::other(format!("job {id} failed: {body}")));
+        }
+        if started.elapsed() > timeout {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("job {id} not done within {timeout:?}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Runs the full scenario suite against `config.addr` and returns one
+/// [`ScenarioResult`] per scenario, in execution order. The cold
+/// scenario runs first (single client — its request is only cold if the
+/// server's store is), which also primes the store for the warm ones.
+pub fn run_benchmark(config: &LoadgenConfig) -> Vec<ScenarioResult> {
+    let mut results = Vec::new();
+    let experiments_target = format!("/experiments?spec={}&scale={}", config.spec, config.scale);
+
+    // Cold: one client, one request — time-to-first-byte for a sweep the
+    // store has never seen.
+    results.push(run_closed_loop("cold_experiments", 1, 1, |_, _| {
+        timed_get(config.addr, &experiments_target, config.timeout)
+    }));
+
+    // Prime the warm figure outside the timed window, then hammer it.
+    let figure_target = format!("/figures/{}?scale={}", config.figure, config.scale);
+    if let Err(e) = timed_get(config.addr, &figure_target, config.timeout) {
+        eprintln!("gaze-loadgen: warm-figure priming failed: {e}");
+    }
+    results.push(run_closed_loop(
+        "warm_figures",
+        config.clients,
+        config.requests,
+        |_, _| timed_get(config.addr, &figure_target, config.timeout),
+    ));
+
+    // Store queries: alternate the single-run listing with a filtered one
+    // so both the scan and the filter paths are exercised.
+    results.push(run_closed_loop(
+        "warm_runs",
+        config.clients,
+        config.requests,
+        |_, iteration| {
+            let target = if iteration % 2 == 0 {
+                "/runs?limit=100"
+            } else {
+                "/runs?prefetcher=gaze&limit=100"
+            };
+            timed_get(config.addr, target, config.timeout)
+        },
+    ));
+
+    // Async job churn: every client submits and polls jobs back to back.
+    // Identical in-flight submissions dedup server-side; that is the
+    // production behaviour under a thundering herd, so it is what gets
+    // measured.
+    results.push(run_closed_loop(
+        "job_churn",
+        config.clients,
+        config.jobs,
+        |_, _| timed_job(config.addr, &config.spec, &config.scale, config.timeout),
+    ));
+    results
+}
+
+/// Serializes scenario results to the `BENCH_serve.json` document
+/// (schema `gaze-serve-bench-v1`).
+pub fn bench_json(scale: &str, results: &[ScenarioResult]) -> String {
+    let scenarios = json_array(results.iter().map(|r| {
+        JsonObject::new()
+            .string("name", &r.name)
+            .u64("clients", r.clients as u64)
+            .u64("requests", r.requests as u64)
+            .u64("errors", r.errors as u64)
+            .f64("seconds", r.seconds)
+            .f64("rps", r.rps)
+            .f64("p50_ms", r.p50_ms)
+            .f64("p99_ms", r.p99_ms)
+            .build()
+    }));
+    JsonObject::new()
+        .string("schema", "gaze-serve-bench-v1")
+        .string("scale", scale)
+        .raw("scenarios", scenarios)
+        .build()
+        + "\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_the_expected_ranks() {
+        let sample: Vec<Duration> = (0..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile_ms(&sample, 0.50), 50.0);
+        assert_eq!(percentile_ms(&sample, 0.99), 99.0);
+        assert_eq!(percentile_ms(&sample, 1.0), 100.0);
+        assert_eq!(percentile_ms(&[], 0.99), 0.0);
+        assert_eq!(percentile_ms(&[Duration::from_millis(7)], 0.50), 7.0);
+    }
+
+    #[test]
+    fn bench_json_carries_schema_and_scenarios() {
+        let body = bench_json(
+            "test",
+            &[ScenarioResult {
+                name: "warm_figures".to_string(),
+                clients: 8,
+                requests: 200,
+                errors: 0,
+                seconds: 1.25,
+                rps: 160.0,
+                p50_ms: 4.5,
+                p99_ms: 12.0,
+            }],
+        );
+        assert!(
+            body.contains("\"schema\":\"gaze-serve-bench-v1\""),
+            "{body}"
+        );
+        assert!(body.contains("\"name\":\"warm_figures\""), "{body}");
+        assert!(body.contains("\"rps\":160.0"), "{body}");
+        assert!(body.contains("\"p99_ms\":12.0"), "{body}");
+    }
+
+    #[test]
+    fn closed_loop_aggregates_latencies_and_errors() {
+        let result = run_closed_loop("mixed", 4, 10, |client, iteration| {
+            if client == 0 && iteration % 2 == 0 {
+                Err(std::io::Error::other("synthetic failure"))
+            } else {
+                Ok(Duration::from_millis(5))
+            }
+        });
+        assert_eq!(result.clients, 4);
+        assert_eq!(result.requests, 35);
+        assert_eq!(result.errors, 5);
+        assert_eq!(result.p50_ms, 5.0);
+        assert!(result.rps > 0.0);
+    }
+}

@@ -1,6 +1,6 @@
 //! Route handlers: `/healthz`, `/runs`,
-//! `/figures/{fig06..fig09,fig13..fig18}`, `/specs`, `/experiments` and
-//! `/jobs`.
+//! `/figures/{fig06..fig09,fig13..fig18}`, `/specs`, `/experiments`,
+//! `/jobs` and the `/admin/compact` maintenance hook.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -49,11 +49,11 @@ pub struct AppState {
 /// (possibly stale) in-memory data rather than erroring.
 pub fn handle(state: &AppState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", _) | ("POST", "/experiments") => {}
+        ("GET", _) | ("POST", "/experiments") | ("POST", "/admin/compact") => {}
         _ => {
             return Response::error(
                 405,
-                "only GET is supported (plus POST /experiments to submit a job)",
+                "only GET is supported (plus POST /experiments and POST /admin/compact)",
             )
         }
     }
@@ -71,6 +71,7 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         "/specs" => specs(state),
         "/experiments" => experiments(state, req),
         "/jobs" => jobs_list(state),
+        "/admin/compact" => admin_compact(state, req),
         path => {
             if let Some(figure) = path.strip_prefix("/figures/") {
                 figures(state, req, figure)
@@ -297,6 +298,30 @@ fn job_detail(state: &AppState, rest: &str) -> Response {
     }
 }
 
+/// `POST /admin/compact` — flushes pending rows, then merges every
+/// on-disk segment into at most one per record kind, dropping superseded
+/// duplicate rows. Returns the compaction stats as JSON. Compaction is
+/// crash-safe (see `results_store`): a request that dies mid-compaction
+/// leaves a store that reopens with the same logical contents.
+fn admin_compact(state: &AppState, req: &Request) -> Response {
+    if req.method != "POST" {
+        return Response::error(405, "compaction is POST-only");
+    }
+    match state.store.compact() {
+        Ok(stats) => {
+            let body = JsonObject::new()
+                .u64("segments_before", stats.segments_before as u64)
+                .u64("segments_after", stats.segments_after as u64)
+                .u64("runs", stats.runs as u64)
+                .u64("mixes", stats.mixes as u64)
+                .u64("duplicates_dropped", stats.duplicates_dropped)
+                .build();
+            Response::json(body + "\n")
+        }
+        Err(e) => Response::error(500, &format!("compaction failed: {e}")),
+    }
+}
+
 fn healthz(state: &AppState) -> Response {
     let (rows, mix_rows, segments, pending) = state.store.with_store(|s| {
         (
@@ -368,9 +393,7 @@ fn single_runs(state: &AppState, req: &Request) -> Response {
             Err(_) => return Response::error(400, "limit must be a non-negative integer"),
         }
     }
-    let rows = state
-        .store
-        .with_store(|s| s.query(&query).into_iter().cloned().collect::<Vec<_>>());
+    let rows = state.store.with_store(|s| s.query(&query));
     let body = json_array(rows.iter().map(run_json));
     Response::json(body + "\n")
 }
@@ -436,7 +459,7 @@ fn mix_runs(state: &AppState, req: &Request) -> Response {
             .take(limit);
         json_array(rows.map(|rec| {
             let base = s.get_mix(rec.mix_fingerprint, rec.params_fingerprint, "none");
-            mix_json(rec, base)
+            mix_json(&rec, base.as_ref())
         }))
     });
     Response::json(body + "\n")
@@ -736,6 +759,29 @@ mod tests {
             },
         );
         assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn admin_compact_merges_segments_and_reports_stats() {
+        let state = test_state("compact");
+        // Two flushes → two v1 segments on disk.
+        seed_row(&state, "bwaves_s", "gaze");
+        state.store.flush().expect("flush");
+        seed_row(&state, "mcf_s", "gaze");
+        state.store.flush().expect("flush");
+
+        let resp = post(&state, "/admin/compact");
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).expect("utf8");
+        assert!(body.contains("\"segments_before\":2"), "{body}");
+        assert!(body.contains("\"segments_after\":1"), "{body}");
+        assert!(body.contains("\"runs\":2"), "{body}");
+
+        // Compaction is GET-gated like every other mutating endpoint.
+        assert_eq!(get(&state, "/admin/compact").status, 405);
+        // The rows are still served after the merge.
+        let runs = String::from_utf8(get(&state, "/runs").body).expect("utf8");
+        assert_eq!(runs.matches("\"workload\"").count(), 2);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Smoke test for the `gaze-loadgen` harness: the full scenario suite
+//! runs against a real server over real TCP, every scenario completes
+//! with zero errors, and the emitted `BENCH_serve.json` document carries
+//! one datapoint per scenario — at least one cold and one warm.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gaze_serve::loadgen::{bench_json, http_request, run_benchmark, LoadgenConfig};
+use gaze_serve::{Server, ServerConfig};
+
+#[test]
+fn benchmark_suite_completes_cleanly_against_live_server() {
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 4,
+        default_scale: "test".to_string(),
+        ..ServerConfig::new(&dir)
+    };
+    let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
+
+    let load = LoadgenConfig {
+        clients: 2,
+        requests: 3,
+        jobs: 1,
+        scale: "test".to_string(),
+        timeout: Duration::from_secs(120),
+        ..LoadgenConfig::new(addr)
+    };
+    let results = run_benchmark(&load);
+
+    let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["cold_experiments", "warm_figures", "warm_runs", "job_churn"],
+        "scenario order: cold first, then warm, then job churn"
+    );
+    for r in &results {
+        assert!(r.requests > 0, "{}: no requests completed", r.name);
+        assert_eq!(r.errors, 0, "{}: {} errors", r.name, r.errors);
+        assert!(r.seconds > 0.0, "{}: zero elapsed time", r.name);
+        assert!(r.rps > 0.0, "{}: zero throughput", r.name);
+        assert!(
+            r.p50_ms <= r.p99_ms,
+            "{}: p50 {} above p99 {}",
+            r.name,
+            r.p50_ms,
+            r.p99_ms
+        );
+    }
+    assert_eq!(
+        results[1].requests,
+        load.clients * load.requests,
+        "warm_figures runs the full closed loop"
+    );
+
+    // The benchmark leaves the store warm: rerunning the cold target now
+    // is served from disk (still 200, still well-formed CSV).
+    let (status, body) = http_request(
+        addr,
+        "GET",
+        "/experiments?spec=fig06&scale=test",
+        load.timeout,
+    )
+    .expect("warm rerun");
+    assert_eq!(status, 200);
+    let csv = String::from_utf8_lossy(&body).into_owned();
+    let header = csv.lines().next().unwrap_or_default();
+    assert!(
+        header.contains(',') && csv.lines().count() > 1,
+        "experiments endpoint returns a CSV table, got: {header:?}"
+    );
+
+    let doc = bench_json("test", &results);
+    assert!(doc.contains("\"schema\":\"gaze-serve-bench-v1\""), "{doc}");
+    for name in names {
+        assert!(doc.contains(&format!("\"name\":\"{name}\"")), "{doc}");
+    }
+    assert!(doc.contains("\"p99_ms\":"), "{doc}");
+
+    stop.stop();
+    join.join().expect("server thread");
+    std::fs::remove_dir_all(&dir).ok();
+}

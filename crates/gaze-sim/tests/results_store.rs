@@ -173,7 +173,7 @@ fn multicore_runs_round_trip_through_the_store() {
     assert_eq!(rec.report, cold_het, "bit-identical per-core counters");
     let base = store.get_mix(het_fp, keyed, "none").expect("baseline row");
     assert_eq!(base.report, cold_base);
-    assert_eq!(rec.speedup_over(base), cold_speedup);
+    assert_eq!(rec.speedup_over(&base), cold_speedup);
 
     // Warm: a fresh process (handle) serves everything with zero
     // simulation, bit-identically. The in-process baseline cache would

@@ -1,0 +1,95 @@
+//! `gzr-store` — offline maintenance of a results-store directory.
+//!
+//! ```text
+//! gzr-store info DIR       # segment/sidecar inventory and row counts
+//! gzr-store compact DIR    # merge segments, drop superseded duplicates
+//! gzr-store backfill DIR   # write missing .gzx sidecars for legacy segments
+//! ```
+//!
+//! `compact` is the same operation as `POST /admin/compact` on
+//! `gaze-serve` and is crash-safe at every step: killed mid-compaction,
+//! the directory reopens with the same logical contents (the merged and
+//! superseded segments may briefly coexist; dedup-on-read collapses
+//! them, and the next compact finishes the cleanup).
+
+use std::process::ExitCode;
+
+use results_store::ResultsStore;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: gzr-store (info | compact | backfill) DIR");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let (Some(command), Some(dir)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    if args.len() != 2 {
+        return usage();
+    }
+    let mut store = match ResultsStore::open(dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("gzr-store: cannot open store '{dir}': {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match command.as_str() {
+        "info" => {
+            println!("dir:               {dir}");
+            println!("segments:          {}", store.segment_count());
+            println!("runs:              {}", store.len());
+            println!("mix runs:          {}", store.mix_len());
+            println!("duplicates merged: {}", store.duplicates_skipped());
+            println!("key conflicts:     {}", store.conflicting_appends());
+            println!("sidecars rejected: {}", store.sidecars_rejected());
+            println!("records decoded:   {}", store.records_decoded());
+            ExitCode::SUCCESS
+        }
+        "compact" => match store.compact() {
+            Ok(stats) => {
+                println!(
+                    "compacted {} segment(s) into {}: {} run row(s), {} mix row(s), \
+                     {} duplicate(s) dropped",
+                    stats.segments_before,
+                    stats.segments_after,
+                    stats.runs,
+                    stats.mixes,
+                    stats.duplicates_dropped
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gzr-store: compaction failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "backfill" => {
+            // An empty flush walks every loaded segment and writes any
+            // missing sidecar (flush backfills as a side effect); doing it
+            // through flush keeps exactly one code path writing sidecars.
+            match store.flush() {
+                Ok(_) => {
+                    println!(
+                        "backfilled sidecars for {} segment(s)",
+                        store.segment_count()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("gzr-store: backfill failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("gzr-store: unknown command '{other}'");
+            usage()
+        }
+    }
+}

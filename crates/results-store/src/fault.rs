@@ -22,6 +22,16 @@
 //! | `gzr.segment.rename` | before the atomic rename into place             |
 //! | `gzr.segment.dirsync`| after the rename, before the directory fsync    |
 //! | `gzr.segment.read`   | before opening each segment during load/reload  |
+//! | `gzr.segment.pread`  | before each positioned point-lookup record read |
+//! | `gzr.segment.scan`   | before decoding a whole segment for a query     |
+//! | `gzx.sidecar.create` | before creating the `.tmp-` sidecar file        |
+//! | `gzx.sidecar.write`  | on each write of sidecar bytes to the tmp file  |
+//! | `gzx.sidecar.fsync`  | before fsyncing the sidecar tmp file            |
+//! | `gzx.sidecar.rename` | before the sidecar's atomic rename into place   |
+//! | `gzr.compact.begin`  | at the start of a compaction, after the flush   |
+//! | `gzr.compact.write`  | before writing the merged segments              |
+//! | `gzr.compact.remove` | before unlinking each superseded old segment    |
+//! | `gzr.compact.dirsync`| after the removals, before the directory fsync  |
 //! | `jobs.execute`       | at the start of an async sweep job (gaze-serve) |
 //! | `serve.handle`       | at the top of HTTP request routing (gaze-serve) |
 //!

@@ -6,8 +6,13 @@
 //! experiment harness is deterministic, so its result only ever needs to
 //! be computed once. This crate stores those results durably — as
 //! directories of little-endian fixed-record **GZR** segment files
-//! ([`mod@format`], spec in `docs/RESULTS.md`) — and serves them back through
-//! an in-memory index with a typed query API ([`store`]).
+//! ([`mod@format`], spec in `docs/RESULTS.md`) — and serves them back
+//! through a typed query API ([`store`]). Each segment carries a `.gzx`
+//! [`sidecar`] (sorted key table + bloom filter), so opening a store is
+//! O(segments): point lookups resolve through the sidecar index with one
+//! positioned record read, and payloads never need to be resident. A
+//! [`compact`](ResultsStore::compact) pass merges segments and physically
+//! drops duplicate rows.
 //!
 //! Keys are content fingerprints, not names: a record is identified by the
 //! FNV-1a fingerprint of its trace's record stream, the fingerprint of its
@@ -28,10 +33,11 @@
 //! `GAZE_RESULTS_DIR` environment variable (see `gaze_sim::results`), and
 //! the `gaze-serve` crate puts an HTTP query front-end on top.
 //!
-//! Crash-safety of the flush pipeline is provable, not assumed: every
-//! fallible step (tmp-file create, write, fsync, rename, directory sync,
-//! segment read) carries a named [`fault`] injection point that tests arm
-//! to simulate torn writes, failed renames, and kills mid-flush.
+//! Crash-safety of the flush, sidecar and compaction pipelines is
+//! provable, not assumed: every fallible step (tmp-file create, write,
+//! fsync, rename, directory sync, segment/record reads, each compaction
+//! phase) carries a named [`fault`] injection point that tests arm to
+//! simulate torn writes, failed renames, and kills mid-operation.
 //!
 //! # Example
 //!
@@ -61,10 +67,11 @@
 
 pub mod fault;
 pub mod format;
+pub mod sidecar;
 pub mod store;
 
 pub use format::{
     decode_mix_record, decode_record, encode_mix_record, encode_record, MixKey, MixRecord, RunKey,
     RunRecord, SegmentRecords,
 };
-pub use store::{MixQuery, ResultsStore, RunQuery};
+pub use store::{CompactStats, MixQuery, ResultsStore, RunQuery};

@@ -1,0 +1,405 @@
+//! `.gzx` sidecar index files: the per-segment key table + bloom filter
+//! that lets [`crate::ResultsStore`] open in O(segments) instead of
+//! O(records).
+//!
+//! Every flushed `.gzr` segment gets a sibling `<name>.gzx` holding a
+//! sorted `(key_hash, record_index)` table plus a small bloom filter over
+//! the segment's fingerprint-tuple keys. Opening a store reads only
+//! segment headers and sidecars; a point lookup goes bloom →
+//! binary-search → positioned record read. The sidecar is **derived
+//! data**: a missing, truncated, or otherwise invalid sidecar never
+//! fails an open — the store falls back to a one-time scan of that
+//! segment and rewrites the sidecar on the next flush (backfill).
+//!
+//! # On-disk layout (version 1, little-endian)
+//!
+//! | offset | size | field |
+//! |-------:|-----:|-------|
+//! | 0      | 4    | magic `GZX1` |
+//! | 4      | 2    | sidecar format version (`1`) |
+//! | 6      | 2    | segment kind: the GZR version this indexes (1 or 2) |
+//! | 8      | 8    | `entry_count` — must equal the segment's record count |
+//! | 16     | 8    | `bloom_words` — u64 words of bloom bitmap that follow |
+//! | 24     | 8    | reserved, zero |
+//! | 32     | 8×`bloom_words` | bloom bitmap words |
+//! | …      | 16×`entry_count` | entries: `key_hash` u64, `record_index` u64 |
+//!
+//! Entries are sorted ascending by `(key_hash, record_index)` so equal
+//! hashes are probed in record order (first write wins, matching the
+//! store's dedup semantics). The file size must match the header fields
+//! exactly; any disagreement — including an `entry_count` that differs
+//! from the segment's record count — rejects the sidecar loudly.
+//!
+//! Writes are crash-safe the same way segments are: temp file → fsync →
+//! rename. There is no directory fsync — losing a sidecar in a crash
+//! only costs a fallback scan. All failure points are armable through
+//! [`crate::fault`] (`gzx.sidecar.create|write|fsync|rename`).
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use sim_core::params::Fnv1a;
+
+use crate::fault::{check_io, FaultyWriter};
+
+/// Magic bytes opening every sidecar file.
+pub const GZX_MAGIC: [u8; 4] = *b"GZX1";
+/// Sidecar format version written by this crate.
+pub const GZX_VERSION: u16 = 1;
+/// Fixed header size in bytes.
+pub const GZX_HEADER_BYTES: usize = 32;
+/// Size of one `(key_hash, record_index)` entry.
+pub const GZX_ENTRY_BYTES: usize = 16;
+/// File extension of sidecar files (`seg-….gzx` next to `seg-….gzr`).
+pub const SIDECAR_EXTENSION: &str = "gzx";
+
+/// Bloom bits budgeted per key (~1% false-positive rate with 6 probes).
+const BLOOM_BITS_PER_KEY: u64 = 10;
+/// Number of bloom probes per key.
+const BLOOM_PROBES: u64 = 6;
+/// Odd multiplier deriving the second bloom hash from the key hash.
+const BLOOM_H2_MULTIPLIER: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// One sidecar index entry: the FNV key hash of a record and its
+/// position (record index, not byte offset) inside the segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SidecarEntry {
+    /// [`run_key_hash`] / [`mix_key_hash`] of the record's key tuple.
+    pub hash: u64,
+    /// 0-based record index inside the segment.
+    pub index: u64,
+}
+
+/// A fixed-size bloom filter over key hashes.
+///
+/// Sized at construction for the segment's record count (10 bits per
+/// key, minimum one word); membership
+/// queries may report false positives (resolved by the sorted entry
+/// table) but never false negatives.
+#[derive(Debug, Clone)]
+pub struct Bloom {
+    words: Vec<u64>,
+}
+
+impl Bloom {
+    /// An empty filter sized for `keys` insertions.
+    pub fn for_keys(keys: usize) -> Bloom {
+        let bits = (keys as u64).saturating_mul(BLOOM_BITS_PER_KEY);
+        let words = bits.div_ceil(64).max(1);
+        Bloom {
+            words: vec![0; words as usize],
+        }
+    }
+
+    /// Rebuilds a filter from on-disk words.
+    pub fn from_words(words: Vec<u64>) -> Bloom {
+        let words = if words.is_empty() { vec![0] } else { words };
+        Bloom { words }
+    }
+
+    /// The backing bitmap words (what gets serialized).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    fn bit_positions(&self, hash: u64) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let bits = self.words.len() as u64 * 64;
+        let h2 = hash.wrapping_mul(BLOOM_H2_MULTIPLIER) | 1;
+        (0..BLOOM_PROBES).map(move |i| {
+            let bit = hash.wrapping_add(i.wrapping_mul(h2)) % bits;
+            ((bit / 64) as usize, 1u64 << (bit % 64))
+        })
+    }
+
+    /// Inserts a key hash.
+    pub fn insert(&mut self, hash: u64) {
+        let positions: Vec<_> = self.bit_positions(hash).collect();
+        for (word, mask) in positions {
+            self.words[word] |= mask;
+        }
+    }
+
+    /// Returns false only if `hash` was definitely never inserted.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.bit_positions(hash)
+            .all(|(word, mask)| self.words[word] & mask != 0)
+    }
+}
+
+/// Hashes a v1 run-record key tuple `(trace_fingerprint,
+/// params_fingerprint, prefetcher)` for the sidecar index.
+pub fn run_key_hash(trace_fingerprint: u64, params_fingerprint: u64, prefetcher: &str) -> u64 {
+    key_hash(1, trace_fingerprint, params_fingerprint, prefetcher)
+}
+
+/// Hashes a v2 mix-record key tuple `(mix_fingerprint,
+/// params_fingerprint, prefetcher)` for the sidecar index.
+pub fn mix_key_hash(mix_fingerprint: u64, params_fingerprint: u64, prefetcher: &str) -> u64 {
+    key_hash(2, mix_fingerprint, params_fingerprint, prefetcher)
+}
+
+fn key_hash(kind: u64, a: u64, b: u64, prefetcher: &str) -> u64 {
+    let mut hasher = Fnv1a::new();
+    hasher.mix(kind);
+    hasher.mix(a);
+    hasher.mix(b);
+    hasher.mix(prefetcher.len() as u64);
+    for byte in prefetcher.bytes() {
+        hasher.mix(u64::from(byte));
+    }
+    hasher.finish()
+}
+
+/// The sidecar path for a segment path: same name, `.gzx` extension.
+pub fn sidecar_path(segment_path: &Path) -> PathBuf {
+    segment_path.with_extension(SIDECAR_EXTENSION)
+}
+
+/// Builds the sorted entry table + bloom filter for a segment whose
+/// record at index `i` has key hash `hashes[i]`.
+pub fn build_index(hashes: &[u64]) -> (Bloom, Vec<SidecarEntry>) {
+    let mut bloom = Bloom::for_keys(hashes.len());
+    let mut entries: Vec<SidecarEntry> = hashes
+        .iter()
+        .enumerate()
+        .map(|(index, &hash)| {
+            bloom.insert(hash);
+            SidecarEntry {
+                hash,
+                index: index as u64,
+            }
+        })
+        .collect();
+    entries.sort_unstable_by_key(|e| (e.hash, e.index));
+    (bloom, entries)
+}
+
+/// Writes the sidecar for `segment_path` (a segment of GZR version
+/// `kind` whose record `i` hashes to `hashes[i]`), crash-safely:
+/// temp file → fsync → rename.
+///
+/// Callers treat failure as non-fatal — the segment stays the durable
+/// truth and a reopen falls back to scanning — but the error is
+/// returned so it can be logged. Armable failure points:
+/// `gzx.sidecar.create`, `gzx.sidecar.write`, `gzx.sidecar.fsync`,
+/// `gzx.sidecar.rename`.
+pub fn write_sidecar(segment_path: &Path, kind: u16, hashes: &[u64]) -> io::Result<()> {
+    let final_path = sidecar_path(segment_path);
+    let dir = segment_path.parent().unwrap_or_else(|| Path::new("."));
+    let stem = final_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "sidecar".to_string());
+    let tmp_path = dir.join(format!("{}{stem}", crate::store::TMP_PREFIX));
+
+    let result = write_sidecar_at(&tmp_path, kind, hashes);
+    match result {
+        Ok(()) => {
+            match check_io("gzx.sidecar.rename").and_then(|()| fs::rename(&tmp_path, &final_path)) {
+                Ok(()) => Ok(()),
+                Err(err) => {
+                    let _ = fs::remove_file(&tmp_path);
+                    Err(err)
+                }
+            }
+        }
+        Err(err) => {
+            let _ = fs::remove_file(&tmp_path);
+            Err(err)
+        }
+    }
+}
+
+fn write_sidecar_at(tmp_path: &Path, kind: u16, hashes: &[u64]) -> io::Result<()> {
+    let (bloom, entries) = build_index(hashes);
+
+    check_io("gzx.sidecar.create")?;
+    let file = File::create(tmp_path)?;
+    let mut out = BufWriter::new(FaultyWriter::new(file, "gzx.sidecar.write"));
+
+    let mut header = [0u8; GZX_HEADER_BYTES];
+    header[0..4].copy_from_slice(&GZX_MAGIC);
+    header[4..6].copy_from_slice(&GZX_VERSION.to_le_bytes());
+    header[6..8].copy_from_slice(&kind.to_le_bytes());
+    header[8..16].copy_from_slice(&(hashes.len() as u64).to_le_bytes());
+    header[16..24].copy_from_slice(&(bloom.words().len() as u64).to_le_bytes());
+    out.write_all(&header)?;
+    for word in bloom.words() {
+        out.write_all(&word.to_le_bytes())?;
+    }
+    for entry in &entries {
+        out.write_all(&entry.hash.to_le_bytes())?;
+        out.write_all(&entry.index.to_le_bytes())?;
+    }
+    out.flush()?;
+    let file = out
+        .into_inner()
+        .map_err(|e| io::Error::other(format!("sidecar buffer flush failed: {e}")))?
+        .into_inner();
+    check_io("gzx.sidecar.fsync")?;
+    file.sync_all()
+}
+
+fn invalid(context: &str, message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{context}: {message}"))
+}
+
+/// Loads and validates the sidecar for `segment_path`.
+///
+/// `segment_version` and `record_count` come from the already-validated
+/// segment header; the sidecar is rejected (an `InvalidData` error
+/// naming the mismatch) if its kind or entry count disagrees, if the
+/// file size does not match the header fields exactly, or if the entry
+/// table is unsorted or indexes past the segment. Callers fall back to
+/// scanning the segment on any error.
+pub fn load_sidecar(
+    segment_path: &Path,
+    segment_version: u16,
+    record_count: u64,
+) -> io::Result<(Bloom, Vec<SidecarEntry>)> {
+    let path = sidecar_path(segment_path);
+    let context = path.display().to_string();
+    let file = File::open(&path)?;
+    let total_len = file.metadata()?.len();
+    let mut input = io::BufReader::new(file);
+
+    let mut header = [0u8; GZX_HEADER_BYTES];
+    input
+        .read_exact(&mut header)
+        .map_err(|e| invalid(&context, format!("short sidecar header: {e}")))?;
+    if header[0..4] != GZX_MAGIC {
+        return Err(invalid(&context, "bad sidecar magic".to_string()));
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != GZX_VERSION {
+        return Err(invalid(
+            &context,
+            format!("unsupported sidecar version {version}"),
+        ));
+    }
+    let kind = u16::from_le_bytes([header[6], header[7]]);
+    if kind != segment_version {
+        return Err(invalid(
+            &context,
+            format!("sidecar kind {kind} disagrees with segment version {segment_version}"),
+        ));
+    }
+    let entry_count = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    if entry_count != record_count {
+        return Err(invalid(
+            &context,
+            format!(
+                "sidecar entry count {entry_count} disagrees with segment record count {record_count}"
+            ),
+        ));
+    }
+    let bloom_words = u64::from_le_bytes(header[16..24].try_into().expect("8 bytes"));
+    if header[24..32].iter().any(|&b| b != 0) {
+        return Err(invalid(
+            &context,
+            "nonzero reserved header bytes".to_string(),
+        ));
+    }
+
+    let expected_len = (GZX_HEADER_BYTES as u64)
+        .checked_add(bloom_words.checked_mul(8).ok_or_else(|| {
+            invalid(
+                &context,
+                format!("bloom word count {bloom_words} overflows"),
+            )
+        })?)
+        .and_then(|n| n.checked_add(entry_count.checked_mul(GZX_ENTRY_BYTES as u64)?))
+        .ok_or_else(|| invalid(&context, "sidecar size overflows".to_string()))?;
+    if total_len != expected_len {
+        return Err(invalid(
+            &context,
+            format!("sidecar is {total_len} bytes, header implies {expected_len}"),
+        ));
+    }
+
+    let mut words = Vec::with_capacity(bloom_words as usize);
+    let mut word_buf = [0u8; 8];
+    for _ in 0..bloom_words {
+        input
+            .read_exact(&mut word_buf)
+            .map_err(|e| invalid(&context, format!("short bloom bitmap: {e}")))?;
+        words.push(u64::from_le_bytes(word_buf));
+    }
+
+    let mut entries = Vec::with_capacity(entry_count as usize);
+    let mut entry_buf = [0u8; GZX_ENTRY_BYTES];
+    let mut previous: Option<(u64, u64)> = None;
+    for _ in 0..entry_count {
+        input
+            .read_exact(&mut entry_buf)
+            .map_err(|e| invalid(&context, format!("short entry table: {e}")))?;
+        let hash = u64::from_le_bytes(entry_buf[0..8].try_into().expect("8 bytes"));
+        let index = u64::from_le_bytes(entry_buf[8..16].try_into().expect("8 bytes"));
+        if index >= record_count {
+            return Err(invalid(
+                &context,
+                format!("entry index {index} out of range for {record_count} records"),
+            ));
+        }
+        if let Some(prev) = previous {
+            if prev >= (hash, index) {
+                return Err(invalid(&context, "entry table is not sorted".to_string()));
+            }
+        }
+        previous = Some((hash, index));
+        entries.push(SidecarEntry { hash, index });
+    }
+
+    Ok((Bloom::from_words(words), entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let hashes: Vec<u64> = (0..1000u64)
+            .map(|i| run_key_hash(i, i ^ 7, "gaze"))
+            .collect();
+        let (bloom, entries) = build_index(&hashes);
+        assert_eq!(entries.len(), hashes.len());
+        for h in &hashes {
+            assert!(bloom.contains(*h));
+        }
+        assert!(entries
+            .windows(2)
+            .all(|w| (w[0].hash, w[0].index) < (w[1].hash, w[1].index)));
+    }
+
+    #[test]
+    fn bloom_rejects_most_absent_keys() {
+        let hashes: Vec<u64> = (0..1000u64).map(|i| run_key_hash(i, 0, "gaze")).collect();
+        let (bloom, _) = build_index(&hashes);
+        let false_positives = (1000..11_000u64)
+            .filter(|&i| bloom.contains(run_key_hash(i, 0, "gaze")))
+            .count();
+        assert!(
+            false_positives < 500,
+            "expected ~1% false positives over 10k absent keys, got {false_positives}"
+        );
+    }
+
+    #[test]
+    fn sidecar_round_trips() {
+        let dir = std::env::temp_dir().join(format!("gzx-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let seg = dir.join("seg-test.gzr");
+        let hashes: Vec<u64> = (0..37u64).map(|i| mix_key_hash(i, i * 3, "pmp")).collect();
+        write_sidecar(&seg, 2, &hashes).expect("write sidecar");
+        let (bloom, entries) = load_sidecar(&seg, 2, 37).expect("load sidecar");
+        let (expected_bloom, expected_entries) = build_index(&hashes);
+        assert_eq!(bloom.words(), expected_bloom.words());
+        assert_eq!(entries, expected_entries);
+        // Kind / count disagreements are loud.
+        assert!(load_sidecar(&seg, 1, 37).is_err());
+        assert!(load_sidecar(&seg, 2, 36).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

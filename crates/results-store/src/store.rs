@@ -1,6 +1,6 @@
 //! The append-only, directory-backed results store.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ffi::OsString;
 use std::fs::{self, File};
 use std::io::{self, BufReader, BufWriter, Write};
@@ -8,9 +8,11 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::format::{
-    read_segment_any, write_mix_segment, write_segment, MixKey, MixRecord, RunKey, RunRecord,
-    SegmentRecords,
+    read_segment_any, read_segment_header, write_mix_segment, write_segment, MixKey, MixRecord,
+    RunKey, RunRecord, SegmentRecords, GZR_HEADER_BYTES, GZR_MIX_RECORD_BYTES, GZR_RECORD_BYTES,
+    GZR_VERSION, GZR_VERSION_MIX,
 };
+use crate::sidecar::{self, Bloom, SidecarEntry};
 
 /// Extension of segment files inside a store directory.
 pub const SEGMENT_EXTENSION: &str = "gzr";
@@ -97,6 +99,59 @@ impl MixQuery {
     }
 }
 
+/// What [`ResultsStore::compact`] did: how many segments went in and came
+/// out, how many distinct rows survive, and how many superseded duplicate
+/// rows were dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Segment count before compaction.
+    pub segments_before: usize,
+    /// Segment count after compaction (≤ one per record kind).
+    pub segments_after: usize,
+    /// Distinct single-core rows in the compacted store.
+    pub runs: usize,
+    /// Distinct multi-core mix rows in the compacted store.
+    pub mixes: usize,
+    /// Duplicate rows (identical keys across segments) dropped.
+    pub duplicates_dropped: u64,
+}
+
+/// One loaded segment: validated header metadata plus its sidecar index
+/// (bloom filter + sorted key table) and an open file handle for
+/// positioned record reads. Record payloads stay on disk.
+#[derive(Debug)]
+struct Segment {
+    path: PathBuf,
+    /// GZR format version (1 = runs, 2 = mixes).
+    version: u16,
+    record_size: usize,
+    record_count: u64,
+    bloom: Bloom,
+    /// `(key_hash, record_index)` sorted ascending — equal hashes probe
+    /// in record order, so the first write wins like the old resident
+    /// index.
+    entries: Vec<SidecarEntry>,
+    /// Whether a valid `.gzx` exists on disk; `false` means the index
+    /// above came from a one-time scan and the next flush backfills it.
+    has_sidecar: bool,
+    file: File,
+}
+
+/// Positioned read that never moves a shared cursor (`pread` on unix).
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut cursor = file;
+        cursor.seek(SeekFrom::Start(offset))?;
+        cursor.read_exact(buf)
+    }
+}
+
 /// An append-only store of [`RunRecord`]s backed by a directory of GZR
 /// segment files.
 ///
@@ -108,39 +163,58 @@ impl MixQuery {
 /// * **Dedup** — one record exists per (trace fingerprint, params
 ///   fingerprint, prefetcher) key. Re-appending an existing key is a
 ///   no-op (simulations are deterministic, so the row content is
-///   identical); duplicates across segments are collapsed at open time.
-/// * **Index** — the whole store is indexed in memory on open; lookups
-///   and queries never touch the disk afterwards. Single-core (v1) and
-///   multi-core (v2) records live in separate indexes; a segment holds
-///   records of exactly one version and a flush writes one segment per
-///   record kind with pending rows.
+///   identical); duplicates across segments are collapsed by every read
+///   path (first segment in load order wins) and physically dropped by
+///   [`compact`](ResultsStore::compact).
+/// * **Lazy index** — opening reads only segment headers plus `.gzx`
+///   sidecars ([`crate::sidecar`]), O(segments) not O(records): resident
+///   memory is bounded by 16 bytes per key, never by payloads. A point
+///   lookup goes pending overlay → per-segment bloom filter →
+///   binary-searched key table → one positioned record read. Segments
+///   without a valid sidecar (legacy stores, torn sidecar writes) are
+///   indexed by a one-time scan and their sidecars are backfilled on the
+///   next flush. Single-core (v1) and multi-core (v2) records live in
+///   separate segments; a flush writes one segment per record kind.
 #[derive(Debug)]
 pub struct ResultsStore {
     dir: PathBuf,
-    records: Vec<RunRecord>,
-    index: HashMap<RunKey, usize>,
-    mix_records: Vec<MixRecord>,
-    mix_index: HashMap<MixKey, usize>,
-    /// Indices of single-core records not yet written to a segment.
-    pending: Vec<usize>,
-    /// Indices of mix records not yet written to a segment.
-    pending_mixes: Vec<usize>,
-    segments: usize,
+    segments: Vec<Segment>,
+    pending_runs: Vec<RunRecord>,
+    pending_run_index: HashMap<RunKey, usize>,
+    pending_mixes: Vec<MixRecord>,
+    pending_mix_index: HashMap<MixKey, usize>,
     /// Names of every segment file this store has loaded or written.
-    /// Segments are immutable and only ever added, so comparing this set
-    /// against the directory listing detects stores grown by *other*
-    /// processes ([`is_stale`](Self::is_stale)).
+    /// Segments are immutable and only ever added by writers (compaction
+    /// removes them), so comparing this set against the directory listing
+    /// detects stores changed by *other* processes
+    /// ([`is_stale`](Self::is_stale)).
     known_segments: BTreeSet<OsString>,
-    duplicates_skipped: u64,
-    conflicting_appends: u64,
+    /// Distinct persisted keys per kind (recomputed from segment indexes).
+    persisted_runs: usize,
+    persisted_mixes: usize,
+    /// Pending rows whose key is *also* persisted (possible after a
+    /// reload picked up a foreign segment); they count once in `len`.
+    shadowed_runs: usize,
+    shadowed_mixes: usize,
+    /// Duplicates/conflicts across segments on disk (recomputed at open,
+    /// reload and compact) vs. those observed on the append path.
+    duplicates_base: u64,
+    duplicates_runtime: u64,
+    conflicts_base: u64,
+    conflicts_runtime: u64,
     rejected_appends: u64,
+    records_decoded: AtomicU64,
+    read_errors: AtomicU64,
+    sidecars_rejected: AtomicU64,
 }
 
 /// Per-process counter folded into segment names so concurrent stores in
 /// one process can never race to the same file name.
 static SEGMENT_NONCE: AtomicU64 = AtomicU64::new(0);
 
-/// Every `seg-*.gzr` path currently in `dir` (unsorted).
+/// Every `seg-*.gzr` path currently in `dir` (unsorted). Sidecars and
+/// temp files are invisible to this listing, so backfilling a sidecar
+/// never makes a store look stale.
 fn segment_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(fs::read_dir(dir)?
         .collect::<io::Result<Vec<_>>>()?
@@ -155,14 +229,31 @@ fn segment_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
         .collect())
 }
 
+fn same_run_key(a: &RunRecord, b: &RunRecord) -> bool {
+    a.trace_fingerprint == b.trace_fingerprint
+        && a.params_fingerprint == b.params_fingerprint
+        && a.prefetcher == b.prefetcher
+}
+
+fn same_mix_key(a: &MixRecord, b: &MixRecord) -> bool {
+    a.mix_fingerprint == b.mix_fingerprint
+        && a.params_fingerprint == b.params_fingerprint
+        && a.prefetcher == b.prefetcher
+}
+
 impl ResultsStore {
-    /// Opens (creating if needed) the store at `dir`, loading and
-    /// validating every segment.
+    /// Opens (creating if needed) the store at `dir`, validating every
+    /// segment header and loading headers + sidecar indexes only —
+    /// O(segments), not O(records). Segments without a valid sidecar are
+    /// indexed by a one-time scan.
     ///
-    /// Fails if the directory cannot be created/read or if any segment is
-    /// corrupt or truncated — a store that silently dropped a damaged
+    /// Fails if the directory cannot be created/read or if any *segment*
+    /// is corrupt or truncated — a store that silently dropped a damaged
     /// segment would quietly re-simulate (or worse, serve partial sweeps),
-    /// so damage is loud.
+    /// so damage is loud. A damaged *sidecar* is different: it is derived
+    /// data, so it is rejected loudly (stderr +
+    /// [`sidecars_rejected`](Self::sidecars_rejected)) and the segment is
+    /// scanned instead.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultsStore> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
@@ -170,42 +261,117 @@ impl ResultsStore {
         segment_paths.sort();
         let mut store = ResultsStore {
             dir,
-            records: Vec::new(),
-            index: HashMap::new(),
-            mix_records: Vec::new(),
-            mix_index: HashMap::new(),
-            pending: Vec::new(),
+            segments: Vec::new(),
+            pending_runs: Vec::new(),
+            pending_run_index: HashMap::new(),
             pending_mixes: Vec::new(),
-            segments: 0,
+            pending_mix_index: HashMap::new(),
             known_segments: BTreeSet::new(),
-            duplicates_skipped: 0,
-            conflicting_appends: 0,
+            persisted_runs: 0,
+            persisted_mixes: 0,
+            shadowed_runs: 0,
+            shadowed_mixes: 0,
+            duplicates_base: 0,
+            duplicates_runtime: 0,
+            conflicts_base: 0,
+            conflicts_runtime: 0,
             rejected_appends: 0,
+            records_decoded: AtomicU64::new(0),
+            read_errors: AtomicU64::new(0),
+            sidecars_rejected: AtomicU64::new(0),
         };
         for path in segment_paths {
             crate::fault::check_io("gzr.segment.read")?;
-            let file = File::open(&path)?;
-            let len = file.metadata()?.len();
-            let records =
-                read_segment_any(&mut BufReader::new(file), len, &path.display().to_string())?;
-            match records {
-                SegmentRecords::Runs(records) => {
-                    for rec in records {
-                        store.insert(rec, false);
-                    }
-                }
-                SegmentRecords::Mixes(records) => {
-                    for rec in records {
-                        store.insert_mix(rec, false);
-                    }
-                }
-            }
-            store.segments += 1;
+            let segment = store.load_segment(&path)?;
             if let Some(name) = path.file_name() {
                 store.known_segments.insert(name.to_os_string());
             }
+            store.segments.push(segment);
         }
+        store.recount()?;
         Ok(store)
+    }
+
+    /// Validates one segment's header and builds its in-memory index,
+    /// from the sidecar when one loads cleanly and by scanning otherwise.
+    fn load_segment(&self, path: &Path) -> io::Result<Segment> {
+        let context = path.display().to_string();
+        let file = File::open(path)?;
+        let total_len = file.metadata()?.len();
+        let (version, record_count) = {
+            let mut input = &file;
+            read_segment_header(&mut input, total_len, &context)?
+        };
+        let record_size = if version == GZR_VERSION {
+            GZR_RECORD_BYTES
+        } else {
+            GZR_MIX_RECORD_BYTES
+        };
+        let (bloom, entries, has_sidecar) = match sidecar::load_sidecar(path, version, record_count)
+        {
+            Ok((bloom, entries)) => (bloom, entries, true),
+            Err(err) => {
+                if err.kind() != io::ErrorKind::NotFound {
+                    self.sidecars_rejected.fetch_add(1, Ordering::Relaxed);
+                    eprintln!("gzr: rejecting sidecar of {context}: {err}; scanning segment");
+                }
+                let (bloom, entries) = self.scan_segment_index(path, total_len, &context)?;
+                (bloom, entries, false)
+            }
+        };
+        Ok(Segment {
+            path: path.to_path_buf(),
+            version,
+            record_size,
+            record_count,
+            bloom,
+            entries,
+            has_sidecar,
+            file,
+        })
+    }
+
+    /// The sidecar-less fallback: decode the whole segment once (also
+    /// fully validating it) and hash its keys into a fresh index.
+    fn scan_segment_index(
+        &self,
+        path: &Path,
+        total_len: u64,
+        context: &str,
+    ) -> io::Result<(Bloom, Vec<SidecarEntry>)> {
+        let file = File::open(path)?;
+        let records = read_segment_any(&mut BufReader::new(file), total_len, context)?;
+        let hashes: Vec<u64> = match records {
+            SegmentRecords::Runs(records) => {
+                self.records_decoded
+                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                records
+                    .iter()
+                    .map(|r| {
+                        sidecar::run_key_hash(
+                            r.trace_fingerprint,
+                            r.params_fingerprint,
+                            &r.prefetcher,
+                        )
+                    })
+                    .collect()
+            }
+            SegmentRecords::Mixes(records) => {
+                self.records_decoded
+                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                records
+                    .iter()
+                    .map(|r| {
+                        sidecar::mix_key_hash(
+                            r.mix_fingerprint,
+                            r.params_fingerprint,
+                            &r.prefetcher,
+                        )
+                    })
+                    .collect()
+            }
+        };
+        Ok(sidecar::build_index(&hashes))
     }
 
     /// The directory backing this store.
@@ -215,41 +381,46 @@ impl ResultsStore {
 
     /// Number of distinct single-core records (persisted + pending).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.persisted_runs + self.pending_runs.len() - self.shadowed_runs
     }
 
     /// Number of distinct multi-core mix records (persisted + pending).
     pub fn mix_len(&self) -> usize {
-        self.mix_records.len()
+        self.persisted_mixes + self.pending_mixes.len() - self.shadowed_mixes
     }
 
     /// Whether the store holds no records of either kind.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty() && self.mix_records.is_empty()
+        self.len() == 0 && self.mix_len() == 0
     }
 
-    /// Number of segment files loaded or written so far.
+    /// Number of segment files currently loaded.
     pub fn segment_count(&self) -> usize {
-        self.segments
+        self.segments.len()
     }
 
     /// Number of appended-but-not-yet-flushed records (both kinds).
     pub fn pending_len(&self) -> usize {
-        self.pending.len() + self.pending_mixes.len()
+        self.pending_runs.len() + self.pending_mixes.len()
     }
 
-    /// Number of re-appends (and cross-segment duplicates at open time)
-    /// that were collapsed by dedup.
+    /// Number of duplicate rows the store is collapsing: re-appends of
+    /// existing keys plus identical keys stored in more than one segment
+    /// (multi-writer overlap, crash-retry leftovers) — the rows
+    /// [`compact`](Self::compact) would drop.
     pub fn duplicates_skipped(&self) -> u64 {
-        self.duplicates_skipped
+        self.duplicates_base
+            + self.duplicates_runtime
+            + self.shadowed_runs as u64
+            + self.shadowed_mixes as u64
     }
 
-    /// Number of appends whose key already existed *with different
-    /// statistics* — always zero for a deterministic simulator; non-zero
-    /// values indicate a fingerprint collision or nondeterminism and are
-    /// worth investigating.
+    /// Number of appends (or cross-segment duplicates) whose key already
+    /// existed *with different statistics* — always zero for a
+    /// deterministic simulator; non-zero values indicate a fingerprint
+    /// collision or nondeterminism and are worth investigating.
     pub fn conflicting_appends(&self) -> u64 {
-        self.conflicting_appends
+        self.conflicts_base + self.conflicts_runtime
     }
 
     /// Number of appends dropped because the record was not encodable
@@ -261,34 +432,179 @@ impl ResultsStore {
         self.rejected_appends
     }
 
+    /// Number of record payloads decoded from disk so far — point reads,
+    /// query scans, legacy-segment indexing. A fully-sidecar'd store
+    /// opens with this at zero: the test suites use it to prove opens
+    /// never materialize payloads.
+    pub fn records_decoded(&self) -> u64 {
+        self.records_decoded.load(Ordering::Relaxed)
+    }
+
+    /// Number of failed record reads that were answered fail-open (a
+    /// lookup miss / a skipped segment in a query) instead of an error.
+    pub fn read_errors(&self) -> u64 {
+        self.read_errors.load(Ordering::Relaxed)
+    }
+
+    /// Number of `.gzx` sidecars rejected as invalid (and replaced by a
+    /// segment scan) since this store opened.
+    pub fn sidecars_rejected(&self) -> u64 {
+        self.sidecars_rejected.load(Ordering::Relaxed)
+    }
+
     /// Looks up the record stored under (trace fingerprint, params
-    /// fingerprint, prefetcher).
+    /// fingerprint, prefetcher): pending overlay first, then per segment
+    /// bloom filter → binary-searched key table → one positioned read.
+    ///
+    /// A failing record read is answered fail-open as a miss (stderr +
+    /// [`read_errors`](Self::read_errors)): the caller re-simulates and
+    /// appends an identical row, which every read path collapses.
     pub fn get(
         &self,
         trace_fingerprint: u64,
         params_fingerprint: u64,
         prefetcher: &str,
-    ) -> Option<&RunRecord> {
-        self.index
-            .get(&(
-                trace_fingerprint,
-                params_fingerprint,
-                prefetcher.to_string(),
-            ))
-            .map(|&i| &self.records[i])
+    ) -> Option<RunRecord> {
+        let key = (
+            trace_fingerprint,
+            params_fingerprint,
+            prefetcher.to_string(),
+        );
+        if let Some(&i) = self.pending_run_index.get(&key) {
+            return Some(self.pending_runs[i].clone());
+        }
+        self.lookup_run_persisted(trace_fingerprint, params_fingerprint, prefetcher)
     }
 
     /// Looks up the mix record stored under (mix fingerprint, params
-    /// fingerprint, prefetcher).
+    /// fingerprint, prefetcher). Same path and failure semantics as
+    /// [`get`](Self::get).
     pub fn get_mix(
         &self,
         mix_fingerprint: u64,
         params_fingerprint: u64,
         prefetcher: &str,
-    ) -> Option<&MixRecord> {
-        self.mix_index
-            .get(&(mix_fingerprint, params_fingerprint, prefetcher.to_string()))
-            .map(|&i| &self.mix_records[i])
+    ) -> Option<MixRecord> {
+        let key = (mix_fingerprint, params_fingerprint, prefetcher.to_string());
+        if let Some(&i) = self.pending_mix_index.get(&key) {
+            return Some(self.pending_mixes[i].clone());
+        }
+        self.lookup_mix_persisted(mix_fingerprint, params_fingerprint, prefetcher)
+    }
+
+    fn lookup_run_persisted(
+        &self,
+        trace_fingerprint: u64,
+        params_fingerprint: u64,
+        prefetcher: &str,
+    ) -> Option<RunRecord> {
+        let hash = sidecar::run_key_hash(trace_fingerprint, params_fingerprint, prefetcher);
+        for segment in self.segments.iter().filter(|s| s.version == GZR_VERSION) {
+            for entry in Self::candidates(segment, hash) {
+                match self.read_run_at(segment, entry.index) {
+                    Ok(rec)
+                        if rec.trace_fingerprint == trace_fingerprint
+                            && rec.params_fingerprint == params_fingerprint
+                            && rec.prefetcher == prefetcher =>
+                    {
+                        return Some(rec);
+                    }
+                    Ok(_) => {} // key-hash collision; keep probing
+                    Err(err) => self.note_read_error(segment, err),
+                }
+            }
+        }
+        None
+    }
+
+    fn lookup_mix_persisted(
+        &self,
+        mix_fingerprint: u64,
+        params_fingerprint: u64,
+        prefetcher: &str,
+    ) -> Option<MixRecord> {
+        let hash = sidecar::mix_key_hash(mix_fingerprint, params_fingerprint, prefetcher);
+        for segment in self
+            .segments
+            .iter()
+            .filter(|s| s.version == GZR_VERSION_MIX)
+        {
+            for entry in Self::candidates(segment, hash) {
+                match self.read_mix_at(segment, entry.index) {
+                    Ok(rec)
+                        if rec.mix_fingerprint == mix_fingerprint
+                            && rec.params_fingerprint == params_fingerprint
+                            && rec.prefetcher == prefetcher =>
+                    {
+                        return Some(rec);
+                    }
+                    Ok(_) => {}
+                    Err(err) => self.note_read_error(segment, err),
+                }
+            }
+        }
+        None
+    }
+
+    /// The segment's index entries whose key hash equals `hash`, in
+    /// record order (bloom filter first, then a binary search).
+    fn candidates(segment: &Segment, hash: u64) -> impl Iterator<Item = &SidecarEntry> {
+        let range = if segment.bloom.contains(hash) {
+            let start = segment.entries.partition_point(|e| e.hash < hash);
+            let end = start + segment.entries[start..].partition_point(|e| e.hash == hash);
+            start..end
+        } else {
+            0..0
+        };
+        segment.entries[range].iter()
+    }
+
+    fn note_read_error(&self, segment: &Segment, err: io::Error) {
+        self.read_errors.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "gzr: record read failed in {}: {err} (treating as a miss)",
+            segment.path.display()
+        );
+    }
+
+    /// Positioned read + decode of one v1 record.
+    fn read_run_at(&self, segment: &Segment, index: u64) -> io::Result<RunRecord> {
+        crate::fault::check_io("gzr.segment.pread")?;
+        let mut buf = [0u8; GZR_RECORD_BYTES];
+        let offset = GZR_HEADER_BYTES as u64 + index * segment.record_size as u64;
+        read_exact_at(&segment.file, &mut buf, offset)?;
+        self.records_decoded.fetch_add(1, Ordering::Relaxed);
+        crate::format::decode_record(&buf)
+    }
+
+    /// Positioned read + decode of one v2 record.
+    fn read_mix_at(&self, segment: &Segment, index: u64) -> io::Result<MixRecord> {
+        crate::fault::check_io("gzr.segment.pread")?;
+        let mut buf = [0u8; GZR_MIX_RECORD_BYTES];
+        let offset = GZR_HEADER_BYTES as u64 + index * segment.record_size as u64;
+        read_exact_at(&segment.file, &mut buf, offset)?;
+        self.records_decoded.fetch_add(1, Ordering::Relaxed);
+        crate::format::decode_mix_record(&buf)
+    }
+
+    /// Decodes a whole segment for a query scan (fresh handle, so point
+    /// reads and scans never fight over a cursor).
+    fn scan_segment(&self, segment: &Segment) -> io::Result<SegmentRecords> {
+        crate::fault::check_io("gzr.segment.scan")?;
+        let file = File::open(&segment.path)?;
+        let total_len = file.metadata()?.len();
+        let records = read_segment_any(
+            &mut BufReader::new(file),
+            total_len,
+            &segment.path.display().to_string(),
+        )?;
+        let count = match &records {
+            SegmentRecords::Runs(r) => r.len(),
+            SegmentRecords::Mixes(r) => r.len(),
+        };
+        self.records_decoded
+            .fetch_add(count as u64, Ordering::Relaxed);
+        Ok(records)
     }
 
     /// Appends a record, deduplicating on its key. Returns `true` when the
@@ -305,7 +621,30 @@ impl ResultsStore {
             self.rejected_appends += 1;
             return false;
         }
-        self.insert(rec, true)
+        if let Some(&i) = self.pending_run_index.get(&rec.key()) {
+            self.duplicates_runtime += 1;
+            if self.pending_runs[i].stats != rec.stats
+                || self.pending_runs[i].baseline != rec.baseline
+            {
+                self.conflicts_runtime += 1;
+            }
+            return false;
+        }
+        if let Some(existing) = self.lookup_run_persisted(
+            rec.trace_fingerprint,
+            rec.params_fingerprint,
+            &rec.prefetcher,
+        ) {
+            self.duplicates_runtime += 1;
+            if existing.stats != rec.stats || existing.baseline != rec.baseline {
+                self.conflicts_runtime += 1;
+            }
+            return false;
+        }
+        self.pending_run_index
+            .insert(rec.key(), self.pending_runs.len());
+        self.pending_runs.push(rec);
+        true
     }
 
     /// Appends a multi-core mix record, deduplicating on its key. Same
@@ -317,99 +656,160 @@ impl ResultsStore {
             self.rejected_appends += 1;
             return false;
         }
-        self.insert_mix(rec, true)
-    }
-
-    fn insert(&mut self, rec: RunRecord, pending: bool) -> bool {
-        let key = rec.key();
-        if let Some(&existing) = self.index.get(&key) {
-            self.duplicates_skipped += 1;
-            if self.records[existing].stats != rec.stats
-                || self.records[existing].baseline != rec.baseline
-            {
-                self.conflicting_appends += 1;
+        if let Some(&i) = self.pending_mix_index.get(&rec.key()) {
+            self.duplicates_runtime += 1;
+            if self.pending_mixes[i].report != rec.report {
+                self.conflicts_runtime += 1;
             }
             return false;
         }
-        let idx = self.records.len();
-        self.records.push(rec);
-        self.index.insert(key, idx);
-        if pending {
-            self.pending.push(idx);
-        }
-        true
-    }
-
-    fn insert_mix(&mut self, rec: MixRecord, pending: bool) -> bool {
-        let key = rec.key();
-        if let Some(&existing) = self.mix_index.get(&key) {
-            self.duplicates_skipped += 1;
-            if self.mix_records[existing].report != rec.report {
-                self.conflicting_appends += 1;
+        if let Some(existing) =
+            self.lookup_mix_persisted(rec.mix_fingerprint, rec.params_fingerprint, &rec.prefetcher)
+        {
+            self.duplicates_runtime += 1;
+            if existing.report != rec.report {
+                self.conflicts_runtime += 1;
             }
             return false;
         }
-        let idx = self.mix_records.len();
-        self.mix_records.push(rec);
-        self.mix_index.insert(key, idx);
-        if pending {
-            self.pending_mixes.push(idx);
-        }
+        self.pending_mix_index
+            .insert(rec.key(), self.pending_mixes.len());
+        self.pending_mixes.push(rec);
         true
     }
 
     /// Writes every pending record durably and returns how many records
     /// were persisted. Pending single-core rows become one new v1 segment
     /// and pending mix rows one new v2 segment (each: write `.tmp-` file,
-    /// fsync, atomic rename, fsync directory). A no-op returning 0 when
-    /// nothing is pending.
+    /// fsync, atomic rename, fsync directory), each with its `.gzx`
+    /// sidecar; sidecars missing from older segments are backfilled. A
+    /// sidecar write failure never fails the flush — the segment is the
+    /// durable truth and a reopen falls back to scanning. A no-op
+    /// returning 0 when nothing is pending (beyond sidecar backfill).
     pub fn flush(&mut self) -> io::Result<usize> {
         let mut written = 0;
-        if !self.pending.is_empty() {
-            let batch: Vec<RunRecord> = self
-                .pending
-                .iter()
-                .map(|&i| self.records[i].clone())
-                .collect();
+        if !self.pending_runs.is_empty() {
+            let batch = self.pending_runs.clone();
             let mut hasher = sim_core::params::Fnv1a::new();
             for rec in &batch {
                 hasher.mix(rec.trace_fingerprint);
                 hasher.mix(rec.params_fingerprint);
                 hasher.mix(rec.stats.cycles);
             }
-            self.write_segment_file(hasher, |mut out| write_segment(&mut out, &batch))?;
-            written += self.pending.len();
-            self.pending.clear();
+            let hashes: Vec<u64> = batch
+                .iter()
+                .map(|r| {
+                    sidecar::run_key_hash(r.trace_fingerprint, r.params_fingerprint, &r.prefetcher)
+                })
+                .collect();
+            let path =
+                self.write_segment_file(hasher, |mut out| write_segment(&mut out, &batch))?;
+            self.register_segment(&path, GZR_VERSION, GZR_RECORD_BYTES, &hashes)?;
+            written += batch.len();
+            self.persisted_runs += batch.len() - self.shadowed_runs;
+            self.duplicates_runtime += self.shadowed_runs as u64;
+            self.shadowed_runs = 0;
+            self.pending_runs.clear();
+            self.pending_run_index.clear();
         }
         if !self.pending_mixes.is_empty() {
-            let batch: Vec<MixRecord> = self
-                .pending_mixes
-                .iter()
-                .map(|&i| self.mix_records[i].clone())
-                .collect();
+            let batch = self.pending_mixes.clone();
             let mut hasher = sim_core::params::Fnv1a::new();
             for rec in &batch {
                 hasher.mix(rec.mix_fingerprint);
                 hasher.mix(rec.params_fingerprint);
                 hasher.mix(rec.cores() as u64);
             }
-            self.write_segment_file(hasher, |mut out| write_mix_segment(&mut out, &batch))?;
-            written += self.pending_mixes.len();
+            let hashes: Vec<u64> = batch
+                .iter()
+                .map(|r| {
+                    sidecar::mix_key_hash(r.mix_fingerprint, r.params_fingerprint, &r.prefetcher)
+                })
+                .collect();
+            let path =
+                self.write_segment_file(hasher, |mut out| write_mix_segment(&mut out, &batch))?;
+            self.register_segment(&path, GZR_VERSION_MIX, GZR_MIX_RECORD_BYTES, &hashes)?;
+            written += batch.len();
+            self.persisted_mixes += batch.len() - self.shadowed_mixes;
+            self.duplicates_runtime += self.shadowed_mixes as u64;
+            self.shadowed_mixes = 0;
             self.pending_mixes.clear();
+            self.pending_mix_index.clear();
         }
+        self.backfill_sidecars();
         Ok(written)
+    }
+
+    /// Writes the `.gzx` for any loaded segment that lacks one, straight
+    /// from the in-memory index (zero record reads). Best-effort: a
+    /// failure is logged and retried on the next flush.
+    fn backfill_sidecars(&mut self) {
+        for segment in &mut self.segments {
+            if segment.has_sidecar {
+                continue;
+            }
+            let mut hashes = vec![0u64; segment.record_count as usize];
+            for entry in &segment.entries {
+                hashes[entry.index as usize] = entry.hash;
+            }
+            match sidecar::write_sidecar(&segment.path, segment.version, &hashes) {
+                Ok(()) => segment.has_sidecar = true,
+                Err(err) => eprintln!(
+                    "gzr: sidecar backfill failed for {}: {err} (will retry on next flush)",
+                    segment.path.display()
+                ),
+            }
+        }
+    }
+
+    /// Adds a freshly renamed segment to the in-memory set, writing its
+    /// sidecar (best-effort) from the already-known key hashes.
+    fn register_segment(
+        &mut self,
+        path: &Path,
+        version: u16,
+        record_size: usize,
+        hashes: &[u64],
+    ) -> io::Result<()> {
+        let has_sidecar = match sidecar::write_sidecar(path, version, hashes) {
+            Ok(()) => true,
+            Err(err) => {
+                eprintln!(
+                    "gzr: sidecar write failed for {}: {err} (will backfill on next flush)",
+                    path.display()
+                );
+                false
+            }
+        };
+        let (bloom, entries) = sidecar::build_index(hashes);
+        let file = File::open(path)?;
+        if let Some(name) = path.file_name() {
+            self.known_segments.insert(name.to_os_string());
+        }
+        self.segments.push(Segment {
+            path: path.to_path_buf(),
+            version,
+            record_size,
+            record_count: hashes.len() as u64,
+            bloom,
+            entries,
+            has_sidecar,
+            file,
+        });
+        Ok(())
     }
 
     /// Writes one segment crash-safely: `.tmp-` file, fsync, atomic rename
     /// to an unused `seg-` name, fsync directory. On any failure the tmp
     /// file is removed (best-effort; a leftover is ignored by loads) and
     /// the store's in-memory bookkeeping is untouched, so the pending rows
-    /// stay pending and a retried flush starts clean.
+    /// stay pending and a retried flush starts clean. Returns the final
+    /// segment path.
     fn write_segment_file(
         &mut self,
         mut hasher: sim_core::params::Fnv1a,
         write: impl FnOnce(&mut dyn Write) -> io::Result<()>,
-    ) -> io::Result<()> {
+    ) -> io::Result<PathBuf> {
         let nonce = SEGMENT_NONCE.fetch_add(1, Ordering::Relaxed);
         let pid = std::process::id();
         hasher.mix(u64::from(pid));
@@ -431,7 +831,7 @@ impl ResultsStore {
         nonce: u64,
         hash: u64,
         write: impl FnOnce(&mut dyn Write) -> io::Result<()>,
-    ) -> io::Result<()> {
+    ) -> io::Result<PathBuf> {
         crate::fault::check_io("gzr.segment.create")?;
         let file = {
             let raw = File::create(tmp)?;
@@ -448,7 +848,7 @@ impl ResultsStore {
         // folds them) guarantee that two writers — concurrent stores in
         // one process or independent processes appending to the same
         // directory — can never target the same file name.
-        let mut seq = self.segments;
+        let mut seq = self.segments.len();
         let final_path = loop {
             let candidate = self.dir.join(format!(
                 "{SEGMENT_PREFIX}{seq:08}-{pid:08x}-{nonce:08x}-{hash:016x}.{SEGMENT_EXTENSION}"
@@ -466,17 +866,143 @@ impl ResultsStore {
             // refuse to fsync directories.
             let _ = dir_handle.sync_all();
         }
-        self.segments += 1;
-        if let Some(name) = final_path.file_name() {
-            self.known_segments.insert(name.to_os_string());
+        Ok(final_path)
+    }
+
+    /// Rewrites the store as at most one segment per record kind,
+    /// physically dropping superseded duplicate rows, then removes the
+    /// old segments. Crash-safe in every window: the merged segments are
+    /// durable *before* any old segment is unlinked, so a kill anywhere
+    /// leaves either the old set, or old + merged overlapping (collapsed
+    /// by dedup-on-read and by the next compaction) — never a lost or
+    /// resurrected row. Every step is armable through [`crate::fault`]
+    /// (`gzr.compact.begin|write|remove|dirsync` plus the regular segment
+    /// write points).
+    ///
+    /// Pending rows are flushed first. A store that is already compact
+    /// (at most one segment per kind) returns immediately.
+    pub fn compact(&mut self) -> io::Result<CompactStats> {
+        self.flush()?;
+        let segments_before = self.segments.len();
+        let kinds = [GZR_VERSION, GZR_VERSION_MIX]
+            .iter()
+            .filter(|&&v| self.segments.iter().any(|s| s.version == v))
+            .count();
+        if segments_before <= kinds {
+            // One segment per kind cannot hold duplicates (appends dedup
+            // within a batch), so there is nothing to merge or drop.
+            return Ok(CompactStats {
+                segments_before,
+                segments_after: segments_before,
+                runs: self.persisted_runs,
+                mixes: self.persisted_mixes,
+                duplicates_dropped: 0,
+            });
         }
-        Ok(())
+        crate::fault::check_io("gzr.compact.begin")?;
+
+        // Loud full read of both kinds, first segment in load order wins.
+        let mut duplicates_dropped = 0u64;
+        let mut runs: Vec<RunRecord> = Vec::new();
+        let mut mixes: Vec<MixRecord> = Vec::new();
+        {
+            let mut seen_runs: HashSet<RunKey> = HashSet::new();
+            let mut seen_mixes: HashSet<MixKey> = HashSet::new();
+            for segment in &self.segments {
+                match self.scan_segment(segment)? {
+                    SegmentRecords::Runs(records) => {
+                        for rec in records {
+                            if seen_runs.insert(rec.key()) {
+                                runs.push(rec);
+                            } else {
+                                duplicates_dropped += 1;
+                            }
+                        }
+                    }
+                    SegmentRecords::Mixes(records) => {
+                        for rec in records {
+                            if seen_mixes.insert(rec.key()) {
+                                mixes.push(rec);
+                            } else {
+                                duplicates_dropped += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Write the merged segments through the ordinary crash-safe path;
+        // the old segments stay the readable truth until the rename lands.
+        crate::fault::check_io("gzr.compact.write")?;
+        let old_paths: Vec<PathBuf> = self.segments.iter().map(|s| s.path.clone()).collect();
+        if !runs.is_empty() {
+            let mut hasher = sim_core::params::Fnv1a::new();
+            for rec in &runs {
+                hasher.mix(rec.trace_fingerprint);
+                hasher.mix(rec.params_fingerprint);
+                hasher.mix(rec.stats.cycles);
+            }
+            let hashes: Vec<u64> = runs
+                .iter()
+                .map(|r| {
+                    sidecar::run_key_hash(r.trace_fingerprint, r.params_fingerprint, &r.prefetcher)
+                })
+                .collect();
+            let path = self.write_segment_file(hasher, |mut out| write_segment(&mut out, &runs))?;
+            self.register_segment(&path, GZR_VERSION, GZR_RECORD_BYTES, &hashes)?;
+        }
+        if !mixes.is_empty() {
+            let mut hasher = sim_core::params::Fnv1a::new();
+            for rec in &mixes {
+                hasher.mix(rec.mix_fingerprint);
+                hasher.mix(rec.params_fingerprint);
+                hasher.mix(rec.cores() as u64);
+            }
+            let hashes: Vec<u64> = mixes
+                .iter()
+                .map(|r| {
+                    sidecar::mix_key_hash(r.mix_fingerprint, r.params_fingerprint, &r.prefetcher)
+                })
+                .collect();
+            let path =
+                self.write_segment_file(hasher, |mut out| write_mix_segment(&mut out, &mixes))?;
+            self.register_segment(&path, GZR_VERSION_MIX, GZR_MIX_RECORD_BYTES, &hashes)?;
+        }
+
+        // Only now unlink the superseded segments (and their sidecars). A
+        // kill in this loop leaves overlap, never loss.
+        let old_names: HashSet<OsString> = old_paths
+            .iter()
+            .filter_map(|p| p.file_name().map(|n| n.to_os_string()))
+            .collect();
+        for path in &old_paths {
+            crate::fault::check_io("gzr.compact.remove")?;
+            fs::remove_file(path)?;
+            let _ = fs::remove_file(sidecar::sidecar_path(path));
+        }
+        crate::fault::check_io("gzr.compact.dirsync")?;
+        if let Ok(dir_handle) = File::open(&self.dir) {
+            let _ = dir_handle.sync_all();
+        }
+        self.segments
+            .retain(|s| s.path.file_name().is_none_or(|n| !old_names.contains(n)));
+        self.known_segments.retain(|n| !old_names.contains(n));
+        self.recount()?;
+        Ok(CompactStats {
+            segments_before,
+            segments_after: self.segments.len(),
+            runs: runs.len(),
+            mixes: mixes.len(),
+            duplicates_dropped,
+        })
     }
 
     /// Whether the directory holds segment files this store has not
     /// loaded (or has lost segments it did load) — i.e. another process
-    /// has grown or rebuilt the store since this one opened it. Segments
-    /// are immutable once written, so comparing file-name sets is exact.
+    /// has grown, compacted or rebuilt the store since this one opened
+    /// it. Segments are immutable once written, so comparing file-name
+    /// sets is exact.
     pub fn is_stale(&self) -> io::Result<bool> {
         let on_disk: BTreeSet<OsString> = segment_files(&self.dir)?
             .into_iter()
@@ -491,11 +1017,10 @@ impl ResultsStore {
     /// kept.
     ///
     /// Segments are immutable, so the common case — new segments appended
-    /// by another process — loads **only the unknown files**, O(new
-    /// data); records already in memory keep their positions, and foreign
-    /// rows duplicating in-memory keys are collapsed by the usual dedup.
-    /// Only when a known segment has *disappeared* (the directory was
-    /// rebuilt) does the store fall back to a full reopen, re-appending
+    /// by another process — loads **only the unknown files' headers and
+    /// sidecars**, O(new segments). Only when a known segment has
+    /// *disappeared* (the directory was rebuilt or compacted by another
+    /// process) does the store fall back to a full reopen, re-appending
     /// its pending rows and resetting the diagnostic counters.
     pub fn reload_if_stale(&mut self) -> io::Result<bool> {
         let mut on_disk = segment_files(&self.dir)?;
@@ -510,11 +1035,11 @@ impl ResultsStore {
             // A segment this store loaded is gone: the directory was
             // rebuilt, so the in-memory state cannot be patched — reopen.
             let mut fresh = ResultsStore::open(&self.dir)?;
-            for &i in &self.pending {
-                fresh.insert(self.records[i].clone(), true);
+            for rec in std::mem::take(&mut self.pending_runs) {
+                fresh.append(rec);
             }
-            for &i in &self.pending_mixes {
-                fresh.insert_mix(self.mix_records[i].clone(), true);
+            for rec in std::mem::take(&mut self.pending_mixes) {
+                fresh.append_mix(rec);
             }
             *self = fresh;
             return Ok(true);
@@ -526,62 +1051,223 @@ impl ResultsStore {
         on_disk.sort();
         for path in on_disk {
             crate::fault::check_io("gzr.segment.read")?;
-            let file = File::open(&path)?;
-            let len = file.metadata()?.len();
-            let records =
-                read_segment_any(&mut BufReader::new(file), len, &path.display().to_string())?;
-            match records {
-                SegmentRecords::Runs(records) => {
-                    for rec in records {
-                        self.insert(rec, false);
-                    }
-                }
-                SegmentRecords::Mixes(records) => {
-                    for rec in records {
-                        self.insert_mix(rec, false);
-                    }
-                }
-            }
-            self.segments += 1;
+            let segment = self.load_segment(&path)?;
             if let Some(name) = path.file_name() {
                 self.known_segments.insert(name.to_os_string());
             }
+            self.segments.push(segment);
         }
+        self.recount()?;
+        // Pending rows whose key a foreign segment now also holds count
+        // once; their flush will write a duplicate row that dedup-on-read
+        // collapses (exactly like a crash-retry).
+        self.shadowed_runs = self
+            .pending_runs
+            .iter()
+            .filter(|r| {
+                self.lookup_run_persisted(r.trace_fingerprint, r.params_fingerprint, &r.prefetcher)
+                    .is_some()
+            })
+            .count();
+        self.shadowed_mixes = self
+            .pending_mixes
+            .iter()
+            .filter(|r| {
+                self.lookup_mix_persisted(r.mix_fingerprint, r.params_fingerprint, &r.prefetcher)
+                    .is_some()
+            })
+            .count();
         Ok(true)
     }
 
+    /// Recomputes the persisted distinct-row and duplicate/conflict
+    /// counts from the segment indexes. Payloads are only read for keys
+    /// whose hash appears more than once across all segments of a kind —
+    /// a duplicate-free store recounts with **zero** record reads.
+    fn recount(&mut self) -> io::Result<()> {
+        let (runs, run_dups, run_conflicts) = self.recount_kind(GZR_VERSION)?;
+        let (mixes, mix_dups, mix_conflicts) = self.recount_kind(GZR_VERSION_MIX)?;
+        self.persisted_runs = runs;
+        self.persisted_mixes = mixes;
+        self.duplicates_base = run_dups + mix_dups;
+        self.conflicts_base = run_conflicts + mix_conflicts;
+        Ok(())
+    }
+
+    fn recount_kind(&self, version: u16) -> io::Result<(usize, u64, u64)> {
+        // (hash, segment position, record index): sorting groups equal
+        // hashes and orders each group first-write-first.
+        let mut keys: Vec<(u64, usize, u64)> = Vec::new();
+        for (pos, segment) in self
+            .segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.version == version)
+        {
+            keys.extend(segment.entries.iter().map(|e| (e.hash, pos, e.index)));
+        }
+        keys.sort_unstable();
+
+        let mut distinct = 0usize;
+        let mut duplicates = 0u64;
+        let mut conflicts = 0u64;
+        let mut i = 0;
+        while i < keys.len() {
+            let mut j = i + 1;
+            while j < keys.len() && keys[j].0 == keys[i].0 {
+                j += 1;
+            }
+            if j - i == 1 {
+                distinct += 1;
+            } else if version == GZR_VERSION {
+                // Same hash more than once: fetch payloads to tell true
+                // duplicates from hash collisions.
+                let mut firsts: Vec<RunRecord> = Vec::new();
+                for &(_, pos, index) in &keys[i..j] {
+                    let rec = self.read_run_at(&self.segments[pos], index)?;
+                    match firsts.iter().find(|f| same_run_key(f, &rec)) {
+                        None => {
+                            distinct += 1;
+                            firsts.push(rec);
+                        }
+                        Some(first) => {
+                            duplicates += 1;
+                            if first.stats != rec.stats || first.baseline != rec.baseline {
+                                conflicts += 1;
+                            }
+                        }
+                    }
+                }
+            } else {
+                let mut firsts: Vec<MixRecord> = Vec::new();
+                for &(_, pos, index) in &keys[i..j] {
+                    let rec = self.read_mix_at(&self.segments[pos], index)?;
+                    match firsts.iter().find(|f| same_mix_key(f, &rec)) {
+                        None => {
+                            distinct += 1;
+                            firsts.push(rec);
+                        }
+                        Some(first) => {
+                            duplicates += 1;
+                            if first.report != rec.report {
+                                conflicts += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            i = j;
+        }
+        Ok((distinct, duplicates, conflicts))
+    }
+
     /// All single-core records matching `query`, in deterministic store
-    /// order.
-    pub fn query(&self, query: &RunQuery) -> Vec<&RunRecord> {
-        let mut out: Vec<&RunRecord> = self.records.iter().filter(|r| query.matches(r)).collect();
-        if let Some(limit) = query.limit {
-            out.truncate(limit);
+    /// order (segment load order, then pending append order; the first
+    /// copy of a duplicated key wins). This scans segments — prefer
+    /// [`get`](Self::get) for point lookups. Segments that fail to read
+    /// are skipped fail-open (stderr + [`read_errors`](Self::read_errors)).
+    pub fn query(&self, query: &RunQuery) -> Vec<RunRecord> {
+        let limit = query.limit.unwrap_or(usize::MAX);
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut seen: HashSet<RunKey> = HashSet::new();
+        'segments: for segment in self.segments.iter().filter(|s| s.version == GZR_VERSION) {
+            let records = match self.scan_segment(segment) {
+                Ok(SegmentRecords::Runs(records)) => records,
+                Ok(SegmentRecords::Mixes(_)) => continue,
+                Err(err) => {
+                    self.note_read_error(segment, err);
+                    continue;
+                }
+            };
+            for rec in records {
+                if !seen.insert(rec.key()) {
+                    continue;
+                }
+                if query.matches(&rec) {
+                    out.push(rec);
+                    if out.len() >= limit {
+                        break 'segments;
+                    }
+                }
+            }
+        }
+        for rec in &self.pending_runs {
+            if out.len() >= limit {
+                break;
+            }
+            if seen.contains(&rec.key()) {
+                continue;
+            }
+            if query.matches(rec) {
+                out.push(rec.clone());
+            }
         }
         out
     }
 
     /// All multi-core mix records matching `query`, in deterministic
-    /// store order.
-    pub fn query_mixes(&self, query: &MixQuery) -> Vec<&MixRecord> {
-        let mut out: Vec<&MixRecord> = self
-            .mix_records
+    /// store order. Same semantics as [`query`](Self::query).
+    pub fn query_mixes(&self, query: &MixQuery) -> Vec<MixRecord> {
+        let limit = query.limit.unwrap_or(usize::MAX);
+        if limit == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut seen: HashSet<MixKey> = HashSet::new();
+        'segments: for segment in self
+            .segments
             .iter()
-            .filter(|r| query.matches(r))
-            .collect();
-        if let Some(limit) = query.limit {
-            out.truncate(limit);
+            .filter(|s| s.version == GZR_VERSION_MIX)
+        {
+            let records = match self.scan_segment(segment) {
+                Ok(SegmentRecords::Mixes(records)) => records,
+                Ok(SegmentRecords::Runs(_)) => continue,
+                Err(err) => {
+                    self.note_read_error(segment, err);
+                    continue;
+                }
+            };
+            for rec in records {
+                if !seen.insert(rec.key()) {
+                    continue;
+                }
+                if query.matches(&rec) {
+                    out.push(rec);
+                    if out.len() >= limit {
+                        break 'segments;
+                    }
+                }
+            }
+        }
+        for rec in &self.pending_mixes {
+            if out.len() >= limit {
+                break;
+            }
+            if seen.contains(&rec.key()) {
+                continue;
+            }
+            if query.matches(rec) {
+                out.push(rec.clone());
+            }
         }
         out
     }
 
-    /// Every single-core record in the store, in store order.
-    pub fn records(&self) -> &[RunRecord] {
-        &self.records
+    /// Every single-core record in the store, in store order. This scans
+    /// every v1 segment — prefer [`get`](Self::get) /
+    /// [`query`](Self::query) on large stores.
+    pub fn records(&self) -> Vec<RunRecord> {
+        self.query(&RunQuery::default())
     }
 
-    /// Every multi-core mix record in the store, in store order.
-    pub fn mix_records(&self) -> &[MixRecord] {
-        &self.mix_records
+    /// Every multi-core mix record in the store, in store order. This
+    /// scans every v2 segment — prefer [`get_mix`](Self::get_mix) /
+    /// [`query_mixes`](Self::query_mixes) on large stores.
+    pub fn mix_records(&self) -> Vec<MixRecord> {
+        self.query_mixes(&MixQuery::default())
     }
 }
 
@@ -647,6 +1333,65 @@ mod tests {
     }
 
     #[test]
+    fn open_reads_sidecars_not_payloads() {
+        let dir = temp_dir("lazy-open");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        for i in 0..50u64 {
+            store.append(record(&format!("w{i}"), "gaze", 1_000 + i));
+        }
+        store.flush().expect("flush");
+
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!(reopened.len(), 50);
+        assert_eq!(
+            reopened.records_decoded(),
+            0,
+            "a sidecar'd open must not materialize record payloads"
+        );
+        let hit = reopened.get(fnv("w7"), 42, "gaze").expect("point lookup");
+        assert_eq!(hit.workload, "w7");
+        assert_eq!(
+            reopened.records_decoded(),
+            1,
+            "a point lookup reads exactly the one record"
+        );
+        assert!(reopened.get(fnv("absent"), 42, "gaze").is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_segments_without_sidecars_are_scanned_and_backfilled() {
+        let dir = temp_dir("legacy");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        store.append(record("a", "gaze", 1_000));
+        store.append(record("b", "pmp", 2_000));
+        store.flush().expect("flush");
+
+        // Simulate a pre-sidecar store: delete the .gzx files.
+        for entry in fs::read_dir(&dir).expect("dir").filter_map(|e| e.ok()) {
+            if entry.path().extension().and_then(|e| e.to_str()) == Some("gzx") {
+                fs::remove_file(entry.path()).expect("remove sidecar");
+            }
+        }
+
+        let mut reopened = ResultsStore::open(&dir).expect("reopen legacy");
+        assert_eq!(reopened.len(), 2);
+        assert!(
+            reopened.records_decoded() >= 2,
+            "legacy segments are indexed by a one-time scan"
+        );
+        assert_eq!(reopened.sidecars_rejected(), 0, "absent is not rejected");
+        assert!(reopened.get(fnv("a"), 42, "gaze").is_some());
+
+        // The next flush backfills the sidecar; a fresh open is lazy again.
+        reopened.flush().expect("backfill flush");
+        let lazy = ResultsStore::open(&dir).expect("reopen backfilled");
+        assert_eq!(lazy.len(), 2);
+        assert_eq!(lazy.records_decoded(), 0, "backfilled sidecar serves open");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn dedup_on_reappend_and_across_segments() {
         let dir = temp_dir("dedup");
         let mut store = ResultsStore::open(&dir).expect("open");
@@ -687,6 +1432,56 @@ mod tests {
         let reopened = ResultsStore::open(&dir).expect("reopen");
         assert_eq!(reopened.len(), 3);
         assert_eq!(reopened.segment_count(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compact_merges_segments_and_drops_duplicates() {
+        let dir = temp_dir("compact");
+        let mut store = ResultsStore::open(&dir).expect("open");
+        store.append(record("a", "gaze", 1_000));
+        store.append_mix(mix_record("a+a", "gaze", 2, 2_000));
+        store.flush().expect("flush");
+        store.append(record("b", "pmp", 2_000));
+        store.flush().expect("flush");
+        // A second writer persists an overlapping row (same key as "a");
+        // the append-path dedup is bypassed to model the crash-retry /
+        // concurrent-writer overlap compaction exists to clean up.
+        let mut other = ResultsStore::open(&dir).expect("second handle");
+        other.pending_runs.push(record("a", "gaze", 1_000));
+        other.flush().expect("flush duplicate");
+
+        store.reload_if_stale().expect("reload");
+        assert_eq!(store.segment_count(), 4);
+        let before_runs = store.records();
+        let before_mixes = store.mix_records();
+
+        let stats = store.compact().expect("compact");
+        assert_eq!(stats.segments_before, 4);
+        assert_eq!(stats.segments_after, 2, "one v1 + one v2 segment");
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.mixes, 1);
+        assert_eq!(stats.duplicates_dropped, 1);
+        assert_eq!(store.segment_count(), 2);
+        assert_eq!(store.duplicates_skipped(), 0, "duplicates physically gone");
+
+        // Contents are unchanged, both live and across a reopen.
+        assert_eq!(store.records(), before_runs);
+        assert_eq!(store.mix_records(), before_mixes);
+        let reopened = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!(
+            reopened.records_decoded(),
+            0,
+            "compacted store opens lazily"
+        );
+        assert_eq!(reopened.records(), before_runs);
+        assert_eq!(reopened.mix_records(), before_mixes);
+
+        // Compacting again is a no-op.
+        let again = store.compact().expect("recompact");
+        assert_eq!(again.segments_before, 2);
+        assert_eq!(again.segments_after, 2);
+        assert_eq!(again.duplicates_dropped, 0);
         fs::remove_dir_all(&dir).ok();
     }
 

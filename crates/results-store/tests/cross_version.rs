@@ -85,7 +85,7 @@ fn mixed_version_store_serves_both_record_kinds() {
     let with = store.get_mix(mix_fp, 43, "gaze").expect("mix row");
     let base = store.get_mix(mix_fp, 43, "none").expect("baseline");
     assert_eq!(
-        with.speedup_over(base),
+        with.speedup_over(&base),
         1.0,
         "same counters in this fixture"
     );

@@ -399,16 +399,10 @@ fn lcg_kill_mid_flush_schedules_always_recover() {
     }
 
     let final_store = reopen_clean(&dir, "final");
-    let rows: HashSet<&str> = final_store
-        .records()
-        .iter()
-        .map(|r| r.workload.as_str())
-        .collect();
-    let mixes: HashSet<&str> = final_store
-        .mix_records()
-        .iter()
-        .map(|r| r.label.as_str())
-        .collect();
+    let final_records = final_store.records();
+    let final_mix_records = final_store.mix_records();
+    let rows: HashSet<&str> = final_records.iter().map(|r| r.workload.as_str()).collect();
+    let mixes: HashSet<&str> = final_mix_records.iter().map(|r| r.label.as_str()).collect();
     assert_eq!(rows.len(), expected_rows.len());
     assert!(
         expected_rows.iter().all(|(w, _)| rows.contains(w.as_str())),

@@ -51,11 +51,12 @@ fn segment_names_embed_pid_and_nonce() {
     store.append(record("b", 2_000));
     store.flush().expect("flush");
 
-    let names: Vec<String> = std::fs::read_dir(&dir)
+    let all_names: Vec<String> = std::fs::read_dir(&dir)
         .expect("read dir")
         .filter_map(|e| e.ok())
         .map(|e| e.file_name().to_string_lossy().into_owned())
         .collect();
+    let names: Vec<&String> = all_names.iter().filter(|n| n.ends_with(".gzr")).collect();
     assert_eq!(names.len(), 2);
     let pid = format!("{:08x}", std::process::id());
     let mut nonces = HashSet::new();
@@ -68,7 +69,18 @@ fn segment_names_embed_pid_and_nonce() {
         assert_eq!(parts.len(), 4, "seq-pid-nonce-hash in {name}");
         assert_eq!(parts[1], pid, "writer pid in {name}");
         assert!(nonces.insert(parts[2].to_string()), "nonce reused: {name}");
+        // Every flushed segment carries its sidecar index next to it.
+        let sidecar = format!("{}.gzx", name.strip_suffix(".gzr").expect("gzr name"));
+        assert!(
+            all_names.contains(&sidecar),
+            "segment {name} is missing its sidecar {sidecar}"
+        );
     }
+    assert_eq!(
+        all_names.len(),
+        4,
+        "exactly two segments + two sidecars: {all_names:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

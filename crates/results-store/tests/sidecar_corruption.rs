@@ -1,0 +1,229 @@
+//! `.gzx` sidecars are *derived* data: any truncated, corrupt or
+//! disagreeing sidecar must be rejected loudly (counted and logged) and
+//! the segment served through the one-time scan fallback — never a wrong
+//! answer, never a failed open.
+
+use std::fs;
+use std::path::PathBuf;
+
+use results_store::{MixRecord, ResultsStore, RunRecord};
+use sim_core::stats::{CoreStats, SimReport};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gzr-gzxcorrupt-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fnv(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+fn record(workload: &str, prefetcher: &str, cycles: u64) -> RunRecord {
+    let stats = CoreStats {
+        instructions: 10_000,
+        cycles,
+        ..CoreStats::default()
+    };
+    let mut baseline = stats;
+    baseline.cycles = cycles * 2;
+    RunRecord {
+        trace_fingerprint: fnv(workload),
+        params_fingerprint: 42,
+        workload: workload.to_string(),
+        prefetcher: prefetcher.to_string(),
+        stats,
+        baseline,
+    }
+}
+
+fn mix_record(label: &str, prefetcher: &str, cores: usize) -> MixRecord {
+    MixRecord {
+        mix_fingerprint: fnv(label),
+        params_fingerprint: 77,
+        prefetcher: prefetcher.to_string(),
+        label: label.to_string(),
+        report: SimReport {
+            cores: vec![
+                CoreStats {
+                    instructions: 9_000,
+                    cycles: 6_000,
+                    ..CoreStats::default()
+                };
+                cores
+            ],
+        },
+    }
+}
+
+/// One v1 segment (3 rows) + one v2 segment (2 rows), returning the
+/// sidecar paths.
+fn build_fixture(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut store = ResultsStore::open(dir).expect("open");
+    for (w, p) in [("bwaves_s", "gaze"), ("bwaves_s", "pmp"), ("mcf_s", "gaze")] {
+        assert!(store.append(record(w, p, 5_000)));
+    }
+    assert!(store.append_mix(mix_record("a+b", "gaze", 2)));
+    assert!(store.append_mix(mix_record("a+b", "none", 2)));
+    store.flush().expect("flush");
+    let mut sidecars: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("gzx"))
+        .collect();
+    sidecars.sort();
+    assert_eq!(sidecars.len(), 2, "one sidecar per segment");
+    sidecars
+}
+
+/// The store opens, rejects the broken sidecar(s) loudly, and serves
+/// every row correctly through the scan fallback.
+fn assert_serves_with_fallback(dir: &PathBuf, rejected_at_least: u64, context: &str) {
+    let store = match ResultsStore::open(dir) {
+        Ok(store) => store,
+        Err(e) => panic!("{context}: store failed to open with a broken sidecar: {e}"),
+    };
+    assert!(
+        store.sidecars_rejected() >= rejected_at_least,
+        "{context}: broken sidecar must be counted (got {})",
+        store.sidecars_rejected()
+    );
+    assert_eq!((store.len(), store.mix_len()), (3, 2), "{context}");
+    for (w, p) in [("bwaves_s", "gaze"), ("bwaves_s", "pmp"), ("mcf_s", "gaze")] {
+        let hit = store
+            .get(fnv(w), 42, p)
+            .unwrap_or_else(|| panic!("{context}: missing {w}/{p}"));
+        assert_eq!(hit, record(w, p, 5_000), "{context}: payload {w}/{p}");
+    }
+    for p in ["gaze", "none"] {
+        let hit = store
+            .get_mix(fnv("a+b"), 77, p)
+            .unwrap_or_else(|| panic!("{context}: missing mix a+b/{p}"));
+        assert_eq!(hit, mix_record("a+b", p, 2), "{context}: mix payload {p}");
+    }
+    assert!(store.get(fnv("absent"), 42, "gaze").is_none(), "{context}");
+}
+
+/// Truncating a sidecar at *every* byte offset — from an empty file to
+/// one byte short — is rejected (the entry table length must match the
+/// segment exactly) and served via scan.
+#[test]
+fn truncation_at_every_byte_offset_falls_back_to_scanning() {
+    let dir = temp_dir("truncate");
+    let sidecars = build_fixture(&dir);
+    for sidecar in &sidecars {
+        let bytes = fs::read(sidecar).expect("read sidecar");
+        for cut in 0..bytes.len() {
+            fs::write(sidecar, &bytes[..cut]).expect("truncate");
+            assert_serves_with_fallback(&dir, 1, &format!("{} cut at {cut}", sidecar.display()));
+        }
+        // Trailing garbage (wrong size in the other direction) is equally
+        // rejected.
+        let mut long = bytes.clone();
+        long.push(0);
+        fs::write(sidecar, &long).expect("extend");
+        assert_serves_with_fallback(&dir, 1, &format!("{} extended", sidecar.display()));
+        fs::write(sidecar, &bytes).expect("restore");
+    }
+    // Restored, the store is fully lazy again: no rejections, no scans.
+    let store = ResultsStore::open(&dir).expect("restored open");
+    assert_eq!(store.sidecars_rejected(), 0);
+    assert_eq!(store.records_decoded(), 0, "sidecars back in use");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Header-field corruptions: bad magic, unknown version, record-kind
+/// mismatch, non-zero reserved bytes, and an entry count disagreeing
+/// with the segment are each rejected loudly with scan fallback.
+#[test]
+fn header_field_corruptions_are_rejected_loudly() {
+    let dir = temp_dir("fields");
+    let sidecars = build_fixture(&dir);
+    let sidecar = &sidecars[0];
+    let bytes = fs::read(sidecar).expect("read sidecar");
+
+    // Bad magic.
+    let mut bad = bytes.clone();
+    bad[0] = b'X';
+    fs::write(sidecar, &bad).expect("write");
+    assert_serves_with_fallback(&dir, 1, "bad magic");
+
+    // Unknown sidecar version.
+    let mut bad = bytes.clone();
+    bad[4..6].copy_from_slice(&9u16.to_le_bytes());
+    fs::write(sidecar, &bad).expect("write");
+    assert_serves_with_fallback(&dir, 1, "unknown version");
+
+    // Record-kind mismatch (v1 sidecar claiming v2, and vice versa the
+    // other file would disagree the same way).
+    let mut bad = bytes.clone();
+    let kind = u16::from_le_bytes(bad[6..8].try_into().expect("2 bytes"));
+    bad[6..8].copy_from_slice(&(3 - kind).to_le_bytes());
+    fs::write(sidecar, &bad).expect("write");
+    assert_serves_with_fallback(&dir, 1, "kind mismatch");
+
+    // Entry count disagreeing with the segment's record count. The file
+    // is padded to stay self-consistent in *size*, so only the count
+    // cross-check against the segment header can catch it.
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let mut bad = bytes.clone();
+    bad[8..16].copy_from_slice(&(count + 1).to_le_bytes());
+    bad.extend_from_slice(&[0u8; 16]);
+    fs::write(sidecar, &bad).expect("write");
+    assert_serves_with_fallback(&dir, 1, "entry count mismatch");
+
+    // Non-zero reserved bytes.
+    let mut bad = bytes.clone();
+    bad[31] = 1;
+    fs::write(sidecar, &bad).expect("write");
+    assert_serves_with_fallback(&dir, 1, "reserved bytes");
+
+    // An unsorted entry table (swapped entries) breaks the binary-search
+    // invariant and must be rejected, not probed.
+    if count >= 2 {
+        let entries_start = bytes.len() - (count as usize) * 16;
+        let mut bad = bytes.clone();
+        let (a, b) = (entries_start, entries_start + 16);
+        for i in 0..16 {
+            bad.swap(a + i, b + i);
+        }
+        fs::write(sidecar, &bad).expect("write");
+        assert_serves_with_fallback(&dir, 1, "unsorted entries");
+    }
+
+    fs::write(sidecar, &bytes).expect("restore");
+    let store = ResultsStore::open(&dir).expect("restored open");
+    assert_eq!(store.sidecars_rejected(), 0);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// An orphan sidecar (its segment is gone — e.g. a crash window of
+/// compaction) is simply ignored; a sidecar pointing past the segment's
+/// record range is rejected.
+#[test]
+fn orphan_and_out_of_range_sidecars_are_handled() {
+    let dir = temp_dir("orphan");
+    let sidecars = build_fixture(&dir);
+
+    // Orphan: a sidecar for a segment that does not exist.
+    let orphan = dir.join("seg-99999999-deadbeef-deadbeef-deadbeefdeadbeef.gzx");
+    fs::copy(&sidecars[0], &orphan).expect("copy orphan");
+    let store = ResultsStore::open(&dir).expect("open with orphan sidecar");
+    assert_eq!((store.len(), store.mix_len()), (3, 2));
+    assert_eq!(store.sidecars_rejected(), 0, "orphans are not corruption");
+    fs::remove_file(&orphan).expect("remove orphan");
+
+    // Out-of-range record index in an otherwise well-formed entry table.
+    let bytes = fs::read(&sidecars[0]).expect("read sidecar");
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let mut bad = bytes.clone();
+    let last_index_at = bytes.len() - 8;
+    bad[last_index_at..].copy_from_slice(&(count + 100).to_le_bytes());
+    fs::write(&sidecars[0], &bad).expect("write");
+    assert_serves_with_fallback(&dir, 1, "out-of-range index");
+    fs::write(&sidecars[0], &bytes).expect("restore");
+    fs::remove_dir_all(&dir).ok();
+}

@@ -111,7 +111,7 @@ fn random_mix_records_survive_write_reopen_query_bit_exactly() {
         let hit = reopened
             .get_mix(rec.mix_fingerprint, rec.params_fingerprint, &rec.prefetcher)
             .expect("stored row");
-        assert_eq!(hit, rec);
+        assert_eq!(&hit, rec);
         // The typed query finds the same row by its filters.
         let rows = reopened.query_mixes(&MixQuery {
             label: Some(rec.label.clone()),

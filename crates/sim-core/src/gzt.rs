@@ -93,6 +93,20 @@ pub fn decode_record(buf: &[u8; GZT_RECORD_BYTES]) -> io::Result<TraceRecord> {
     })
 }
 
+/// Reads `buf.len()` bytes at `offset` without moving any file cursor
+/// (`pread` on Unix; an emulation via the shared-handle cursor elsewhere,
+/// where each `GztReader` owns its handle so the cursor is private).
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_exact_at(mut file: &File, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
 /// Streaming GZT writer: records go straight to disk; the header's counts
 /// are patched in when the writer is [`finish`](GztWriter::finish)ed.
 ///
@@ -298,9 +312,11 @@ impl GztTrace {
     /// [`TraceSource::reader`]; this one exposes the buffer bound for
     /// tests and tools).
     pub fn chunk_reader(&self) -> io::Result<GztReader> {
-        let file = File::open(&self.path)?;
-        let mut reader = GztReader {
-            file,
+        // Every read is positioned (offset computed from
+        // `next_record_index`), so the reader never seeks: many readers
+        // can share one opened file without a cursor to race on.
+        Ok(GztReader {
+            file: File::open(&self.path)?,
             data_offset: self.data_offset,
             record_count: self.record_count,
             chunk: Vec::with_capacity(self.chunk_records),
@@ -309,9 +325,7 @@ impl GztTrace {
             chunk_pos: 0,
             next_record_index: 0,
             wraps: 0,
-        };
-        reader.file.seek(SeekFrom::Start(self.data_offset))?;
-        Ok(reader)
+        })
     }
 }
 
@@ -384,14 +398,14 @@ impl GztReader {
     fn refill(&mut self) -> io::Result<()> {
         if self.next_record_index >= self.record_count {
             // Pass exhausted: wrap to the start of the data section.
-            self.file.seek(SeekFrom::Start(self.data_offset))?;
             self.next_record_index = 0;
             self.wraps += 1;
         }
         let remaining = (self.record_count - self.next_record_index) as usize;
         let n = remaining.min(self.chunk_capacity);
+        let offset = self.data_offset + self.next_record_index * GZT_RECORD_BYTES as u64;
         let bytes = &mut self.raw[..n * GZT_RECORD_BYTES];
-        self.file.read_exact(bytes)?;
+        read_exact_at(&self.file, bytes, offset)?;
         self.chunk.clear();
         for i in 0..n {
             let rec_bytes: &[u8; GZT_RECORD_BYTES] = bytes
