@@ -1,0 +1,122 @@
+//! Property test: histogram quantiles agree with a sorted-reference
+//! implementation over random value streams.
+//!
+//! The histogram can only answer at bucket granularity, so the contract
+//! is exact *per bucket*: for every quantile `q`, the histogram reports
+//! the upper bound of the bucket that holds the true (sorted-reference)
+//! rank-`ceil(q·n)` sample. That both pins the estimate to within one
+//! power-of-two bucket of the truth and makes the expected value
+//! computable exactly — no tolerance fudging.
+//!
+//! Randomness comes from a deterministic LCG (the workspace vendors no
+//! proptest); every failure reproduces from the printed seed.
+
+use gaze_obs::metrics::{bucket_index, bucket_upper_bound, Histogram};
+
+/// A 64-bit LCG (Knuth's MMIX constants): deterministic, seedable, good
+/// enough to scatter samples across buckets.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+
+    /// A value whose magnitude varies wildly: uniform bits shifted right
+    /// by a random amount, so every bucket from 0 upward gets traffic.
+    fn skewed(&mut self) -> u64 {
+        let raw = self.next();
+        let shift = (self.next() >> 58) as u32; // 0..=63
+        raw >> shift
+    }
+}
+
+/// The reference: exact rank statistics over the sorted samples, using
+/// the same rank convention as `Histogram::quantile`.
+fn reference_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let total = sorted.len() as u64;
+    let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+    sorted[(target - 1) as usize]
+}
+
+#[test]
+fn quantiles_match_sorted_reference_across_random_streams() {
+    let quantiles = [0.0, 0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0];
+    for seed in 1..=32u64 {
+        let mut rng = Lcg(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let len = 1 + (rng.next() % 4096) as usize;
+        let hist = Histogram::new();
+        let mut samples = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = rng.skewed();
+            hist.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        assert_eq!(hist.count(), len as u64, "seed {seed}");
+        assert_eq!(
+            hist.sum(),
+            samples.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+            "seed {seed}"
+        );
+        for &q in &quantiles {
+            let expected_bucket_bound =
+                bucket_upper_bound(bucket_index(reference_quantile(&samples, q)));
+            let got = hist.quantile(q);
+            assert_eq!(
+                got, expected_bucket_bound,
+                "seed {seed}, n {len}, q {q}: histogram must report the bucket \
+                 bound of the true quantile"
+            );
+        }
+    }
+}
+
+#[test]
+fn quantiles_bound_the_truth_from_above_within_a_bucket() {
+    // The coarser (but user-facing) guarantee: truth <= estimate < 2*truth+2.
+    for seed in 100..=110u64 {
+        let mut rng = Lcg(seed);
+        let hist = Histogram::new();
+        let mut samples = Vec::new();
+        for _ in 0..1000 {
+            let v = rng.skewed();
+            hist.record(v);
+            samples.push(v);
+        }
+        samples.sort_unstable();
+        for &q in &[0.5, 0.9, 0.99] {
+            let truth = reference_quantile(&samples, q);
+            let estimate = hist.quantile(q);
+            assert!(estimate >= truth, "seed {seed} q {q}: {estimate} < {truth}");
+            assert!(
+                estimate <= truth.saturating_mul(2).saturating_add(1),
+                "seed {seed} q {q}: {estimate} not within the bucket above {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_streams_stay_exact() {
+    // All-identical samples: every quantile is that sample's bucket bound.
+    let hist = Histogram::new();
+    for _ in 0..100 {
+        hist.record(777);
+    }
+    let expected = bucket_upper_bound(bucket_index(777));
+    for &q in &[0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(hist.quantile(q), expected);
+    }
+
+    // A single sample answers every quantile.
+    let one = Histogram::new();
+    one.record(5);
+    assert_eq!(one.quantile(0.01), 7);
+    assert_eq!(one.quantile(0.99), 7);
+}

@@ -14,13 +14,17 @@
 //!
 //! Scenarios (see `gaze_serve::loadgen`): `cold_experiments` (first
 //! request of a never-seen sweep), `warm_figures`, `warm_runs` and
-//! `job_churn`. The JSON report goes to `--out` (default
+//! `job_churn`. The server's `/metrics` exposition is scraped before and
+//! after the run, and the per-family deltas land in the report's
+//! `metrics_delta` object. The JSON report goes to `--out` (default
 //! `BENCH_serve.json`); a human summary goes to stderr. Exits non-zero
 //! if any scenario recorded zero successful requests or any error.
 
 use std::process::ExitCode;
 
-use gaze_serve::loadgen::{bench_json, run_benchmark, LoadgenConfig};
+use gaze_serve::loadgen::{
+    bench_json, metrics_delta, run_benchmark, scrape_metrics, LoadgenConfig,
+};
 use gaze_serve::{Server, ServerConfig};
 
 fn usage() -> ExitCode {
@@ -79,9 +83,10 @@ fn main() -> ExitCode {
             };
             match Server::spawn(&config) {
                 Ok((addr, stop, join)) => {
-                    eprintln!(
-                        "gaze-loadgen: self-hosting store '{}' on http://{addr}",
-                        config.dir.display()
+                    gaze_obs::log::info(
+                        "gaze-loadgen",
+                        "self-hosting server",
+                        &[("dir", &config.dir.display()), ("addr", &addr)],
                     );
                     (addr, Some((stop, join)))
                 }
@@ -131,7 +136,23 @@ fn main() -> ExitCode {
     }
     let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
 
+    // Snapshot the server's metric families around the run; the report
+    // carries the delta. A failed scrape degrades to an empty snapshot
+    // (the delta just comes out empty) rather than aborting the bench.
+    let scrape = |when: &str| {
+        scrape_metrics(addr, config.timeout).unwrap_or_else(|e| {
+            gaze_obs::log::warn(
+                "gaze-loadgen",
+                "metrics scrape failed",
+                &[("when", &when), ("error", &e)],
+            );
+            Default::default()
+        })
+    };
+    let before = scrape("before");
     let results = run_benchmark(&config);
+    // Scrape again *before* stopping a self-hosted server.
+    let delta = metrics_delta(&before, &scrape("after"));
 
     if let Some((stop, join)) = server {
         stop.stop();
@@ -149,12 +170,12 @@ fn main() -> ExitCode {
             failed = true;
         }
     }
-    let body = bench_json(&config.scale, &results);
+    let body = bench_json(&config.scale, &results, &delta);
     if let Err(e) = std::fs::write(&out, &body) {
         eprintln!("gaze-loadgen: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
-    eprintln!("gaze-loadgen: wrote {out}");
+    gaze_obs::log::info("gaze-loadgen", "wrote benchmark report", &[("out", &out)]);
     if failed {
         eprintln!("gaze-loadgen: FAILED: a scenario had zero successes or recorded errors");
         return ExitCode::FAILURE;

@@ -144,13 +144,16 @@ fn main() -> ExitCode {
         }
     };
     match server.local_addr() {
-        Ok(addr) => eprintln!(
-            "gaze-serve: serving results store '{}' on http://{addr} \
-             (default scale: {})",
-            config.dir.display(),
-            config.default_scale
+        Ok(addr) => gaze_obs::log::info(
+            "gaze-serve",
+            "serving",
+            &[
+                ("dir", &config.dir.display()),
+                ("addr", &addr),
+                ("scale", &config.default_scale),
+            ],
         ),
-        Err(e) => eprintln!("gaze-serve: bound (address unknown: {e})"),
+        Err(e) => gaze_obs::log::warn("gaze-serve", "bound, address unknown", &[("error", &e)]),
     }
     #[cfg(unix)]
     {
@@ -158,7 +161,11 @@ fn main() -> ExitCode {
         let stop = server.stop_handle();
         std::thread::spawn(move || loop {
             if signals::REQUESTED.load(std::sync::atomic::Ordering::SeqCst) {
-                eprintln!("gaze-serve: shutdown requested; draining jobs and flushing store");
+                gaze_obs::log::info(
+                    "gaze-serve",
+                    "shutdown requested; draining jobs and flushing store",
+                    &[],
+                );
                 stop.stop();
                 break;
             }
@@ -166,9 +173,9 @@ fn main() -> ExitCode {
         });
     }
     if let Err(e) = server.serve() {
-        eprintln!("gaze-serve: serve loop failed: {e}");
+        gaze_obs::log::error("gaze-serve", "serve loop failed", &[("error", &e)]);
         return ExitCode::FAILURE;
     }
-    eprintln!("gaze-serve: stopped cleanly");
+    gaze_obs::log::info("gaze-serve", "stopped cleanly", &[]);
     ExitCode::SUCCESS
 }

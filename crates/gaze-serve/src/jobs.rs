@@ -218,15 +218,18 @@ impl JobManager {
         let fingerprint = job_fingerprint(&spec, &scale);
         let mut st = lock(&self.shared);
         if st.closed {
+            crate::obs::note_job_rejected("shutdown");
             return SubmitOutcome::ShuttingDown;
         }
         if let Some(&idx) = st.inflight.get(&fingerprint) {
+            crate::obs::note_job_deduped();
             return SubmitOutcome::Accepted {
                 id: st.jobs[idx].id.clone(),
                 deduped: true,
             };
         }
         if st.queue.len() >= self.queue_depth {
+            crate::obs::note_job_rejected("queue_full");
             return SubmitOutcome::QueueFull {
                 depth: self.queue_depth,
             };
@@ -250,7 +253,14 @@ impl JobManager {
         st.by_id.insert(id.clone(), idx);
         st.queue.push_back(idx);
         st.inflight.insert(fingerprint, idx);
+        crate::obs::note_job_transition("queued");
+        crate::obs::set_queue_depth(st.queue.len());
         drop(st);
+        gaze_obs::log::info(
+            "gaze-serve",
+            "job queued",
+            &[("job", &id), ("spec", &spec_name), ("scale", &scale_name)],
+        );
         self.shared.wake.notify_one();
         SubmitOutcome::Accepted { id, deduped: false }
     }
@@ -299,7 +309,9 @@ impl JobManager {
                 st.jobs[idx].status = JobStatus::Failed {
                     error: "server shut down before the job started".to_string(),
                 };
+                crate::obs::note_job_transition("failed");
             }
+            crate::obs::set_queue_depth(st.queue.len());
         }
         self.shared.wake.notify_all();
         let executors = std::mem::take(
@@ -341,6 +353,7 @@ fn executor_loop(shared: &Shared) {
             let mut st = lock(shared);
             loop {
                 if let Some(idx) = st.queue.pop_front() {
+                    crate::obs::set_queue_depth(st.queue.len());
                     break idx;
                 }
                 if st.closed {
@@ -354,12 +367,14 @@ fn executor_loop(shared: &Shared) {
 }
 
 fn run_job(shared: &Shared, idx: usize) {
-    let (spec, scale) = {
+    let started = std::time::Instant::now();
+    let (id, spec, scale) = {
         let mut st = lock(shared);
         let entry = &mut st.jobs[idx];
         entry.status = JobStatus::Running { done: 0, total: 0 };
-        (entry.spec.clone(), entry.scale)
+        (entry.id.clone(), entry.spec.clone(), entry.scale)
     };
+    crate::obs::note_job_transition("running");
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         execute_spec(shared, idx, &spec, &scale)
     }));
@@ -368,21 +383,46 @@ fn run_job(shared: &Shared, idx: usize) {
     gaze_sim::results::flush();
     let mut st = lock(shared);
     let entry = &mut st.jobs[idx];
-    match outcome {
+    let error = match outcome {
         Ok(Ok((csv, total))) => {
             entry.csv = Some(csv);
             entry.status = JobStatus::Done { total };
+            None
         }
-        Ok(Err(error)) => entry.status = JobStatus::Failed { error },
-        Err(payload) => {
+        Ok(Err(error)) => {
             entry.status = JobStatus::Failed {
-                error: format!("job panicked: {}", panic_message(payload.as_ref())),
+                error: error.clone(),
             };
+            Some(error)
         }
-    }
+        Err(payload) => {
+            let error = format!("job panicked: {}", panic_message(payload.as_ref()));
+            entry.status = JobStatus::Failed {
+                error: error.clone(),
+            };
+            Some(error)
+        }
+    };
+    let phase = entry.status.phase();
     let fp = entry.fingerprint;
     if st.inflight.get(&fp) == Some(&idx) {
         st.inflight.remove(&fp);
+    }
+    drop(st);
+    let us = started.elapsed().as_micros() as u64;
+    crate::obs::note_job_transition(if error.is_none() { "done" } else { "failed" });
+    crate::obs::note_job_duration(us);
+    match error {
+        None => gaze_obs::log::info(
+            "gaze-serve",
+            "job finished",
+            &[("job", &id), ("status", &phase), ("us", &us)],
+        ),
+        Some(error) => gaze_obs::log::warn(
+            "gaze-serve",
+            "job failed",
+            &[("job", &id), ("error", &error), ("us", &us)],
+        ),
     }
 }
 

@@ -13,7 +13,10 @@
 //!
 //! Endpoints ([`routes`]; full contract in `docs/RESULTS.md`):
 //!
-//! * `GET /healthz` — liveness + store shape,
+//! * `GET /healthz` — liveness + store shape, cache effectiveness,
+//!   queue depth and uptime,
+//! * `GET /metrics` — every process metric in Prometheus text
+//!   exposition format (see `docs/OBSERVABILITY.md`),
 //! * `GET /runs` — stored runs as JSON, filtered by query string
 //!   (`workload`, `prefetcher`, `scale`, `trace`, `limit`),
 //! * `GET /figures/{fig06..fig18}` — figure CSVs, byte-identical to
@@ -31,6 +34,10 @@
 //! * `GET /jobs`, `GET /jobs/<id>`, `GET /jobs/<id>/result` — job
 //!   listing, lifecycle status (`queued|running|done|failed`), and the
 //!   finished CSV,
+//! * `GET /jobs/<id>/events` — the same lifecycle as a live
+//!   `text/event-stream`: one SSE event per status change
+//!   (`queued`, `running` with progress, `done`/`failed`), closing on
+//!   the terminal state,
 //! * `POST /admin/compact` — merge every store segment into at most one
 //!   per record kind, dropping superseded duplicates; returns the
 //!   compaction stats as JSON.
@@ -55,6 +62,7 @@ pub mod http;
 pub mod jobs;
 pub mod json;
 pub mod loadgen;
+mod obs;
 pub mod routes;
 pub mod server;
 

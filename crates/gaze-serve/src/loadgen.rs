@@ -18,10 +18,20 @@
 //!
 //! Results aggregate into [`ScenarioResult`]s (throughput, p50/p99
 //! latency) and serialize to the `BENCH_serve.json` schema
-//! (`gaze-serve-bench-v1`) via [`bench_json`] — the CI loadgen smoke and
+//! (`gaze-serve-bench-v2`) via [`bench_json`] — the CI loadgen smoke and
 //! the committed benchmark file both come from this module through the
 //! `gaze-loadgen` binary.
+//!
+//! Latency aggregation dogfoods [`gaze_obs::metrics::Histogram`]: every
+//! client thread records straight into one shared log2-bucket histogram
+//! (no per-request allocation, no post-hoc sort), and the reported
+//! p50/p99 are that histogram's bucket-bound quantiles — the same
+//! numbers a `/metrics` scrape of the server's own request histograms
+//! would yield. [`scrape_metrics`] additionally snapshots the server's
+//! exposition before and after the run so the report carries the
+//! server-side counter deltas (`metrics_delta`).
 
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -29,6 +39,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::json::{json_array, JsonObject};
+use gaze_obs::metrics::Histogram;
 
 /// How a load-generation run is set up.
 #[derive(Debug, Clone)]
@@ -87,9 +98,11 @@ pub struct ScenarioResult {
     pub seconds: f64,
     /// Successful requests per second of wall-clock time.
     pub rps: f64,
-    /// Median request latency in milliseconds.
+    /// Median request latency in milliseconds: the upper bound of the
+    /// log2 histogram bucket holding the p50 sample.
     pub p50_ms: f64,
-    /// 99th-percentile request latency in milliseconds.
+    /// 99th-percentile request latency in milliseconds (bucket bound,
+    /// like `p50_ms`).
     pub p99_ms: f64,
 }
 
@@ -124,17 +137,18 @@ pub fn http_request(
     Ok((status, raw[head_end + 4..].to_vec()))
 }
 
-/// Latency percentile (0.0..=1.0) over a sorted sample, in milliseconds.
-fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
-    if sorted.is_empty() {
+/// A histogram quantile in milliseconds (0.0 when empty).
+fn quantile_ms(hist: &Histogram, q: f64) -> f64 {
+    if hist.count() == 0 {
         return 0.0;
     }
-    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[rank.min(sorted.len() - 1)].as_secs_f64() * 1_000.0
+    hist.quantile(q) as f64 / 1_000.0
 }
 
 /// Runs `clients` threads, each calling `work(client_index, iteration)`
-/// `per_client` times; aggregates latencies of `Ok` iterations.
+/// `per_client` times; latencies of `Ok` iterations aggregate into one
+/// shared [`Histogram`] (microseconds), which every thread records into
+/// lock-free — no per-request buffering or sorting.
 fn run_closed_loop(
     name: &str,
     clients: usize,
@@ -142,49 +156,50 @@ fn run_closed_loop(
     work: impl Fn(usize, usize) -> std::io::Result<Duration> + Send + Sync,
 ) -> ScenarioResult {
     let errors = Arc::new(AtomicUsize::new(0));
+    let hist = Histogram::new();
     let started = Instant::now();
-    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let work = &work;
+        let hist = &hist;
         let handles: Vec<_> = (0..clients)
             .map(|client| {
                 let errors = Arc::clone(&errors);
                 scope.spawn(move || {
-                    let mut mine = Vec::with_capacity(per_client);
                     for iteration in 0..per_client {
                         match work(client, iteration) {
-                            Ok(latency) => mine.push(latency),
+                            Ok(latency) => hist.record(latency.as_micros() as u64),
                             Err(e) => {
                                 errors.fetch_add(1, Ordering::Relaxed);
-                                eprintln!("gaze-loadgen: {name} client {client}: {e}");
+                                gaze_obs::log::warn(
+                                    "gaze-loadgen",
+                                    "request failed",
+                                    &[("scenario", &name), ("client", &client), ("error", &e)],
+                                );
                             }
                         }
                     }
-                    mine
                 })
             })
             .collect();
-        let mut all = Vec::with_capacity(clients * per_client);
         for handle in handles {
-            all.extend(handle.join().expect("loadgen client thread"));
+            handle.join().expect("loadgen client thread");
         }
-        all
     });
     let seconds = started.elapsed().as_secs_f64();
-    let mut sorted = latencies;
-    sorted.sort_unstable();
+    let requests = hist.count() as usize;
     ScenarioResult {
         name: name.to_string(),
         clients,
-        requests: sorted.len(),
+        requests,
         errors: errors.load(Ordering::Relaxed),
         seconds,
         rps: if seconds > 0.0 {
-            sorted.len() as f64 / seconds
+            requests as f64 / seconds
         } else {
             0.0
         },
-        p50_ms: percentile_ms(&sorted, 0.50),
-        p99_ms: percentile_ms(&sorted, 0.99),
+        p50_ms: quantile_ms(&hist, 0.50),
+        p99_ms: quantile_ms(&hist, 0.99),
     }
 }
 
@@ -258,7 +273,11 @@ pub fn run_benchmark(config: &LoadgenConfig) -> Vec<ScenarioResult> {
     // Prime the warm figure outside the timed window, then hammer it.
     let figure_target = format!("/figures/{}?scale={}", config.figure, config.scale);
     if let Err(e) = timed_get(config.addr, &figure_target, config.timeout) {
-        eprintln!("gaze-loadgen: warm-figure priming failed: {e}");
+        gaze_obs::log::warn(
+            "gaze-loadgen",
+            "warm-figure priming failed",
+            &[("figure", &config.figure), ("error", &e)],
+        );
     }
     results.push(run_closed_loop(
         "warm_figures",
@@ -296,9 +315,68 @@ pub fn run_benchmark(config: &LoadgenConfig) -> Vec<ScenarioResult> {
     results
 }
 
-/// Serializes scenario results to the `BENCH_serve.json` document
-/// (schema `gaze-serve-bench-v1`).
-pub fn bench_json(scale: &str, results: &[ScenarioResult]) -> String {
+/// Scrapes `GET /metrics` from `addr` and folds the exposition into one
+/// value per metric family (values of a labelled family sum across its
+/// series; `_bucket` series are skipped — `_sum`/`_count` already carry
+/// the histogram totals).
+pub fn scrape_metrics(
+    addr: SocketAddr,
+    timeout: Duration,
+) -> std::io::Result<BTreeMap<String, f64>> {
+    let (status, body) = http_request(addr, "GET", "/metrics", timeout)?;
+    if status != 200 {
+        return Err(std::io::Error::other(format!("/metrics: HTTP {status}")));
+    }
+    Ok(parse_exposition(&String::from_utf8_lossy(&body)))
+}
+
+/// Folds Prometheus exposition text into per-family totals (see
+/// [`scrape_metrics`]).
+fn parse_exposition(text: &str) -> BTreeMap<String, f64> {
+    let mut totals = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((series, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let family = series.split('{').next().unwrap_or(series);
+        if family.ends_with("_bucket") {
+            continue;
+        }
+        if let Ok(v) = value.trim().parse::<f64>() {
+            *totals.entry(family.to_string()).or_insert(0.0) += v;
+        }
+    }
+    totals
+}
+
+/// Per-family `after - before`, dropping families whose delta is zero
+/// (families absent from `before` count from zero — the server may have
+/// registered them mid-run).
+pub fn metrics_delta(
+    before: &BTreeMap<String, f64>,
+    after: &BTreeMap<String, f64>,
+) -> BTreeMap<String, f64> {
+    let mut delta = BTreeMap::new();
+    for (name, &after_value) in after {
+        let d = after_value - before.get(name).copied().unwrap_or(0.0);
+        if d != 0.0 {
+            delta.insert(name.clone(), d);
+        }
+    }
+    delta
+}
+
+/// Serializes scenario results plus the server-side metric deltas to the
+/// `BENCH_serve.json` document (schema `gaze-serve-bench-v2`).
+pub fn bench_json(
+    scale: &str,
+    results: &[ScenarioResult],
+    metrics_delta: &BTreeMap<String, f64>,
+) -> String {
     let scenarios = json_array(results.iter().map(|r| {
         JsonObject::new()
             .string("name", &r.name)
@@ -311,10 +389,15 @@ pub fn bench_json(scale: &str, results: &[ScenarioResult]) -> String {
             .f64("p99_ms", r.p99_ms)
             .build()
     }));
+    let mut delta = JsonObject::new();
+    for (name, value) in metrics_delta {
+        delta = delta.f64(name, *value);
+    }
     JsonObject::new()
-        .string("schema", "gaze-serve-bench-v1")
+        .string("schema", "gaze-serve-bench-v2")
         .string("scale", scale)
         .raw("scenarios", scenarios)
+        .raw("metrics_delta", delta.build())
         .build()
         + "\n"
 }
@@ -324,17 +407,60 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_pick_the_expected_ranks() {
-        let sample: Vec<Duration> = (0..=100).map(Duration::from_millis).collect();
-        assert_eq!(percentile_ms(&sample, 0.50), 50.0);
-        assert_eq!(percentile_ms(&sample, 0.99), 99.0);
-        assert_eq!(percentile_ms(&sample, 1.0), 100.0);
-        assert_eq!(percentile_ms(&[], 0.99), 0.0);
-        assert_eq!(percentile_ms(&[Duration::from_millis(7)], 0.50), 7.0);
+    fn quantiles_come_from_histogram_bucket_bounds() {
+        let hist = Histogram::new();
+        for ms in 0..=100u64 {
+            hist.record(ms * 1_000);
+        }
+        // 50ms = 50_000us lands in the 2^16-1 = 65_535us bucket.
+        assert_eq!(quantile_ms(&hist, 0.50), 65.535);
+        let empty = Histogram::new();
+        assert_eq!(quantile_ms(&empty, 0.99), 0.0);
     }
 
     #[test]
-    fn bench_json_carries_schema_and_scenarios() {
+    fn exposition_parse_sums_families_and_skips_buckets() {
+        let text = "# HELP gaze_http_requests_total Requests served\n\
+                    # TYPE gaze_http_requests_total counter\n\
+                    gaze_http_requests_total{route=\"/runs\",class=\"2xx\"} 10\n\
+                    gaze_http_requests_total{route=\"/jobs\",class=\"2xx\"} 5\n\
+                    gaze_http_request_duration_us_bucket{route=\"/runs\",le=\"1023\"} 3\n\
+                    gaze_http_request_duration_us_sum{route=\"/runs\"} 1234\n\
+                    gaze_http_request_duration_us_count{route=\"/runs\"} 10\n\
+                    gaze_jobs_queue_depth 2\n";
+        let totals = parse_exposition(text);
+        assert_eq!(totals.get("gaze_http_requests_total"), Some(&15.0));
+        assert_eq!(totals.get("gaze_http_request_duration_us_bucket"), None);
+        assert_eq!(
+            totals.get("gaze_http_request_duration_us_sum"),
+            Some(&1234.0)
+        );
+        assert_eq!(
+            totals.get("gaze_http_request_duration_us_count"),
+            Some(&10.0)
+        );
+        assert_eq!(totals.get("gaze_jobs_queue_depth"), Some(&2.0));
+    }
+
+    #[test]
+    fn delta_keeps_only_changed_families() {
+        let mut before = BTreeMap::new();
+        before.insert("a_total".to_string(), 10.0);
+        before.insert("b_total".to_string(), 3.0);
+        let mut after = BTreeMap::new();
+        after.insert("a_total".to_string(), 15.0);
+        after.insert("b_total".to_string(), 3.0);
+        after.insert("c_total".to_string(), 7.0);
+        let delta = metrics_delta(&before, &after);
+        assert_eq!(delta.get("a_total"), Some(&5.0));
+        assert_eq!(delta.get("b_total"), None);
+        assert_eq!(delta.get("c_total"), Some(&7.0));
+    }
+
+    #[test]
+    fn bench_json_carries_schema_scenarios_and_delta() {
+        let mut delta = BTreeMap::new();
+        delta.insert("gaze_http_requests_total".to_string(), 215.0);
         let body = bench_json(
             "test",
             &[ScenarioResult {
@@ -347,14 +473,19 @@ mod tests {
                 p50_ms: 4.5,
                 p99_ms: 12.0,
             }],
+            &delta,
         );
         assert!(
-            body.contains("\"schema\":\"gaze-serve-bench-v1\""),
+            body.contains("\"schema\":\"gaze-serve-bench-v2\""),
             "{body}"
         );
         assert!(body.contains("\"name\":\"warm_figures\""), "{body}");
         assert!(body.contains("\"rps\":160.0"), "{body}");
         assert!(body.contains("\"p99_ms\":12.0"), "{body}");
+        assert!(
+            body.contains("\"metrics_delta\":{\"gaze_http_requests_total\":215.0}"),
+            "{body}"
+        );
     }
 
     #[test]
@@ -369,7 +500,10 @@ mod tests {
         assert_eq!(result.clients, 4);
         assert_eq!(result.requests, 35);
         assert_eq!(result.errors, 5);
-        assert_eq!(result.p50_ms, 5.0);
+        // 5ms = 5_000us lands in the log2 bucket bounded by 2^13-1 =
+        // 8_191us; quantiles report bucket upper bounds.
+        assert_eq!(result.p50_ms, 8.191);
+        assert_eq!(result.p99_ms, 8.191);
         assert!(result.rps > 0.0);
     }
 }

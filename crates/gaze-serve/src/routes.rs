@@ -38,6 +38,8 @@ pub struct AppState {
     /// The async sweep-job executor behind `POST /experiments` and
     /// `/jobs`.
     pub jobs: JobManager,
+    /// When this process bound its listener (for `/healthz` uptime).
+    pub started: std::time::Instant,
 }
 
 /// Dispatches one parsed request to its handler.
@@ -63,10 +65,15 @@ pub fn handle(state: &AppState, req: &Request) -> Response {
         return Response::error(500, &e.to_string());
     }
     if let Err(e) = state.store.reload_if_stale() {
-        eprintln!("gaze-serve: stale-store reload failed (serving in-memory data): {e}");
+        gaze_obs::log::warn(
+            "gaze-serve",
+            "stale-store reload failed; serving in-memory data",
+            &[("error", &e)],
+        );
     }
     match req.path.as_str() {
         "/healthz" => healthz(state),
+        "/metrics" => metrics(state),
         "/runs" => runs(state, req),
         "/specs" => specs(state),
         "/experiments" => experiments(state, req),
@@ -281,7 +288,17 @@ fn jobs_list(state: &AppState) -> Response {
 
 /// `GET /jobs/<id>` — one job's status; `GET /jobs/<id>/result` — a
 /// finished job's CSV (`409` while unfinished, `500` if it failed).
+///
+/// `/jobs/<id>/events` never reaches this function over HTTP — the
+/// connection layer intercepts it and streams SSE — but a direct call
+/// (unit tests, embedders) gets a loud hint instead of a silent 404.
 fn job_detail(state: &AppState, rest: &str) -> Response {
+    if rest.ends_with("/events") {
+        return Response::error(
+            400,
+            "/jobs/<id>/events is a server-sent event stream; connect over HTTP",
+        );
+    }
     if let Some(id) = rest.strip_suffix("/result") {
         return match state.jobs.result(id) {
             None => Response::error(404, "unknown job id"),
@@ -323,14 +340,18 @@ fn admin_compact(state: &AppState, req: &Request) -> Response {
 }
 
 fn healthz(state: &AppState) -> Response {
-    let (rows, mix_rows, segments, pending) = state.store.with_store(|s| {
-        (
-            s.len() as u64,
-            s.mix_len() as u64,
-            s.segment_count() as u64,
-            s.pending_len() as u64,
-        )
-    });
+    let (rows, mix_rows, segments, pending, decoded, read_errors, sidecars_rejected) =
+        state.store.with_store(|s| {
+            (
+                s.len() as u64,
+                s.mix_len() as u64,
+                s.segment_count() as u64,
+                s.pending_len() as u64,
+                s.records_decoded(),
+                s.read_errors(),
+                s.sidecars_rejected(),
+            )
+        });
     let body = JsonObject::new()
         .string("status", "ok")
         .u64("rows", rows)
@@ -339,8 +360,123 @@ fn healthz(state: &AppState) -> Response {
         .u64("pending", pending)
         .u64("hits", state.store.hits())
         .u64("misses", state.store.misses())
+        .u64("records_decoded", decoded)
+        .u64("read_errors", read_errors)
+        .u64("sidecars_rejected", sidecars_rejected)
+        .u64("jobs_queued", state.jobs.queued_len() as u64)
+        .u64("uptime_seconds", state.started.elapsed().as_secs())
         .build();
     Response::json(body + "\n")
+}
+
+/// `GET /metrics` — every registered series in Prometheus text
+/// exposition format. The store-shape gauges are refreshed from a live
+/// snapshot at scrape time; everything else accumulates in-place on the
+/// hot paths (see `docs/OBSERVABILITY.md` for the catalog).
+fn metrics(state: &AppState) -> Response {
+    let (rows, mix_rows, segments, pending) = state.store.with_store(|s| {
+        (
+            s.len() as u64,
+            s.mix_len() as u64,
+            s.segment_count() as u64,
+            s.pending_len() as u64,
+        )
+    });
+    crate::obs::set_store_shape(rows, mix_rows, segments, pending);
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        headers: Vec::new(),
+        body: gaze_obs::metrics::registry().render().into_bytes(),
+    }
+}
+
+/// How often the SSE stream polls a job's status.
+const SSE_POLL: std::time::Duration = std::time::Duration::from_millis(20);
+
+/// Heartbeat comment cadence, in poll ticks (~1 s at [`SSE_POLL`]): a
+/// dead client is detected by the heartbeat's write failing, so a
+/// stream never outlives its connection by more than about a second.
+const SSE_HEARTBEAT_TICKS: u32 = 50;
+
+/// `GET /jobs/<id>/events` — streams the job's lifecycle as server-sent
+/// events over the raw connection (the buffered [`Response`] path cannot
+/// stream). One `event: <phase>` + `data: <job json>` block is written
+/// per observed status change — `queued`, `running` (re-emitted whenever
+/// `done` advances), and finally `done` or `failed`, after which the
+/// stream closes. Returns the HTTP status for the request log/metrics.
+///
+/// Unknown ids get an ordinary buffered 404. The write timeout
+/// configured on the socket bounds every write; a client that
+/// disconnects is noticed by the next event or heartbeat write failing.
+pub(crate) fn stream_job_events(
+    state: &AppState,
+    req: &crate::http::Request,
+    stream: &mut impl std::io::Write,
+) -> u16 {
+    let id = req
+        .path
+        .strip_prefix("/jobs/")
+        .and_then(|rest| rest.strip_suffix("/events"))
+        .unwrap_or_default();
+    let Some(mut last) = state.jobs.get(id) else {
+        let resp = Response::error(404, "unknown job id");
+        let _ = resp.write_to(stream);
+        return resp.status;
+    };
+    if stream
+        .write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+        )
+        .is_err()
+    {
+        return 200;
+    }
+    if write_sse_event(stream, &last).is_err() {
+        return 200;
+    }
+    let mut ticks = 0u32;
+    while !matches!(
+        last.status,
+        JobStatus::Done { .. } | JobStatus::Failed { .. }
+    ) {
+        std::thread::sleep(SSE_POLL);
+        // A job is never removed once listed, so a vanished id means the
+        // manager itself is gone; end the stream.
+        let Some(now) = state.jobs.get(id) else { break };
+        if now.status != last.status {
+            last = now;
+            if write_sse_event(stream, &last).is_err() {
+                break;
+            }
+            ticks = 0;
+        } else {
+            ticks += 1;
+            if ticks >= SSE_HEARTBEAT_TICKS {
+                ticks = 0;
+                if stream
+                    .write_all(b": keep-alive\n\n")
+                    .and_then(|()| stream.flush())
+                    .is_err()
+                {
+                    break;
+                }
+            }
+        }
+    }
+    200
+}
+
+/// Writes one SSE block: the phase as the event name, the job snapshot
+/// JSON as its data line.
+fn write_sse_event(out: &mut impl std::io::Write, info: &JobInfo) -> std::io::Result<()> {
+    write!(
+        out,
+        "event: {}\ndata: {}\n\n",
+        info.status.phase(),
+        job_json(info)
+    )?;
+    out.flush()
 }
 
 /// Resolves a `scale=` query value: a named scale (`quick`, `bench`,
@@ -577,6 +713,7 @@ mod tests {
             default_scale: "quick".to_string(),
             spec_dir: None,
             jobs: JobManager::new(1, 2),
+            started: std::time::Instant::now(),
         }
     }
 

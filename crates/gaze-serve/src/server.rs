@@ -89,6 +89,7 @@ impl Server {
                 default_scale: config.default_scale.clone(),
                 spec_dir: config.spec_dir.clone(),
                 jobs: JobManager::new(config.job_workers.max(1), config.job_queue_depth),
+                started: std::time::Instant::now(),
             }),
             threads: config.threads.max(1),
             socket_timeout: config.socket_timeout,
@@ -149,7 +150,7 @@ impl Server {
                     // bug worth crashing on.
                     tx.send(stream).expect("worker pool gone");
                 }
-                Err(e) => eprintln!("gaze-serve: accept failed: {e}"),
+                Err(e) => gaze_obs::log::warn("gaze-serve", "accept failed", &[("error", &e)]),
             }
         }
         drop(tx);
@@ -161,7 +162,7 @@ impl Server {
         // durable before returning.
         self.state.jobs.shutdown();
         if let Err(e) = self.state.store.flush() {
-            eprintln!("gaze-serve: final store flush failed: {e}");
+            gaze_obs::log::error("gaze-serve", "final store flush failed", &[("error", &e)]);
         }
         Ok(())
     }
@@ -175,7 +176,7 @@ impl Server {
         let stop = server.stop_handle();
         let join = std::thread::spawn(move || {
             if let Err(e) = server.serve() {
-                eprintln!("gaze-serve: serve loop failed: {e}");
+                gaze_obs::log::error("gaze-serve", "serve loop failed", &[("error", &e)]);
             }
         });
         Ok((addr, stop, join))
@@ -204,23 +205,78 @@ impl StopHandle {
 /// into responses (or dropped connections), and a panicking handler is
 /// caught and mapped to a `500` — a worker thread survives anything a
 /// single request does.
+///
+/// Every request is timed and counted against its route label
+/// (`gaze_http_*`); `GET /jobs/<id>/events` is intercepted *before* the
+/// buffered response path and streamed as server-sent events instead.
 fn serve_connection(state: &AppState, mut stream: TcpStream, timeout: Duration) {
     let _ = stream.set_read_timeout(Some(timeout));
     let _ = stream.set_write_timeout(Some(timeout));
-    let response = match read_request(&mut stream) {
+    let started = std::time::Instant::now();
+    let in_flight = crate::obs::in_flight();
+    in_flight.add(1);
+    let (route, response) = match read_request(&mut stream) {
         Ok(req) => {
-            catch_unwind(AssertUnwindSafe(|| handle(state, &req))).unwrap_or_else(|payload| {
-                Response::error(
-                    500,
-                    &format!("handler panicked: {}", panic_message(payload.as_ref())),
-                )
-            })
+            let route = crate::obs::route_label(&req.path);
+            if route == "/jobs/events" && req.method == "GET" {
+                let status = crate::routes::stream_job_events(state, &req, &mut stream);
+                finish_request(&req, route, status, started);
+                in_flight.sub(1);
+                return;
+            }
+            let response =
+                catch_unwind(AssertUnwindSafe(|| handle(state, &req))).unwrap_or_else(|payload| {
+                    Response::error(
+                        500,
+                        &format!("handler panicked: {}", panic_message(payload.as_ref())),
+                    )
+                });
+            finish_request(&req, route, response.status, started);
+            (route, response)
         }
-        Err(error_response) => error_response,
+        Err(error_response) => {
+            crate::obs::note_request("other", error_response.status, elapsed_us(started));
+            ("other", error_response)
+        }
     };
+    in_flight.sub(1);
     if let Err(e) = response.write_to(&mut stream) {
-        // The client hung up first (or timed out); nothing to do.
-        let _ = e;
+        // The client hung up first (or timed out); worth a trace, no more.
+        gaze_obs::log::trace(
+            "gaze-serve",
+            "response write failed (client gone)",
+            &[("route", &route), ("error", &e)],
+        );
+    }
+}
+
+fn elapsed_us(started: std::time::Instant) -> u64 {
+    started.elapsed().as_micros() as u64
+}
+
+/// Records one handled request: metrics plus a per-request debug line
+/// with a process-unique id.
+fn finish_request(
+    req: &crate::http::Request,
+    route: &'static str,
+    status: u16,
+    started: std::time::Instant,
+) {
+    let us = elapsed_us(started);
+    crate::obs::note_request(route, status, us);
+    if gaze_obs::log::enabled(gaze_obs::log::Level::Debug) {
+        gaze_obs::log::debug(
+            "gaze-serve",
+            "request",
+            &[
+                ("id", &gaze_obs::log::next_id("req")),
+                ("method", &req.method),
+                ("path", &req.path),
+                ("route", &route),
+                ("status", &status),
+                ("us", &us),
+            ],
+        );
     }
 }
 

@@ -167,6 +167,150 @@ end
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Issues one GET and returns (head, body) — like [`http_get`] but
+/// keeping the full header block for content-type assertions.
+fn http_get_full(addr: SocketAddr, target: &str) -> (String, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {target} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("header terminator");
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    (head, raw[head_end + 4..].to_vec())
+}
+
+/// Sums every sample of `family` in a Prometheus exposition (label sets
+/// collapse; `_bucket`/`_sum`/`_count` suffixes do NOT match the bare
+/// family name).
+fn family_sum(text: &str, family: &str) -> f64 {
+    text.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| l.rsplit_once(' '))
+        .filter(|(series, _)| {
+            let name = series.split('{').next().unwrap_or(series);
+            name == family
+        })
+        .filter_map(|(_, v)| v.parse::<f64>().ok())
+        .sum()
+}
+
+/// `GET /metrics` end-to-end: the exposition is well-formed Prometheus
+/// text (typed families, parseable samples, coherent histograms), covers
+/// all three instrumented layers once traffic has flowed, and its
+/// counters are monotonic across scrapes.
+#[test]
+fn metrics_exposition_parses_and_counters_are_monotonic() {
+    let _guard = server_lock();
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}-metrics", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        default_scale: "test".to_string(),
+        ..ServerConfig::new(&dir)
+    };
+    let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
+
+    let (head, body) = http_get_full(addr, "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "Prometheus exposition content type: {head}"
+    );
+    let text = String::from_utf8(body).expect("utf8 exposition");
+
+    // Well-formed: every line is a HELP/TYPE comment or `series value`
+    // with a numeric value; every TYPE is one we emit.
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let kind = rest.split_whitespace().nth(1).unwrap_or_default();
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown metric type in {line:?}"
+            );
+        } else if !line.starts_with("# HELP ") {
+            let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| {
+                panic!("sample line without value: {line:?}");
+            });
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value in {line:?}"
+            );
+            assert!(
+                series
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic()),
+                "sample series must start with a name: {line:?}"
+            );
+        }
+    }
+
+    let http_before = family_sum(&text, "gaze_http_requests_total");
+
+    // Drive all three layers: plain requests, plus one cold sweep that
+    // simulates and persists write-through.
+    let (status, _) = http_get(addr, "/healthz");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let (status, _) = http_get(addr, "/runs?limit=5");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let (status, _) = http_get(addr, "/experiments?spec=fig06&scale=test");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+
+    let (_, body) = http_get_full(addr, "/metrics");
+    let text2 = String::from_utf8(body).expect("utf8 exposition");
+
+    // Counters are monotonic, and the three requests (plus the first
+    // scrape itself) were all counted.
+    let http_after = family_sum(&text2, "gaze_http_requests_total");
+    assert!(
+        http_after >= http_before + 4.0,
+        "requests counter must cover the 4 requests since the first scrape \
+         (before={http_before}, after={http_after})"
+    );
+
+    // Every layer shows up: serve histogram totals agree, the sim layer
+    // stepped cycles, the store decoded or persisted rows.
+    assert_eq!(
+        family_sum(&text2, "gaze_http_request_duration_us_count"),
+        http_after,
+        "every counted request must also be in the latency histogram"
+    );
+    assert!(
+        text2.contains("le=\"+Inf\""),
+        "histograms carry +Inf buckets"
+    );
+    assert!(
+        family_sum(&text2, "gaze_sim_cycles_stepped_total") > 0.0,
+        "cold sweep must step simulator cycles"
+    );
+    assert!(
+        family_sum(&text2, "gaze_store_misses_total") > 0.0,
+        "cold sweep must record store misses (write-through)"
+    );
+    assert!(
+        family_sum(&text2, "gzr_store_rows") > 0.0,
+        "store-shape gauge must reflect the persisted sweep"
+    );
+    assert!(
+        family_sum(&text2, "gaze_http_in_flight") >= 1.0,
+        "the scrape itself is in flight while rendering"
+    );
+
+    stop.stop();
+    join.join().expect("server thread");
+    gaze_sim::results::configure(None).expect("deactivate store");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Pulls `"key":"value"` out of a JSON body (the hand-rolled server
 /// never escapes the values these tests read).
 fn json_str(body: &str, key: &str) -> String {
@@ -291,6 +435,121 @@ end
     // The store the jobs wrote through reopens cleanly.
     let reopened = results_store::ResultsStore::open(&dir).expect("store loadable after stop");
     assert!(!reopened.is_empty(), "job rows persisted");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `GET /jobs/<id>/events` end-to-end: the stream is served as
+/// `text/event-stream`, every frame is a well-formed SSE event carrying
+/// the job JSON, the final frame reports the terminal state, and the
+/// server closes the connection afterwards. Unknown ids still get a
+/// buffered 404 on the same route.
+#[test]
+fn job_event_stream_reports_lifecycle_to_terminal_state() {
+    let _guard = server_lock();
+    let dir: PathBuf = std::env::temp_dir().join(format!("gzr-e2e-{}-sse", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let spec_dir = dir.join("specs");
+    std::fs::create_dir_all(&spec_dir).expect("spec dir");
+    const SSE_SPEC: &str = "\
+spec sse-sweep
+
+table
+title SSE sweep (speedup)
+kind workload-rows
+traces list:bwaves_s,mcf_s
+metric speedup
+row gaze
+end
+";
+    std::fs::write(spec_dir.join("sse-sweep.spec"), SSE_SPEC).expect("write spec");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        default_scale: "test".to_string(),
+        spec_dir: Some(spec_dir),
+        ..ServerConfig::new(&dir)
+    };
+    let (addr, stop, join) = Server::spawn(&config).expect("spawn server");
+
+    // Unknown job id: buffered 404, not a stream.
+    let (status, _) = http_get(addr, "/jobs/job-nope-0/events");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+    // Submit a job and attach to its event stream immediately; the
+    // connection stays open until the job reaches a terminal state.
+    let (status, _, body) = http_post(addr, "/experiments?spec=sse-sweep&scale=test");
+    assert_eq!(status, "HTTP/1.1 202 Accepted");
+    let body = String::from_utf8(body).expect("utf8");
+    let id = json_str(&body, "id");
+
+    let mut stream = TcpStream::connect(addr).expect("connect SSE");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .expect("read timeout");
+    write!(
+        stream,
+        "GET /jobs/{id}/events HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send SSE request");
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .expect("server closes at terminal state");
+    let raw = String::from_utf8_lossy(&raw).into_owned();
+
+    let (head, frames) = raw
+        .split_once("\r\n\r\n")
+        .expect("SSE response has a header block");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("Content-Type: text/event-stream"), "{head}");
+
+    // Every frame is `event: <phase>` + `data: <job json>` (keep-alive
+    // comments allowed); phases only move forward; the last one is
+    // terminal and carries the job id.
+    let events: Vec<(&str, &str)> = frames
+        .split("\n\n")
+        .filter(|f| !f.trim().is_empty() && !f.trim_start().starts_with(':'))
+        .map(|f| {
+            let mut event = "";
+            let mut data = "";
+            for line in f.lines() {
+                if let Some(v) = line.strip_prefix("event: ") {
+                    event = v;
+                } else if let Some(v) = line.strip_prefix("data: ") {
+                    data = v;
+                } else {
+                    assert!(line.starts_with(':'), "unexpected SSE line {line:?}");
+                }
+            }
+            (event, data)
+        })
+        .collect();
+    assert!(!events.is_empty(), "stream carried no events: {raw}");
+    let order = ["queued", "running", "done", "failed"];
+    let mut last_rank = 0;
+    for (event, data) in &events {
+        let rank = order
+            .iter()
+            .position(|p| p == event)
+            .unwrap_or_else(|| panic!("unknown phase {event:?}"));
+        assert!(rank >= last_rank, "phases went backwards: {raw}");
+        last_rank = rank;
+        assert!(
+            data.contains(&format!("\"id\":\"{id}\"")),
+            "event data carries the job: {data}"
+        );
+        assert_eq!(json_str(data, "status"), *event, "event name matches data");
+    }
+    let (last_event, _) = events.last().expect("at least one event");
+    assert_eq!(
+        *last_event, "done",
+        "stream ends at the terminal state: {raw}"
+    );
+
+    stop.stop();
+    join.join().expect("server thread");
+    gaze_sim::results::configure(None).expect("deactivate store");
     std::fs::remove_dir_all(&dir).ok();
 }
 

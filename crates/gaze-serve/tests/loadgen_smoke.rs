@@ -1,12 +1,15 @@
 //! Smoke test for the `gaze-loadgen` harness: the full scenario suite
 //! runs against a real server over real TCP, every scenario completes
 //! with zero errors, and the emitted `BENCH_serve.json` document carries
-//! one datapoint per scenario — at least one cold and one warm.
+//! one datapoint per scenario — at least one cold and one warm — plus a
+//! nonzero server-side `metrics_delta` scraped from `/metrics`.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
-use gaze_serve::loadgen::{bench_json, http_request, run_benchmark, LoadgenConfig};
+use gaze_serve::loadgen::{
+    bench_json, http_request, metrics_delta, run_benchmark, scrape_metrics, LoadgenConfig,
+};
 use gaze_serve::{Server, ServerConfig};
 
 #[test]
@@ -29,7 +32,10 @@ fn benchmark_suite_completes_cleanly_against_live_server() {
         timeout: Duration::from_secs(120),
         ..LoadgenConfig::new(addr)
     };
+    let before = scrape_metrics(addr, load.timeout).expect("scrape before");
     let results = run_benchmark(&load);
+    let after = scrape_metrics(addr, load.timeout).expect("scrape after");
+    let delta = metrics_delta(&before, &after);
 
     let names: Vec<&str> = results.iter().map(|r| r.name.as_str()).collect();
     assert_eq!(
@@ -73,12 +79,43 @@ fn benchmark_suite_completes_cleanly_against_live_server() {
         "experiments endpoint returns a CSV table, got: {header:?}"
     );
 
-    let doc = bench_json("test", &results);
-    assert!(doc.contains("\"schema\":\"gaze-serve-bench-v1\""), "{doc}");
+    // The benchmark drove real traffic, so the scraped deltas must show
+    // it: requests were counted, and the sim layer stepped cycles for the
+    // cold sweep.
+    let requests_delta = delta
+        .get("gaze_http_requests_total")
+        .copied()
+        .unwrap_or(0.0);
+    let expected_requests = results.iter().map(|r| r.requests).sum::<usize>() as f64;
+    assert!(
+        requests_delta >= expected_requests,
+        "server counted {requests_delta} requests, loadgen completed {expected_requests}: {delta:?}"
+    );
+    assert!(
+        delta
+            .get("gaze_sim_cycles_stepped_total")
+            .copied()
+            .unwrap_or(0.0)
+            > 0.0,
+        "the cold sweep must step simulator cycles: {delta:?}"
+    );
+    assert!(
+        delta
+            .get("gaze_jobs_transitions_total")
+            .copied()
+            .unwrap_or(0.0)
+            > 0.0,
+        "job churn must record lifecycle transitions: {delta:?}"
+    );
+
+    let doc = bench_json("test", &results, &delta);
+    assert!(doc.contains("\"schema\":\"gaze-serve-bench-v2\""), "{doc}");
     for name in names {
         assert!(doc.contains(&format!("\"name\":\"{name}\"")), "{doc}");
     }
     assert!(doc.contains("\"p99_ms\":"), "{doc}");
+    assert!(doc.contains("\"metrics_delta\":{"), "{doc}");
+    assert!(doc.contains("\"gaze_http_requests_total\":"), "{doc}");
 
     stop.stop();
     join.join().expect("server thread");

@@ -69,9 +69,10 @@ impl ExperimentScale {
     pub fn from_env() -> Self {
         match std::env::var("GAZE_SCALE") {
             Ok(name) => Self::named(&name).unwrap_or_else(|| {
-                eprintln!(
-                    "gaze-sim: unknown GAZE_SCALE '{name}' \
-                     (test|quick|bench|full|paper); using quick"
+                gaze_obs::log::warn(
+                    "gaze-sim",
+                    "unknown GAZE_SCALE; using quick",
+                    &[("value", &name), ("known", &"test|quick|bench|full|paper")],
                 );
                 Self::quick()
             }),

@@ -46,6 +46,27 @@ use crate::runner::SingleRun;
 /// exit).
 pub const AUTO_FLUSH_RECORDS: usize = 128;
 
+/// Process-global mirrors of the per-handle hit/miss counters, so
+/// `/metrics` sees read-before-simulate effectiveness across every
+/// [`StoreHandle`] in the process.
+fn store_counters() -> &'static (gaze_obs::metrics::Counter, gaze_obs::metrics::Counter) {
+    static COUNTERS: OnceLock<(gaze_obs::metrics::Counter, gaze_obs::metrics::Counter)> =
+        OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let r = gaze_obs::metrics::registry();
+        (
+            r.counter(
+                "gaze_store_hits_total",
+                "Runs served from the results store without simulation",
+            ),
+            r.counter(
+                "gaze_store_misses_total",
+                "Runs simulated and recorded write-through (store misses)",
+            ),
+        )
+    })
+}
+
 /// A thread-safe handle to one open [`ResultsStore`].
 #[derive(Debug)]
 pub struct StoreHandle {
@@ -91,6 +112,7 @@ impl StoreHandle {
         };
         drop(store);
         self.hits.fetch_add(1, Ordering::Relaxed);
+        store_counters().0.inc();
         Some(run)
     }
 
@@ -132,6 +154,7 @@ impl StoreHandle {
     /// [`AUTO_FLUSH_RECORDS`].
     pub fn record(&self, run: &SingleRun, trace_fingerprint: u64, params: &RunParams) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        store_counters().1.inc();
         let rec = RunRecord {
             trace_fingerprint,
             params_fingerprint: params.fingerprint(),
@@ -144,7 +167,11 @@ impl StoreHandle {
         store.append(rec);
         if store.pending_len() >= AUTO_FLUSH_RECORDS {
             if let Err(e) = store.flush() {
-                eprintln!("gaze-sim: results store auto-flush failed: {e}");
+                gaze_obs::log::error(
+                    "gaze-sim",
+                    "results store auto-flush failed",
+                    &[("error", &e)],
+                );
             }
         }
     }
@@ -170,6 +197,7 @@ impl StoreHandle {
         let report = rec.report.clone();
         drop(store);
         self.hits.fetch_add(1, Ordering::Relaxed);
+        store_counters().0.inc();
         Some(report)
     }
 
@@ -186,6 +214,7 @@ impl StoreHandle {
         label: &str,
     ) {
         self.misses.fetch_add(1, Ordering::Relaxed);
+        store_counters().1.inc();
         let rec = MixRecord {
             mix_fingerprint,
             params_fingerprint: params.fingerprint(),
@@ -197,7 +226,11 @@ impl StoreHandle {
         store.append_mix(rec);
         if store.pending_len() >= AUTO_FLUSH_RECORDS {
             if let Err(e) = store.flush() {
-                eprintln!("gaze-sim: results store auto-flush failed: {e}");
+                gaze_obs::log::error(
+                    "gaze-sim",
+                    "results store auto-flush failed",
+                    &[("error", &e)],
+                );
             }
         }
     }
@@ -318,7 +351,7 @@ pub fn try_flush() -> io::Result<usize> {
 /// after every parallel fan-out; safe to call at any time.
 pub fn flush() {
     if let Err(e) = try_flush() {
-        eprintln!("gaze-sim: results store flush failed: {e}");
+        gaze_obs::log::error("gaze-sim", "results store flush failed", &[("error", &e)]);
     }
 }
 

@@ -382,7 +382,12 @@ pub fn execute_with_progress(
         output
     };
     let outputs = parallel_map(plan.jobs(), |job| {
-        report_done(match job {
+        let job_started = std::time::Instant::now();
+        let kind = match job {
+            Job::Single { .. } => "single",
+            Job::Mix { .. } => "mix",
+        };
+        let output = report_done(match job {
             Job::Single {
                 workload,
                 l1,
@@ -412,7 +417,9 @@ pub fn execute_with_progress(
                 };
                 Output::Mix(report)
             }
-        })
+        });
+        note_job(kind, job_started.elapsed().as_micros() as u64);
+        output
     });
     crate::results::flush();
     let mut results = JobResults::default();
@@ -432,6 +439,26 @@ pub fn execute_with_progress(
 enum Output {
     Single(Box<SingleRun>),
     Mix(SimReport),
+}
+
+/// Publishes one finished engine job to the process-global metrics:
+/// `gaze_sim_jobs_total{kind=…}` and the `gaze_sim_job_duration_us`
+/// wall-time histogram. Store hits and misses land here alike — a warm
+/// sweep shows up as the same job count with a collapsed duration tail.
+fn note_job(kind: &'static str, us: u64) {
+    use gaze_obs::metrics::registry;
+    let r = registry();
+    r.counter_with(
+        "gaze_sim_jobs_total",
+        "Engine jobs executed, by job kind",
+        &[("kind", kind)],
+    )
+    .inc();
+    r.histogram(
+        "gaze_sim_job_duration_us",
+        "Wall time of one engine job (store hit or fresh simulation), in microseconds",
+    )
+    .record(us);
 }
 
 /// The `plan --spec` dry-run summary: job counts plus the warm/cold

@@ -67,6 +67,7 @@
 
 pub mod fault;
 pub mod format;
+mod obs;
 pub mod sidecar;
 pub mod store;
 

@@ -313,7 +313,12 @@ impl ResultsStore {
             Err(err) => {
                 if err.kind() != io::ErrorKind::NotFound {
                     self.sidecars_rejected.fetch_add(1, Ordering::Relaxed);
-                    eprintln!("gzr: rejecting sidecar of {context}: {err}; scanning segment");
+                    crate::obs::metrics().sidecars_rejected.inc();
+                    gaze_obs::log::warn(
+                        "gzr",
+                        "rejecting sidecar; scanning segment",
+                        &[("segment", &context), ("error", &err)],
+                    );
                 }
                 let (bloom, entries) = self.scan_segment_index(path, total_len, &context)?;
                 (bloom, entries, false)
@@ -343,8 +348,7 @@ impl ResultsStore {
         let records = read_segment_any(&mut BufReader::new(file), total_len, context)?;
         let hashes: Vec<u64> = match records {
             SegmentRecords::Runs(records) => {
-                self.records_decoded
-                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                self.note_decoded(records.len() as u64);
                 records
                     .iter()
                     .map(|r| {
@@ -357,8 +361,7 @@ impl ResultsStore {
                     .collect()
             }
             SegmentRecords::Mixes(records) => {
-                self.records_decoded
-                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                self.note_decoded(records.len() as u64);
                 records
                     .iter()
                     .map(|r| {
@@ -550,10 +553,12 @@ impl ResultsStore {
     /// record order (bloom filter first, then a binary search).
     fn candidates(segment: &Segment, hash: u64) -> impl Iterator<Item = &SidecarEntry> {
         let range = if segment.bloom.contains(hash) {
+            crate::obs::metrics().bloom_hits.inc();
             let start = segment.entries.partition_point(|e| e.hash < hash);
             let end = start + segment.entries[start..].partition_point(|e| e.hash == hash);
             start..end
         } else {
+            crate::obs::metrics().bloom_misses.inc();
             0..0
         };
         segment.entries[range].iter()
@@ -561,29 +566,40 @@ impl ResultsStore {
 
     fn note_read_error(&self, segment: &Segment, err: io::Error) {
         self.read_errors.fetch_add(1, Ordering::Relaxed);
-        eprintln!(
-            "gzr: record read failed in {}: {err} (treating as a miss)",
-            segment.path.display()
+        crate::obs::metrics().read_errors.inc();
+        gaze_obs::log::warn(
+            "gzr",
+            "record read failed; treating as a miss",
+            &[("segment", &segment.path.display()), ("error", &err)],
         );
+    }
+
+    /// Counts `n` decoded records on both the per-store snapshot and the
+    /// process-global metric series.
+    fn note_decoded(&self, n: u64) {
+        self.records_decoded.fetch_add(n, Ordering::Relaxed);
+        crate::obs::metrics().records_decoded.add(n);
     }
 
     /// Positioned read + decode of one v1 record.
     fn read_run_at(&self, segment: &Segment, index: u64) -> io::Result<RunRecord> {
         crate::fault::check_io("gzr.segment.pread")?;
+        crate::obs::metrics().preads.inc();
         let mut buf = [0u8; GZR_RECORD_BYTES];
         let offset = GZR_HEADER_BYTES as u64 + index * segment.record_size as u64;
         read_exact_at(&segment.file, &mut buf, offset)?;
-        self.records_decoded.fetch_add(1, Ordering::Relaxed);
+        self.note_decoded(1);
         crate::format::decode_record(&buf)
     }
 
     /// Positioned read + decode of one v2 record.
     fn read_mix_at(&self, segment: &Segment, index: u64) -> io::Result<MixRecord> {
         crate::fault::check_io("gzr.segment.pread")?;
+        crate::obs::metrics().preads.inc();
         let mut buf = [0u8; GZR_MIX_RECORD_BYTES];
         let offset = GZR_HEADER_BYTES as u64 + index * segment.record_size as u64;
         read_exact_at(&segment.file, &mut buf, offset)?;
-        self.records_decoded.fetch_add(1, Ordering::Relaxed);
+        self.note_decoded(1);
         crate::format::decode_mix_record(&buf)
     }
 
@@ -602,8 +618,7 @@ impl ResultsStore {
             SegmentRecords::Runs(r) => r.len(),
             SegmentRecords::Mixes(r) => r.len(),
         };
-        self.records_decoded
-            .fetch_add(count as u64, Ordering::Relaxed);
+        self.note_decoded(count as u64);
         Ok(records)
     }
 
@@ -687,6 +702,7 @@ impl ResultsStore {
     /// durable truth and a reopen falls back to scanning. A no-op
     /// returning 0 when nothing is pending (beyond sidecar backfill).
     pub fn flush(&mut self) -> io::Result<usize> {
+        let started = std::time::Instant::now();
         let mut written = 0;
         if !self.pending_runs.is_empty() {
             let batch = self.pending_runs.clone();
@@ -737,6 +753,15 @@ impl ResultsStore {
             self.pending_mix_index.clear();
         }
         self.backfill_sidecars();
+        if written > 0 {
+            let us = started.elapsed().as_micros() as u64;
+            crate::obs::metrics().flush_duration_us.record(us);
+            gaze_obs::log::debug(
+                "gzr",
+                "flush persisted records",
+                &[("records", &written), ("us", &us)],
+            );
+        }
         Ok(written)
     }
 
@@ -754,9 +779,10 @@ impl ResultsStore {
             }
             match sidecar::write_sidecar(&segment.path, segment.version, &hashes) {
                 Ok(()) => segment.has_sidecar = true,
-                Err(err) => eprintln!(
-                    "gzr: sidecar backfill failed for {}: {err} (will retry on next flush)",
-                    segment.path.display()
+                Err(err) => gaze_obs::log::warn(
+                    "gzr",
+                    "sidecar backfill failed; will retry on next flush",
+                    &[("segment", &segment.path.display()), ("error", &err)],
                 ),
             }
         }
@@ -774,9 +800,10 @@ impl ResultsStore {
         let has_sidecar = match sidecar::write_sidecar(path, version, hashes) {
             Ok(()) => true,
             Err(err) => {
-                eprintln!(
-                    "gzr: sidecar write failed for {}: {err} (will backfill on next flush)",
-                    path.display()
+                gaze_obs::log::warn(
+                    "gzr",
+                    "sidecar write failed; will backfill on next flush",
+                    &[("segment", &path.display()), ("error", &err)],
                 );
                 false
             }
@@ -900,6 +927,7 @@ impl ResultsStore {
             });
         }
         crate::fault::check_io("gzr.compact.begin")?;
+        let started = std::time::Instant::now();
 
         // Loud full read of both kinds, first segment in load order wins.
         let mut duplicates_dropped = 0u64;
@@ -989,6 +1017,18 @@ impl ResultsStore {
             .retain(|s| s.path.file_name().is_none_or(|n| !old_names.contains(n)));
         self.known_segments.retain(|n| !old_names.contains(n));
         self.recount()?;
+        let us = started.elapsed().as_micros() as u64;
+        crate::obs::metrics().compact_duration_us.record(us);
+        gaze_obs::log::info(
+            "gzr",
+            "compaction merged segments",
+            &[
+                ("segments_before", &segments_before),
+                ("segments_after", &self.segments.len()),
+                ("duplicates_dropped", &duplicates_dropped),
+                ("us", &us),
+            ],
+        );
         Ok(CompactStats {
             segments_before,
             segments_after: self.segments.len(),

@@ -52,6 +52,11 @@ pub struct System<'t> {
     cores: Vec<PerCore<'t>>,
     cycle: u64,
     cycle_skip: bool,
+    /// Cycles this system stepped one at a time (accumulated locally —
+    /// the per-cycle loop must not touch shared atomics).
+    cycles_stepped: u64,
+    /// Cycles fast-forwarded over by event-driven skipping.
+    cycles_skipped: u64,
 }
 
 impl<'t> System<'t> {
@@ -108,6 +113,8 @@ impl<'t> System<'t> {
             cores,
             cycle: 0,
             cycle_skip: true,
+            cycles_stepped: 0,
+            cycles_skipped: 0,
         }
     }
 
@@ -362,6 +369,7 @@ impl<'t> System<'t> {
             if self.cycle_skip && !any_progress && self.prefetch_side_idle() {
                 match self.next_event_cycle() {
                     Some(next) if next > self.cycle => {
+                        self.cycles_skipped += next - self.cycle;
                         self.cycle = next;
                         continue;
                     }
@@ -369,11 +377,13 @@ impl<'t> System<'t> {
                     None => {
                         // Nothing will ever happen again: jump to the deadline
                         // so the wedge assertion above reports it.
+                        self.cycles_skipped += deadline - self.cycle;
                         self.cycle = deadline;
                         continue;
                     }
                 }
             }
+            self.cycles_stepped += 1;
             self.cycle += 1;
         }
         if measuring {
@@ -401,6 +411,7 @@ impl<'t> System<'t> {
         self.hierarchy.reset_stats();
         self.run_phase(measured, true);
         self.hierarchy.finalize();
+        self.publish_cycle_metrics();
 
         let cores = self
             .cores
@@ -423,6 +434,45 @@ impl<'t> System<'t> {
             })
             .collect();
         SimReport { cores }
+    }
+
+    /// Cycles advanced one at a time since construction (or the last
+    /// [`run`](Self::run)).
+    pub fn cycles_stepped(&self) -> u64 {
+        self.cycles_stepped
+    }
+
+    /// Cycles fast-forwarded over by event-driven skipping since
+    /// construction (or the last [`run`](Self::run)).
+    pub fn cycles_skipped(&self) -> u64 {
+        self.cycles_skipped
+    }
+
+    /// Folds this run's stepped/skipped cycle counts into the
+    /// process-global metrics (`gaze_sim_cycles_*_total`) and resets the
+    /// local accumulators. Two atomic adds per `run`, nothing per cycle —
+    /// and purely observational, so simulation output stays bit-exact.
+    fn publish_cycle_metrics(&mut self) {
+        use std::sync::OnceLock;
+        static CYCLES: OnceLock<(gaze_obs::metrics::Counter, gaze_obs::metrics::Counter)> =
+            OnceLock::new();
+        let (stepped, skipped) = CYCLES.get_or_init(|| {
+            let reg = gaze_obs::metrics::registry();
+            (
+                reg.counter(
+                    "gaze_sim_cycles_stepped_total",
+                    "Simulator cycles advanced one at a time",
+                ),
+                reg.counter(
+                    "gaze_sim_cycles_skipped_total",
+                    "Simulator cycles fast-forwarded by event-driven skipping",
+                ),
+            )
+        });
+        stepped.add(self.cycles_stepped);
+        skipped.add(self.cycles_skipped);
+        self.cycles_stepped = 0;
+        self.cycles_skipped = 0;
     }
 }
 

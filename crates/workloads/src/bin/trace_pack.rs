@@ -177,7 +177,7 @@ fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("trace-pack: {msg}");
+            gaze_obs::log::error("trace-pack", "invocation failed", &[("reason", &msg)]);
             usage()
         }
     }
