@@ -1,77 +1,118 @@
-//! `sim-perf` — the simulator performance harness.
+//! `sim-perf` — the simulator characterization harness.
 //!
-//! Measures wall time and simulated-instructions-per-second for a set of
-//! figure regenerations and writes `BENCH_simperf.json`, establishing the
-//! perf trajectory of the engine across PRs.
+//! Measures wall time, simulated-instructions-per-second and cycle-skip
+//! engagement for a grid of (figure × thread count × engine mode) cells and
+//! appends one run record to the `BENCH_simperf.json` history (schema v2,
+//! `docs/PERF.md`), establishing the perf trajectory of the engine across
+//! PRs.
 //!
 //! ```text
 //! cargo run --release -p bench --bin sim-perf -- [figures...] \
-//!     [--out PATH] [--compare-serial] [--full]
+//!     [--out PATH] [--threads LIST] [--compare-serial] [--warm] [--full] \
+//!     [--gate PATH] [--gate-tolerance F] [--no-append] \
+//!     [--reference SECONDS] [--reference-note TEXT]
 //! ```
 //!
 //! * `figures...` — experiment names (default: `fig06 fig09 fig11`; `fig06`
 //!   covers the fig06–08 nine-prefetcher comparison),
-//! * `--out PATH` — output path (default `BENCH_simperf.json`),
-//! * `--compare-serial` — additionally re-run each figure with every engine
+//! * `--out PATH` — history path (default `BENCH_simperf.json`); the run is
+//!   appended to an existing v2 document (`--no-append` starts it fresh),
+//! * `--threads LIST` — comma-separated worker-thread counts for the
+//!   `parallel` mode cells (default: `1,<host parallelism>` deduplicated),
+//! * `--compare-serial` — add a `serial` cell per figure: every engine
 //!   optimization disabled (one worker, no cycle skipping, no baseline
-//!   memoization) and report the speedup. The serial pass re-executes the
-//!   whole harness as a child process so the disabling env vars apply from
-//!   process start and no cached baselines leak across modes,
-//! * `--reference SECONDS` — record an externally measured wall time for the
-//!   same figure set (e.g. the pre-optimization engine from an earlier
-//!   commit) and the speedup over it; `--reference-note TEXT` documents its
-//!   provenance (the JSON distinguishes this hand-supplied number from the
-//!   harness-measured `serial_wall_seconds`),
-//! * `--full` — use the `bench` scale instead of `quick`.
+//!   memoization),
+//! * `--warm` — add `cold` + `warm` cells per figure: the full engine
+//!   writing through to an empty results store, then the same store re-read
+//!   (a fully warm store simulates nothing),
+//! * `--full` — use the `bench` scale instead of `quick`,
+//! * `--gate PATH` — regression gate: compare each figure's best `parallel`
+//!   throughput against the latest run recorded in the v2 document at PATH
+//!   and exit non-zero if it fell below `--gate-tolerance` (default 0.3)
+//!   times the reference,
+//! * `--reference SECONDS` / `--reference-note TEXT` — record an externally
+//!   measured wall time for the same figure set and its provenance.
+//!
+//! Every cell runs in its own child process so the engine-mode environment
+//! variables apply from process start and no cached baselines, results-store
+//! handles or thread pools leak across cells.
 
 use std::time::Instant;
 
-use bench::{render_simperf_json, time_experiment, ExperimentScale, FigureTiming};
+use bench::{
+    append_run, latest_parallel_ips, render_run_json, time_experiment, CellResult, ExperimentScale,
+};
 use gaze_sim::experiments::experiment_names;
 
-/// Marker env var for the child process of `--compare-serial`: run the named
-/// figure once, print the wall seconds, exit.
-const SERIAL_CHILD: &str = "GAZE_SIMPERF_SERIAL_CHILD";
+/// Marker env var for cell child processes: run the named figure once,
+/// print the measured cell on stdout, exit.
+const CELL_CHILD: &str = "GAZE_SIMPERF_CHILD";
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let compare_serial = args.iter().any(|a| a == "--compare-serial");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_simperf.json".to_string());
-    let reference_seconds: Option<f64> = args
-        .iter()
-        .position(|a| a == "--reference")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok());
-    let reference_note: Option<String> = args
-        .iter()
-        .position(|a| a == "--reference-note")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+struct Options {
+    figures: Vec<String>,
+    threads: Vec<usize>,
+    compare_serial: bool,
+    warm: bool,
+    full: bool,
+    out_path: String,
+    append: bool,
+    gate_path: Option<String>,
+    gate_tolerance: f64,
+    reference_seconds: Option<f64>,
+    reference_note: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    fn value_of(args: &[String], flag: &str) -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| {
+                    eprintln!("sim-perf: {flag} requires a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        })
+    }
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut threads: Vec<usize> = value_of(args, "--threads")
+        .map(|list| {
+            list.split(',')
+                .map(|t| {
+                    t.trim().parse().unwrap_or_else(|_| {
+                        eprintln!("sim-perf: bad thread count '{t}'");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, host]);
+    threads.retain(|&t| t > 0);
+    threads.dedup();
+    assert!(!threads.is_empty(), "--threads needs at least one count");
+
+    const VALUE_FLAGS: [&str; 6] = [
+        "--out",
+        "--threads",
+        "--gate",
+        "--gate-tolerance",
+        "--reference",
+        "--reference-note",
+    ];
     let mut figures: Vec<String> = Vec::new();
     let mut skip_next = false;
-    for a in &args {
+    for a in args {
         if skip_next {
             skip_next = false;
-            continue;
-        }
-        if a == "--out" || a == "--reference" || a == "--reference-note" {
+        } else if VALUE_FLAGS.contains(&a.as_str()) {
             skip_next = true;
         } else if !a.starts_with("--") {
             figures.push(a.clone());
         }
     }
     if figures.is_empty() {
-        figures = vec![
-            "fig06".to_string(),
-            "fig09".to_string(),
-            "fig11".to_string(),
-        ];
+        figures = vec!["fig06".into(), "fig09".into(), "fig11".into()];
     }
     for f in &figures {
         if !experiment_names().contains(&f.as_str()) {
@@ -83,78 +124,236 @@ fn main() {
         }
     }
 
-    let scale_label = if full { "bench" } else { "quick" };
-    let scale = if full {
+    Options {
+        figures,
+        threads,
+        compare_serial: args.iter().any(|a| a == "--compare-serial"),
+        warm: args.iter().any(|a| a == "--warm"),
+        full: args.iter().any(|a| a == "--full"),
+        out_path: value_of(args, "--out").unwrap_or_else(|| "BENCH_simperf.json".into()),
+        append: !args.iter().any(|a| a == "--no-append"),
+        gate_path: value_of(args, "--gate"),
+        gate_tolerance: value_of(args, "--gate-tolerance")
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("sim-perf: bad tolerance '{v}'");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(0.3),
+        reference_seconds: value_of(args, "--reference").and_then(|v| v.parse().ok()),
+        reference_note: value_of(args, "--reference-note"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+    let scale_label = if opts.full { "bench" } else { "quick" };
+    let scale = if opts.full {
         ExperimentScale::default_bench()
     } else {
         ExperimentScale::quick()
     };
 
-    // Child mode: one serial figure, print seconds, exit.
-    if let Ok(figure) = std::env::var(SERIAL_CHILD) {
-        let start = Instant::now();
-        let _ = bench::run_experiment(&figure, &scale);
-        println!("{:.6}", start.elapsed().as_secs_f64());
+    // Child mode: one figure under whatever engine env the parent set,
+    // stats printed on the last stdout line.
+    if let Ok(figure) = std::env::var(CELL_CHILD) {
+        let cell = time_experiment(&figure, &scale);
+        println!(
+            "cell wall_seconds={:.6} simulated_instructions={} cycles_stepped={} cycles_skipped={}",
+            cell.wall_seconds,
+            cell.simulated_instructions,
+            cell.cycles_stepped,
+            cell.cycles_skipped
+        );
         return;
     }
 
-    let mut timings: Vec<FigureTiming> = Vec::new();
-    for figure in &figures {
-        eprintln!("sim-perf: timing {figure} (scale {scale_label}) ...");
-        let mut timing = time_experiment(figure, &scale);
-        if compare_serial {
-            eprintln!("sim-perf: timing {figure} serial reference ...");
-            timing.serial_wall_seconds = Some(run_serial_reference(figure, full));
+    let mut cells: Vec<CellResult> = Vec::new();
+    let start = Instant::now();
+    for figure in &opts.figures {
+        for &threads in &opts.threads {
+            cells.push(run_cell(figure, "parallel", threads, &opts, None));
         }
-        eprintln!(
-            "sim-perf: {figure}: {:.3}s, {:.2}M sim-instructions/s{}",
-            timing.wall_seconds,
-            timing.sim_ips() / 1e6,
-            timing
-                .speedup_vs_serial()
-                .map(|s| format!(", {s:.2}x vs serial"))
-                .unwrap_or_default()
-        );
-        timings.push(timing);
+        if opts.compare_serial {
+            cells.push(run_cell(figure, "serial", 1, &opts, None));
+        }
+        if opts.warm {
+            let store = tmp_store_dir(figure);
+            let threads = opts.threads.iter().copied().max().unwrap_or(1);
+            cells.push(run_cell(figure, "cold", threads, &opts, Some(&store)));
+            let warm = run_cell(figure, "warm", threads, &opts, Some(&store));
+            if warm.simulated_instructions > 0 {
+                eprintln!(
+                    "sim-perf: warning: warm {figure} still simulated {} instructions \
+                     (store not fully warm)",
+                    warm.simulated_instructions
+                );
+            }
+            cells.push(warm);
+            let _ = std::fs::remove_dir_all(&store);
+        }
     }
-
-    let doc = render_simperf_json(
-        scale_label,
-        gaze_sim::worker_count(),
-        &timings,
-        reference_seconds,
-        reference_note.as_deref(),
+    eprintln!(
+        "sim-perf: {} cells in {:.1}s",
+        cells.len(),
+        start.elapsed().as_secs_f64()
     );
-    std::fs::write(&out_path, &doc).unwrap_or_else(|e| {
-        eprintln!("sim-perf: cannot write {out_path}: {e}");
+
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let run = render_run_json(
+        scale_label,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        unix_time,
+        &cells,
+        opts.reference_seconds,
+        opts.reference_note.as_deref(),
+    );
+    let existing = if opts.append {
+        std::fs::read_to_string(&opts.out_path).ok()
+    } else {
+        None
+    };
+    let doc = append_run(existing.as_deref(), &run);
+    std::fs::write(&opts.out_path, &doc).unwrap_or_else(|e| {
+        eprintln!("sim-perf: cannot write {}: {e}", opts.out_path);
         std::process::exit(1);
     });
-    print!("{doc}");
-    eprintln!("sim-perf: wrote {out_path}");
+    println!("{run}");
+    eprintln!("sim-perf: wrote {}", opts.out_path);
+
+    if let Some(gate_path) = &opts.gate_path {
+        gate(gate_path, opts.gate_tolerance, scale_label, &cells);
+    }
 }
 
-/// Times `figure` in a child process with every engine optimization off.
-fn run_serial_reference(figure: &str, full: bool) -> f64 {
+/// Regression gate: each figure's best parallel throughput this run must be
+/// at least `tolerance` times the latest value recorded in the reference
+/// history. A figure absent from the reference passes (first measurement).
+fn gate(gate_path: &str, tolerance: f64, scale_label: &str, cells: &[CellResult]) {
+    let reference = std::fs::read_to_string(gate_path).unwrap_or_else(|e| {
+        eprintln!("sim-perf: cannot read gate reference {gate_path}: {e}");
+        std::process::exit(1);
+    });
+    let mut failed = false;
+    let figures: Vec<&str> = {
+        let mut f: Vec<&str> = cells.iter().map(|c| c.figure.as_str()).collect();
+        f.dedup();
+        f
+    };
+    for figure in figures {
+        let measured = cells
+            .iter()
+            .filter(|c| c.figure == figure && c.mode == "parallel")
+            .map(CellResult::sim_ips)
+            .fold(0.0f64, f64::max);
+        match latest_parallel_ips(&reference, figure, scale_label) {
+            Some(reference_ips) => {
+                let floor = reference_ips * tolerance;
+                let ok = measured >= floor;
+                eprintln!(
+                    "sim-perf: gate {figure}: {measured:.0} ips vs reference {reference_ips:.0} \
+                     (floor {floor:.0}): {}",
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+                failed |= !ok;
+            }
+            None => {
+                eprintln!("sim-perf: gate {figure}: no reference at {scale_label} scale, skipping")
+            }
+        }
+    }
+    if failed {
+        eprintln!("sim-perf: regression gate FAILED (tolerance {tolerance})");
+        std::process::exit(1);
+    }
+    eprintln!("sim-perf: regression gate passed (tolerance {tolerance})");
+}
+
+/// Times `figure` in a child process under the given engine mode.
+fn run_cell(
+    figure: &str,
+    mode: &'static str,
+    threads: usize,
+    opts: &Options,
+    store_dir: Option<&std::path::Path>,
+) -> CellResult {
+    eprintln!("sim-perf: {figure} [{mode}, {threads} thread(s)] ...");
     let exe = std::env::current_exe().expect("current exe path");
     let mut cmd = std::process::Command::new(exe);
-    if full {
+    if opts.full {
         cmd.arg("--full");
     }
-    let output = cmd
-        .env(SERIAL_CHILD, figure)
-        .env("GAZE_THREADS", "1")
-        .env("GAZE_CYCLE_SKIP", "0")
-        .env("GAZE_BASELINE_CACHE", "0")
-        .output()
-        .expect("spawn serial reference child");
+    // A clean engine environment per cell, whatever the parent inherited.
+    for var in [
+        "GAZE_THREADS",
+        "GAZE_CYCLE_SKIP",
+        "GAZE_BASELINE_CACHE",
+        "GAZE_RESULTS_DIR",
+    ] {
+        cmd.env_remove(var);
+    }
+    cmd.env(CELL_CHILD, figure)
+        .env("GAZE_THREADS", threads.to_string());
+    if mode == "serial" {
+        cmd.env("GAZE_THREADS", "1")
+            .env("GAZE_CYCLE_SKIP", "0")
+            .env("GAZE_BASELINE_CACHE", "0");
+    }
+    if let Some(dir) = store_dir {
+        cmd.env("GAZE_RESULTS_DIR", dir);
+    }
+    let output = cmd.output().expect("spawn cell child");
     assert!(
         output.status.success(),
-        "serial reference for {figure} failed: {}",
+        "{mode} cell for {figure} failed: {}",
         String::from_utf8_lossy(&output.stderr)
     );
-    String::from_utf8_lossy(&output.stdout)
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stats = stdout
         .lines()
-        .last()
-        .and_then(|l| l.trim().parse::<f64>().ok())
-        .expect("serial child prints wall seconds")
+        .rev()
+        .find(|l| l.starts_with("cell "))
+        .expect("cell child prints stats line");
+    let field = |name: &str| -> f64 {
+        stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix(&format!("{name}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("cell stats missing {name}: {stats}"))
+    };
+    let cell = CellResult {
+        figure: figure.to_string(),
+        mode,
+        threads,
+        wall_seconds: field("wall_seconds"),
+        simulated_instructions: field("simulated_instructions") as u64,
+        cycles_stepped: field("cycles_stepped") as u64,
+        cycles_skipped: field("cycles_skipped") as u64,
+    };
+    eprintln!(
+        "sim-perf: {figure} [{mode}, {threads} thread(s)]: {:.3}s, {:.2}M sim-instr/s, \
+         {:.1}% cycles skipped",
+        cell.wall_seconds,
+        cell.sim_ips() / 1e6,
+        cell.skipped_fraction() * 100.0
+    );
+    cell
+}
+
+/// A fresh per-figure results-store directory under the system temp dir.
+fn tmp_store_dir(figure: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "gaze-simperf-store-{figure}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp store dir");
+    dir
 }

@@ -165,7 +165,19 @@ impl Histogram {
 
     /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
     /// holding the rank-`ceil(q*count)` sample — an overestimate by at
-    /// most the bucket width (< 2x the true value). 0 when empty.
+    /// most the bucket width (< 2x the true value).
+    ///
+    /// Pinned edge cases (relied on by dashboards and the property suite):
+    ///
+    /// * **empty histogram** — returns 0 for every `q`,
+    /// * **`q = 0.0`** — the naïve rank `ceil(0·n) = 0` would underflow the
+    ///   rank convention; the target rank is clamped to `1..=count`, so
+    ///   `q = 0.0` reports the *minimum* sample's bucket bound,
+    /// * **one sample (`n = 1`)** — every `q` reports that sample's bucket
+    ///   bound (rank clamps to 1),
+    /// * **`q` outside `0.0..=1.0`** — clamped into range (`q > 1.0`
+    ///   behaves as 1.0, i.e. the maximum sample's bucket bound; a NaN
+    ///   `q` ends up at rank 1, same as `q = 0.0`).
     pub fn quantile(&self, q: f64) -> u64 {
         let counts = self.bucket_counts();
         let total: u64 = counts.iter().sum();

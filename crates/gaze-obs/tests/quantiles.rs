@@ -120,3 +120,53 @@ fn degenerate_streams_stay_exact() {
     assert_eq!(one.quantile(0.01), 7);
     assert_eq!(one.quantile(0.99), 7);
 }
+
+/// The documented edge cases of `Histogram::quantile`: empty histogram,
+/// `q = 0.0` (naïve rank `ceil(0·n) = 0` must clamp to rank 1, the
+/// minimum), a single sample, and out-of-range `q`.
+#[test]
+fn quantile_edge_cases_return_documented_values() {
+    // Empty histogram: 0 for every q, including the degenerate ones.
+    let empty = Histogram::new();
+    for &q in &[-1.0, 0.0, 0.5, 1.0, 2.0, f64::NAN] {
+        assert_eq!(empty.quantile(q), 0, "empty histogram at q {q}");
+    }
+
+    // q = 0.0 is the minimum sample's bucket bound, not an underflowed
+    // rank — exercised across random streams with distinct extremes.
+    for seed in 1..=16u64 {
+        let mut rng = Lcg(seed.wrapping_mul(0x243f_6a88_85a3_08d3));
+        let hist = Histogram::new();
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for _ in 0..512 {
+            let v = rng.skewed();
+            hist.record(v);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert_eq!(
+            hist.quantile(0.0),
+            bucket_upper_bound(bucket_index(min)),
+            "seed {seed}: q=0.0 must report the minimum's bucket"
+        );
+        // Out-of-range q clamps: below 0 behaves as the minimum, above 1
+        // as the maximum.
+        assert_eq!(hist.quantile(-3.5), hist.quantile(0.0), "seed {seed}");
+        assert_eq!(
+            hist.quantile(7.0),
+            bucket_upper_bound(bucket_index(max)),
+            "seed {seed}: q>1 must clamp to the maximum's bucket"
+        );
+    }
+
+    // n = 1: every q (including 0.0 and 1.0) reports the sole sample.
+    for &sample in &[0u64, 1, 2, 3, 1_000_000, u64::MAX] {
+        let one = Histogram::new();
+        one.record(sample);
+        let expected = bucket_upper_bound(bucket_index(sample));
+        for &q in &[0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), expected, "n=1 sample {sample} q {q}");
+        }
+    }
+}

@@ -35,10 +35,11 @@ pub struct PrefetcherStats {
 /// * [`tick`](Prefetcher::tick) — called once per simulated cycle so
 ///   prefetchers with internal queues (e.g. Gaze's Prefetch Buffer) can
 ///   smooth issuance; pushes any requests that become ready into the sink,
-/// * [`has_queued`](Prefetcher::has_queued) — whether future `tick` calls may
-///   emit requests without further input. The simulator's event-driven cycle
-///   skipping relies on this: cycles are only fast-forwarded while every
-///   prefetcher reports no queued work, so skipping never changes behaviour.
+/// * [`next_ready_at`](Prefetcher::next_ready_at) — the earliest future
+///   cycle at which `tick` may emit requests without further input. The
+///   simulator's event-driven cycle skipping fast-forwards the clock up to
+///   (never past) the minimum of these across prefetchers, so skipping
+///   never changes behaviour.
 ///
 /// Implementations must be deterministic: the simulator relies on identical
 /// behaviour across runs for A/B experiments.
@@ -71,15 +72,22 @@ pub trait Prefetcher {
         let _ = sink;
     }
 
-    /// Whether [`tick`](Self::tick) may produce requests on a future cycle
-    /// without any further `on_access`/`on_fill`/`on_evict` input.
+    /// The earliest cycle at which [`tick`](Self::tick) may produce requests
+    /// without any further `on_access`/`on_fill`/`on_evict` input, or `None`
+    /// if no future `tick` can emit anything until new input arrives.
     ///
-    /// Prefetchers with internal issue queues (Gaze's Prefetch Buffer) must
-    /// return `true` while the queue is non-empty; stateless-tick prefetchers
-    /// keep the default `false`. Returning `false` while requests are queued
-    /// would let the simulator skip cycles those requests needed.
-    fn has_queued(&self) -> bool {
-        false
+    /// Contract with the simulator's cycle skipping: the simulator may elide
+    /// `tick` calls for every cycle strictly before the reported cycle, so
+    /// implementations must not rely on `tick` being invoked every cycle —
+    /// elided ticks must be no-ops (no state change, no emissions). A
+    /// prefetcher with a draining issue queue (Gaze's Prefetch Buffer emits
+    /// on every tick while non-empty) reports `now + 1`; stateless-tick
+    /// prefetchers keep the default `None`. Reporting a cycle later than the
+    /// true readiness would let the simulator skip cycles those requests
+    /// needed; reporting one too early is safe (the skip is merely shorter).
+    fn next_ready_at(&self, now: u64) -> Option<u64> {
+        let _ = now;
+        None
     }
 
     /// Total metadata storage required by the prefetcher, in bits.
@@ -161,7 +169,7 @@ mod tests {
         }
         p.tick(&mut sink);
         assert!(sink.is_empty());
-        assert!(!p.has_queued());
+        assert_eq!(p.next_ready_at(123), None);
         assert_eq!(p.stats().accesses, 100);
         assert_eq!(p.storage_bits(), 0);
         assert_eq!(p.name(), "none");

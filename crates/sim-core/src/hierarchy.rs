@@ -875,6 +875,76 @@ impl MemoryHierarchy {
         PrefetchOutcome::Issued
     }
 
+    /// Read-only mirror of [`issue_prefetch`](Self::issue_prefetch)'s gating
+    /// for queue-aware cycle skipping: the earliest cycle at which an attempt
+    /// to issue `req` could *consume* it (issue or drop-as-redundant) rather
+    /// than be refused with `MshrFull`, assuming no intervening simulation
+    /// activity. `0` means an attempt would consume it right now.
+    ///
+    /// The bound is conservative (never later than the true clear time):
+    /// while every core is stalled, cache contents, outstanding tables and
+    /// DRAM channel backlog are all frozen until the next fill applies, so
+    /// the only time-dependent refusals are the ones reproduced here —
+    /// L1 prefetch fill buffers free when a pending fill applies
+    /// ([`next_fill_at`](Self::next_fill_at)), L2 MSHR reservations expire at
+    /// recorded completion times, and the DRAM prefetch-backlog window
+    /// reopens as the channel bus drains. The skip target additionally
+    /// includes `next_fill_at` itself, so a bound that clears only at a fill
+    /// is never overshot.
+    pub fn prefetch_block_clear_at(&self, core: usize, req: &PrefetchRequest, now: u64) -> u64 {
+        let block = req.block;
+        let redundant = match req.fill_level {
+            FillLevel::L1 => self.l1d[core].contains(block),
+            FillLevel::L2 => self.l1d[core].contains(block) || self.l2c[core].contains(block),
+            FillLevel::Llc => {
+                self.l1d[core].contains(block)
+                    || self.l2c[core].contains(block)
+                    || self.llc.contains(block)
+            }
+        } || self.l1_outstanding[core].contains(block.raw())
+            || self.l2_pf_inflight[core].contains_key(&block.raw());
+        if redundant {
+            return 0;
+        }
+
+        let mut clear = 0u64;
+        match req.fill_level {
+            FillLevel::L1 => {
+                if self.l1_prefetch_occupancy(core) >= self.cfg.l1d.mshrs {
+                    // Prefetch fill buffers free only when a fill applies.
+                    clear = clear.max(self.next_pending_at);
+                }
+            }
+            FillLevel::L2 | FillLevel::Llc => {
+                // Live entries are those `issue_prefetch`'s retain would
+                // keep; the earliest expiry is when one MSHR frees. (A
+                // demand-promoted prefetch can leave an entry whose expiry
+                // is not any pending fill's time, so this is a distinct
+                // wake source from `next_fill_at`.)
+                let mut live = 0usize;
+                let mut earliest = u64::MAX;
+                for &r in &self.l2_inflight[core] {
+                    if r > now {
+                        live += 1;
+                        earliest = earliest.min(r);
+                    }
+                }
+                if live >= self.cfg.l2c.mshrs {
+                    clear = clear.max(earliest);
+                }
+            }
+        }
+
+        // Off-chip requests are additionally refused while the DRAM
+        // prefetch-backlog window is full; translate the channel's
+        // acceptance time from DRAM-arrival space back to issue cycles.
+        if !self.l2c[core].contains(block) && !self.llc.contains(block) {
+            let path = self.cfg.l1d.latency + self.cfg.l2c.latency + self.cfg.llc_per_core.latency;
+            clear = clear.max(self.dram.prefetch_accepted_from(block).saturating_sub(path));
+        }
+        clear
+    }
+
     /// Flushes all pending fills and accounts still-resident unused
     /// prefetched lines as useless. Call once at the end of a measured run.
     pub fn finalize(&mut self) {
