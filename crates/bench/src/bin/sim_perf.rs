@@ -67,6 +67,7 @@ fn parse_args(args: &[String]) -> Options {
         args.iter().position(|a| a == flag).map(|i| {
             args.get(i + 1)
                 .unwrap_or_else(|| {
+                    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                     eprintln!("sim-perf: {flag} requires a value");
                     std::process::exit(2);
                 })
@@ -81,6 +82,7 @@ fn parse_args(args: &[String]) -> Options {
             list.split(',')
                 .map(|t| {
                     t.trim().parse().unwrap_or_else(|_| {
+                        // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                         eprintln!("sim-perf: bad thread count '{t}'");
                         std::process::exit(2);
                     })
@@ -116,6 +118,7 @@ fn parse_args(args: &[String]) -> Options {
     }
     for f in &figures {
         if !experiment_names().contains(&f.as_str()) {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!(
                 "unknown experiment '{f}'; available: {:?}",
                 experiment_names()
@@ -136,6 +139,7 @@ fn parse_args(args: &[String]) -> Options {
         gate_tolerance: value_of(args, "--gate-tolerance")
             .map(|v| {
                 v.parse().unwrap_or_else(|_| {
+                    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                     eprintln!("sim-perf: bad tolerance '{v}'");
                     std::process::exit(2);
                 })
@@ -185,20 +189,29 @@ fn main() {
             cells.push(run_cell(figure, "cold", threads, &opts, Some(&store)));
             let warm = run_cell(figure, "warm", threads, &opts, Some(&store));
             if warm.simulated_instructions > 0 {
-                eprintln!(
-                    "sim-perf: warning: warm {figure} still simulated {} instructions \
-                     (store not fully warm)",
-                    warm.simulated_instructions
+                gaze_obs::log::warn(
+                    "sim-perf",
+                    "warm cell still simulated instructions (store not fully warm)",
+                    &[
+                        ("figure", &figure),
+                        ("instructions", &warm.simulated_instructions),
+                    ],
                 );
             }
             cells.push(warm);
             let _ = std::fs::remove_dir_all(&store);
         }
     }
-    eprintln!(
-        "sim-perf: {} cells in {:.1}s",
-        cells.len(),
-        start.elapsed().as_secs_f64()
+    gaze_obs::log::info(
+        "sim-perf",
+        "all cells measured",
+        &[
+            ("cells", &cells.len()),
+            (
+                "wall_seconds",
+                &format!("{:.1}", start.elapsed().as_secs_f64()),
+            ),
+        ],
     );
 
     let unix_time = std::time::SystemTime::now()
@@ -222,11 +235,15 @@ fn main() {
     };
     let doc = append_run(existing.as_deref(), &run);
     std::fs::write(&opts.out_path, &doc).unwrap_or_else(|e| {
-        eprintln!("sim-perf: cannot write {}: {e}", opts.out_path);
+        gaze_obs::log::error(
+            "sim-perf",
+            "cannot write history",
+            &[("path", &opts.out_path), ("error", &e)],
+        );
         std::process::exit(1);
     });
     println!("{run}");
-    eprintln!("sim-perf: wrote {}", opts.out_path);
+    gaze_obs::log::info("sim-perf", "wrote history", &[("path", &opts.out_path)]);
 
     if let Some(gate_path) = &opts.gate_path {
         gate(gate_path, opts.gate_tolerance, scale_label, &cells);
@@ -238,7 +255,11 @@ fn main() {
 /// history. A figure absent from the reference passes (first measurement).
 fn gate(gate_path: &str, tolerance: f64, scale_label: &str, cells: &[CellResult]) {
     let reference = std::fs::read_to_string(gate_path).unwrap_or_else(|e| {
-        eprintln!("sim-perf: cannot read gate reference {gate_path}: {e}");
+        gaze_obs::log::error(
+            "sim-perf",
+            "cannot read gate reference",
+            &[("path", &gate_path), ("error", &e)],
+        );
         std::process::exit(1);
     });
     let mut failed = false;
@@ -257,23 +278,39 @@ fn gate(gate_path: &str, tolerance: f64, scale_label: &str, cells: &[CellResult]
             Some(reference_ips) => {
                 let floor = reference_ips * tolerance;
                 let ok = measured >= floor;
-                eprintln!(
-                    "sim-perf: gate {figure}: {measured:.0} ips vs reference {reference_ips:.0} \
-                     (floor {floor:.0}): {}",
-                    if ok { "ok" } else { "REGRESSION" }
+                gaze_obs::log::info(
+                    "sim-perf",
+                    "gate verdict",
+                    &[
+                        ("figure", &figure),
+                        ("measured_ips", &format!("{measured:.0}")),
+                        ("reference_ips", &format!("{reference_ips:.0}")),
+                        ("floor", &format!("{floor:.0}")),
+                        ("verdict", &if ok { "ok" } else { "REGRESSION" }),
+                    ],
                 );
                 failed |= !ok;
             }
-            None => {
-                eprintln!("sim-perf: gate {figure}: no reference at {scale_label} scale, skipping")
-            }
+            None => gaze_obs::log::warn(
+                "sim-perf",
+                "gate has no reference at this scale, skipping figure",
+                &[("figure", &figure), ("scale", &scale_label)],
+            ),
         }
     }
     if failed {
-        eprintln!("sim-perf: regression gate FAILED (tolerance {tolerance})");
+        gaze_obs::log::error(
+            "sim-perf",
+            "regression gate FAILED",
+            &[("tolerance", &tolerance)],
+        );
         std::process::exit(1);
     }
-    eprintln!("sim-perf: regression gate passed (tolerance {tolerance})");
+    gaze_obs::log::info(
+        "sim-perf",
+        "regression gate passed",
+        &[("tolerance", &tolerance)],
+    );
 }
 
 /// Times `figure` in a child process under the given engine mode.
@@ -284,7 +321,11 @@ fn run_cell(
     opts: &Options,
     store_dir: Option<&std::path::Path>,
 ) -> CellResult {
-    eprintln!("sim-perf: {figure} [{mode}, {threads} thread(s)] ...");
+    gaze_obs::log::info(
+        "sim-perf",
+        "cell start",
+        &[("figure", &figure), ("mode", &mode), ("threads", &threads)],
+    );
     let exe = std::env::current_exe().expect("current exe path");
     let mut cmd = std::process::Command::new(exe);
     if opts.full {
@@ -337,12 +378,20 @@ fn run_cell(
         cycles_stepped: field("cycles_stepped") as u64,
         cycles_skipped: field("cycles_skipped") as u64,
     };
-    eprintln!(
-        "sim-perf: {figure} [{mode}, {threads} thread(s)]: {:.3}s, {:.2}M sim-instr/s, \
-         {:.1}% cycles skipped",
-        cell.wall_seconds,
-        cell.sim_ips() / 1e6,
-        cell.skipped_fraction() * 100.0
+    gaze_obs::log::info(
+        "sim-perf",
+        "cell done",
+        &[
+            ("figure", &figure),
+            ("mode", &mode),
+            ("threads", &threads),
+            ("wall_seconds", &format!("{:.3}", cell.wall_seconds)),
+            ("sim_mips", &format!("{:.2}", cell.sim_ips() / 1e6)),
+            (
+                "skipped_pct",
+                &format!("{:.1}", cell.skipped_fraction() * 100.0),
+            ),
+        ],
     );
     cell
 }

@@ -1,0 +1,270 @@
+//! A comment-, string-, raw-string- and char-literal-aware lexer.
+//!
+//! The rules never parse Rust properly — they match tokens — so the one
+//! thing the lexer must get right is *what is code and what is not*. It
+//! splits a source file into three synchronized views:
+//!
+//! * a per-line **code mask** in which comments are dropped and every
+//!   string/char literal is collapsed to an empty `""` / `''` — token
+//!   searches on the mask can never match inside a literal or a comment;
+//! * the **comments**, one fragment per line they cover (so `// SAFETY:`
+//!   and `gaze-lint: allow(...)` markers can be found by line);
+//! * the **string literals**, each with the line and mask column of its
+//!   opening quote plus its (approximately unescaped) value — this is
+//!   where metric names and `GAZE_*` environment variable names live.
+//!
+//! Handled edge cases, pinned by `tests/lexer_edges.rs`: nested block
+//! comments, raw strings with arbitrary `#` counts, byte and raw byte
+//! strings, char literals (including `'\''` and `'"'`) versus lifetimes,
+//! and literals spanning multiple lines.
+
+/// One string literal: where its opening quote landed in the code mask,
+/// and its contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrLit {
+    /// 1-based line of the opening quote.
+    pub line: usize,
+    /// Byte column of the opening `"` within the code-mask line.
+    pub col: usize,
+    /// The literal's value. Escape sequences are simplified (`\"` → `"`,
+    /// `\\` → `\`, anything else keeps the escaped character verbatim),
+    /// which is exact for the identifier-shaped values the rules read.
+    pub value: String,
+}
+
+/// The lexed views of one source file. See the module docs.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Per-line code mask (index 0 is line 1).
+    pub code: Vec<String>,
+    /// `(line, fragment)` for every line a comment covers.
+    pub comments: Vec<(usize, String)>,
+    /// Every string literal, in source order.
+    pub strings: Vec<StrLit>,
+}
+
+impl Lexed {
+    /// The number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// All comment fragments covering `line`, concatenated.
+    pub fn comment_on(&self, line: usize) -> String {
+        let mut out = String::new();
+        for (l, text) in &self.comments {
+            if *l == line {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(text);
+            }
+        }
+        out
+    }
+}
+
+/// Lexes `source` into its code/comment/string views.
+pub fn lex(source: &str) -> Lexed {
+    let cs: Vec<char> = source.chars().collect();
+    let mut out = Lexed {
+        code: vec![String::new()],
+        ..Lexed::default()
+    };
+    let mut i = 0;
+
+    while i < cs.len() {
+        let c = cs[i];
+        match c {
+            '\n' => {
+                out.code.push(String::new());
+                i += 1;
+            }
+            '/' if cs.get(i + 1) == Some(&'/') => {
+                let line = out.code.len();
+                let mut text = String::new();
+                while i < cs.len() && cs[i] != '\n' {
+                    text.push(cs[i]);
+                    i += 1;
+                }
+                out.comments.push((line, text));
+            }
+            '/' if cs.get(i + 1) == Some(&'*') => {
+                i = consume_block_comment(&cs, i, &mut out);
+            }
+            '"' => {
+                i = consume_string(&cs, i, &mut out, 0, false);
+            }
+            'r' | 'b' => {
+                if let Some((skip, hashes, is_raw)) = literal_prefix(&cs, i) {
+                    // `r"`, `r#"`, `br"`, `b"` … — push the prefix chars
+                    // into the mask, then consume the literal body.
+                    for &p in &cs[i..i + skip] {
+                        push_code(&mut out, p);
+                    }
+                    i = consume_string(&cs, i + skip, &mut out, hashes, is_raw);
+                } else if c == 'b' && cs.get(i + 1) == Some(&'\'') {
+                    push_code(&mut out, 'b');
+                    i = consume_char(&cs, i + 1, &mut out);
+                } else {
+                    push_code(&mut out, c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                if is_char_literal(&cs, i) {
+                    i = consume_char(&cs, i, &mut out);
+                } else {
+                    // A lifetime: keep it in the mask verbatim.
+                    push_code(&mut out, c);
+                    i += 1;
+                }
+            }
+            _ => {
+                push_code(&mut out, c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn push_code(out: &mut Lexed, c: char) {
+    out.code.last_mut().expect("at least one line").push(c);
+}
+
+/// Recognizes a raw/byte string prefix at `i`: returns
+/// `(prefix_len, hash_count, is_raw)` when `cs[i..]` starts a string
+/// literal that is not a plain `"`.
+fn literal_prefix(cs: &[char], i: usize) -> Option<(usize, usize, bool)> {
+    let mut j = i;
+    if cs.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = cs.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while cs.get(j + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    j += hashes;
+    if cs.get(j) != Some(&'"') {
+        return None;
+    }
+    if !raw && hashes > 0 {
+        return None; // `b#"` is not a literal
+    }
+    if !raw && i == j {
+        return None; // plain `"` is handled by the caller
+    }
+    Some((j - i, hashes, raw))
+}
+
+/// True when the `'` at `i` opens a char literal rather than a lifetime.
+fn is_char_literal(cs: &[char], i: usize) -> bool {
+    match cs.get(i + 1) {
+        Some('\\') => true,
+        Some(c) if *c != '\'' && cs.get(i + 2) == Some(&'\'') => true,
+        _ => false,
+    }
+}
+
+/// Consumes a char literal starting at the `'` at `i`; masks it as `''`.
+fn consume_char(cs: &[char], i: usize, out: &mut Lexed) -> usize {
+    push_code(out, '\'');
+    let mut j = i + 1;
+    while j < cs.len() {
+        match cs[j] {
+            '\\' => j += 2,
+            '\'' => {
+                push_code(out, '\'');
+                return j + 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Consumes a (raw) string literal whose opening `"` is at `i`. The mask
+/// receives exactly `""` on the opening line; the value is recorded with
+/// the opening quote's mask position.
+fn consume_string(cs: &[char], i: usize, out: &mut Lexed, hashes: usize, raw: bool) -> usize {
+    let line = out.code.len();
+    let col = out.code.last().map(String::len).unwrap_or(0);
+    push_code(out, '"');
+    let mut value = String::new();
+    let mut j = i + 1;
+    while j < cs.len() {
+        let c = cs[j];
+        if c == '"' && (!raw || (0..hashes).all(|k| cs.get(j + 1 + k) == Some(&'#'))) {
+            push_code(out, '"');
+            out.strings.push(StrLit { line, col, value });
+            return j + 1 + if raw { hashes } else { 0 };
+        }
+        match c {
+            '\\' if !raw => {
+                match cs.get(j + 1) {
+                    Some('"') => value.push('"'),
+                    Some('\\') => value.push('\\'),
+                    Some('\n') => {
+                        // Line-continuation escape: the string stays
+                        // open, the mask moves to the next line.
+                        out.code.push(String::new());
+                    }
+                    Some(other) => value.push(*other),
+                    None => {}
+                }
+                j += 2;
+            }
+            '\n' => {
+                value.push('\n');
+                out.code.push(String::new());
+                j += 1;
+            }
+            _ => {
+                value.push(c);
+                j += 1;
+            }
+        }
+    }
+    // Unterminated literal: record what we saw.
+    out.strings.push(StrLit { line, col, value });
+    j
+}
+
+/// Consumes a (nested) block comment starting with the `/*` at `i`.
+fn consume_block_comment(cs: &[char], i: usize, out: &mut Lexed) -> usize {
+    let mut depth = 0usize;
+    let mut text = String::new();
+    let mut j = i;
+    while j < cs.len() {
+        if cs[j] == '/' && cs.get(j + 1) == Some(&'*') {
+            depth += 1;
+            text.push_str("/*");
+            j += 2;
+        } else if cs[j] == '*' && cs.get(j + 1) == Some(&'/') {
+            depth -= 1;
+            text.push_str("*/");
+            j += 2;
+            if depth == 0 {
+                out.comments.push((out.code.len(), text));
+                return j;
+            }
+        } else if cs[j] == '\n' {
+            out.comments
+                .push((out.code.len(), std::mem::take(&mut text)));
+            out.code.push(String::new());
+            j += 1;
+        } else {
+            text.push(cs[j]);
+            j += 1;
+        }
+    }
+    if !text.is_empty() {
+        out.comments.push((out.code.len(), text));
+    }
+    j
+}

@@ -1,0 +1,236 @@
+//! Workspace inventories: `GAZE_*` environment variables and metric
+//! names are only usable if they are discoverable, so both live in a
+//! single documented table that this rule keeps in sync with the code.
+//!
+//! * **env inventory** — every `GAZE_*` name appearing in a (non-test)
+//!   string literal must have a row in the `docs/CONFIG.md` table, and
+//!   every variable documented there must still exist in the code.
+//!   Matching string literals (rather than only `env::var` call sites)
+//!   deliberately catches names passed through constants or
+//!   `Command::env` into child processes.
+//! * **metrics catalog** — every name registered through the `gaze-obs`
+//!   registry (`.counter("…")`, `.gauge_with("…")`, …) must be a valid
+//!   lowercase snake_case Prometheus name and appear in
+//!   `docs/OBSERVABILITY.md`.
+
+use std::collections::BTreeMap;
+
+use super::Finding;
+use crate::source::SourceFile;
+
+/// Cross-checks `GAZE_*` string literals against the `docs/CONFIG.md`
+/// table (both directions).
+pub fn check_env(files: &[SourceFile], config_md: Option<&str>, out: &mut Vec<Finding>) {
+    // First (path, line) each variable name is seen at, in walk order.
+    let mut in_code: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for file in files {
+        for lit in &file.lex.strings {
+            if file.is_test_line(lit.line) {
+                continue;
+            }
+            for name in gaze_tokens(&lit.value) {
+                in_code
+                    .entry(name)
+                    .or_insert_with(|| (file.path.clone(), lit.line));
+            }
+        }
+    }
+
+    let Some(config) = config_md else {
+        if !in_code.is_empty() {
+            out.push(Finding {
+                path: "docs/CONFIG.md".to_string(),
+                line: 1,
+                rule: "env_inventory",
+                message: format!(
+                    "docs/CONFIG.md is missing but the code references {} GAZE_* \
+                     environment variables",
+                    in_code.len()
+                ),
+            });
+        }
+        return;
+    };
+
+    // Documented set: GAZE_* tokens on the table rows of CONFIG.md.
+    let mut in_docs: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, line) in config.lines().enumerate() {
+        if !line.trim_start().starts_with('|') {
+            continue;
+        }
+        for name in gaze_tokens(line) {
+            in_docs.entry(name).or_insert(idx + 1);
+        }
+    }
+
+    for (name, (path, line)) in &in_code {
+        if !in_docs.contains_key(name) {
+            out.push(Finding {
+                path: path.clone(),
+                line: *line,
+                rule: "env_inventory",
+                message: format!(
+                    "`{name}` is not documented in the docs/CONFIG.md table; every \
+                     GAZE_* environment variable needs a row there"
+                ),
+            });
+        }
+    }
+    for (name, line) in &in_docs {
+        if !in_code.contains_key(name) {
+            out.push(Finding {
+                path: "docs/CONFIG.md".to_string(),
+                line: *line,
+                rule: "env_inventory",
+                message: format!(
+                    "`{name}` is documented but no longer appears anywhere in the \
+                     code; drop the row or restore the variable"
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `GAZE_<UPPER>` tokens from arbitrary text.
+fn gaze_tokens(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (pos, _) in text.match_indices("GAZE_") {
+        if pos > 0
+            && text[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        let tail: String = text[pos + 5..]
+            .chars()
+            .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        let trimmed = tail.trim_end_matches('_');
+        if !trimmed.is_empty() {
+            out.push(format!("GAZE_{trimmed}"));
+        }
+    }
+    out
+}
+
+/// Registration methods on the `gaze-obs` metrics registry.
+const REGISTRATIONS: &[&str] = &[
+    ".counter(",
+    ".counter_with(",
+    ".gauge(",
+    ".gauge_with(",
+    ".histogram(",
+    ".histogram_with(",
+];
+
+/// Validates every registered metric name and cross-checks it against
+/// `docs/OBSERVABILITY.md`.
+pub fn check_metrics(files: &[SourceFile], observability_md: Option<&str>, out: &mut Vec<Finding>) {
+    for file in files {
+        for (idx, line) in file.lex.code.iter().enumerate() {
+            let lineno = idx + 1;
+            if file.is_test_line(lineno) {
+                continue;
+            }
+            for method in REGISTRATIONS {
+                for (pos, _) in line.match_indices(method) {
+                    let Some(name) = literal_after(file, lineno, pos + method.len()) else {
+                        continue; // getter or non-literal name: not a registration
+                    };
+                    if !valid_metric_name(&name) {
+                        out.push(Finding {
+                            path: file.path.clone(),
+                            line: lineno,
+                            rule: "metrics_catalog",
+                            message: format!(
+                                "metric name `{name}` is not lowercase snake_case \
+                                 ([a-z_][a-z0-9_]*), the Prometheus naming rule this \
+                                 workspace uses"
+                            ),
+                        });
+                    } else if let Some(docs) = observability_md {
+                        if !contains_token(docs, &name) {
+                            out.push(Finding {
+                                path: file.path.clone(),
+                                line: lineno,
+                                rule: "metrics_catalog",
+                                message: format!(
+                                    "metric `{name}` is not cataloged in \
+                                     docs/OBSERVABILITY.md"
+                                ),
+                            });
+                        }
+                    } else {
+                        out.push(Finding {
+                            path: file.path.clone(),
+                            line: lineno,
+                            rule: "metrics_catalog",
+                            message: format!(
+                                "metric `{name}` registered but docs/OBSERVABILITY.md \
+                                 is missing"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The string literal whose opening quote is the first non-whitespace
+/// character at/after `(line, col)` in the code mask (looking ahead a few
+/// lines for multi-line call formatting).
+fn literal_after(file: &SourceFile, line: usize, col: usize) -> Option<String> {
+    let mut from = col;
+    for lineno in line..line + 5 {
+        let mask = file.lex.code.get(lineno - 1)?;
+        let rest = &mask[from.min(mask.len())..];
+        if let Some(off) = rest.find(|c: char| !c.is_whitespace()) {
+            let quote_col = from + off;
+            if !rest[off..].starts_with('"') {
+                return None;
+            }
+            return file
+                .lex
+                .strings
+                .iter()
+                .find(|s| s.line == lineno && s.col == quote_col)
+                .map(|s| s.value.clone());
+        }
+        from = 0;
+    }
+    None
+}
+
+/// Lowercase snake_case Prometheus name: `[a-z_][a-z0-9_]*`.
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_lowercase() || first == '_')
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// Word-bounded containment of `token` in `text`.
+fn contains_token(text: &str, token: &str) -> bool {
+    for (pos, _) in text.match_indices(token) {
+        let before_ok = pos == 0
+            || !text[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = pos + token.len();
+        let after_ok = after >= text.len()
+            || !text[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}

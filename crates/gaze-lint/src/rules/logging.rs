@@ -1,0 +1,31 @@
+//! Logging discipline: `eprintln!` is reserved for CLI usage errors.
+//!
+//! PR 8 routed operational output through `gaze_obs::log` (leveled,
+//! structured, `GAZE_LOG`-controlled); raw `eprintln!` lines bypass the
+//! level filter and the `key=value` shape log scrapers rely on. The only
+//! legitimate remaining sites are a binary's usage/argument errors,
+//! where a bare human-readable line on stderr is the interface — each of
+//! those carries an explicit `gaze-lint: allow(eprintln) -- …` marker.
+
+use super::Finding;
+use crate::source::SourceFile;
+
+/// Runs the logging rule over `file`.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lex.code.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            continue;
+        }
+        if line.contains("eprintln!") || line.contains("eprint!") {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: lineno,
+                rule: "eprintln",
+                message: "raw stderr print; use gaze_obs::log (or annotate a deliberate \
+                          CLI usage-error site)"
+                    .to_string(),
+            });
+        }
+    }
+}

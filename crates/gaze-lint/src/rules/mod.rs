@@ -1,0 +1,123 @@
+//! The rule engine: each rule walks the prepared [`SourceFile`]s and
+//! reports [`Finding`]s; suppressions are applied afterwards so that an
+//! `allow` that matches nothing is itself a finding.
+
+use crate::source::SourceFile;
+
+pub mod determinism;
+pub mod fault;
+pub mod inventory;
+pub mod logging;
+pub mod safety;
+
+/// One rule violation at a specific site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule identifier (the name `allow(...)` takes).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The documentation files some rules cross-check against.
+pub struct Docs {
+    /// Contents of `docs/CONFIG.md`, if present.
+    pub config_md: Option<String>,
+    /// Contents of `docs/OBSERVABILITY.md`, if present.
+    pub observability_md: Option<String>,
+}
+
+/// Runs every rule over `files`, applies suppressions, and returns the
+/// surviving findings sorted by path, line and rule.
+pub fn run(files: &[SourceFile], docs: &Docs) -> Vec<Finding> {
+    let mut raw: Vec<Finding> = Vec::new();
+    for file in files {
+        determinism::check(file, &mut raw);
+        fault::check(file, &mut raw);
+        logging::check(file, &mut raw);
+        safety::check(file, &mut raw);
+    }
+    inventory::check_env(files, docs.config_md.as_deref(), &mut raw);
+    inventory::check_metrics(files, docs.observability_md.as_deref(), &mut raw);
+
+    // Apply per-site suppressions (and record which were used).
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in raw {
+        let suppressed = files
+            .iter()
+            .find(|s| s.path == f.path)
+            .is_some_and(|s| s.suppressed(f.rule, f.line));
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+
+    // Marker hygiene: malformed markers and allows that matched nothing.
+    for file in files {
+        for bad in &file.bad_markers {
+            findings.push(Finding {
+                path: file.path.clone(),
+                line: bad.line,
+                rule: "bad_allow",
+                message: format!("malformed gaze-lint marker: {}", bad.problem),
+            });
+        }
+        for s in &file.suppressions {
+            let mut named_unknown = false;
+            for rule in &s.rules {
+                if !RULES.contains(&rule.as_str()) {
+                    named_unknown = true;
+                    findings.push(Finding {
+                        path: file.path.clone(),
+                        line: s.line,
+                        rule: "bad_allow",
+                        message: format!("unknown rule '{rule}' in allow(...)"),
+                    });
+                }
+            }
+            // An allow naming an unknown rule is already reported above;
+            // piling unused_allow on top would be noise.
+            if !s.used.get() && !named_unknown {
+                findings.push(Finding {
+                    path: file.path.clone(),
+                    line: s.line,
+                    rule: "unused_allow",
+                    message: format!(
+                        "allow({}) suppresses nothing on this or the next line; remove it",
+                        s.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings.dedup();
+    findings
+}
+
+/// Every suppressible rule identifier.
+pub const RULES: &[&str] = &[
+    "wall_clock",
+    "map_iteration",
+    "fault_coverage",
+    "safety_comment",
+    "eprintln",
+    "env_inventory",
+    "metrics_catalog",
+];

@@ -1,0 +1,47 @@
+//! Unsafe audit: every `unsafe` needs an adjacent `// SAFETY:` comment.
+//!
+//! The workspace is std-only and almost entirely safe Rust; the few
+//! `unsafe` sites (e.g. the `extern "C"` signal handler in
+//! `gaze-serve`) carry the whole soundness argument in a comment. This
+//! rule makes that argument mandatory: an `unsafe` token must have a
+//! comment containing `SAFETY:` on the same line or in the contiguous
+//! block of comment lines directly above it (so a multi-line soundness
+//! argument counts however long it is).
+
+use super::Finding;
+use crate::source::{token_positions, SourceFile};
+
+/// Runs the unsafe-audit rule over `file`.
+pub fn check(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (idx, line) in file.lex.code.iter().enumerate() {
+        let lineno = idx + 1;
+        if file.is_test_line(lineno) {
+            continue;
+        }
+        if token_positions(line, "unsafe").is_empty() {
+            continue;
+        }
+        let documented = adjacent_comment_block(file, lineno)
+            .any(|l| file.lex.comment_on(l).contains("SAFETY:"));
+        if !documented {
+            out.push(Finding {
+                path: file.path.clone(),
+                line: lineno,
+                rule: "safety_comment",
+                message: "`unsafe` without an adjacent `// SAFETY:` comment stating why \
+                          the operation is sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// The `unsafe` line itself plus the unbroken run of comment-bearing
+/// lines directly above it, walking upward until a line with no comment.
+fn adjacent_comment_block(file: &SourceFile, lineno: usize) -> impl Iterator<Item = usize> + '_ {
+    let mut first = lineno;
+    while first > 1 && !file.lex.comment_on(first - 1).is_empty() {
+        first -= 1;
+    }
+    first..=lineno
+}

@@ -1,0 +1,291 @@
+//! One analyzed source file: the lexed views plus the structural facts
+//! the rules need — which lines are test code, which function encloses a
+//! line, and where `gaze-lint: allow(...)` suppressions sit.
+
+use crate::lexer::{lex, Lexed};
+
+/// A function region: signature text plus the 1-based line span of the
+/// whole item (from the `fn` keyword to the closing brace).
+#[derive(Debug)]
+pub struct FnRegion {
+    /// Everything between the `fn` keyword and the body's opening brace.
+    pub signature: String,
+    /// Line of the `fn` keyword.
+    pub start_line: usize,
+    /// Line of the closing brace.
+    pub end_line: usize,
+}
+
+/// One parsed `gaze-lint: allow(rule, ...) -- reason` marker.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Line the comment sits on. It covers findings on this line and the
+    /// next one, so it can trail the offending line or precede it.
+    pub line: usize,
+    /// The rule names inside `allow(...)`.
+    pub rules: Vec<String>,
+    /// Set when some finding was actually suppressed; an allow that
+    /// suppresses nothing is itself reported (`unused_allow`).
+    pub used: std::cell::Cell<bool>,
+}
+
+/// A malformed `gaze-lint:` marker (bad syntax or missing `-- reason`).
+#[derive(Debug)]
+pub struct BadMarker {
+    /// Line the comment sits on.
+    pub line: usize,
+    /// What is wrong with it.
+    pub problem: String,
+}
+
+/// One source file prepared for rule matching.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Lexed code/comment/string views.
+    pub lex: Lexed,
+    /// `test_lines[i]` is true when line `i + 1` is inside a
+    /// `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Every function item, in source order.
+    pub fns: Vec<FnRegion>,
+    /// Parsed suppression markers.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed markers.
+    pub bad_markers: Vec<BadMarker>,
+}
+
+impl SourceFile {
+    /// Lexes and indexes `source`.
+    pub fn new(path: &str, source: &str) -> SourceFile {
+        let lexed = lex(source);
+        let test_lines = find_test_lines(&lexed);
+        let fns = find_fn_regions(&lexed);
+        let (suppressions, bad_markers) = find_markers(&lexed);
+        SourceFile {
+            path: path.to_string(),
+            lex: lexed,
+            test_lines,
+            fns,
+            suppressions,
+            bad_markers,
+        }
+    }
+
+    /// Whether 1-based `line` is inside `#[cfg(test)]` code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The innermost function containing 1-based `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnRegion> {
+        self.fns
+            .iter()
+            .filter(|f| f.start_line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.start_line)
+    }
+
+    /// The masked text of `region` (signature included), joined with `\n`.
+    pub fn fn_text(&self, region: &FnRegion) -> String {
+        self.lex.code[region.start_line - 1..region.end_line].join("\n")
+    }
+
+    /// Whether a suppression for `rule` covers 1-based `line`; marks the
+    /// suppression used.
+    pub fn suppressed(&self, rule: &str, line: usize) -> bool {
+        for s in &self.suppressions {
+            if (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule) {
+                s.used.set(true);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Marks the lines of every `#[cfg(test)]` item (module or single item).
+fn find_test_lines(lexed: &Lexed) -> Vec<bool> {
+    let mut test = vec![false; lexed.code.len()];
+    for (idx, line) in lexed.code.iter().enumerate() {
+        let Some(col) = line.find("#[cfg(test)]") else {
+            continue;
+        };
+        // Scan forward from the attribute for the item's extent: the
+        // matching brace of the first `{`, or a `;` before any brace
+        // (e.g. `#[cfg(test)] use …;`).
+        let mut depth = 0usize;
+        let mut entered = false;
+        let mut end = lexed.code.len() - 1; // fallback: rest of file
+        'scan: for (j, l) in lexed.code.iter().enumerate().skip(idx) {
+            let start_col = if j == idx { col } else { 0 };
+            for c in l[start_col.min(l.len())..].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if entered && depth == 0 {
+                            end = j;
+                            break 'scan;
+                        }
+                    }
+                    ';' if !entered => {
+                        end = j;
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for t in test.iter_mut().take(end + 1).skip(idx) {
+            *t = true;
+        }
+    }
+    test
+}
+
+/// Finds every `fn` item: signature text plus line span.
+fn find_fn_regions(lexed: &Lexed) -> Vec<FnRegion> {
+    let mut regions = Vec::new();
+    for (idx, line) in lexed.code.iter().enumerate() {
+        for col in token_positions(line, "fn") {
+            let start_line = idx + 1;
+            // Collect the signature up to the body's `{` (or give up at a
+            // `;`, which means a bodyless trait method).
+            let mut signature = String::new();
+            let mut body_open: Option<(usize, usize)> = None; // (line idx, col)
+            'sig: for (j, l) in lexed.code.iter().enumerate().skip(idx) {
+                let from = if j == idx { col + 2 } else { 0 };
+                for (k, c) in l[from.min(l.len())..].char_indices() {
+                    match c {
+                        '{' => {
+                            body_open = Some((j, from + k));
+                            break 'sig;
+                        }
+                        ';' => break 'sig,
+                        _ => signature.push(c),
+                    }
+                }
+                signature.push(' ');
+            }
+            let Some((open_line, open_col)) = body_open else {
+                continue;
+            };
+            // Brace-match to the end of the body.
+            let mut depth = 0usize;
+            let mut end_line = lexed.code.len();
+            'body: for (j, l) in lexed.code.iter().enumerate().skip(open_line) {
+                let from = if j == open_line { open_col } else { 0 };
+                for c in l[from.min(l.len())..].chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end_line = j + 1;
+                                break 'body;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            regions.push(FnRegion {
+                signature,
+                start_line,
+                end_line,
+            });
+        }
+    }
+    regions
+}
+
+/// Byte positions of whole-word occurrences of `token` in `line`.
+pub fn token_positions(line: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (pos, _) in line.match_indices(token) {
+        let before_ok = pos == 0
+            || !line[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = pos + token.len();
+        let after_ok = after >= line.len()
+            || !line[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+    }
+    out
+}
+
+/// Parses every `gaze-lint:` marker out of the comments. Doc comments
+/// (`///`, `//!`, `/**`, `/*!`) are prose, not annotations, so markers
+/// inside them are ignored — that is what lets this crate's own docs
+/// show `allow(...)` examples without tripping the marker parser.
+fn find_markers(lexed: &Lexed) -> (Vec<Suppression>, Vec<BadMarker>) {
+    let mut ok = Vec::new();
+    let mut bad = Vec::new();
+    for (line, text) in &lexed.comments {
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|d| text.starts_with(d))
+        {
+            continue;
+        }
+        let Some(pos) = text.find("gaze-lint:") else {
+            continue;
+        };
+        let rest = text[pos + "gaze-lint:".len()..].trim_start();
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            bad.push(BadMarker {
+                line: *line,
+                problem: "expected `allow(<rule>[, <rule>]) -- <reason>`".to_string(),
+            });
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            bad.push(BadMarker {
+                line: *line,
+                problem: "unclosed `allow(`".to_string(),
+            });
+            continue;
+        };
+        let rules: Vec<String> = inner[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let after = inner[close + 1..].trim_start();
+        let reason_ok = after
+            .strip_prefix("--")
+            .is_some_and(|r| !r.trim().is_empty());
+        if rules.is_empty() {
+            bad.push(BadMarker {
+                line: *line,
+                problem: "empty rule list in `allow(...)`".to_string(),
+            });
+        } else if !reason_ok {
+            bad.push(BadMarker {
+                line: *line,
+                problem: "missing `-- <reason>` after `allow(...)`".to_string(),
+            });
+        } else {
+            ok.push(Suppression {
+                line: *line,
+                rules,
+                used: std::cell::Cell::new(false),
+            });
+        }
+    }
+    (ok, bad)
+}

@@ -1,0 +1,105 @@
+//! Pins the lexer's code/comment/string separation on the edge cases
+//! Rust syntax throws at a token-level scanner.
+
+use gaze_lint::lexer::lex;
+
+#[test]
+fn line_comment_is_dropped_from_mask_and_kept_as_comment() {
+    let lexed = lex("let x = 1; // trailing note\n");
+    assert_eq!(lexed.code[0], "let x = 1; ");
+    assert_eq!(lexed.comments, vec![(1, "// trailing note".to_string())]);
+}
+
+#[test]
+fn nested_block_comments_terminate_at_matching_depth() {
+    let lexed = lex("a /* outer /* inner */ still comment */ b\n");
+    assert_eq!(lexed.code[0], "a  b");
+    assert!(lexed.comment_on(1).contains("inner"));
+}
+
+#[test]
+fn multiline_block_comment_covers_every_line() {
+    let lexed = lex("before /* one\ntwo\nthree */ after\n");
+    assert_eq!(lexed.code[0], "before ");
+    assert_eq!(lexed.code[1], "");
+    assert_eq!(lexed.code[2], " after");
+    assert!(lexed.comment_on(1).contains("one"));
+    assert!(lexed.comment_on(2).contains("two"));
+    assert!(lexed.comment_on(3).contains("three"));
+}
+
+#[test]
+fn string_contents_never_reach_the_mask() {
+    let lexed = lex(r#"call("// not a comment; unsafe; GAZE_X")"#);
+    assert_eq!(lexed.code[0], r#"call("")"#);
+    assert!(lexed.comments.is_empty());
+    assert_eq!(lexed.strings.len(), 1);
+    assert_eq!(lexed.strings[0].value, "// not a comment; unsafe; GAZE_X");
+    assert_eq!(lexed.strings[0].line, 1);
+    assert_eq!(lexed.strings[0].col, 5);
+}
+
+#[test]
+fn escaped_quotes_and_backslashes_are_unescaped_in_values() {
+    let lexed = lex(r#"let s = "a \"quoted\" \\ path";"#);
+    assert_eq!(lexed.code[0], r#"let s = "";"#);
+    assert_eq!(lexed.strings[0].value, r#"a "quoted" \ path"#);
+}
+
+#[test]
+fn raw_strings_with_hashes_terminate_only_on_matching_hashes() {
+    let lexed = lex(r###"let s = r#"contains "quote" inside"#; done()"###);
+    assert_eq!(lexed.code[0], r##"let s = r#""; done()"##);
+    assert_eq!(lexed.strings[0].value, r#"contains "quote" inside"#);
+}
+
+#[test]
+fn byte_and_raw_byte_strings_are_literals() {
+    let lexed = lex(r##"let a = b"bytes"; let b = br#"raw bytes"#;"##);
+    assert_eq!(lexed.strings.len(), 2);
+    assert_eq!(lexed.strings[0].value, "bytes");
+    assert_eq!(lexed.strings[1].value, "raw bytes");
+}
+
+#[test]
+fn multiline_string_spans_lines_and_mask_stays_synchronized() {
+    let lexed = lex("let s = \"first\nsecond\"; let t = 1;\n");
+    assert_eq!(lexed.code[0], "let s = \"");
+    assert_eq!(lexed.code[1], "\"; let t = 1;");
+    assert_eq!(lexed.strings[0].value, "first\nsecond");
+    assert_eq!(lexed.strings[0].line, 1);
+}
+
+#[test]
+fn char_literals_are_masked_but_lifetimes_survive() {
+    let lexed = lex(r#"let c = '\''; let q = '"'; fn f<'a>(x: &'a str) {}"#);
+    let mask = &lexed.code[0];
+    assert!(mask.contains("<'a>"), "lifetime must stay in mask: {mask}");
+    assert!(
+        mask.contains("&'a str"),
+        "lifetime must stay in mask: {mask}"
+    );
+    assert!(!mask.contains('\\'), "char contents must be masked: {mask}");
+    // Char literals collapse to '' and record no string literal.
+    assert!(lexed.strings.is_empty());
+}
+
+#[test]
+fn comment_markers_inside_strings_do_not_open_comments() {
+    let lexed = lex("let s = \"/* not open\"; real();\n");
+    assert_eq!(lexed.code[0], "let s = \"\"; real();");
+    assert!(lexed.comments.is_empty());
+}
+
+#[test]
+fn string_quote_inside_line_comment_does_not_open_a_string() {
+    let lexed = lex("// has a \" quote\nlet x = 1;\n");
+    assert!(lexed.strings.is_empty());
+    assert_eq!(lexed.code[1], "let x = 1;");
+}
+
+#[test]
+fn line_count_matches_source() {
+    assert_eq!(lex("a\nb\nc").line_count(), 3);
+    assert_eq!(lex("a\nb\n").line_count(), 3); // trailing newline opens an empty line
+}

@@ -28,6 +28,7 @@ use gaze_serve::loadgen::{
 use gaze_serve::{Server, ServerConfig};
 
 fn usage() -> ExitCode {
+    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
     eprintln!(
         "usage: gaze-loadgen (--addr HOST:PORT | --dir DIR) [--clients N] [--requests N] \
          [--scale test|quick|bench|paper] [--spec NAME] [--figure NAME] [--jobs N] [--out FILE]"
@@ -48,6 +49,7 @@ fn parse_count(args: &[String], flag: &str) -> Result<Option<usize>, ExitCode> {
         Some(v) => match v.parse::<usize>() {
             Ok(n) if n >= 1 => Ok(Some(n)),
             _ => {
+                // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                 eprintln!("gaze-loadgen: {flag} must be a positive integer");
                 Err(usage())
             }
@@ -66,12 +68,14 @@ fn main() -> ExitCode {
     let dir_flag = flag_value(&args, "--dir");
     let (addr, server) = match (addr_flag, dir_flag) {
         (Some(_), Some(_)) => {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!("gaze-loadgen: --addr and --dir are mutually exclusive");
             return usage();
         }
         (Some(addr), None) => match addr.parse() {
             Ok(parsed) => (parsed, None),
             Err(e) => {
+                // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                 eprintln!("gaze-loadgen: --addr '{addr}': {e}");
                 return usage();
             }
@@ -91,12 +95,13 @@ fn main() -> ExitCode {
                     (addr, Some((stop, join)))
                 }
                 Err(e) => {
-                    eprintln!("gaze-loadgen: cannot spawn server: {e}");
+                    gaze_obs::log::error("gaze-loadgen", "cannot spawn server", &[("error", &e)]);
                     return ExitCode::FAILURE;
                 }
             }
         }
         (None, None) => {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!("gaze-loadgen: one of --addr or --dir is required");
             return usage();
         }
@@ -123,6 +128,7 @@ fn main() -> ExitCode {
     }
     if let Some(scale) = flag_value(&args, "--scale") {
         if gaze_sim::experiments::ExperimentScale::named(&scale).is_none() {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!("gaze-loadgen: unknown scale '{scale}' (test|quick|bench|paper)");
             return usage();
         }
@@ -161,10 +167,18 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for r in &results {
-        eprintln!(
-            "gaze-loadgen: {:<16} clients={:<4} ok={:<6} errors={:<3} {:>8.2} req/s  \
-             p50={:.2}ms p99={:.2}ms",
-            r.name, r.clients, r.requests, r.errors, r.rps, r.p50_ms, r.p99_ms
+        gaze_obs::log::info(
+            "gaze-loadgen",
+            "scenario summary",
+            &[
+                ("scenario", &r.name),
+                ("clients", &r.clients),
+                ("ok", &r.requests),
+                ("errors", &r.errors),
+                ("rps", &format!("{:.2}", r.rps)),
+                ("p50_ms", &format!("{:.2}", r.p50_ms)),
+                ("p99_ms", &format!("{:.2}", r.p99_ms)),
+            ],
         );
         if r.requests == 0 || r.errors > 0 {
             failed = true;
@@ -172,12 +186,20 @@ fn main() -> ExitCode {
     }
     let body = bench_json(&config.scale, &results, &delta);
     if let Err(e) = std::fs::write(&out, &body) {
-        eprintln!("gaze-loadgen: cannot write {out}: {e}");
+        gaze_obs::log::error(
+            "gaze-loadgen",
+            "cannot write benchmark report",
+            &[("out", &out), ("error", &e)],
+        );
         return ExitCode::FAILURE;
     }
     gaze_obs::log::info("gaze-loadgen", "wrote benchmark report", &[("out", &out)]);
     if failed {
-        eprintln!("gaze-loadgen: FAILED: a scenario had zero successes or recorded errors");
+        gaze_obs::log::error(
+            "gaze-loadgen",
+            "FAILED: a scenario had zero successes or recorded errors",
+            &[],
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -33,6 +33,7 @@ use std::process::ExitCode;
 use gaze_serve::{Server, ServerConfig};
 
 fn usage() -> ExitCode {
+    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
     eprintln!(
         "usage: gaze-serve --dir DIR [--addr HOST:PORT] [--threads N] \
          [--scale quick|bench|paper] [--spec-dir DIR] [--job-workers N] [--job-queue N]"
@@ -59,6 +60,13 @@ mod signals {
             fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
         }
         // SIGINT = 2 and SIGTERM = 15 on every Unix this builds on.
+        //
+        // SAFETY: `signal` is the libc registration call, declared above
+        // with its real C signature, passed valid signal numbers and a
+        // non-capturing `extern "C"` handler. The handler is
+        // async-signal-safe: it performs exactly one `AtomicBool::store`
+        // — no locks, no allocation, no panicking code — which is the
+        // only kind of work POSIX permits inside a signal handler.
         unsafe {
             signal(2, on_signal);
             signal(15, on_signal);
@@ -83,6 +91,7 @@ fn main() -> ExitCode {
             .ok()
             .filter(|v| !v.is_empty())
     }) else {
+        // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
         eprintln!("gaze-serve: missing --dir (or GAZE_RESULTS_DIR)");
         return usage();
     };
@@ -94,6 +103,7 @@ fn main() -> ExitCode {
         match threads.parse::<usize>() {
             Ok(n) if n >= 1 => config.threads = n,
             _ => {
+                // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                 eprintln!("gaze-serve: --threads must be a positive integer");
                 return usage();
             }
@@ -101,6 +111,7 @@ fn main() -> ExitCode {
     }
     if let Some(scale) = flag_value(&args, "--scale") {
         if gaze_sim::experiments::ExperimentScale::named(&scale).is_none() {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!("gaze-serve: unknown scale '{scale}' (quick|bench|paper)");
             return usage();
         }
@@ -109,6 +120,7 @@ fn main() -> ExitCode {
     if let Some(spec_dir) = flag_value(&args, "--spec-dir") {
         let dir = std::path::PathBuf::from(spec_dir);
         if !dir.is_dir() {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!(
                 "gaze-serve: --spec-dir '{}' is not a directory",
                 dir.display()
@@ -121,6 +133,7 @@ fn main() -> ExitCode {
         match workers.parse::<usize>() {
             Ok(n) if n >= 1 => config.job_workers = n,
             _ => {
+                // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                 eprintln!("gaze-serve: --job-workers must be a positive integer");
                 return usage();
             }
@@ -130,6 +143,7 @@ fn main() -> ExitCode {
         match depth.parse::<usize>() {
             Ok(n) if n >= 1 => config.job_queue_depth = n,
             _ => {
+                // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                 eprintln!("gaze-serve: --job-queue must be a positive integer");
                 return usage();
             }
@@ -139,7 +153,7 @@ fn main() -> ExitCode {
     let server = match Server::bind(&config) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("gaze-serve: cannot start: {e}");
+            gaze_obs::log::error("gaze-serve", "cannot start", &[("error", &e)]);
             return ExitCode::FAILURE;
         }
     };

@@ -43,6 +43,7 @@ use gaze_sim::runner::simulated_instructions;
 use gaze_sim::spec::{builtin, plan, run_specs, text, ExperimentSpec};
 
 fn usage() -> ! {
+    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
     eprintln!(
         "usage: gaze-experiments <experiment|all> [--scale NAME|--full|--paper] [--csv]\n\
          \x20      gaze-experiments run  --spec <file|name> [--spec ...] [--scale NAME] [--csv]\n\
@@ -62,6 +63,7 @@ fn resolve_spec(arg: &str) -> ExperimentSpec {
     }
     let path = std::path::Path::new(arg);
     if !path.exists() {
+        // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
         eprintln!(
             "gaze-experiments: '{arg}' is neither a built-in spec {:?} nor a file",
             builtin::builtin_names()
@@ -69,10 +71,12 @@ fn resolve_spec(arg: &str) -> ExperimentSpec {
         std::process::exit(2);
     }
     let content = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
         eprintln!("gaze-experiments: cannot read {arg}: {e}");
         std::process::exit(2);
     });
     text::parse(&content).unwrap_or_else(|e| {
+        // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
         eprintln!("gaze-experiments: {arg}: {e}");
         std::process::exit(2);
     })
@@ -99,6 +103,7 @@ fn parse_cli(args: &[String]) -> Cli {
             "--scale" => match it.next() {
                 Some(name) => scale_name = Some(name.clone()),
                 None => {
+                    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                     eprintln!("gaze-experiments: --scale needs a value");
                     usage();
                 }
@@ -106,12 +111,14 @@ fn parse_cli(args: &[String]) -> Cli {
             "--spec" => match it.next() {
                 Some(spec) => specs.push(spec.clone()),
                 None => {
+                    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                     eprintln!("gaze-experiments: --spec needs a value");
                     usage();
                 }
             },
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => {
+                // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                 eprintln!("gaze-experiments: unknown flag '{flag}'");
                 usage();
             }
@@ -120,6 +127,7 @@ fn parse_cli(args: &[String]) -> Cli {
     }
     let scale = match &scale_name {
         Some(name) => ExperimentScale::named(name).unwrap_or_else(|| {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!("gaze-experiments: unknown scale '{name}' (test|quick|bench|full|paper)");
             std::process::exit(2);
         }),
@@ -139,7 +147,11 @@ fn run_and_print(specs: &[ExperimentSpec], scale: &ExperimentScale, csv: bool) {
     let refs: Vec<&ExperimentSpec> = specs.iter().collect();
     let all_tables = run_specs(&refs, scale);
     for (spec, tables) in specs.iter().zip(all_tables) {
-        eprintln!("rendered {} ({} tables)", spec.name, tables.len());
+        gaze_obs::log::info(
+            "gaze-experiments",
+            "rendered",
+            &[("spec", &spec.name), ("tables", &tables.len())],
+        );
         for table in tables {
             if csv {
                 print!("{}", table.to_csv());
@@ -156,24 +168,32 @@ fn finish() {
     // A failed final flush loses rows, so it must fail the process, not
     // just print.
     if let Err(e) = gaze_sim::results::try_flush() {
-        eprintln!("gaze-experiments: results store flush failed: {e}");
+        gaze_obs::log::error(
+            "gaze-experiments",
+            "results store flush failed",
+            &[("error", &e)],
+        );
         std::process::exit(1);
     }
     if let Some(store) = gaze_sim::results::active_store() {
         let (rows, mix_rows) = store.with_store(|s| (s.len(), s.mix_len()));
-        eprintln!(
-            "results store: {} hits, {} misses ({rows} single-core rows, \
-             {mix_rows} mix rows), {} instructions simulated",
-            store.hits(),
-            store.misses(),
-            simulated_instructions(),
+        gaze_obs::log::info(
+            "gaze-experiments",
+            "results store summary",
+            &[
+                ("hits", &store.hits()),
+                ("misses", &store.misses()),
+                ("rows", &rows),
+                ("mix_rows", &mix_rows),
+                ("instructions_simulated", &simulated_instructions()),
+            ],
         );
     }
     if std::env::var("GAZE_REQUIRE_WARM").as_deref() == Ok("1") && simulated_instructions() > 0 {
-        eprintln!(
-            "GAZE_REQUIRE_WARM: expected a fully warm results store but {} instructions \
-             were simulated",
-            simulated_instructions()
+        gaze_obs::log::error(
+            "gaze-experiments",
+            "GAZE_REQUIRE_WARM: expected a fully warm results store but simulation ran",
+            &[("instructions_simulated", &simulated_instructions())],
         );
         std::process::exit(3);
     }
@@ -185,10 +205,12 @@ fn finish() {
 fn run_specs_command(args: &[String]) {
     if let Some(pos) = args.iter().position(|a| a == "--dump") {
         let Some(name) = args.get(pos + 1) else {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!("gaze-experiments: --dump needs a spec name");
             usage();
         };
         let Some(spec) = builtin::builtin_spec(name) else {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!(
                 "gaze-experiments: unknown built-in spec '{name}' (available: {:?})",
                 builtin::builtin_names()
@@ -219,10 +241,12 @@ fn main() {
     match command.as_str() {
         "run" | "plan" => {
             if cli.specs.is_empty() {
+                // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                 eprintln!("gaze-experiments: '{command}' needs at least one --spec");
                 usage();
             }
             if !cli.positional.is_empty() {
+                // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
                 eprintln!(
                     "gaze-experiments: unexpected arguments {:?} (use --spec)",
                     cli.positional
@@ -262,6 +286,7 @@ fn main() {
     // the user forgot the subcommand — falling through would silently
     // ignore the spec and run EVERYTHING, so refuse instead.
     if !cli.specs.is_empty() {
+        // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
         eprintln!("gaze-experiments: --spec requires the 'run' or 'plan' subcommand");
         usage();
     }
@@ -273,6 +298,7 @@ fn main() {
     };
     for name in &names {
         if !experiment_names().contains(name) {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!(
                 "unknown experiment '{name}'; available: {:?}",
                 experiment_names()

@@ -239,6 +239,7 @@ pub fn table_jobs(kind: &TableKind, scale: &ExperimentScale, plan: &mut JobPlan)
             }
         }
         TableKind::MixPerCore { mixes, rows } => {
+            // gaze-lint: allow(map_iteration) -- `mixes` here is the variant's Vec<MixSpec>, not the HashMap field of the same name
             for mix in mixes {
                 for entry in rows {
                     for prefetcher in [entry.name.as_str(), "none"] {
@@ -382,6 +383,7 @@ pub fn execute_with_progress(
         output
     };
     let outputs = parallel_map(plan.jobs(), |job| {
+        // gaze-lint: allow(wall_clock) -- feeds only the job-duration metrics, never a simulated result
         let job_started = std::time::Instant::now();
         let kind = match job {
             Job::Single { .. } => "single",

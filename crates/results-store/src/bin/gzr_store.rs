@@ -17,6 +17,7 @@ use std::process::ExitCode;
 use results_store::ResultsStore;
 
 fn usage() -> ExitCode {
+    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
     eprintln!("usage: gzr-store (info | compact | backfill) DIR");
     ExitCode::from(2)
 }
@@ -35,7 +36,11 @@ fn main() -> ExitCode {
     let mut store = match ResultsStore::open(dir) {
         Ok(store) => store,
         Err(e) => {
-            eprintln!("gzr-store: cannot open store '{dir}': {e}");
+            gaze_obs::log::error(
+                "gzr-store",
+                "cannot open store",
+                &[("dir", &dir), ("error", &e)],
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -65,7 +70,7 @@ fn main() -> ExitCode {
                 ExitCode::SUCCESS
             }
             Err(e) => {
-                eprintln!("gzr-store: compaction failed: {e}");
+                gaze_obs::log::error("gzr-store", "compaction failed", &[("error", &e)]);
                 ExitCode::FAILURE
             }
         },
@@ -82,12 +87,13 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("gzr-store: backfill failed: {e}");
+                    gaze_obs::log::error("gzr-store", "backfill failed", &[("error", &e)]);
                     ExitCode::FAILURE
                 }
             }
         }
         other => {
+            // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
             eprintln!("gzr-store: unknown command '{other}'");
             usage()
         }

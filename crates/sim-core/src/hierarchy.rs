@@ -621,6 +621,7 @@ impl MemoryHierarchy {
                 if fresh < entry.ready {
                     entry.ready = fresh;
                     let mut promoted = Vec::new();
+                    // gaze-lint: allow(map_iteration) -- per-entry predicate + min() update; no effect depends on visit order
                     for (&seq, pending) in &mut self.pending_fills {
                         if pending.core == core
                             && pending.block == block
@@ -682,6 +683,7 @@ impl MemoryHierarchy {
                 let promoted = pf_ready.min(fresh);
                 self.l2_pf_inflight[core].insert(block.raw(), promoted);
                 let mut lowered = Vec::new();
+                // gaze-lint: allow(map_iteration) -- per-entry predicate + min() update; no effect depends on visit order
                 for (&seq, pending) in &mut self.pending_fills {
                     if pending.core == core && pending.block == block && pending.is_prefetch {
                         pending.demand_touched = true;

@@ -37,6 +37,7 @@ use workloads::pack::{
 };
 
 fn usage() -> ExitCode {
+    // gaze-lint: allow(eprintln) -- CLI usage error: bare stderr line is the interface
     eprintln!(
         "usage:\n  trace-pack synth <workload> (--records N | --scale SCALE) --out FILE.gzt\n  \
          trace-pack suite <suite> (--records N | --scale SCALE) --out-dir DIR\n  \

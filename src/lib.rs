@@ -8,6 +8,7 @@
 
 pub use baselines;
 pub use gaze;
+pub use gaze_lint;
 pub use gaze_obs;
 pub use gaze_serve;
 pub use gaze_sim;

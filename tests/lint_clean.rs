@@ -1,0 +1,23 @@
+//! Tier-1 invariant gate: the committed workspace must be `gaze-lint`
+//! clean. This is the same analysis as `cargo run -p gaze-lint -- .`,
+//! run in-process so plain `cargo test` enforces the determinism,
+//! crash-safety and observability contracts on every PR.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = gaze_repro::gaze_lint::lint_workspace(root).expect("walk workspace sources");
+    assert!(
+        findings.is_empty(),
+        "gaze-lint found {} violation(s) — fix them or annotate each site with\n\
+         `// gaze-lint: allow(<rule>) -- <reason>`:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
